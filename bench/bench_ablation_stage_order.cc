@@ -1,0 +1,104 @@
+// Ablations of the matcher design decisions the thesis argues for:
+//  (1) stage order: the dynamic filter runs before the static filters
+//      (Section 4.3 / 7.2.1) — reversing it must not help, and it loses
+//      the parameter-sensitivity property;
+//  (2) the cost-factor fallback filter: disabling it kills matching for
+//      previously unseen jobs;
+//  (3) user-parameter sensitivity: the same co-occurrence code at
+//      different window sizes must match the right window's profile.
+
+#include "core/evaluator.h"
+#include "jobs/datasets.h"
+#include "report.h"
+
+int main() {
+  using namespace pstorm;
+  using core::MatchOptions;
+  using core::StoreState;
+
+  bench::PrintHeader("Ablation - matcher design decisions");
+
+  const mrsim::Simulator sim(mrsim::ThesisCluster());
+  auto corpus = core::BuildEvaluationCorpus(sim, mrsim::Configuration{}, 31);
+  if (!corpus.ok()) {
+    std::printf("corpus failed: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  storage::InMemoryEnv env;
+  core::MatcherEvaluator evaluator(&env, std::move(corpus).value());
+
+  bench::PrintSubHeader("(1) Stage order + (2) cost-factor fallback");
+  bench::TablePrinter table({"Variant", "SD map", "SD reduce", "DD map",
+                             "DD reduce"});
+  struct Variant {
+    const char* name;
+    MatchOptions options;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"dynamic-first (thesis)", MatchOptions{}});
+  {
+    MatchOptions o;
+    o.static_filters_first = true;
+    variants.push_back({"static-first (ablation)", o});
+  }
+  {
+    MatchOptions o;
+    o.use_cost_factor_fallback = false;
+    variants.push_back({"no cost fallback", o});
+  }
+  for (const Variant& v : variants) {
+    auto sd = evaluator.EvaluatePStorM(StoreState::kSameData, v.options);
+    auto dd = evaluator.EvaluatePStorM(StoreState::kDifferentData,
+                                       v.options);
+    if (!sd.ok() || !dd.ok()) {
+      std::printf("%s failed\n", v.name);
+      continue;
+    }
+    table.AddRow({v.name, bench::Num(100 * sd->map_accuracy(), 1) + "%",
+                  bench::Num(100 * sd->reduce_accuracy(), 1) + "%",
+                  bench::Num(100 * dd->map_accuracy(), 1) + "%",
+                  bench::Num(100 * dd->reduce_accuracy(), 1) + "%"});
+  }
+  table.Print();
+
+  bench::PrintSubHeader(
+      "(3) User-parameter sensitivity (Section 7.2.1): co-occurrence "
+      "windows");
+  const profiler::Profiler prof(&sim);
+  auto store = core::ProfileStore::Open(&env, "/window-store").value();
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  for (int window : {2, 4, 6}) {
+    const auto job = jobs::WordCooccurrencePairs(window);
+    auto profiled =
+        prof.ProfileFullRun(job.spec, data, mrsim::Configuration{}, window);
+    PSTORM_CHECK_OK(profiled.status());
+    PSTORM_CHECK_OK(store->PutProfile(
+        job.spec.name, profiled->profile,
+        staticanalysis::ExtractStaticFeatures(job.program)));
+  }
+  bench::TablePrinter window_table({"Submitted window", "Matched profile",
+                                    "Correct?"});
+  int correct = 0;
+  for (int window : {2, 4, 6}) {
+    const auto job = jobs::WordCooccurrencePairs(window);
+    auto sample = prof.ProfileOneTask(job.spec, data, mrsim::Configuration{},
+                                      100 + window);
+    PSTORM_CHECK_OK(sample.status());
+    const auto probe = core::BuildFeatureVector(
+        sample->profile, staticanalysis::ExtractStaticFeatures(job.program));
+    core::MultiStageMatcher matcher(store.get());
+    auto match = matcher.Match(probe);
+    PSTORM_CHECK_OK(match.status());
+    const bool ok = match->found && match->map_source == job.spec.name;
+    correct += ok ? 1 : 0;
+    window_table.AddRow({std::to_string(window),
+                         match->found ? match->map_source : "(none)",
+                         ok ? "yes" : "NO"});
+  }
+  window_table.Print();
+  std::printf(
+      "\nAll static features tie across windows (same code!); only the\n"
+      "dynamic-first stage order separates them: %d/3 matched correctly.\n",
+      correct);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces thesis Figure 4.2: the control flow graphs of the map
+// functions of the Word Count (Algorithm 1) and Word Co-occurrence
+// (Algorithm 2) jobs, as extracted by the static analyzer.
+
+#include "jobs/benchmark_jobs.h"
+#include "report.h"
+#include "staticanalysis/cfg_matcher.h"
+#include "staticanalysis/features.h"
+
+int main() {
+  namespace sa = pstorm::staticanalysis;
+
+  pstorm::bench::PrintHeader(
+      "Figure 4.2 - CFGs of the Word Count and Word Co-occurrence map "
+      "functions");
+
+  const auto wc = sa::ExtractStaticFeatures(
+      pstorm::jobs::WordCount().program);
+  const auto cooc = sa::ExtractStaticFeatures(
+      pstorm::jobs::WordCooccurrencePairs(2).program);
+
+  pstorm::bench::PrintSubHeader("(a) Word Count map CFG (adjacency)");
+  std::printf("%s", wc.map_cfg.ToString().c_str());
+  std::printf("branches=%d cycles(back edges)=%d\n",
+              wc.map_cfg.num_branches(), wc.map_cfg.num_back_edges());
+
+  pstorm::bench::PrintSubHeader("(b) Word Co-occurrence map CFG (adjacency)");
+  std::printf("%s", cooc.map_cfg.ToString().c_str());
+  std::printf("branches=%d cycles(back edges)=%d\n",
+              cooc.map_cfg.num_branches(), cooc.map_cfg.num_back_edges());
+
+  pstorm::bench::PrintSubHeader("Synchronized-BFS matcher verdict");
+  std::printf("MatchCfgs(word-count, word-count)       = %s\n",
+              sa::MatchCfgs(wc.map_cfg, wc.map_cfg) ? "MATCH" : "MISMATCH");
+  std::printf("MatchCfgs(word-count, co-occurrence)    = %s\n",
+              sa::MatchCfgs(wc.map_cfg, cooc.map_cfg) ? "MATCH" : "MISMATCH");
+  std::printf("MatchCfgs(co-occurrence, co-occurrence) = %s\n",
+              sa::MatchCfgs(cooc.map_cfg, cooc.map_cfg) ? "MATCH"
+                                                        : "MISMATCH");
+
+  pstorm::bench::PrintSubHeader("Graphviz (paste into dot -Tpng)");
+  std::printf("%s\n", wc.map_cfg.ToDot("wordcount_map").c_str());
+  std::printf("%s\n", cooc.map_cfg.ToDot("cooccurrence_map").c_str());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces thesis Figure 4.3: the map-phase time breakdowns of the Word
+// Count and Word Co-occurrence jobs differ because their map functions
+// behave differently — the behaviour the CFG captures statically.
+
+#include "jobs/benchmark_jobs.h"
+#include "jobs/datasets.h"
+#include "profiler/profiler.h"
+#include "report.h"
+
+int main() {
+  using namespace pstorm;
+
+  bench::PrintHeader(
+      "Figure 4.3 - Map-phase times of Word Count vs Word Co-occurrence "
+      "(35GB Wikipedia)");
+
+  const mrsim::Simulator sim(mrsim::ThesisCluster());
+  const profiler::Profiler prof(&sim);
+  const auto data = jobs::FindDataSet(jobs::kWikipedia35Gb).value();
+  mrsim::Configuration config;  // Default Hadoop configuration.
+
+  bench::TablePrinter table({"Job", "read (s)", "map (s)", "collect (s)",
+                             "spill (s)", "merge (s)", "total/task (s)"});
+  for (const jobs::BenchmarkJob& job :
+       {jobs::WordCount(), jobs::WordCooccurrencePairs(2)}) {
+    auto profiled = prof.ProfileFullRun(job.spec, data, config, 42);
+    if (!profiled.ok()) {
+      std::printf("%s failed: %s\n", job.spec.name.c_str(),
+                  profiled.status().ToString().c_str());
+      return 1;
+    }
+    const profiler::MapSideProfile& m = profiled->profile.map_side;
+    table.AddRow({job.spec.name, bench::Num(m.read_s), bench::Num(m.map_s),
+                  bench::Num(m.collect_s), bench::Num(m.spill_s),
+                  bench::Num(m.merge_s),
+                  bench::Num(m.read_s + m.map_s + m.collect_s + m.spill_s +
+                             m.merge_s)});
+
+    bench::PrintBarChart(job.spec.name + " map phases",
+                         {{"read", m.read_s},
+                          {"map", m.map_s},
+                          {"collect", m.collect_s},
+                          {"spill", m.spill_s},
+                          {"merge", m.merge_s}},
+                         "s");
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nShape check: the co-occurrence map phase is dominated by the much\n"
+      "larger intermediate output (collect/spill/merge), per the thesis.\n");
+  return 0;
+}

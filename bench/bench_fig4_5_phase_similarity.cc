@@ -1,0 +1,74 @@
+// Reproduces thesis Figure 4.5: the word co-occurrence pairs job and the
+// bigram relative frequency job have relatively similar phase times when
+// executed on the same 35GB Wikipedia data — the basis for reusing the
+// bigram profile to tune co-occurrence (Figure 1.3).
+
+#include <cmath>
+
+#include "jobs/benchmark_jobs.h"
+#include "jobs/datasets.h"
+#include "profiler/profiler.h"
+#include "report.h"
+
+int main() {
+  using namespace pstorm;
+
+  bench::PrintHeader(
+      "Figure 4.5 - Phase-time similarity: co-occurrence pairs vs bigram "
+      "relative frequency (35GB Wikipedia)");
+
+  const mrsim::Simulator sim(mrsim::ThesisCluster());
+  const profiler::Profiler prof(&sim);
+  const auto data = jobs::FindDataSet(jobs::kWikipedia35Gb).value();
+  mrsim::Configuration config;
+  config.num_reduce_tasks = 27;  // Same tuned setting for both jobs.
+
+  struct Row {
+    std::string name;
+    profiler::ExecutionProfile profile;
+  };
+  std::vector<Row> rows;
+  for (const jobs::BenchmarkJob& job :
+       {jobs::WordCooccurrencePairs(2), jobs::BigramRelativeFrequency()}) {
+    auto profiled = prof.ProfileFullRun(job.spec, data, config, 7);
+    if (!profiled.ok()) {
+      std::printf("%s failed: %s\n", job.spec.name.c_str(),
+                  profiled.status().ToString().c_str());
+      return 1;
+    }
+    rows.push_back({job.spec.name, profiled->profile});
+  }
+
+  bench::TablePrinter table({"Phase", rows[0].name, rows[1].name,
+                             "relative gap"});
+  auto add = [&](const char* phase, double a, double b) {
+    const double gap = a + b > 0 ? std::fabs(a - b) / (0.5 * (a + b)) : 0.0;
+    table.AddRow({phase, bench::Num(a), bench::Num(b),
+                  bench::Num(100.0 * gap, 1) + "%"});
+  };
+  const auto& m0 = rows[0].profile.map_side;
+  const auto& m1 = rows[1].profile.map_side;
+  add("map: read (s)", m0.read_s, m1.read_s);
+  add("map: map (s)", m0.map_s, m1.map_s);
+  add("map: collect (s)", m0.collect_s, m1.collect_s);
+  add("map: spill (s)", m0.spill_s, m1.spill_s);
+  add("map: merge (s)", m0.merge_s, m1.merge_s);
+  const auto& r0 = rows[0].profile.reduce_side;
+  const auto& r1 = rows[1].profile.reduce_side;
+  add("reduce: shuffle (s)", r0.shuffle_s, r1.shuffle_s);
+  add("reduce: sort (s)", r0.sort_s, r1.sort_s);
+  add("reduce: reduce (s)", r0.reduce_s, r1.reduce_s);
+  add("reduce: write (s)", r0.write_s, r1.write_s);
+  table.Print();
+
+  bench::PrintSubHeader("Data-flow statistics (Table 4.1) side by side");
+  bench::TablePrinter dyn({"Feature", rows[0].name, rows[1].name});
+  const auto names = profiler::DynamicFeatureNames();
+  const auto v0 = rows[0].profile.DynamicVector();
+  const auto v1 = rows[1].profile.DynamicVector();
+  for (size_t i = 0; i < names.size(); ++i) {
+    dyn.AddRow({names[i], bench::Num(v0[i], 3), bench::Num(v1[i], 3)});
+  }
+  dyn.Print();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces thesis Figure 6.1: matching accuracy of PStorM compared to
+// the generic feature-selection alternatives (P-features and SP-features)
+// in both store content states (SD: same job + same data stored; DD: only
+// the profile twin on different data stored), reported separately for the
+// map and reduce sides.
+
+#include "core/evaluator.h"
+#include "report.h"
+
+int main() {
+  using namespace pstorm;
+  using core::BaselineFeatures;
+  using core::StoreState;
+
+  bench::PrintHeader("Figure 6.1 - Matching accuracy: PStorM vs P-features "
+                     "vs SP-features");
+
+  const mrsim::Simulator sim(mrsim::ThesisCluster());
+  auto corpus = core::BuildEvaluationCorpus(sim, mrsim::Configuration{}, 11);
+  if (!corpus.ok()) {
+    std::printf("corpus failed: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Profile corpus: %zu (job, data set) executions\n",
+              corpus->items.size());
+  storage::InMemoryEnv env;
+  core::MatcherEvaluator evaluator(&env, std::move(corpus).value());
+
+  struct Approach {
+    const char* name;
+    core::AccuracyReport sd;
+    core::AccuracyReport dd;
+  };
+  std::vector<Approach> approaches;
+
+  auto pstorm_sd = evaluator.EvaluatePStorM(StoreState::kSameData);
+  auto pstorm_dd = evaluator.EvaluatePStorM(StoreState::kDifferentData);
+  auto p_sd = evaluator.EvaluateBaseline(StoreState::kSameData,
+                                         BaselineFeatures::kProfileOnly);
+  auto p_dd = evaluator.EvaluateBaseline(StoreState::kDifferentData,
+                                         BaselineFeatures::kProfileOnly);
+  auto sp_sd = evaluator.EvaluateBaseline(
+      StoreState::kSameData, BaselineFeatures::kStaticPlusProfile);
+  auto sp_dd = evaluator.EvaluateBaseline(
+      StoreState::kDifferentData, BaselineFeatures::kStaticPlusProfile);
+  for (const auto* r : {&pstorm_sd, &pstorm_dd, &p_sd, &p_dd, &sp_sd,
+                        &sp_dd}) {
+    if (!r->ok()) {
+      std::printf("evaluation failed: %s\n",
+                  r->status().ToString().c_str());
+      return 1;
+    }
+  }
+  approaches.push_back({"PStorM", pstorm_sd.value(), pstorm_dd.value()});
+  approaches.push_back({"P-features", p_sd.value(), p_dd.value()});
+  approaches.push_back({"SP-features", sp_sd.value(), sp_dd.value()});
+
+  bench::TablePrinter table({"Approach", "SD map", "SD reduce", "DD map",
+                             "DD reduce"});
+  for (const Approach& a : approaches) {
+    table.AddRow({a.name, bench::Num(100 * a.sd.map_accuracy(), 1) + "%",
+                  bench::Num(100 * a.sd.reduce_accuracy(), 1) + "%",
+                  bench::Num(100 * a.dd.map_accuracy(), 1) + "%",
+                  bench::Num(100 * a.dd.reduce_accuracy(), 1) + "%"});
+  }
+  table.Print();
+
+  for (bool same_data : {true, false}) {
+    std::vector<std::pair<std::string, double>> map_bars, reduce_bars;
+    for (const Approach& a : approaches) {
+      const core::AccuracyReport& r = same_data ? a.sd : a.dd;
+      map_bars.emplace_back(a.name, 100 * r.map_accuracy());
+      reduce_bars.emplace_back(a.name, 100 * r.reduce_accuracy());
+    }
+    const char* state = same_data ? "SD (same data)" : "DD (different data)";
+    bench::PrintBarChart(std::string("Map-side accuracy, ") + state,
+                         map_bars, "%");
+    bench::PrintBarChart(std::string("Reduce-side accuracy, ") + state,
+                         reduce_bars, "%");
+  }
+  std::printf(
+      "\nThesis shape: PStorM ~100%% in SD and high in DD (the residual DD\n"
+      "errors include the four profiles without twins); both generic\n"
+      "feature-selection baselines fail for >35%% of submissions.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Reproduces thesis Figure 6.2: matching accuracy of PStorM compared to
+// the GBRT learned-distance matcher under the four gbm parameter settings
+// of §6.1.2 (R gbm semantics: distribution, iterations, shrinkage, train
+// fraction, 10-fold CV choice of the iteration count).
+
+#include "core/evaluator.h"
+#include "report.h"
+
+int main(int argc, char** argv) {
+  using namespace pstorm;
+  using core::StoreState;
+
+  // --quick trims the GBRT iteration counts (CI-friendly); the default
+  // honours the thesis settings.
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+  bench::PrintHeader("Figure 6.2 - Matching accuracy: PStorM vs GBRT");
+
+  const mrsim::Simulator sim(mrsim::ThesisCluster());
+  const whatif::WhatIfEngine engine(sim.cluster());
+  auto corpus = core::BuildEvaluationCorpus(sim, mrsim::Configuration{}, 13);
+  if (!corpus.ok()) {
+    std::printf("corpus failed: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  storage::InMemoryEnv env;
+  core::MatcherEvaluator evaluator(&env, std::move(corpus).value());
+
+  struct Setting {
+    const char* name;
+    ml::GradientBoostedTrees::Options options;
+  };
+  std::vector<Setting> settings;
+  {
+    // GBRT 1: the gbm defaults of the thesis.
+    Setting s{"GBRT 1", {}};
+    s.options.loss = ml::GbrtLoss::kGaussian;
+    s.options.num_trees = quick ? 300 : 2000;
+    s.options.shrinkage = 0.005;
+    s.options.train_fraction = 0.5;
+    s.options.cv_folds = 10;
+    settings.push_back(s);
+  }
+  {
+    // GBRT 2: Laplace distribution.
+    Setting s{"GBRT 2", settings[0].options};
+    s.options.loss = ml::GbrtLoss::kLaplace;
+    settings.push_back(s);
+  }
+  {
+    // GBRT 3: 10000 iterations, shrinkage 0.001, 80% training data.
+    Setting s{"GBRT 3", settings[1].options};
+    s.options.num_trees = quick ? 600 : 10000;
+    s.options.shrinkage = quick ? 0.01 : 0.001;
+    s.options.train_fraction = 0.8;
+    settings.push_back(s);
+  }
+  {
+    // GBRT 4: 100% training data (deliberate overfit; best accuracy).
+    Setting s{"GBRT 4", settings[2].options};
+    s.options.train_fraction = 1.0;
+    settings.push_back(s);
+  }
+
+  auto pstorm_sd = evaluator.EvaluatePStorM(StoreState::kSameData);
+  auto pstorm_dd = evaluator.EvaluatePStorM(StoreState::kDifferentData);
+  if (!pstorm_sd.ok() || !pstorm_dd.ok()) {
+    std::printf("PStorM evaluation failed\n");
+    return 1;
+  }
+
+  bench::TablePrinter table({"Matcher", "SD map", "SD reduce", "DD map",
+                             "DD reduce"});
+  auto add_row = [&table](const char* name, const core::AccuracyReport& sd,
+                          const core::AccuracyReport& dd) {
+    table.AddRow({name, bench::Num(100 * sd.map_accuracy(), 1) + "%",
+                  bench::Num(100 * sd.reduce_accuracy(), 1) + "%",
+                  bench::Num(100 * dd.map_accuracy(), 1) + "%",
+                  bench::Num(100 * dd.reduce_accuracy(), 1) + "%"});
+  };
+  add_row("PStorM", pstorm_sd.value(), pstorm_dd.value());
+
+  const int pairs_per_job = 20;
+  for (const Setting& setting : settings) {
+    std::printf("training %s (%d trees, shrinkage %.3f, train %.0f%%, %s)"
+                "...\n",
+                setting.name, setting.options.num_trees,
+                setting.options.shrinkage,
+                100 * setting.options.train_fraction,
+                setting.options.loss == ml::GbrtLoss::kLaplace ? "laplace"
+                                                               : "gaussian");
+    auto sd = evaluator.EvaluateGbrt(StoreState::kSameData, setting.options,
+                                     engine, pairs_per_job, 17);
+    auto dd = evaluator.EvaluateGbrt(StoreState::kDifferentData,
+                                     setting.options, engine, pairs_per_job,
+                                     17);
+    if (!sd.ok() || !dd.ok()) {
+      std::printf("%s failed: %s\n", setting.name,
+                  sd.ok() ? dd.status().ToString().c_str()
+                          : sd.status().ToString().c_str());
+      continue;
+    }
+    add_row(setting.name, sd.value(), dd.value());
+  }
+  table.Print();
+  std::printf(
+      "\nThesis shape: PStorM is as accurate as or better than every GBRT\n"
+      "setting - including GBRT 4, which overfits its training data - while\n"
+      "requiring no training at all.\n");
+  return 0;
+}

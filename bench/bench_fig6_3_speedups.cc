@@ -1,0 +1,176 @@
+// Reproduces thesis Figure 6.3: end-to-end speedups over the default
+// Hadoop configuration for four jobs on the 35GB Wikipedia data set, tuned
+// by the RBO and by the Starfish CBO fed with PStorM profiles under the
+// three store content states:
+//   SD - the job's own complete profile (same data) is stored
+//   DD - only the job's profile on the *other* data set is stored
+//   NJ - no profile of the job exists: PStorM must return a composite /
+//        behaviourally-similar profile.
+
+#include "common/strings.h"
+#include "core/evaluator.h"
+#include "jobs/datasets.h"
+#include "core/matcher.h"
+#include "core/pstorm.h"
+#include "optimizer/rbo.h"
+#include "report.h"
+
+namespace {
+
+using namespace pstorm;
+
+struct BenchContext {
+  const mrsim::Simulator* sim;
+  const whatif::WhatIfEngine* engine;
+  core::ProfileStore* store;
+  const core::Corpus* corpus;
+};
+
+/// PStorM flow for one submission under the current store contents:
+/// 1-task sample -> match -> CBO -> simulated run. Returns the runtime
+/// (falls back to the default-config runtime when no match is found).
+double PStormTunedRuntime(const BenchContext& ctx,
+                          const core::CorpusItem& item,
+                          std::string* source) {
+  profiler::Profiler prof(ctx.sim);
+  auto sample = prof.ProfileOneTask(item.entry.job.spec, item.data,
+                                    mrsim::Configuration{}, 23);
+  if (!sample.ok()) return -1;
+  const core::JobFeatureVector probe =
+      core::BuildFeatureVector(sample->profile, item.statics);
+  core::MultiStageMatcher matcher(ctx.store);
+  auto match = matcher.Match(probe);
+  if (!match.ok()) return -1;
+  if (!match->found) {
+    *source = "(no match: ran untuned)";
+    auto run = ctx.sim->RunJob(item.entry.job.spec, item.data,
+                               mrsim::Configuration{});
+    return run.ok() ? run->runtime_s : -1;
+  }
+  *source = match->composite
+                ? match->map_source + "+" + match->reduce_source
+                : match->map_source;
+  optimizer::CostBasedOptimizer cbo(ctx.engine);
+  auto rec = cbo.Optimize(match->profile, item.data);
+  if (!rec.ok()) return -1;
+  auto run = ctx.sim->RunJob(item.entry.job.spec, item.data, rec->config);
+  return run.ok() ? run->runtime_s : -1;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 6.3 - Speedups of different MR jobs with different "
+      "configuration settings (35GB Wikipedia)");
+
+  const mrsim::Simulator sim(mrsim::ThesisCluster());
+  const whatif::WhatIfEngine engine(sim.cluster());
+  auto corpus = core::BuildEvaluationCorpus(sim, mrsim::Configuration{}, 19);
+  if (!corpus.ok()) {
+    std::printf("corpus failed: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  storage::InMemoryEnv env;
+  core::MatcherEvaluator evaluator(&env, corpus.value());
+  auto store = evaluator.BuildFullStore("/fig63-store");
+  if (!store.ok()) {
+    std::printf("store failed: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+
+  BenchContext ctx{&sim, &engine, store->get(), &corpus.value()};
+
+  const std::vector<std::string> target_jobs = {
+      "word-count", "word-cooccurrence-pairs-w2", "inverted-index",
+      "bigram-relative-frequency"};
+
+  bench::TablePrinter table({"Job", "default", "RBO", "PStorM SD",
+                             "PStorM DD", "PStorM NJ"});
+  std::vector<std::vector<std::pair<std::string, double>>> charts;
+
+  for (const std::string& job_name : target_jobs) {
+    // Locate the corpus item for this job on Wikipedia.
+    const core::CorpusItem* item = nullptr;
+    for (const auto& candidate : ctx.corpus->items) {
+      if (candidate.entry.job.spec.name == job_name &&
+          candidate.entry.data_set == jobs::kWikipedia35Gb) {
+        item = &candidate;
+      }
+    }
+    if (item == nullptr) continue;
+    const int twin_index = -1;  // Resolved below via job-name scan.
+
+    auto default_run =
+        sim.RunJob(item->entry.job.spec, item->data, mrsim::Configuration{});
+    if (!default_run.ok()) continue;
+    const double baseline = default_run->runtime_s;
+
+    // RBO.
+    optimizer::RboHints hints;
+    hints.expect_large_intermediate_data =
+        item->entry.job.spec.map.size_selectivity >= 1.0;
+    hints.reduce_is_associative = item->entry.job.spec.combine.defined;
+    const auto rbo_config =
+        optimizer::RuleBasedOptimizer().Recommend(sim.cluster(), hints);
+    auto rbo_run = sim.RunJob(item->entry.job.spec, item->data, rbo_config);
+    const double rbo_speedup =
+        rbo_run.ok() ? baseline / rbo_run->runtime_s : 0;
+
+    std::string source_sd, source_dd, source_nj;
+
+    // SD: the store holds everything.
+    const double sd_runtime = PStormTunedRuntime(ctx, *item, &source_sd);
+
+    // DD: remove this (job, data set)'s own profile.
+    (void)twin_index;
+    PSTORM_CHECK_OK(ctx.store->DeleteProfile(item->job_key));
+    const double dd_runtime = PStormTunedRuntime(ctx, *item, &source_dd);
+
+    // NJ: additionally remove the twin — no profile of this job at all.
+    std::string twin_key;
+    for (const auto& candidate : ctx.corpus->items) {
+      if (candidate.entry.job.spec.name == job_name &&
+          candidate.job_key != item->job_key) {
+        twin_key = candidate.job_key;
+      }
+    }
+    if (!twin_key.empty()) {
+      PSTORM_CHECK_OK(ctx.store->DeleteProfile(twin_key));
+    }
+    const double nj_runtime = PStormTunedRuntime(ctx, *item, &source_nj);
+
+    // Restore the store for the next job.
+    for (const auto& candidate : ctx.corpus->items) {
+      if (candidate.entry.job.spec.name == job_name) {
+        PSTORM_CHECK_OK(ctx.store->PutProfile(
+            candidate.job_key, candidate.complete, candidate.statics));
+      }
+    }
+
+    auto speedup = [baseline](double runtime) {
+      return runtime > 0 ? baseline / runtime : 0.0;
+    };
+    table.AddRow({job_name, HumanDuration(baseline),
+                  bench::Num(rbo_speedup, 2) + "x",
+                  bench::Num(speedup(sd_runtime), 2) + "x",
+                  bench::Num(speedup(dd_runtime), 2) + "x",
+                  bench::Num(speedup(nj_runtime), 2) + "x"});
+    charts.push_back({{"RBO", rbo_speedup},
+                      {"PStorM SD", speedup(sd_runtime)},
+                      {"PStorM DD", speedup(dd_runtime)},
+                      {"PStorM NJ", speedup(nj_runtime)}});
+    std::printf("%s profile sources: SD=%s DD=%s NJ=%s\n", job_name.c_str(),
+                source_sd.c_str(), source_dd.c_str(), source_nj.c_str());
+    bench::PrintBarChart("Speedup over default: " + job_name, charts.back(),
+                         "x");
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nThesis shape: PStorM beats the RBO everywhere; DD and NJ speedups\n"
+      "stay close to SD; inverted index barely improves (defaults suit it);\n"
+      "co-occurrence pairs reaches the largest speedup (~9x in the "
+      "thesis).\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Demonstrates the thesis's §7.2 future-work directions, implemented as
+// extensions:
+//   §7.2.1 user parameters in the static feature vector (sample-free
+//          matching)
+//   §7.2.2 call-flow-graph matching
+//   §7.2.3/§7.2.6 cross-cluster profile transfer
+//   §7.2.4 PerfXplain-style explanations enriched with static features
+//   §7.2.5 tuning a dataflow program (the FIM 3-job chain) stage by stage
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "core/explain.h"
+#include "core/matcher.h"
+#include "core/profile_store.h"
+#include "jobs/benchmark_jobs.h"
+#include "jobs/datasets.h"
+#include "optimizer/cbo.h"
+#include "profiler/profiler.h"
+#include "report.h"
+#include "whatif/cluster_transfer.h"
+
+using namespace pstorm;
+
+namespace {
+
+void SectionUserParams(const mrsim::Simulator& sim) {
+  bench::PrintSubHeader(
+      "7.2.1 - user parameters: sample-free static-only matching");
+  const profiler::Profiler prof(&sim);
+  storage::InMemoryEnv env;
+  auto store = core::ProfileStore::Open(&env, "/fw-params").value();
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  for (int window : {2, 4, 6}) {
+    const auto job = jobs::WordCooccurrencePairs(window);
+    auto profiled =
+        prof.ProfileFullRun(job.spec, data, mrsim::Configuration{}, window);
+    PSTORM_CHECK_OK(profiled.status());
+    PSTORM_CHECK_OK(store->PutProfile(
+        job.spec.name, profiled->profile,
+        staticanalysis::ExtractStaticFeatures(job.program)));
+  }
+  core::MatchOptions options;
+  options.static_only = true;
+  options.include_user_parameters = true;
+  core::MultiStageMatcher matcher(store.get(), options);
+  int correct = 0;
+  for (int window : {2, 4, 6}) {
+    const auto job = jobs::WordCooccurrencePairs(window);
+    // No sample run at all: the probe is built from an empty profile plus
+    // the static features.
+    profiler::ExecutionProfile no_sample;
+    const auto probe = core::BuildFeatureVector(
+        no_sample, staticanalysis::ExtractStaticFeatures(job.program));
+    auto match = matcher.Match(probe);
+    PSTORM_CHECK_OK(match.status());
+    const bool ok = match->found && match->map_source == job.spec.name;
+    correct += ok;
+    std::printf("  window=%d -> %s %s\n", window,
+                match->found ? match->map_source.c_str() : "(none)",
+                ok ? "" : "(WRONG)");
+  }
+  std::printf("  %d/3 matched with zero sampling overhead\n", correct);
+}
+
+void SectionCrossCluster(const mrsim::Simulator& old_sim) {
+  bench::PrintSubHeader(
+      "7.2.3/7.2.6 - bootstrapping a new cluster from old profiles");
+  mrsim::ClusterSpec new_cluster = mrsim::ThesisCluster();
+  new_cluster.num_worker_nodes = 30;
+  new_cluster.hdfs_read_ns_per_byte = 5.0;
+  new_cluster.hdfs_write_ns_per_byte = 10.0;
+  new_cluster.local_read_ns_per_byte = 3.0;
+  new_cluster.local_write_ns_per_byte = 4.0;
+  new_cluster.network_ns_per_byte = 6.0;
+  new_cluster.cpu_cost_factor = 0.5;
+  const mrsim::Simulator new_sim(new_cluster);
+  const whatif::WhatIfEngine new_engine(new_cluster);
+
+  const profiler::Profiler prof(&old_sim);
+  const auto job = jobs::BigramRelativeFrequency();
+  const auto data = jobs::FindDataSet(jobs::kWikipedia35Gb).value();
+  auto profiled =
+      prof.ProfileFullRun(job.spec, data, mrsim::Configuration{}, 3);
+  PSTORM_CHECK_OK(profiled.status());
+
+  auto tune_and_run = [&](const profiler::ExecutionProfile& profile) {
+    optimizer::CostBasedOptimizer cbo(&new_engine);
+    auto rec = cbo.Optimize(profile, data).value();
+    return new_sim.RunJob(job.spec, data, rec.config).value().runtime_s;
+  };
+  const double untuned =
+      new_sim.RunJob(job.spec, data, mrsim::Configuration{})
+          .value()
+          .runtime_s;
+  const double raw_tuned = tune_and_run(profiled->profile);
+  const auto adjusted = whatif::AdjustProfileForCluster(
+      profiled->profile, old_sim.cluster(), new_cluster);
+  const double adjusted_tuned = tune_and_run(adjusted);
+  std::printf("  new cluster, default config:           %s\n",
+              HumanDuration(untuned).c_str());
+  std::printf("  tuned with RAW old-cluster profile:    %s (%.2fx)\n",
+              HumanDuration(raw_tuned).c_str(), untuned / raw_tuned);
+  std::printf("  tuned with ADJUSTED profile:           %s (%.2fx)\n",
+              HumanDuration(adjusted_tuned).c_str(),
+              untuned / adjusted_tuned);
+}
+
+void SectionChainTuning(const mrsim::Simulator& sim) {
+  bench::PrintSubHeader(
+      "7.2.5 - tuning a dataflow program: the FIM 3-job chain");
+  const profiler::Profiler prof(&sim);
+  const whatif::WhatIfEngine engine(sim.cluster());
+  const optimizer::CostBasedOptimizer cbo(&engine);
+
+  const auto chain = jobs::FrequentItemsetMiningChain();
+  mrsim::DataSetSpec stage_input =
+      jobs::FindDataSet(jobs::kWebdocs).value();
+
+  double total_default = 0, total_tuned = 0;
+  for (size_t stage = 0; stage < chain.size(); ++stage) {
+    const auto& job = chain[stage];
+    auto default_run =
+        sim.RunJob(job.spec, stage_input, mrsim::Configuration{});
+    PSTORM_CHECK_OK(default_run.status());
+    auto profiled = prof.ProfileFullRun(job.spec, stage_input,
+                                        mrsim::Configuration{}, 40 + stage);
+    PSTORM_CHECK_OK(profiled.status());
+    auto rec = cbo.Optimize(profiled->profile, stage_input).value();
+    auto tuned_run = sim.RunJob(job.spec, stage_input, rec.config);
+    PSTORM_CHECK_OK(tuned_run.status());
+    std::printf("  %-28s default %-9s tuned %-9s (%.2fx)\n",
+                job.spec.name.c_str(),
+                HumanDuration(default_run->runtime_s).c_str(),
+                HumanDuration(tuned_run->runtime_s).c_str(),
+                default_run->runtime_s / tuned_run->runtime_s);
+    total_default += default_run->runtime_s;
+    total_tuned += tuned_run->runtime_s;
+
+    // The next stage consumes this stage's output.
+    mrsim::DataSetSpec next = stage_input;
+    next.name = job.spec.name + "-output";
+    next.size_bytes = std::max<uint64_t>(
+        1 << 20, static_cast<uint64_t>(tuned_run->total_output_bytes));
+    next.avg_record_bytes = 60.0;
+    stage_input = next;
+  }
+  std::printf("  chain total: default %s -> tuned %s (%.2fx end to end)\n",
+              HumanDuration(total_default).c_str(),
+              HumanDuration(total_tuned).c_str(),
+              total_default / total_tuned);
+}
+
+void SectionExplain(const mrsim::Simulator& sim) {
+  bench::PrintSubHeader(
+      "7.2.4 - PerfXplain integration: explanations with static causes");
+  const profiler::Profiler prof(&sim);
+  const auto wc = jobs::WordCount();
+  const auto cooc = jobs::WordCooccurrencePairs(2);
+  const auto data = jobs::FindDataSet(jobs::kWikipedia35Gb).value();
+  auto a = prof.ProfileFullRun(wc.spec, data, mrsim::Configuration{}, 7);
+  auto b = prof.ProfileFullRun(cooc.spec, data, mrsim::Configuration{}, 8);
+  PSTORM_CHECK_OK(a.status());
+  PSTORM_CHECK_OK(b.status());
+  const auto explanations = core::ExplainPerformanceDifference(
+      a->profile, staticanalysis::ExtractStaticFeatures(wc.program),
+      b->profile, staticanalysis::ExtractStaticFeatures(cooc.program));
+  std::printf("%s",
+              core::RenderExplanations("word-count",
+                                       "word-cooccurrence-pairs",
+                                       explanations)
+                  .c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Section 7.2 future-work directions, implemented as extensions");
+  const mrsim::Simulator sim(mrsim::ThesisCluster());
+  SectionUserParams(sim);
+  SectionCrossCluster(sim);
+  SectionChainTuning(sim);
+  SectionExplain(sim);
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Google-benchmark micro-benchmarks of the performance-critical pieces:
+// the storage engine, the hstore scan path, CFG extraction/matching, the
+// task models, the what-if engine, and end-to-end profile matching.
+
+#include <benchmark/benchmark.h>
+
+#include "core/matcher.h"
+#include "core/profile_store.h"
+#include "jobs/benchmark_jobs.h"
+#include "jobs/datasets.h"
+#include "mrsim/simulator.h"
+#include "profiler/profiler.h"
+#include "staticanalysis/cfg_matcher.h"
+#include "storage/db.h"
+#include "whatif/whatif_engine.h"
+
+namespace {
+
+using namespace pstorm;
+
+// ---------------------------------------------------------------- storage
+
+void BM_StorageDbPut(benchmark::State& state) {
+  storage::InMemoryEnv env;
+  auto db = storage::Db::Open(&env, "/bm-db").value();
+  int i = 0;
+  std::string value(128, 'v');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db->Put("key" + std::to_string(i++), value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StorageDbPut);
+
+void BM_StorageDbGet(benchmark::State& state) {
+  storage::InMemoryEnv env;
+  auto db = storage::Db::Open(&env, "/bm-db").value();
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    PSTORM_CHECK_OK(db->Put("key" + std::to_string(i), std::string(128, 'v')));
+  }
+  PSTORM_CHECK_OK(db->Flush());
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->Get("key" + std::to_string(i++ % n)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StorageDbGet)->Arg(1000)->Arg(10000);
+
+void BM_StorageDbScan(benchmark::State& state) {
+  storage::InMemoryEnv env;
+  auto db = storage::Db::Open(&env, "/bm-db").value();
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    PSTORM_CHECK_OK(db->Put("key" + std::to_string(i), std::string(64, 'v')));
+  }
+  PSTORM_CHECK_OK(db->CompactAll());
+  for (auto _ : state) {
+    size_t count = 0;
+    auto it = db->NewIterator();
+    for (it->SeekToFirst(); it->Valid(); it->Next()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StorageDbScan)->Arg(10000);
+
+// ----------------------------------------------------------- static analysis
+
+void BM_CfgBuild(benchmark::State& state) {
+  const auto program = jobs::WordCooccurrencePairs(2).program;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(staticanalysis::BuildCfg(program.map_function));
+  }
+}
+BENCHMARK(BM_CfgBuild);
+
+void BM_CfgMatch(benchmark::State& state) {
+  const auto a = staticanalysis::BuildCfg(
+      jobs::WordCooccurrencePairs(2).program.map_function);
+  const auto b = staticanalysis::BuildCfg(
+      jobs::BigramRelativeFrequency().program.map_function);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(staticanalysis::MatchCfgs(a, a));
+    benchmark::DoNotOptimize(staticanalysis::MatchCfgs(a, b));
+  }
+}
+BENCHMARK(BM_CfgMatch);
+
+// ----------------------------------------------------------------- simulator
+
+void BM_SimulatorRunJob(benchmark::State& state) {
+  const mrsim::Simulator sim(mrsim::ThesisCluster());
+  const auto job = jobs::WordCount();
+  const auto data = jobs::FindDataSet(jobs::kWikipedia35Gb).value();
+  mrsim::Configuration config;
+  config.num_reduce_tasks = 27;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.RunJob(job.spec, data, config));
+  }
+}
+BENCHMARK(BM_SimulatorRunJob);
+
+void BM_WhatIfPredict(benchmark::State& state) {
+  const mrsim::Simulator sim(mrsim::ThesisCluster());
+  const profiler::Profiler prof(&sim);
+  const whatif::WhatIfEngine engine(sim.cluster());
+  const auto job = jobs::WordCount();
+  const auto data = jobs::FindDataSet(jobs::kWikipedia35Gb).value();
+  const auto profile =
+      prof.ProfileFullRun(job.spec, data, mrsim::Configuration{}, 1)
+          .value()
+          .profile;
+  mrsim::Configuration config;
+  config.num_reduce_tasks = 27;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Predict(profile, data, config));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WhatIfPredict);
+
+// ----------------------------------------------------------------- matching
+
+class MatcherFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    if (store_ != nullptr) return;
+    env_ = std::make_unique<storage::InMemoryEnv>();
+    sim_ = std::make_unique<mrsim::Simulator>(mrsim::ThesisCluster());
+    profiler_ = std::make_unique<profiler::Profiler>(sim_.get());
+    store_ = core::ProfileStore::Open(env_.get(), "/bm-store").value();
+
+    // Populate with replicated workload profiles to reach `range(0)` rows.
+    const auto workload = jobs::Table61Workload();
+    const size_t target = static_cast<size_t>(state.range(0));
+    size_t added = 0, round = 0;
+    while (added < target) {
+      for (const auto& entry : workload) {
+        if (added >= target) break;
+        const auto data = jobs::FindDataSet(entry.data_set).value();
+        auto profiled = profiler_->ProfileFullRun(
+            entry.job.spec, data, mrsim::Configuration{}, added + 1);
+        PSTORM_CHECK_OK(profiled.status());
+        PSTORM_CHECK_OK(store_->PutProfile(
+            entry.job.spec.name + "@" + entry.data_set + "#" +
+                std::to_string(round),
+            profiled->profile,
+            staticanalysis::ExtractStaticFeatures(entry.job.program)));
+        ++added;
+      }
+      ++round;
+    }
+
+    const auto job = jobs::WordCount();
+    const auto data = jobs::FindDataSet(jobs::kWikipedia35Gb).value();
+    auto sample =
+        profiler_->ProfileOneTask(job.spec, data, mrsim::Configuration{}, 7);
+    PSTORM_CHECK_OK(sample.status());
+    probe_ = core::BuildFeatureVector(
+        sample->profile,
+        staticanalysis::ExtractStaticFeatures(job.program));
+  }
+
+  void TearDown(const benchmark::State&) override {}
+
+  std::unique_ptr<storage::InMemoryEnv> env_;
+  std::unique_ptr<mrsim::Simulator> sim_;
+  std::unique_ptr<profiler::Profiler> profiler_;
+  std::unique_ptr<core::ProfileStore> store_;
+  core::JobFeatureVector probe_;
+};
+
+BENCHMARK_DEFINE_F(MatcherFixture, BM_MatchProfile)
+(benchmark::State& state) {
+  core::MultiStageMatcher matcher(store_.get());
+  for (auto _ : state) {
+    auto match = matcher.Match(probe_);
+    PSTORM_CHECK_OK(match.status());
+    benchmark::DoNotOptimize(match);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_REGISTER_F(MatcherFixture, BM_MatchProfile)
+    ->Arg(54)
+    ->Arg(216)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+// Reproduces thesis Table 2.1: the 14 job-level Hadoop configuration
+// parameters with their defaults, as exposed by mrsim::Configuration.
+
+#include "mrsim/configuration.h"
+#include "report.h"
+
+int main() {
+  pstorm::bench::PrintHeader(
+      "Table 2.1 - Configuration Parameters for Hadoop MR Jobs");
+
+  pstorm::bench::TablePrinter table(
+      {"Configuration Parameter", "Description", "Default"});
+  for (const auto& info : pstorm::mrsim::ConfigurationParameterTable()) {
+    std::string description(info.description);
+    if (description.size() > 72) {
+      description = description.substr(0, 69) + "...";
+    }
+    table.AddRow({std::string(info.hadoop_name), description,
+                  std::string(info.default_value)});
+  }
+  table.Print();
+
+  pstorm::bench::PrintSubHeader("Default configuration as simulated");
+  std::printf("%s\n", pstorm::mrsim::Configuration{}.ToString().c_str());
+  return 0;
+}

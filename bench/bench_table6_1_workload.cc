@@ -1,0 +1,42 @@
+// Reproduces thesis Table 6.1: the benchmark of Hadoop MapReduce jobs and
+// the data sets each runs on.
+
+#include <map>
+
+#include "common/strings.h"
+#include "jobs/benchmark_jobs.h"
+#include "jobs/datasets.h"
+#include "report.h"
+
+int main() {
+  using pstorm::jobs::BenchmarkJob;
+
+  pstorm::bench::PrintHeader(
+      "Table 6.1 - Benchmark of Hadoop MapReduce Jobs");
+
+  pstorm::bench::TablePrinter table(
+      {"MapReduce Job", "Application Domain", "Data sets"});
+  for (const BenchmarkJob& job : pstorm::jobs::AllBenchmarkJobs()) {
+    table.AddRow({job.spec.name, job.application_domain,
+                  pstorm::StrJoin(job.data_sets, ", ")});
+  }
+  table.Print();
+
+  pstorm::bench::PrintSubHeader("Data set catalogue");
+  pstorm::bench::TablePrinter data_table(
+      {"Data set", "Size", "Splits", "Record bytes", "Compress ratio",
+       "Vocabulary"});
+  for (const auto& d : pstorm::jobs::DataSetCatalogue()) {
+    data_table.AddRow({d.name, pstorm::HumanBytes(d.size_bytes),
+                       std::to_string(d.num_splits()),
+                       pstorm::bench::Num(d.avg_record_bytes, 0),
+                       pstorm::bench::Num(d.compress_ratio, 2),
+                       pstorm::bench::Num(d.vocabulary_mb, 0) + " MB"});
+  }
+  data_table.Print();
+
+  const auto workload = pstorm::jobs::Table61Workload();
+  std::printf("\nWorkload executions (job x data set pairs): %zu\n",
+              workload.size());
+  return 0;
+}

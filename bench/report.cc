@@ -1,0 +1,75 @@
+#include "report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pstorm::bench {
+
+void PrintHeader(const std::string& title) {
+  const std::string bar(title.size() + 4, '=');
+  std::printf("\n%s\n| %s |\n%s\n", bar.c_str(), title.c_str(), bar.c_str());
+}
+
+void PrintSubHeader(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  size_t total = 1;
+  for (size_t w : widths) total += w + 3;
+  const std::string rule(total, '-');
+  std::printf("%s\n", rule.c_str());
+  print_row(columns_);
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+  std::printf("%s\n", rule.c_str());
+}
+
+void PrintBarChart(const std::string& title,
+                   const std::vector<std::pair<std::string, double>>& bars,
+                   const std::string& unit, int max_width) {
+  PrintSubHeader(title);
+  size_t label_width = 0;
+  double max_value = 0;
+  for (const auto& [label, value] : bars) {
+    label_width = std::max(label_width, label.size());
+    max_value = std::max(max_value, value);
+  }
+  if (max_value <= 0) max_value = 1;
+  for (const auto& [label, value] : bars) {
+    const int width = static_cast<int>(value / max_value * max_width + 0.5);
+    std::printf("  %-*s | %s %.2f %s\n", static_cast<int>(label_width),
+                label.c_str(), std::string(std::max(width, 0), '#').c_str(),
+                value, unit.c_str());
+  }
+}
+
+std::string Num(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace pstorm::bench

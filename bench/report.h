@@ -1,0 +1,39 @@
+#ifndef PSTORM_BENCH_REPORT_H_
+#define PSTORM_BENCH_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace pstorm::bench {
+
+/// Prints a boxed section header.
+void PrintHeader(const std::string& title);
+
+/// Prints a secondary header.
+void PrintSubHeader(const std::string& title);
+
+/// Simple aligned-column table printer for the table/figure benches.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a horizontal ASCII bar chart (the stand-in for the thesis's
+/// figures). `max_width` is the bar length of the largest value.
+void PrintBarChart(const std::string& title,
+                   const std::vector<std::pair<std::string, double>>& bars,
+                   const std::string& unit, int max_width = 50);
+
+/// Formats a double with the given number of decimals.
+std::string Num(double value, int decimals = 2);
+
+}  // namespace pstorm::bench
+
+#endif  // PSTORM_BENCH_REPORT_H_

@@ -1,0 +1,76 @@
+// Quickstart: the PStorM submission workflow end to end.
+//
+// A fresh cluster with an empty profile store receives the word-count job
+// three times. The first submission finds no matching profile, runs with
+// profiling on, and stores the collected profile. The second submission
+// matches the stored profile, gets tuned by the CBO, and runs much faster.
+// The third submission is a *different* job (inverted index): PStorM
+// detects there is nothing usable and collects a new profile for it.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "core/pstorm.h"
+#include "jobs/benchmark_jobs.h"
+#include "jobs/datasets.h"
+
+using namespace pstorm;
+
+namespace {
+
+void Report(const char* label, const core::PStorM::SubmissionOutcome& o) {
+  std::printf("%s\n", label);
+  std::printf("  matched:         %s\n", o.matched ? "yes" : "no");
+  if (o.matched) {
+    std::printf("  profile source:  %s%s\n", o.profile_source.c_str(),
+                o.composite ? " (composite)" : "");
+    std::printf("  tuned config:    %s\n", o.config_used.ToString().c_str());
+  }
+  std::printf("  sampling cost:   %s (one map task + reducers)\n",
+              HumanDuration(o.sample_runtime_s).c_str());
+  std::printf("  job runtime:     %s\n\n",
+              HumanDuration(o.runtime_s).c_str());
+}
+
+}  // namespace
+
+int main() {
+  // The simulated 16-node Hadoop cluster of the thesis evaluation.
+  const mrsim::Simulator simulator(mrsim::ThesisCluster());
+  storage::InMemoryEnv env;
+
+  auto pstorm = core::PStorM::Create(&simulator, &env, "/profile-store");
+  if (!pstorm.ok()) {
+    std::fprintf(stderr, "failed to start PStorM: %s\n",
+                 pstorm.status().ToString().c_str());
+    return 1;
+  }
+  core::PStorM& system = **pstorm;
+
+  const jobs::BenchmarkJob word_count = jobs::WordCount();
+  const jobs::BenchmarkJob inverted_index = jobs::InvertedIndex();
+  const auto data = jobs::FindDataSet(jobs::kWikipedia35Gb).value();
+  const mrsim::Configuration default_config;
+
+  std::printf("=== PStorM quickstart (35GB Wikipedia, empty store) ===\n\n");
+
+  auto first = system.SubmitJob(word_count, data, default_config, 1);
+  if (!first.ok()) return 1;
+  Report("[1] word-count, first submission (cold store):", *first);
+
+  auto second = system.SubmitJob(word_count, data, default_config, 2);
+  if (!second.ok()) return 1;
+  Report("[2] word-count, second submission (profile reuse + CBO):",
+         *second);
+
+  auto third = system.SubmitJob(inverted_index, data, default_config, 3);
+  if (!third.ok()) return 1;
+  Report("[3] inverted-index, first submission:", *third);
+
+  std::printf("store now holds %zu profiles\n", system.store().num_profiles());
+  std::printf("speedup from tuning word-count: %.2fx\n",
+              first->runtime_s / second->runtime_s);
+  return 0;
+}

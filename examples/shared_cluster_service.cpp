@@ -1,0 +1,91 @@
+// Scenario: PStorM as a shared tuning service on a multi-tenant cluster
+// (thesis chapter 1: "PStorM can be deployed on the cluster of a cloud
+// provider offering Hadoop as a service").
+//
+// A mixed stream of jobs from different "tenants" hits the cluster over
+// time. Every submission goes through the PStorM workflow; the store
+// warms up, the match rate climbs, and the aggregate time saved versus
+// always running untuned is reported — including tenants whose jobs are
+// variants of other tenants' code.
+//
+// Build & run:  cmake --build build && ./build/examples/shared_cluster_service
+
+#include <cstdio>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/pstorm.h"
+#include "jobs/benchmark_jobs.h"
+#include "jobs/datasets.h"
+
+using namespace pstorm;
+
+int main() {
+  const mrsim::Simulator simulator(mrsim::ThesisCluster());
+  storage::InMemoryEnv env;
+  core::PStormOptions options;
+  options.cbo.global_samples = 250;  // Service latency budget.
+  options.cbo.local_samples = 80;
+  auto pstorm =
+      core::PStorM::Create(&simulator, &env, "/service-store", options);
+  if (!pstorm.ok()) return 1;
+  core::PStorM& service = **pstorm;
+
+  struct Submission {
+    const char* tenant;
+    jobs::BenchmarkJob job;
+    const char* data_set;
+  };
+  const std::vector<Submission> stream = {
+      {"search-team", jobs::InvertedIndex(), jobs::kRandomText1Gb},
+      {"nlp-team", jobs::BigramRelativeFrequency(), jobs::kRandomText1Gb},
+      {"bi-team", jobs::TpchJoin(), jobs::kTpch1Gb},
+      {"search-team", jobs::InvertedIndex(), jobs::kRandomText1Gb},
+      {"nlp-team", jobs::WordCooccurrencePairs(2), jobs::kRandomText1Gb},
+      {"analytics", jobs::WordCount(), jobs::kRandomText1Gb},
+      {"bi-team", jobs::TpchJoin(), jobs::kTpch1Gb},
+      {"analytics", jobs::WordCount(), jobs::kRandomText1Gb},
+      {"nlp-team", jobs::WordCooccurrencePairs(2), jobs::kRandomText1Gb},
+      {"ml-team", jobs::ItemBasedCollaborativeFiltering(),
+       jobs::kMovieLens10M},
+  };
+
+  std::printf("=== Shared-cluster tuning service ===\n\n");
+  std::printf("%-14s %-28s %-8s %-22s %s\n", "tenant", "job", "match?",
+              "profile source", "runtime");
+
+  double total_with_pstorm = 0, total_untuned = 0;
+  int matches = 0;
+  uint64_t seed = 100;
+  for (const Submission& s : stream) {
+    const auto data = jobs::FindDataSet(s.data_set).value();
+    auto outcome =
+        service.SubmitJob(s.job, data, mrsim::Configuration{}, ++seed);
+    if (!outcome.ok()) {
+      std::printf("submission failed: %s\n",
+                  outcome.status().ToString().c_str());
+      return 1;
+    }
+    auto untuned = simulator.RunJob(s.job.spec, data, mrsim::Configuration{},
+                                    {.seed = seed});
+    if (!untuned.ok()) return 1;
+
+    total_with_pstorm += outcome->runtime_s + outcome->sample_runtime_s;
+    total_untuned += untuned->runtime_s;
+    matches += outcome->matched ? 1 : 0;
+    std::printf("%-14s %-28s %-8s %-22s %s\n", s.tenant,
+                s.job.spec.name.c_str(), outcome->matched ? "yes" : "no",
+                outcome->matched ? outcome->profile_source.c_str() : "-",
+                HumanDuration(outcome->runtime_s).c_str());
+  }
+
+  std::printf("\nstore profiles: %zu   match rate: %d/%zu\n",
+              service.store().num_profiles(), matches, stream.size());
+  std::printf("cluster time, always untuned:  %s\n",
+              HumanDuration(total_untuned).c_str());
+  std::printf("cluster time, via PStorM:      %s (incl. sampling)\n",
+              HumanDuration(total_with_pstorm).c_str());
+  std::printf("aggregate saving:              %.1f%%\n",
+              100.0 * (1.0 - total_with_pstorm / total_untuned));
+  return 0;
+}

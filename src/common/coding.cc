@@ -1,0 +1,72 @@
+#include "common/coding.h"
+
+namespace pstorm {
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  unsigned char buf[5];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+namespace {
+bool GetVarintImpl(std::string_view* input, uint64_t* value, int max_bytes) {
+  uint64_t result = 0;
+  int shift = 0;
+  for (int i = 0; i < max_bytes; ++i) {
+    if (static_cast<size_t>(i) >= input->size()) return false;
+    const unsigned char byte = static_cast<unsigned char>((*input)[i]);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      input->remove_prefix(i + 1);
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // Overlong encoding.
+}
+}  // namespace
+
+bool GetVarint32(std::string_view* input, uint32_t* value) {
+  uint64_t v;
+  if (!GetVarintImpl(input, &v, 5)) return false;
+  if (v > 0xffffffffULL) return false;
+  *value = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool GetVarint64(std::string_view* input, uint64_t* value) {
+  return GetVarintImpl(input, value, 10);
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value) {
+  uint32_t len;
+  if (!GetVarint32(input, &len)) return false;
+  if (input->size() < len) return false;
+  *value = input->substr(0, len);
+  input->remove_prefix(len);
+  return true;
+}
+
+}  // namespace pstorm

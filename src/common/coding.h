@@ -1,0 +1,52 @@
+#ifndef PSTORM_COMMON_CODING_H_
+#define PSTORM_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace pstorm {
+
+/// Byte-level encoders used by the storage engine's block and record
+/// formats. All integers are little-endian fixed width or LEB128 varints.
+
+inline void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  std::memcpy(buf, &value, 4);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  std::memcpy(buf, &value, 8);
+  dst->append(buf, 8);
+}
+
+inline uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Parses a varint from the front of `*input`, advancing it past the
+/// encoding. Returns false on truncated/overlong input.
+bool GetVarint32(std::string_view* input, uint32_t* value);
+bool GetVarint64(std::string_view* input, uint64_t* value);
+
+/// Length-prefixed string: varint32 length followed by the bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+}  // namespace pstorm
+
+#endif  // PSTORM_COMMON_CODING_H_

@@ -1,0 +1,36 @@
+#ifndef PSTORM_COMMON_HASH_H_
+#define PSTORM_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace pstorm {
+
+/// 64-bit FNV-1a. Stable across platforms (used in SSTable bloom filters
+/// and for hashing intermediate keys to reduce partitions).
+inline uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0) {
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Mixes an integer into an avalanche hash (finalizer of murmur3).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace pstorm
+
+#endif  // PSTORM_COMMON_HASH_H_

@@ -1,0 +1,84 @@
+#ifndef PSTORM_COMMON_LOGGING_H_
+#define PSTORM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace pstorm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level below which log lines are dropped.
+/// Defaults to kInfo; tests lower it to kDebug when diagnosing.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and flushes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process after flushing. Used by PSTORM_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define PSTORM_LOG(level)                                          \
+  ::pstorm::internal::LogMessage(::pstorm::LogLevel::k##level, \
+                                 __FILE__, __LINE__)
+
+/// Aborts with a diagnostic when `cond` is false. This guards internal
+/// invariants (programming errors), never user input — user input errors
+/// return Status.
+#define PSTORM_CHECK(cond)                                       \
+  if (cond) {                                                     \
+  } else /* NOLINT */                                             \
+    ::pstorm::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define PSTORM_CHECK_OK(expr)                                        \
+  do {                                                               \
+    ::pstorm::Status _pstorm_check_status = (expr);                  \
+    PSTORM_CHECK(_pstorm_check_status.ok())                          \
+        << "status: " << _pstorm_check_status.ToString();            \
+  } while (false)
+
+}  // namespace pstorm
+
+#endif  // PSTORM_COMMON_LOGGING_H_

@@ -1,0 +1,143 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pstorm {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// Integral of x^-s (the "h integral" of Hörmann's rejection-inversion
+// method for Zipf sampling).
+double HIntegral(double x, double s) {
+  if (s == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+}
+
+double HIntegralInverse(double u, double s) {
+  if (s == 1.0) return std::exp(u);
+  return std::pow(1.0 + u * (1.0 - s), 1.0 / (1.0 - s));
+}
+
+double H(double x, double s) { return std::pow(x, -s); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = RotL(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = RotL(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  PSTORM_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  // Box–Muller; one value per call keeps the generator state trajectory
+  // simple and reproducible.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Gaussian(mu, sigma));
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  PSTORM_CHECK(n >= 1);
+  PSTORM_CHECK(s > 0.0);
+  if (n == 1) return 1;
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_h_x1_ = HIntegral(1.5, s) - 1.0;
+    zipf_h_n_ = HIntegral(static_cast<double>(n) + 0.5, s);
+    zipf_threshold_ = 2.0 - HIntegralInverse(HIntegral(2.5, s) - H(2, s), s);
+  }
+  for (;;) {
+    const double u = zipf_h_n_ + NextDouble() * (zipf_h_x1_ - zipf_h_n_);
+    const double x = HIntegralInverse(u, s);
+    uint64_t k = static_cast<uint64_t>(std::llround(x));
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= zipf_threshold_ ||
+        u >= HIntegral(kd + 0.5, s) - H(kd, s)) {
+      return k;
+    }
+  }
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork(uint64_t stream_id) {
+  // Mix the parent state with the stream id through splitmix so sibling
+  // streams are decorrelated.
+  uint64_t mix = s_[0] ^ RotL(s_[3], 13) ^ (stream_id * 0x9e3779b97f4a7c15ULL);
+  return Rng(SplitMix64(&mix));
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  PSTORM_CHECK(k <= n);
+  // Floyd's algorithm: O(k) expected insertions.
+  std::vector<uint64_t> chosen;
+  chosen.reserve(k);
+  // For tiny k relative to n a hash set would do; a sorted vector keeps the
+  // output ordered, which callers (split sampling) want anyway.
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = NextUint64(j + 1);
+    bool found = false;
+    for (uint64_t c : chosen) {
+      if (c == t) {
+        found = true;
+        break;
+      }
+    }
+    chosen.push_back(found ? j : t);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace pstorm

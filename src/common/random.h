@@ -1,0 +1,66 @@
+#ifndef PSTORM_COMMON_RANDOM_H_
+#define PSTORM_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pstorm {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via
+/// splitmix64). Everything stochastic in the simulator flows from explicit
+/// seeds through this class so runs are reproducible bit-for-bit across
+/// platforms — std::mt19937 distributions are not portable across standard
+/// library implementations, which is why the distributions below are
+/// hand-rolled.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Gaussian with the given mean and standard deviation (Box–Muller).
+  double Gaussian(double mean, double stddev);
+
+  /// Log-normal: exp(Gaussian(mu, sigma)). Used for node-load noise, which
+  /// is multiplicative and right-skewed (occasional badly overloaded nodes,
+  /// i.e. stragglers).
+  double LogNormal(double mu, double sigma);
+
+  /// Zipf-distributed rank in [1, n] with exponent `s`. Used for word/key
+  /// frequency distributions in the synthetic text data sets.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// A fresh generator whose stream is independent of this one.
+  /// `stream_id` distinguishes children forked from the same parent state.
+  Rng Fork(uint64_t stream_id);
+
+  /// k distinct indices sampled uniformly from [0, n), in increasing order.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t s_[4];
+  // Cached Zipf constants (Hörmann rejection-inversion) so repeated draws
+  // with the same (n, s) skip re-deriving them.
+  uint64_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  double zipf_h_x1_ = 0.0;
+  double zipf_h_n_ = 0.0;
+  double zipf_threshold_ = 0.0;
+};
+
+}  // namespace pstorm
+
+#endif  // PSTORM_COMMON_RANDOM_H_

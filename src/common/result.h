@@ -1,0 +1,69 @@
+#ifndef PSTORM_COMMON_RESULT_H_
+#define PSTORM_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace pstorm {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent (the StatusOr idiom). Accessing the value of an errored
+/// Result aborts the process via PSTORM_CHECK, so callers must test `ok()`
+/// first (or use `value_or`).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value keeps `return value;` ergonomic.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error keeps `return status;` ergonomic.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    PSTORM_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PSTORM_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    PSTORM_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    PSTORM_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its status on error and
+/// otherwise declaring `lhs` initialized with the value.
+#define PSTORM_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  PSTORM_ASSIGN_OR_RETURN_IMPL_(                                  \
+      PSTORM_MACRO_CONCAT_(_pstorm_result_, __LINE__), lhs, rexpr)
+
+#define PSTORM_MACRO_CONCAT_INNER_(a, b) a##b
+#define PSTORM_MACRO_CONCAT_(a, b) PSTORM_MACRO_CONCAT_INNER_(a, b)
+#define PSTORM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace pstorm
+
+#endif  // PSTORM_COMMON_RESULT_H_

@@ -1,0 +1,57 @@
+#ifndef PSTORM_COMMON_STATISTICS_H_
+#define PSTORM_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pstorm {
+
+/// Online accumulator of count / mean / variance / min / max (Welford).
+/// Used throughout the profiler to aggregate per-task measurements into
+/// profile fields without storing every observation.
+class RunningStat {
+ public:
+  void Add(double x);
+  void Merge(const RunningStat& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  /// Coefficient of variation (stddev / |mean|); 0 for a zero mean.
+  double cv() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact p-th percentile (0 <= p <= 100) by sorting a copy; linear
+/// interpolation between ranks. Empty input yields 0.
+double Percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Euclidean distance between equal-length vectors.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Jaccard index between two categorical vectors compared positionally:
+/// |matches| / |union| where the union of two equal-length feature vectors
+/// is their length (the PStorM simplification that makes the index O(|S|),
+/// thesis §4.2). Vectors must be the same length.
+double PositionalJaccard(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+}  // namespace pstorm
+
+#endif  // PSTORM_COMMON_STATISTICS_H_

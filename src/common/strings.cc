@@ -1,0 +1,93 @@
+#include "common/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pstorm {
+
+std::vector<std::string> StrSplit(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  constexpr uint64_t kKb = 1024;
+  constexpr uint64_t kMb = kKb * 1024;
+  constexpr uint64_t kGb = kMb * 1024;
+  constexpr uint64_t kTb = kGb * 1024;
+  char buf[64];
+  if (bytes >= kTb) {
+    std::snprintf(buf, sizeof(buf), "%.2f TB",
+                  static_cast<double>(bytes) / static_cast<double>(kTb));
+  } else if (bytes >= kGb) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB",
+                  static_cast<double>(bytes) / static_cast<double>(kGb));
+  } else if (bytes >= kMb) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB",
+                  static_cast<double>(bytes) / static_cast<double>(kMb));
+  } else if (bytes >= kKb) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB",
+                  static_cast<double>(bytes) / static_cast<double>(kKb));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string HumanDuration(double seconds) {
+  char buf[64];
+  if (seconds < 0) seconds = 0;
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f ms", seconds * 1000.0);
+  } else if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  } else if (seconds < 3600.0) {
+    const int m = static_cast<int>(seconds / 60.0);
+    const int s = static_cast<int>(std::lround(seconds - m * 60.0));
+    std::snprintf(buf, sizeof(buf), "%dm %02ds", m, s);
+  } else {
+    const int h = static_cast<int>(seconds / 3600.0);
+    const int m =
+        static_cast<int>(std::lround((seconds - h * 3600.0) / 60.0));
+    std::snprintf(buf, sizeof(buf), "%dh %02dm", h, m);
+  }
+  return buf;
+}
+
+}  // namespace pstorm

@@ -1,0 +1,32 @@
+#ifndef PSTORM_COMMON_STRINGS_H_
+#define PSTORM_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pstorm {
+
+/// Splits `text` on `delim`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char delim);
+
+/// Joins `pieces` with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// "1.5 GB", "823 MB", "12 KB", "7 B" — for human-facing reports.
+std::string HumanBytes(uint64_t bytes);
+
+/// "2h 13m", "13m 44s", "44.2s", "183 ms" — for human-facing reports.
+std::string HumanDuration(double seconds);
+
+/// Fixed-point decimal rendering with `digits` fractional digits.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace pstorm
+
+#endif  // PSTORM_COMMON_STRINGS_H_

@@ -1,0 +1,437 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/statistics.h"
+#include "jobs/datasets.h"
+#include "ml/feature_selection.h"
+#include "staticanalysis/cfg_matcher.h"
+
+namespace pstorm::core {
+
+namespace {
+
+/// All numeric map-side fields a Starfish profile exposes — the candidate
+/// pool for the generic information-gain feature selection (§6.1.1). Mixes
+/// per-job rates (transferable from a 1-task sample to a complete profile)
+/// with run totals (not transferable) — which is precisely why naive
+/// selection underperforms.
+std::vector<double> MapNumericPool(const profiler::ExecutionProfile& p) {
+  const profiler::MapSideProfile& m = p.map_side;
+  return {m.size_selectivity,    m.pairs_selectivity,
+          m.combine_size_selectivity, m.combine_pairs_selectivity,
+          m.read_hdfs_io_cost,   m.read_local_io_cost,
+          m.write_local_io_cost, m.map_cpu_cost,
+          m.combine_cpu_cost,    m.read_s,
+          m.map_s,               m.collect_s,
+          m.spill_s,             m.merge_s,
+          m.input_bytes,         m.input_records,
+          m.output_bytes,        m.output_records,
+          static_cast<double>(m.num_tasks)};
+}
+
+std::vector<double> ReduceNumericPool(const profiler::ExecutionProfile& p) {
+  const profiler::ReduceSideProfile& r = p.reduce_side;
+  return {r.size_selectivity,  r.pairs_selectivity, r.write_hdfs_io_cost,
+          r.read_local_io_cost, r.write_local_io_cost, r.reduce_cpu_cost,
+          r.shuffle_s,         r.sort_s,            r.reduce_s,
+          r.write_s,           r.input_bytes,       r.input_records,
+          r.output_bytes,      r.output_records,
+          static_cast<double>(r.num_tasks)};
+}
+
+std::vector<std::string> MapCategoricalPool(
+    const staticanalysis::StaticFeatures& f) {
+  return f.MapCategorical();
+}
+
+std::vector<std::string> ReduceCategoricalPool(
+    const staticanalysis::StaticFeatures& f) {
+  return f.ReduceCategorical();
+}
+
+/// Number of features PStorM uses per side (static incl. CFG + dynamic):
+/// the F of §6.1.1.
+size_t PStormFeatureCount(Side side) {
+  return side == Side::kMap ? 7 + 1 + 4 : 4 + 1 + 2;
+}
+
+/// Min-max bounds of a feature matrix, column-wise.
+FeatureBounds BoundsOf(const ml::FeatureMatrix& x) {
+  FeatureBounds bounds;
+  if (x.empty()) return bounds;
+  bounds.mins = x[0];
+  bounds.maxs = x[0];
+  for (const auto& row : x) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      bounds.mins[i] = std::min(bounds.mins[i], row[i]);
+      bounds.maxs[i] = std::max(bounds.maxs[i], row[i]);
+    }
+  }
+  return bounds;
+}
+
+}  // namespace
+
+int Corpus::TwinOf(size_t index) const {
+  const CorpusItem& item = items[index];
+  for (size_t j = 0; j < items.size(); ++j) {
+    if (j == index) continue;
+    if (items[j].entry.job.spec.name == item.entry.job.spec.name &&
+        items[j].entry.data_set != item.entry.data_set) {
+      return static_cast<int>(j);
+    }
+  }
+  return -1;
+}
+
+Result<Corpus> BuildEvaluationCorpus(const mrsim::Simulator& simulator,
+                                     const mrsim::Configuration& config,
+                                     uint64_t seed) {
+  profiler::Profiler profiler(&simulator);
+  Corpus corpus;
+  uint64_t item_seed = seed;
+  for (const jobs::WorkloadEntry& entry : jobs::Table61Workload()) {
+    PSTORM_ASSIGN_OR_RETURN(mrsim::DataSetSpec data,
+                            jobs::FindDataSet(entry.data_set));
+    ++item_seed;
+    PSTORM_ASSIGN_OR_RETURN(
+        profiler::ProfiledRun complete,
+        profiler.ProfileFullRun(entry.job.spec, data, config, item_seed));
+    PSTORM_ASSIGN_OR_RETURN(
+        profiler::ProfiledRun sample,
+        profiler.ProfileOneTask(entry.job.spec, data, config,
+                                item_seed ^ 0x5a5aULL));
+    CorpusItem item;
+    item.job_key = entry.job.spec.name + "@" + entry.data_set;
+    item.entry = entry;
+    item.data = data;
+    item.complete = complete.profile;
+    item.sample = sample.profile;
+    item.statics = staticanalysis::ExtractStaticFeatures(entry.job.program);
+    corpus.items.push_back(std::move(item));
+  }
+  return corpus;
+}
+
+MatcherEvaluator::MatcherEvaluator(storage::Env* env, Corpus corpus)
+    : env_(env), corpus_(std::move(corpus)) {
+  PSTORM_CHECK(env != nullptr);
+}
+
+Result<std::unique_ptr<ProfileStore>> MatcherEvaluator::BuildFullStore(
+    const std::string& path) const {
+  PSTORM_ASSIGN_OR_RETURN(auto store, ProfileStore::Open(env_, path));
+  for (const CorpusItem& item : corpus_.items) {
+    PSTORM_RETURN_IF_ERROR(
+        store->PutProfile(item.job_key, item.complete, item.statics));
+  }
+  return store;
+}
+
+Result<AccuracyReport> MatcherEvaluator::EvaluatePStorM(
+    StoreState state, MatchOptions options) const {
+  static int store_id = 0;
+  const std::string path =
+      "/pstorm-eval/store-" + std::to_string(store_id++);
+  PSTORM_ASSIGN_OR_RETURN(auto store, BuildFullStore(path));
+  MultiStageMatcher matcher(store.get(), options);
+
+  AccuracyReport report;
+  for (size_t i = 0; i < corpus_.items.size(); ++i) {
+    const CorpusItem& item = corpus_.items[i];
+    if (state == StoreState::kDifferentData) {
+      PSTORM_RETURN_IF_ERROR(store->DeleteProfile(item.job_key));
+    }
+
+    const JobFeatureVector probe =
+        BuildFeatureVector(item.sample, item.statics);
+    PSTORM_ASSIGN_OR_RETURN(MatchResult match, matcher.Match(probe));
+
+    std::string expected;
+    if (state == StoreState::kSameData) {
+      expected = item.job_key;
+    } else {
+      const int twin = corpus_.TwinOf(i);
+      expected = twin >= 0 ? corpus_.items[twin].job_key : "";
+    }
+    ++report.total;
+    if (!expected.empty() && match.found) {
+      if (match.map_side.job_key == expected) ++report.map_correct;
+      if (match.reduce_side.job_key == expected) ++report.reduce_correct;
+    }
+
+    if (state == StoreState::kDifferentData) {
+      PSTORM_RETURN_IF_ERROR(
+          store->PutProfile(item.job_key, item.complete, item.statics));
+    }
+  }
+  return report;
+}
+
+Result<AccuracyReport> MatcherEvaluator::EvaluateBaseline(
+    StoreState state, BaselineFeatures feature_mode) const {
+  AccuracyReport report;
+
+  for (Side side : {Side::kMap, Side::kReduce}) {
+    // Build the training matrix from the complete (stored) profiles; the
+    // label of each profile is its own identity (the matcher must find
+    // *this* profile again).
+    ml::FeatureMatrix numeric;
+    std::vector<std::vector<std::string>> categorical;
+    std::vector<int> labels;
+    for (size_t i = 0; i < corpus_.items.size(); ++i) {
+      const CorpusItem& item = corpus_.items[i];
+      numeric.push_back(side == Side::kMap ? MapNumericPool(item.complete)
+                                           : ReduceNumericPool(item.complete));
+      categorical.push_back(side == Side::kMap
+                                ? MapCategoricalPool(item.statics)
+                                : ReduceCategoricalPool(item.statics));
+      labels.push_back(static_cast<int>(i));
+    }
+
+    // Rank: numeric features by binned information gain; in SP mode the
+    // categorical features compete in the same ranking.
+    struct Scored {
+      double gain;
+      bool is_categorical;
+      size_t index;
+    };
+    std::vector<Scored> scored;
+    const size_t num_numeric = numeric[0].size();
+    for (size_t f = 0; f < num_numeric; ++f) {
+      std::vector<double> column;
+      for (const auto& row : numeric) column.push_back(row[f]);
+      scored.push_back({ml::InformationGain(column, labels), false, f});
+    }
+    if (feature_mode == BaselineFeatures::kStaticPlusProfile) {
+      const size_t num_categorical = categorical[0].size();
+      for (size_t f = 0; f < num_categorical; ++f) {
+        std::map<std::string, int> ids;
+        std::vector<int> as_ids;
+        for (const auto& row : categorical) {
+          as_ids.push_back(
+              ids.emplace(row[f], static_cast<int>(ids.size()))
+                  .first->second);
+        }
+        scored.push_back(
+            {ml::InformationGainCategorical(as_ids, labels), true, f});
+      }
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const Scored& a, const Scored& b) {
+                       return a.gain > b.gain;
+                     });
+    const size_t budget = std::min(PStormFeatureCount(side), scored.size());
+    std::vector<Scored> selected(scored.begin(), scored.begin() + budget);
+
+    // Normalization bounds over the numeric columns actually selected.
+    const FeatureBounds bounds = BoundsOf(numeric);
+
+    // Mixed distance: normalized Euclidean over the selected numeric
+    // features plus 0/1 mismatch terms for any selected categorical ones.
+    auto distance = [&](const std::vector<double>& a_num,
+                        const std::vector<std::string>& a_cat,
+                        size_t candidate) {
+      double sq = 0;
+      for (const Scored& s : selected) {
+        if (s.is_categorical) {
+          if (a_cat[s.index] != categorical[candidate][s.index]) sq += 1.0;
+        } else {
+          const double range = bounds.maxs[s.index] - bounds.mins[s.index];
+          if (range <= 0) continue;
+          const double av = (a_num[s.index] - bounds.mins[s.index]) / range;
+          const double bv =
+              (numeric[candidate][s.index] - bounds.mins[s.index]) / range;
+          sq += (av - bv) * (av - bv);
+        }
+      }
+      return sq;
+    };
+
+    // Score every submission.
+    int correct = 0;
+    for (size_t i = 0; i < corpus_.items.size(); ++i) {
+      const CorpusItem& item = corpus_.items[i];
+      const std::vector<double> probe_numeric =
+          side == Side::kMap ? MapNumericPool(item.sample)
+                             : ReduceNumericPool(item.sample);
+      const std::vector<std::string> probe_categorical =
+          side == Side::kMap ? MapCategoricalPool(item.statics)
+                             : ReduceCategoricalPool(item.statics);
+
+      int best = -1;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < corpus_.items.size(); ++c) {
+        if (state == StoreState::kDifferentData && c == i) continue;
+        const double d = distance(probe_numeric, probe_categorical, c);
+        if (d < best_dist) {
+          best_dist = d;
+          best = static_cast<int>(c);
+        }
+      }
+      const int expected = state == StoreState::kSameData
+                               ? static_cast<int>(i)
+                               : corpus_.TwinOf(i);
+      if (best >= 0 && expected >= 0 && best == expected) ++correct;
+    }
+
+    if (side == Side::kMap) {
+      report.map_correct = correct;
+    } else {
+      report.reduce_correct = correct;
+    }
+  }
+  report.total = static_cast<int>(corpus_.items.size());
+  return report;
+}
+
+Result<AccuracyReport> MatcherEvaluator::EvaluateGbrt(
+    StoreState state, const ml::GradientBoostedTrees::Options& options,
+    const whatif::WhatIfEngine& engine, int pairs_per_job,
+    uint64_t seed) const {
+  const size_t n = corpus_.items.size();
+  if (n < 3) return Status::FailedPrecondition("corpus too small for GBRT");
+
+  // Feature vectors of the stored (complete) profiles and the probes.
+  std::vector<JobFeatureVector> stored, probes;
+  stored.reserve(n);
+  probes.reserve(n);
+  for (const CorpusItem& item : corpus_.items) {
+    stored.push_back(BuildFeatureVector(item.complete, item.statics));
+    probes.push_back(BuildFeatureVector(item.sample, item.statics));
+  }
+
+  // Global normalization bounds per side for the distance features.
+  ml::FeatureMatrix map_dyn, map_cost, red_dyn, red_cost;
+  for (const JobFeatureVector& v : stored) {
+    map_dyn.push_back(v.map_dynamic);
+    map_cost.push_back(v.map_costs);
+    red_dyn.push_back(v.reduce_dynamic);
+    red_cost.push_back(v.reduce_costs);
+  }
+  const FeatureBounds b_map_dyn = BoundsOf(map_dyn);
+  const FeatureBounds b_map_cost = BoundsOf(map_cost);
+  const FeatureBounds b_red_dyn = BoundsOf(red_dyn);
+  const FeatureBounds b_red_cost = BoundsOf(red_cost);
+
+  // The 8 distance features of Equation (1): map-side Jaccard, dynamic
+  // Euclidean, cost Euclidean, CFG match; then the reduce-side four.
+  auto pair_features = [&](const JobFeatureVector& a, size_t map_candidate,
+                           size_t reduce_candidate) {
+    const JobFeatureVector& m = stored[map_candidate];
+    const JobFeatureVector& r = stored[reduce_candidate];
+    return std::vector<double>{
+        PositionalJaccard(a.map_categorical, m.map_categorical),
+        EuclideanDistance(b_map_dyn.Normalize(a.map_dynamic),
+                          b_map_dyn.Normalize(m.map_dynamic)),
+        EuclideanDistance(b_map_cost.Normalize(a.map_costs),
+                          b_map_cost.Normalize(m.map_costs)),
+        staticanalysis::MatchCfgs(a.map_cfg, m.map_cfg) ? 1.0 : 0.0,
+        PositionalJaccard(a.reduce_categorical, r.reduce_categorical),
+        EuclideanDistance(b_red_dyn.Normalize(a.reduce_dynamic),
+                          b_red_dyn.Normalize(r.reduce_dynamic)),
+        EuclideanDistance(b_red_cost.Normalize(a.reduce_costs),
+                          b_red_cost.Normalize(r.reduce_costs)),
+        staticanalysis::MatchCfgs(a.reduce_cfg, r.reduce_cfg) ? 1.0 : 0.0};
+  };
+
+  // ---- Training set (§4.4): for each job J, pairs (J1, J2) labelled by
+  // the what-if runtime gap between using J's own profile and using the
+  // composite. ----
+  Rng rng(seed);
+  ml::FeatureMatrix train_x;
+  std::vector<double> train_y;
+  const mrsim::Configuration default_config;
+  for (size_t j = 0; j < n; ++j) {
+    auto base = engine.Predict(corpus_.items[j].complete,
+                               corpus_.items[j].data, default_config);
+    if (!base.ok()) continue;
+
+    auto add_sample = [&](size_t j1, size_t j2) -> Status {
+      profiler::ExecutionProfile composite = corpus_.items[j1].complete;
+      composite.reduce_side = corpus_.items[j2].complete.reduce_side;
+      auto predicted =
+          engine.Predict(composite, corpus_.items[j].data, default_config);
+      if (!predicted.ok()) return Status::OK();  // Skip unusable pairs.
+      // The submitted-job side of the distance vector uses the job's
+      // 1-task sample (the matcher's operating condition); the label still
+      // measures the what-if gap between the true and composite profiles.
+      train_x.push_back(pair_features(probes[j], j1, j2));
+      // Relative what-if runtime gap: how much worse the CBO's picture of
+      // the job gets when this composite stands in for the real profile.
+      train_y.push_back(std::fabs(base->runtime_s - predicted->runtime_s) /
+                        base->runtime_s);
+      return Status::OK();
+    };
+
+    // The perfect-match sample (distance 0 by construction, §4.4) and, when
+    // available, the profile-twin samples, plus a structured
+    // neighbourhood: half-correct composites teach the model what each
+    // side's features are worth; fully random pairs anchor the far field.
+    PSTORM_RETURN_IF_ERROR(add_sample(j, j));
+    const int twin = corpus_.TwinOf(j);
+    if (twin >= 0) {
+      const size_t t = static_cast<size_t>(twin);
+      PSTORM_RETURN_IF_ERROR(add_sample(t, t));
+      PSTORM_RETURN_IF_ERROR(add_sample(j, t));
+      PSTORM_RETURN_IF_ERROR(add_sample(t, j));
+    }
+    for (int k = 0; k < pairs_per_job; ++k) {
+      switch (k % 3) {
+        case 0:
+          PSTORM_RETURN_IF_ERROR(add_sample(j, rng.NextUint64(n)));
+          break;
+        case 1:
+          PSTORM_RETURN_IF_ERROR(add_sample(rng.NextUint64(n), j));
+          break;
+        default:
+          PSTORM_RETURN_IF_ERROR(
+              add_sample(rng.NextUint64(n), rng.NextUint64(n)));
+          break;
+      }
+    }
+  }
+  if (train_x.size() < 20) {
+    return Status::FailedPrecondition("too few usable training samples");
+  }
+
+  PSTORM_ASSIGN_OR_RETURN(ml::GradientBoostedTrees model,
+                          ml::GradientBoostedTrees::Fit(train_x, train_y,
+                                                        options));
+
+  // ---- Matching: the candidate pair with the smallest predicted
+  // distance is the answer (nearest neighbour under the learned metric).
+  AccuracyReport report;
+  for (size_t i = 0; i < n; ++i) {
+    int best_map = -1, best_reduce = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t c1 = 0; c1 < n; ++c1) {
+      if (state == StoreState::kDifferentData && c1 == i) continue;
+      for (size_t c2 = 0; c2 < n; ++c2) {
+        if (state == StoreState::kDifferentData && c2 == i) continue;
+        const double d = model.Predict(pair_features(probes[i], c1, c2));
+        if (d < best) {
+          best = d;
+          best_map = static_cast<int>(c1);
+          best_reduce = static_cast<int>(c2);
+        }
+      }
+    }
+    const int expected = state == StoreState::kSameData
+                             ? static_cast<int>(i)
+                             : corpus_.TwinOf(i);
+    ++report.total;
+    if (expected >= 0) {
+      if (best_map == expected) ++report.map_correct;
+      if (best_reduce == expected) ++report.reduce_correct;
+    }
+  }
+  return report;
+}
+
+}  // namespace pstorm::core

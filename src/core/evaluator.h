@@ -1,0 +1,113 @@
+#ifndef PSTORM_CORE_EVALUATOR_H_
+#define PSTORM_CORE_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/matcher.h"
+#include "core/profile_store.h"
+#include "jobs/benchmark_jobs.h"
+#include "ml/gbrt.h"
+#include "mrsim/simulator.h"
+#include "profiler/profiler.h"
+#include "whatif/whatif_engine.h"
+
+namespace pstorm::core {
+
+/// One profiled (job, data set) execution of the evaluation workload:
+/// everything the accuracy experiments need.
+struct CorpusItem {
+  std::string job_key;  // "<job-name>@<data-set>"
+  jobs::WorkloadEntry entry;
+  mrsim::DataSetSpec data;
+  profiler::ExecutionProfile complete;  // Full profile (the store content).
+  profiler::ExecutionProfile sample;    // 1-task sample (the probe).
+  staticanalysis::StaticFeatures statics;
+};
+
+struct Corpus {
+  std::vector<CorpusItem> items;
+
+  /// Index of the item with the same job name but a different data set,
+  /// or -1 when the job ran on only one data set (no profile twin).
+  int TwinOf(size_t index) const;
+};
+
+/// Profiles the whole Table 6.1 workload — one complete profile and one
+/// 1-task sample per (job, data set) — under `config`.
+Result<Corpus> BuildEvaluationCorpus(const mrsim::Simulator& simulator,
+                                     const mrsim::Configuration& config,
+                                     uint64_t seed);
+
+/// Store content states of §6.1: whether the submitted (job, data set)'s
+/// own complete profile is present (SD) or only the twin on the other
+/// data set (DD).
+enum class StoreState { kSameData, kDifferentData };
+
+/// Per-side matching accuracy over all submissions (the Figure 6.1/6.2
+/// metric: correct matches / total submissions).
+struct AccuracyReport {
+  int total = 0;
+  int map_correct = 0;
+  int reduce_correct = 0;
+
+  double map_accuracy() const {
+    return total == 0 ? 0.0 : static_cast<double>(map_correct) / total;
+  }
+  double reduce_accuracy() const {
+    return total == 0 ? 0.0 : static_cast<double>(reduce_correct) / total;
+  }
+};
+
+/// The two generic feature-selection baselines of §6.1.1.
+enum class BaselineFeatures {
+  /// Top-F dynamic (profile) features by information gain.
+  kProfileOnly,
+  /// Static features added to the pool before ranking; the top-F still
+  /// come out numerical, as the thesis observes.
+  kStaticPlusProfile,
+};
+
+/// Runs the §6.1 matching-accuracy protocol: for every corpus item, build
+/// the store in the requested content state, submit the item's 1-task
+/// sample as the probe, and score the matcher's answer (SD: the item's own
+/// key; DD: its twin's key; items without twins can never be correct,
+/// reproducing the thesis's false-positive accounting).
+class MatcherEvaluator {
+ public:
+  /// `env` hosts the throwaway evaluation stores; `corpus` is copied.
+  MatcherEvaluator(storage::Env* env, Corpus corpus);
+
+  /// PStorM's multi-stage matcher.
+  Result<AccuracyReport> EvaluatePStorM(StoreState state,
+                                        MatchOptions options = {}) const;
+
+  /// Nearest-neighbour matching over information-gain-selected numeric
+  /// features (P-features / SP-features).
+  Result<AccuracyReport> EvaluateBaseline(StoreState state,
+                                          BaselineFeatures features) const;
+
+  /// The GBRT learned-distance matcher of §4.4 / §6.1.2. `pairs_per_job`
+  /// bounds the training pairs sampled per job (the full cross product is
+  /// cubic in the corpus).
+  Result<AccuracyReport> EvaluateGbrt(
+      StoreState state, const ml::GradientBoostedTrees::Options& options,
+      const whatif::WhatIfEngine& engine, int pairs_per_job,
+      uint64_t seed) const;
+
+  const Corpus& corpus() const { return corpus_; }
+
+  /// Builds a store holding every corpus profile (the SD content state),
+  /// rooted at `path`. Exposed for benches.
+  Result<std::unique_ptr<ProfileStore>> BuildFullStore(
+      const std::string& path) const;
+
+ private:
+  storage::Env* env_;
+  Corpus corpus_;
+};
+
+}  // namespace pstorm::core
+
+#endif  // PSTORM_CORE_EVALUATOR_H_

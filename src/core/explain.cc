@@ -1,0 +1,144 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "staticanalysis/cfg_matcher.h"
+
+namespace pstorm::core {
+
+namespace {
+
+double Divergence(double a, double b) {
+  const double mean = 0.5 * (std::fabs(a) + std::fabs(b));
+  if (mean <= 0) return 0;
+  return std::fabs(a - b) / mean;
+}
+
+}  // namespace
+
+std::vector<Explanation> ExplainPerformanceDifference(
+    const profiler::ExecutionProfile& profile_a,
+    const staticanalysis::StaticFeatures& statics_a,
+    const profiler::ExecutionProfile& profile_b,
+    const staticanalysis::StaticFeatures& statics_b,
+    ExplainOptions options) {
+  // Causal hints derivable from the static features — the information
+  // PerfXplain's dynamic-only log cannot supply (§7.2.4).
+  const bool formatters_differ =
+      statics_a.in_formatter != statics_b.in_formatter;
+  const bool out_formatters_differ =
+      statics_a.out_formatter != statics_b.out_formatter;
+  const bool map_cfgs_differ =
+      !staticanalysis::MatchCfgs(statics_a.map_cfg, statics_b.map_cfg);
+  const bool reduce_cfgs_differ =
+      !staticanalysis::MatchCfgs(statics_a.reduce_cfg, statics_b.reduce_cfg);
+  const bool combiners_differ = statics_a.combiner != statics_b.combiner;
+
+  struct Metric {
+    const char* name;
+    double a;
+    double b;
+    std::string cause;
+  };
+  const auto& ma = profile_a.map_side;
+  const auto& mb = profile_b.map_side;
+  const auto& ra = profile_a.reduce_side;
+  const auto& rb = profile_b.reduce_side;
+
+  const std::vector<Metric> metrics = {
+      {"map: read time/task (s)", ma.read_s, mb.read_s,
+       formatters_differ ? "different input formatters (" +
+                               statics_a.in_formatter + " vs " +
+                               statics_b.in_formatter + ")"
+                         : ""},
+      {"map: READ_HDFS_IO_COST (ns/B)", ma.read_hdfs_io_cost,
+       mb.read_hdfs_io_cost,
+       formatters_differ ? "different input formatters" : ""},
+      {"map: function time/task (s)", ma.map_s, mb.map_s,
+       map_cfgs_differ ? "map control flow graphs differ" : ""},
+      {"map: MAP_CPU_COST (ns/record)", ma.map_cpu_cost, mb.map_cpu_cost,
+       map_cfgs_differ ? "map control flow graphs differ" : ""},
+      {"map: size selectivity", ma.size_selectivity, mb.size_selectivity,
+       map_cfgs_differ ? "map control flow graphs differ" : ""},
+      {"map: combine selectivity", ma.combine_pairs_selectivity,
+       mb.combine_pairs_selectivity,
+       combiners_differ ? "different combiners (" + statics_a.combiner +
+                              " vs " + statics_b.combiner + ")"
+                        : ""},
+      {"map: spill time/task (s)", ma.spill_s, mb.spill_s, ""},
+      {"map: merge time/task (s)", ma.merge_s, mb.merge_s, ""},
+      {"reduce: shuffle time/task (s)", ra.shuffle_s, rb.shuffle_s,
+       Divergence(profile_a.input_data_bytes, profile_b.input_data_bytes) >
+               0.5
+           ? "input data sizes differ (" +
+                 HumanBytes(static_cast<uint64_t>(
+                     profile_a.input_data_bytes)) +
+                 " vs " +
+                 HumanBytes(
+                     static_cast<uint64_t>(profile_b.input_data_bytes)) +
+                 ")"
+           : ""},
+      {"reduce: sort time/task (s)", ra.sort_s, rb.sort_s, ""},
+      {"reduce: function time/task (s)", ra.reduce_s, rb.reduce_s,
+       reduce_cfgs_differ ? "reduce control flow graphs differ" : ""},
+      {"reduce: REDUCE_CPU_COST (ns/record)", ra.reduce_cpu_cost,
+       rb.reduce_cpu_cost,
+       reduce_cfgs_differ ? "reduce control flow graphs differ" : ""},
+      {"reduce: write time/task (s)", ra.write_s, rb.write_s,
+       out_formatters_differ ? "different output formatters (" +
+                                   statics_a.out_formatter + " vs " +
+                                   statics_b.out_formatter + ")"
+                             : ""},
+      {"reduce: size selectivity", ra.size_selectivity, rb.size_selectivity,
+       ""},
+  };
+
+  std::vector<Explanation> out;
+  for (const Metric& metric : metrics) {
+    const double divergence = Divergence(metric.a, metric.b);
+    if (divergence < options.min_divergence) continue;
+    Explanation e;
+    e.metric = metric.name;
+    e.value_a = metric.a;
+    e.value_b = metric.b;
+    e.divergence = divergence;
+    e.cause = metric.cause;
+    out.push_back(std::move(e));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Explanation& x, const Explanation& y) {
+                     // Metrics with an attested cause outrank bare
+                     // observations of equal strength.
+                     if (x.cause.empty() != y.cause.empty()) {
+                       return !x.cause.empty();
+                     }
+                     return x.divergence > y.divergence;
+                   });
+  if (out.size() > options.max_explanations) {
+    out.resize(options.max_explanations);
+  }
+  return out;
+}
+
+std::string RenderExplanations(
+    const std::string& job_a, const std::string& job_b,
+    const std::vector<Explanation>& explanations) {
+  std::string report = "Why does '" + job_a + "' perform differently from '" +
+                       job_b + "'?\n";
+  if (explanations.empty()) {
+    report += "  No metric diverges meaningfully: the jobs behave alike.\n";
+    return report;
+  }
+  for (const Explanation& e : explanations) {
+    report += "  - " + e.metric + ": " + FormatDouble(e.value_a, 2) +
+              " vs " + FormatDouble(e.value_b, 2) + "  (" +
+              FormatDouble(100 * e.divergence, 0) + "% apart)";
+    if (!e.cause.empty()) report += "\n      because: " + e.cause;
+    report += "\n";
+  }
+  return report;
+}
+
+}  // namespace pstorm::core

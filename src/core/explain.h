@@ -1,0 +1,53 @@
+#ifndef PSTORM_CORE_EXPLAIN_H_
+#define PSTORM_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "profiler/profile.h"
+#include "staticanalysis/features.h"
+
+namespace pstorm::core {
+
+/// One explanation for a performance difference between two jobs: which
+/// metric diverged, by how much, and — where the static features identify
+/// a cause — why.
+struct Explanation {
+  /// Metric that diverged, e.g. "reduce: shuffle time/task".
+  std::string metric;
+  double value_a = 0;
+  double value_b = 0;
+  /// Relative divergence |a-b| / mean(a,b), used for ranking.
+  double divergence = 0;
+  /// Human-readable causal hint from the static features, when one
+  /// applies ("different input formatters", "map CFGs differ", ...).
+  std::string cause;
+};
+
+struct ExplainOptions {
+  /// Report metrics whose relative divergence is at least this much.
+  double min_divergence = 0.25;
+  /// At most this many explanations, strongest first.
+  size_t max_explanations = 8;
+};
+
+/// A PerfXplain-style explainer (thesis §2.3.2 / §7.2.4) over PStorM's
+/// profiles: given two jobs' execution profiles and static features, it
+/// ranks the diverging performance metrics and annotates them with causes
+/// the static features can attest — explanations PerfXplain alone cannot
+/// produce, because it only sees dynamic logs.
+std::vector<Explanation> ExplainPerformanceDifference(
+    const profiler::ExecutionProfile& profile_a,
+    const staticanalysis::StaticFeatures& statics_a,
+    const profiler::ExecutionProfile& profile_b,
+    const staticanalysis::StaticFeatures& statics_b,
+    ExplainOptions options = {});
+
+/// Renders explanations as a short report ("A" / "B" name the jobs).
+std::string RenderExplanations(const std::string& job_a,
+                               const std::string& job_b,
+                               const std::vector<Explanation>& explanations);
+
+}  // namespace pstorm::core
+
+#endif  // PSTORM_CORE_EXPLAIN_H_

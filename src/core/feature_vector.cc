@@ -1,0 +1,28 @@
+#include "core/feature_vector.h"
+
+namespace pstorm::core {
+
+JobFeatureVector BuildFeatureVector(
+    const profiler::ExecutionProfile& sample_profile,
+    const staticanalysis::StaticFeatures& statics) {
+  JobFeatureVector v;
+  v.job_name = sample_profile.job_name;
+  v.input_data_bytes = sample_profile.input_data_bytes;
+
+  v.map_dynamic = sample_profile.map_side.DynamicVector();
+  v.map_costs = sample_profile.map_side.CostVector();
+  v.map_categorical = statics.MapCategorical();
+  v.map_cfg = statics.map_cfg;
+
+  v.reduce_dynamic = sample_profile.reduce_side.DynamicVector();
+  v.reduce_costs = sample_profile.reduce_side.CostVector();
+  v.reduce_categorical = statics.ReduceCategorical();
+  v.reduce_cfg = statics.reduce_cfg;
+
+  v.user_params = statics.user_params;
+  v.map_calls = statics.map_calls;
+  v.reduce_calls = statics.reduce_calls;
+  return v;
+}
+
+}  // namespace pstorm::core

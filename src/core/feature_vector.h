@@ -1,0 +1,48 @@
+#ifndef PSTORM_CORE_FEATURE_VECTOR_H_
+#define PSTORM_CORE_FEATURE_VECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "profiler/profile.h"
+#include "staticanalysis/features.h"
+
+namespace pstorm::core {
+
+/// The probe PStorM builds for a submitted MR job: dynamic features from a
+/// 1-task sample profile plus static features from the job's "bytecode"
+/// (thesis §4.1), split into the map side and the reduce side so the two
+/// matching passes of Figure 4.4 can run independently.
+struct JobFeatureVector {
+  std::string job_name;
+  /// Size of the input data set of the submission (tie-break feature).
+  double input_data_bytes = 0;
+
+  // Map side.
+  std::vector<double> map_dynamic;              // Table 4.1 map-side (4).
+  std::vector<double> map_costs;                // Table 4.2 map-side (5).
+  std::vector<std::string> map_categorical;     // Table 4.3 map-side (7).
+  staticanalysis::Cfg map_cfg;
+
+  // Reduce side.
+  std::vector<double> reduce_dynamic;           // Table 4.1 reduce-side (2).
+  std::vector<double> reduce_costs;             // Table 4.2 reduce-side (4).
+  std::vector<std::string> reduce_categorical;  // Table 4.3 reduce-side (4).
+  staticanalysis::Cfg reduce_cfg;
+
+  // §7.2 extension features (consumed only when the corresponding
+  // MatchOptions flags are set).
+  std::string user_params;
+  std::vector<std::string> map_calls;
+  std::vector<std::string> reduce_calls;
+};
+
+/// Assembles the probe from a (sample) profile and the statically
+/// extracted features of the submitted job.
+JobFeatureVector BuildFeatureVector(
+    const profiler::ExecutionProfile& sample_profile,
+    const staticanalysis::StaticFeatures& statics);
+
+}  // namespace pstorm::core
+
+#endif  // PSTORM_CORE_FEATURE_VECTOR_H_

@@ -1,0 +1,282 @@
+#include "core/matcher.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/statistics.h"
+
+namespace pstorm::core {
+
+MultiStageMatcher::MultiStageMatcher(const ProfileStore* store,
+                                     MatchOptions options)
+    : store_(store), options_(options) {
+  PSTORM_CHECK(store != nullptr);
+}
+
+double MultiStageMatcher::ThetaEuclidean(size_t dims) const {
+  if (options_.theta_euclidean_override > 0.0) {
+    return options_.theta_euclidean_override;
+  }
+  // Features are normalized to [0,1], so the maximum possible distance is
+  // sqrt(dims); the thesis sets the threshold to half of it.
+  return 0.5 * std::sqrt(static_cast<double>(dims));
+}
+
+Result<std::string> MultiStageMatcher::TieBreak(
+    Side side, const std::vector<std::string>& candidates,
+    const std::vector<std::string>& categorical,
+    const std::vector<double>& dynamic, double probe_input_bytes) const {
+  PSTORM_CHECK(!candidates.empty());
+  const FeatureBounds bounds = store_->DynamicBounds(side);
+  const std::vector<double> probe_normalized =
+      dynamic.empty() ? std::vector<double>() : bounds.Normalize(dynamic);
+
+  struct Scored {
+    std::string key;
+    double jaccard;
+    double input_gap;
+    double dynamic_distance;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(candidates.size());
+  for (const std::string& key : candidates) {
+    PSTORM_ASSIGN_OR_RETURN(StoredEntry entry, store_->GetEntry(key));
+    Scored s;
+    s.key = key;
+    std::vector<std::string> stored_categorical =
+        side == Side::kMap ? entry.statics.MapCategorical()
+                           : entry.statics.ReduceCategorical();
+    // A probe extended with the user-parameter feature (§7.2.1) compares
+    // against the stored parameter string in the same slot.
+    if (categorical.size() == stored_categorical.size() + 1) {
+      stored_categorical.push_back(entry.statics.user_params);
+    }
+    s.jaccard = categorical.empty()
+                    ? 0.0
+                    : PositionalJaccard(stored_categorical, categorical);
+    s.input_gap =
+        std::fabs(entry.profile.input_data_bytes - probe_input_bytes);
+    if (probe_normalized.empty()) {
+      s.dynamic_distance = 0.0;
+    } else {
+      const std::vector<double> stored_dynamic =
+          side == Side::kMap ? entry.profile.map_side.DynamicVector()
+                             : entry.profile.reduce_side.DynamicVector();
+      s.dynamic_distance = EuclideanDistance(
+          bounds.Normalize(stored_dynamic), probe_normalized);
+    }
+    scored.push_back(std::move(s));
+  }
+
+  // Exact static matches first; then the thesis's input-size rule; then
+  // the closest dynamic behaviour for determinism.
+  const Scored* best = &scored[0];
+  for (const Scored& s : scored) {
+    if (s.jaccard > best->jaccard + 1e-12) {
+      best = &s;
+    } else if (std::fabs(s.jaccard - best->jaccard) <= 1e-12) {
+      if (s.input_gap < best->input_gap - 1e-6) {
+        best = &s;
+      } else if (std::fabs(s.input_gap - best->input_gap) <= 1e-6 &&
+                 s.dynamic_distance < best->dynamic_distance) {
+        best = &s;
+      }
+    }
+  }
+  return best->key;
+}
+
+Result<SideMatch> MultiStageMatcher::MatchSide(
+    Side side, const JobFeatureVector& probe) const {
+  const std::vector<double>& dynamic =
+      side == Side::kMap ? probe.map_dynamic : probe.reduce_dynamic;
+  const std::vector<double>& costs =
+      side == Side::kMap ? probe.map_costs : probe.reduce_costs;
+  const std::vector<std::string>& categorical =
+      side == Side::kMap ? probe.map_categorical : probe.reduce_categorical;
+  const staticanalysis::Cfg& cfg =
+      side == Side::kMap ? probe.map_cfg : probe.reduce_cfg;
+
+  SideMatch result;
+
+  // Categorical probe, with the §7.2.1 user-parameter extension appended
+  // when enabled (the stored side gains the matching column).
+  std::vector<std::string> categorical_probe = categorical;
+  if (options_.include_user_parameters || options_.static_only) {
+    categorical_probe.push_back(probe.user_params);
+  }
+  const std::vector<std::string>& calls =
+      side == Side::kMap ? probe.map_calls : probe.reduce_calls;
+
+  std::vector<std::string> candidates;
+  if (options_.static_only) {
+    // §7.2.1: static features (with user parameters) suffice; no sample,
+    // no dynamic filter, no cost fallback.
+    PSTORM_ASSIGN_OR_RETURN(candidates, store_->ListJobKeys());
+    result.after_dynamic = candidates.size();
+    if (candidates.empty()) return result;
+    PSTORM_ASSIGN_OR_RETURN(std::vector<std::string> cfg_pass,
+                            store_->CfgMatchScan(side, cfg, candidates));
+    result.after_cfg = cfg_pass.size();
+    if (options_.use_call_graph && !cfg_pass.empty()) {
+      PSTORM_ASSIGN_OR_RETURN(cfg_pass,
+                              store_->CallSetScan(side, calls, cfg_pass));
+    }
+    std::vector<std::string> jaccard_pass;
+    if (!cfg_pass.empty()) {
+      PSTORM_ASSIGN_OR_RETURN(
+          jaccard_pass,
+          store_->JaccardScan(side, categorical_probe,
+                              options_.theta_jaccard, cfg_pass, nullptr,
+                              /*include_user_params=*/true));
+    }
+    result.after_jaccard = jaccard_pass.size();
+    if (jaccard_pass.empty()) return result;
+    PSTORM_ASSIGN_OR_RETURN(
+        result.job_key,
+        TieBreak(side, jaccard_pass, categorical_probe, {},
+                 probe.input_data_bytes));
+    result.path = MatchPath::kFullPath;
+    return result;
+  }
+
+  if (!options_.static_filters_first) {
+    // ---- Stage 1: dynamic features (Figure 4.4 order). ----
+    PSTORM_ASSIGN_OR_RETURN(
+        candidates,
+        store_->DynamicEuclideanScan(side, dynamic,
+                                     ThetaEuclidean(dynamic.size()),
+                                     options_.server_side_filtering));
+    result.after_dynamic = candidates.size();
+    // An empty set after the *first* filter is a hard failure: nothing in
+    // the store behaves like this job.
+    if (candidates.empty()) return result;
+  } else {
+    // Ablation: start from everything; the static filters run first.
+    PSTORM_ASSIGN_OR_RETURN(candidates, store_->ListJobKeys());
+    result.after_dynamic = candidates.size();
+    if (candidates.empty()) return result;
+  }
+
+  const std::vector<std::string> dynamic_survivors = candidates;
+
+  // ---- Stage 2: conservative CFG match. ----
+  PSTORM_ASSIGN_OR_RETURN(std::vector<std::string> after_cfg,
+                          store_->CfgMatchScan(side, cfg, candidates));
+  result.after_cfg = after_cfg.size();
+
+  // ---- Stage 2.5 (§7.2.2 extension): conservative call-set match. ----
+  if (options_.use_call_graph && !after_cfg.empty()) {
+    PSTORM_ASSIGN_OR_RETURN(after_cfg,
+                            store_->CallSetScan(side, calls, after_cfg));
+  }
+
+  // ---- Stage 3: Jaccard over categorical features. ----
+  std::vector<std::string> after_jaccard;
+  if (!after_cfg.empty()) {
+    PSTORM_ASSIGN_OR_RETURN(
+        after_jaccard,
+        store_->JaccardScan(side, categorical_probe, options_.theta_jaccard,
+                            after_cfg, nullptr,
+                            options_.include_user_parameters));
+  }
+  result.after_jaccard = after_jaccard.size();
+
+  if (options_.static_filters_first) {
+    // Ablation order: dynamic filter runs last, over the static survivors.
+    if (after_jaccard.empty()) return result;
+    std::vector<std::string> final_set;
+    PSTORM_ASSIGN_OR_RETURN(
+        std::vector<std::string> dynamic_pass,
+        store_->DynamicEuclideanScan(side, dynamic,
+                                     ThetaEuclidean(dynamic.size()),
+                                     options_.server_side_filtering));
+    for (const std::string& key : after_jaccard) {
+      for (const std::string& ok : dynamic_pass) {
+        if (key == ok) {
+          final_set.push_back(key);
+          break;
+        }
+      }
+    }
+    if (final_set.empty()) return result;
+    PSTORM_ASSIGN_OR_RETURN(
+        result.job_key,
+        TieBreak(side, final_set, categorical_probe, dynamic,
+                 probe.input_data_bytes));
+    result.path = MatchPath::kFullPath;
+    return result;
+  }
+
+  if (!after_jaccard.empty()) {
+    PSTORM_ASSIGN_OR_RETURN(
+        result.job_key,
+        TieBreak(side, after_jaccard, categorical_probe, dynamic,
+                 probe.input_data_bytes));
+    result.path = MatchPath::kFullPath;
+    return result;
+  }
+
+  // The static filters emptied the set: the job was never executed here.
+  // Alternative filter — Euclidean distance over the cost factors of the
+  // dynamic survivors (§4.3).
+  if (!options_.use_cost_factor_fallback) return result;
+  PSTORM_ASSIGN_OR_RETURN(
+      std::vector<std::string> fallback,
+      store_->CostEuclideanScan(side, costs, ThetaEuclidean(costs.size()),
+                                options_.server_side_filtering));
+  // Intersect with the dynamic survivors: the fallback refines C', it
+  // does not resurrect profiles the dynamic filter rejected.
+  std::vector<std::string> refined;
+  for (const std::string& key : fallback) {
+    for (const std::string& ok : dynamic_survivors) {
+      if (key == ok) {
+        refined.push_back(key);
+        break;
+      }
+    }
+  }
+  if (refined.empty()) return result;
+  // Fallback tie-break: static features already failed, so only input
+  // size and dynamic closeness apply.
+  PSTORM_ASSIGN_OR_RETURN(
+      result.job_key,
+      TieBreak(side, refined, {}, dynamic, probe.input_data_bytes));
+  result.path = MatchPath::kCostFactorFallback;
+  return result;
+}
+
+Result<MatchResult> MultiStageMatcher::Match(
+    const JobFeatureVector& probe) const {
+  MatchResult result;
+  PSTORM_ASSIGN_OR_RETURN(result.map_side, MatchSide(Side::kMap, probe));
+  PSTORM_ASSIGN_OR_RETURN(result.reduce_side,
+                          MatchSide(Side::kReduce, probe));
+  if (result.map_side.path == MatchPath::kNoMatch ||
+      result.reduce_side.path == MatchPath::kNoMatch) {
+    return result;  // found == false: No Match Found.
+  }
+
+  result.map_source = result.map_side.job_key;
+  result.reduce_source = result.reduce_side.job_key;
+  result.composite = result.map_source != result.reduce_source;
+
+  // Compose the returned profile: map half from the map match, reduce
+  // half from the reduce match (§4.3). Map and reduce sub-profiles are
+  // independent by MR's blocking execution, so the stitch is sound.
+  PSTORM_ASSIGN_OR_RETURN(StoredEntry map_entry,
+                          store_->GetEntry(result.map_source));
+  result.profile = map_entry.profile;
+  if (result.composite) {
+    PSTORM_ASSIGN_OR_RETURN(StoredEntry reduce_entry,
+                            store_->GetEntry(result.reduce_source));
+    result.profile.reduce_side = reduce_entry.profile.reduce_side;
+    result.profile.job_name =
+        map_entry.profile.job_name + "+" + reduce_entry.profile.job_name;
+  }
+  result.found = true;
+  return result;
+}
+
+}  // namespace pstorm::core

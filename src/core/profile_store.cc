@@ -1,0 +1,545 @@
+#include "core/profile_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/logging.h"
+#include "common/statistics.h"
+#include "common/strings.h"
+#include "staticanalysis/cfg_matcher.h"
+
+namespace pstorm::core {
+
+namespace {
+
+constexpr char kFamily[] = "F";
+constexpr char kDynamicPrefix[] = "Dynamic/";
+constexpr char kStaticPrefix[] = "Static/";
+constexpr char kPayloadPrefix[] = "Payload/";
+constexpr char kBoundsRow[] = "Meta/bounds";
+constexpr char kInputBytesColumn[] = "INPUT_BYTES";
+constexpr char kProfileColumn[] = "PROFILE";
+constexpr char kMapCfgColumn[] = "MAP_CFG";
+constexpr char kRedCfgColumn[] = "RED_CFG";
+constexpr char kUserParamsColumn[] = "USER_PARAMS";
+constexpr char kMapCallsColumn[] = "MAP_CALLS";
+constexpr char kRedCallsColumn[] = "RED_CALLS";
+
+std::string EncodeDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool DecodeDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0';
+}
+
+/// Reads the named numeric columns of a row into a vector; false when any
+/// column is missing or malformed.
+bool ReadColumns(const hstore::RowResult& row,
+                 const std::vector<std::string>& names,
+                 std::vector<double>* out) {
+  out->clear();
+  out->reserve(names.size());
+  for (const std::string& name : names) {
+    const std::string* raw = row.GetValue(kFamily, name);
+    double v;
+    if (raw == nullptr || !DecodeDouble(*raw, &v)) return false;
+    out->push_back(v);
+  }
+  return true;
+}
+
+/// Server-side filter implementing stage 1 of Figure 4.4: normalized
+/// Euclidean distance over dynamic features (or the cost-factor
+/// alternative).
+class EuclideanFilter final : public hstore::RowFilter {
+ public:
+  EuclideanFilter(std::vector<std::string> columns,
+                  std::vector<double> normalized_probe, FeatureBounds bounds,
+                  double theta)
+      : columns_(std::move(columns)),
+        normalized_probe_(std::move(normalized_probe)),
+        bounds_(std::move(bounds)),
+        theta_(theta) {}
+
+  bool Matches(const hstore::RowResult& row) const override {
+    std::vector<double> values;
+    if (!ReadColumns(row, columns_, &values)) return false;
+    const std::vector<double> normalized = bounds_.Normalize(values);
+    return EuclideanDistance(normalized, normalized_probe_) <= theta_;
+  }
+
+  std::string Describe() const override {
+    return "euclidean(dim=" + std::to_string(columns_.size()) +
+           ", theta=" + FormatDouble(theta_, 3) + ")";
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<double> normalized_probe_;
+  FeatureBounds bounds_;
+  double theta_;
+};
+
+/// Server-side CFG filter: conservative structural match against the
+/// probe's CFG (stage 2).
+class CfgFilter final : public hstore::RowFilter {
+ public:
+  CfgFilter(std::string column, staticanalysis::Cfg probe)
+      : column_(std::move(column)), probe_(std::move(probe)) {}
+
+  bool Matches(const hstore::RowResult& row) const override {
+    const std::string* raw = row.GetValue(kFamily, column_);
+    if (raw == nullptr) return false;
+    auto cfg = staticanalysis::ParseCfg(*raw);
+    if (!cfg.ok()) return false;
+    return staticanalysis::MatchCfgs(probe_, cfg.value());
+  }
+
+  std::string Describe() const override { return "cfg-match(" + column_ + ")"; }
+
+ private:
+  std::string column_;
+  staticanalysis::Cfg probe_;
+};
+
+/// Server-side Jaccard filter over the categorical features (stage 3).
+class JaccardFilter final : public hstore::RowFilter {
+ public:
+  JaccardFilter(std::vector<std::string> columns,
+                std::vector<std::string> probe, double theta)
+      : columns_(std::move(columns)), probe_(std::move(probe)),
+        theta_(theta) {}
+
+  bool Matches(const hstore::RowResult& row) const override {
+    std::vector<std::string> values;
+    values.reserve(columns_.size());
+    for (const std::string& name : columns_) {
+      const std::string* raw = row.GetValue(kFamily, name);
+      if (raw == nullptr) return false;
+      values.push_back(*raw);
+    }
+    return PositionalJaccard(values, probe_) >= theta_;
+  }
+
+  std::string Describe() const override {
+    return "jaccard(theta=" + FormatDouble(theta_, 2) + ")";
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::string> probe_;
+  double theta_;
+};
+
+/// Restricts a scan to rows "<prefix><key>" with key in a fixed set (used
+/// to chain filter stages).
+class KeySetFilter final : public hstore::RowFilter {
+ public:
+  KeySetFilter(std::string prefix, const std::vector<std::string>& keys)
+      : prefix_(std::move(prefix)), keys_(keys.begin(), keys.end()) {}
+
+  bool Matches(const hstore::RowResult& row) const override {
+    if (!StartsWith(row.row(), prefix_)) return false;
+    return keys_.count(row.row().substr(prefix_.size())) > 0;
+  }
+
+  std::string Describe() const override {
+    return "key-in-set(" + std::to_string(keys_.size()) + ")";
+  }
+
+ private:
+  std::string prefix_;
+  std::set<std::string> keys_;
+};
+
+std::vector<std::string> KeysFromRows(
+    const std::vector<hstore::RowResult>& rows, const std::string& prefix) {
+  std::vector<std::string> keys;
+  keys.reserve(rows.size());
+  for (const hstore::RowResult& row : rows) {
+    keys.push_back(row.row().substr(prefix.size()));
+  }
+  return keys;
+}
+
+}  // namespace
+
+const std::vector<std::string>& DynamicColumnNames(Side side) {
+  static const auto* kMap = new std::vector<std::string>{
+      "MAP_SIZE_SEL", "MAP_PAIRS_SEL", "COMBINE_SIZE_SEL",
+      "COMBINE_PAIRS_SEL"};
+  static const auto* kReduce =
+      new std::vector<std::string>{"RED_SIZE_SEL", "RED_PAIRS_SEL"};
+  return side == Side::kMap ? *kMap : *kReduce;
+}
+
+const std::vector<std::string>& CostColumnNames(Side side) {
+  static const auto* kMap = new std::vector<std::string>{
+      "M_READ_HDFS_IO_COST", "M_READ_LOCAL_IO_COST", "M_WRITE_LOCAL_IO_COST",
+      "M_MAP_CPU_COST", "M_COMBINE_CPU_COST"};
+  static const auto* kReduce = new std::vector<std::string>{
+      "R_WRITE_HDFS_IO_COST", "R_READ_LOCAL_IO_COST",
+      "R_WRITE_LOCAL_IO_COST", "R_REDUCE_CPU_COST"};
+  return side == Side::kMap ? *kMap : *kReduce;
+}
+
+const std::vector<std::string>& StaticColumnNames(Side side) {
+  static const auto* kMap = new std::vector<std::string>{
+      "IN_FORMATTER", "MAPPER",      "MAP_IN_KEY", "MAP_IN_VAL",
+      "MAP_OUT_KEY",  "MAP_OUT_VAL", "COMBINER"};
+  static const auto* kReduce = new std::vector<std::string>{
+      "REDUCER", "RED_OUT_KEY", "RED_OUT_VAL", "OUT_FORMATTER"};
+  return side == Side::kMap ? *kMap : *kReduce;
+}
+
+std::vector<double> FeatureBounds::Normalize(
+    const std::vector<double>& values) const {
+  PSTORM_CHECK(values.size() == mins.size());
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    // Degenerate-range guard: with few stored profiles a feature's
+    // observed spread can be tiny (e.g. local-IO cost varying by 5%
+    // across a handful of jobs); dividing a noisy probe by that sliver
+    // would let a near-constant feature dominate the distance. The
+    // effective range is at least half the feature's magnitude.
+    const double magnitude = std::max(std::fabs(mins[i]), std::fabs(maxs[i]));
+    const double range =
+        std::max({maxs[i] - mins[i], 0.5 * magnitude, 1e-12});
+    out.push_back((values[i] - mins[i]) / range);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<ProfileStore>> ProfileStore::Open(storage::Env* env,
+                                                         std::string path) {
+  hstore::TableSchema schema;
+  schema.name = "Jobs";
+  schema.families = {kFamily};
+  PSTORM_ASSIGN_OR_RETURN(
+      auto table, hstore::HTable::Open(env, std::move(path), schema));
+  auto store = std::unique_ptr<ProfileStore>(
+      new ProfileStore(std::move(table)));
+  PSTORM_RETURN_IF_ERROR(store->LoadBounds());
+  PSTORM_RETURN_IF_ERROR(store->RecountProfiles());
+  return store;
+}
+
+Status ProfileStore::RecountProfiles() {
+  hstore::ScanSpec spec;
+  spec.filter = std::make_shared<hstore::PrefixFilter>(kPayloadPrefix);
+  PSTORM_ASSIGN_OR_RETURN(auto rows, table_->Scan(spec));
+  num_profiles_ = rows.size();
+  return Status::OK();
+}
+
+void ProfileStore::Widen(const std::string& feature, double value) {
+  auto it = bounds_.find(feature);
+  if (it == bounds_.end()) {
+    bounds_[feature] = {value, value};
+  } else {
+    it->second.first = std::min(it->second.first, value);
+    it->second.second = std::max(it->second.second, value);
+  }
+}
+
+Status ProfileStore::SaveBounds() {
+  hstore::PutOp put(kBoundsRow);
+  for (const auto& [feature, minmax] : bounds_) {
+    put.Add(kFamily, feature + ".min", EncodeDouble(minmax.first));
+    put.Add(kFamily, feature + ".max", EncodeDouble(minmax.second));
+  }
+  return table_->Put(put);
+}
+
+Status ProfileStore::LoadBounds() {
+  auto row = table_->Get(kBoundsRow);
+  if (!row.ok()) {
+    if (row.status().IsNotFound()) return Status::OK();  // Fresh store.
+    return row.status();
+  }
+  for (const auto& [qualifier, raw] : row->FamilyMap(kFamily)) {
+    double v;
+    if (!DecodeDouble(raw, &v)) return Status::Corruption("bad bounds value");
+    if (EndsWith(qualifier, ".min")) {
+      const std::string feature = qualifier.substr(0, qualifier.size() - 4);
+      bounds_[feature].first = v;
+    } else if (EndsWith(qualifier, ".max")) {
+      const std::string feature = qualifier.substr(0, qualifier.size() - 4);
+      bounds_[feature].second = v;
+    } else {
+      return Status::Corruption("bad bounds column: " + qualifier);
+    }
+  }
+  return Status::OK();
+}
+
+Status ProfileStore::PutProfile(
+    const std::string& job_key, const profiler::ExecutionProfile& profile,
+    const staticanalysis::StaticFeatures& statics) {
+  if (job_key.empty()) return Status::InvalidArgument("empty job key");
+  if (job_key.find('/') != std::string::npos) {
+    return Status::InvalidArgument("job key must not contain '/'");
+  }
+  const bool existed = table_->Get(kPayloadPrefix + job_key).ok();
+
+  // Dynamic row: the numeric features the matcher filters on.
+  {
+    hstore::PutOp put(kDynamicPrefix + job_key);
+    const auto add_side = [&](Side side, const std::vector<double>& dynamic,
+                              const std::vector<double>& costs) {
+      const auto& dyn_names = DynamicColumnNames(side);
+      const auto& cost_names = CostColumnNames(side);
+      PSTORM_CHECK(dynamic.size() == dyn_names.size());
+      PSTORM_CHECK(costs.size() == cost_names.size());
+      for (size_t i = 0; i < dynamic.size(); ++i) {
+        put.Add(kFamily, dyn_names[i], EncodeDouble(dynamic[i]));
+        Widen(dyn_names[i], dynamic[i]);
+      }
+      for (size_t i = 0; i < costs.size(); ++i) {
+        put.Add(kFamily, cost_names[i], EncodeDouble(costs[i]));
+        Widen(cost_names[i], costs[i]);
+      }
+    };
+    add_side(Side::kMap, profile.map_side.DynamicVector(),
+             profile.map_side.CostVector());
+    add_side(Side::kReduce, profile.reduce_side.DynamicVector(),
+             profile.reduce_side.CostVector());
+    put.Add(kFamily, kInputBytesColumn,
+            EncodeDouble(profile.input_data_bytes));
+    PSTORM_RETURN_IF_ERROR(table_->Put(put));
+  }
+
+  // Static row: categorical features + CFGs.
+  {
+    hstore::PutOp put(kStaticPrefix + job_key);
+    const auto map_names = StaticColumnNames(Side::kMap);
+    const auto map_values = statics.MapCategorical();
+    PSTORM_CHECK(map_values.size() == map_names.size());
+    for (size_t i = 0; i < map_names.size(); ++i) {
+      put.Add(kFamily, map_names[i], map_values[i]);
+    }
+    const auto red_names = StaticColumnNames(Side::kReduce);
+    const auto red_values = statics.ReduceCategorical();
+    PSTORM_CHECK(red_values.size() == red_names.size());
+    for (size_t i = 0; i < red_names.size(); ++i) {
+      put.Add(kFamily, red_names[i], red_values[i]);
+    }
+    put.Add(kFamily, kMapCfgColumn,
+            staticanalysis::SerializeCfg(statics.map_cfg));
+    put.Add(kFamily, kRedCfgColumn,
+            staticanalysis::SerializeCfg(statics.reduce_cfg));
+    // §7.2 extension columns — added to an existing feature type without
+    // any schema change, as the data model promises.
+    put.Add(kFamily, kUserParamsColumn, statics.user_params);
+    put.Add(kFamily, kMapCallsColumn, StrJoin(statics.map_calls, ","));
+    put.Add(kFamily, kRedCallsColumn, StrJoin(statics.reduce_calls, ","));
+    PSTORM_RETURN_IF_ERROR(table_->Put(put));
+  }
+
+  // Payload row: the complete profile blob handed to the CBO on a match.
+  {
+    hstore::PutOp put(kPayloadPrefix + job_key);
+    put.Add(kFamily, kProfileColumn, profile.Serialize());
+    PSTORM_RETURN_IF_ERROR(table_->Put(put));
+  }
+
+  PSTORM_RETURN_IF_ERROR(SaveBounds());
+  // Profiles are precious (a full profiled run each): persist eagerly so a
+  // reopen never loses them to a buffered memtable.
+  PSTORM_RETURN_IF_ERROR(table_->Flush());
+  if (!existed) ++num_profiles_;
+  return Status::OK();
+}
+
+Result<StoredEntry> ProfileStore::GetEntry(const std::string& job_key) const {
+  StoredEntry entry;
+  entry.job_key = job_key;
+
+  PSTORM_ASSIGN_OR_RETURN(hstore::RowResult payload,
+                          table_->Get(kPayloadPrefix + job_key));
+  const std::string* blob = payload.GetValue(kFamily, kProfileColumn);
+  if (blob == nullptr) return Status::Corruption("payload row lacks profile");
+  PSTORM_ASSIGN_OR_RETURN(entry.profile,
+                          profiler::ExecutionProfile::Parse(*blob));
+
+  PSTORM_ASSIGN_OR_RETURN(hstore::RowResult statics,
+                          table_->Get(kStaticPrefix + job_key));
+  auto read_string = [&](const std::string& column,
+                         std::string* out) -> Status {
+    const std::string* raw = statics.GetValue(kFamily, column);
+    if (raw == nullptr) {
+      return Status::Corruption("static row lacks " + column);
+    }
+    *out = *raw;
+    return Status::OK();
+  };
+  auto& f = entry.statics;
+  PSTORM_RETURN_IF_ERROR(read_string("IN_FORMATTER", &f.in_formatter));
+  PSTORM_RETURN_IF_ERROR(read_string("MAPPER", &f.mapper));
+  PSTORM_RETURN_IF_ERROR(read_string("MAP_IN_KEY", &f.map_in_key));
+  PSTORM_RETURN_IF_ERROR(read_string("MAP_IN_VAL", &f.map_in_val));
+  PSTORM_RETURN_IF_ERROR(read_string("MAP_OUT_KEY", &f.map_out_key));
+  PSTORM_RETURN_IF_ERROR(read_string("MAP_OUT_VAL", &f.map_out_val));
+  PSTORM_RETURN_IF_ERROR(read_string("COMBINER", &f.combiner));
+  PSTORM_RETURN_IF_ERROR(read_string("REDUCER", &f.reducer));
+  PSTORM_RETURN_IF_ERROR(read_string("RED_OUT_KEY", &f.red_out_key));
+  PSTORM_RETURN_IF_ERROR(read_string("RED_OUT_VAL", &f.red_out_val));
+  PSTORM_RETURN_IF_ERROR(read_string("OUT_FORMATTER", &f.out_formatter));
+  std::string cfg_text;
+  PSTORM_RETURN_IF_ERROR(read_string(kMapCfgColumn, &cfg_text));
+  PSTORM_ASSIGN_OR_RETURN(f.map_cfg, staticanalysis::ParseCfg(cfg_text));
+  PSTORM_RETURN_IF_ERROR(read_string(kRedCfgColumn, &cfg_text));
+  PSTORM_ASSIGN_OR_RETURN(f.reduce_cfg, staticanalysis::ParseCfg(cfg_text));
+  // Extension columns: absent in stores written before §7.2 support.
+  if (const std::string* raw = statics.GetValue(kFamily, kUserParamsColumn)) {
+    f.user_params = *raw;
+  }
+  auto read_calls = [&](const char* column, std::vector<std::string>* out) {
+    const std::string* raw = statics.GetValue(kFamily, column);
+    if (raw == nullptr || raw->empty()) return;
+    *out = StrSplit(*raw, ',');
+  };
+  read_calls(kMapCallsColumn, &f.map_calls);
+  read_calls(kRedCallsColumn, &f.reduce_calls);
+  return entry;
+}
+
+Status ProfileStore::DeleteProfile(const std::string& job_key) {
+  const bool existed = table_->Get(kPayloadPrefix + job_key).ok();
+  PSTORM_RETURN_IF_ERROR(table_->DeleteRow(kDynamicPrefix + job_key));
+  PSTORM_RETURN_IF_ERROR(table_->DeleteRow(kStaticPrefix + job_key));
+  PSTORM_RETURN_IF_ERROR(table_->DeleteRow(kPayloadPrefix + job_key));
+  if (existed && num_profiles_ > 0) --num_profiles_;
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ProfileStore::ListJobKeys() const {
+  hstore::ScanSpec spec;
+  spec.filter = std::make_shared<hstore::PrefixFilter>(kPayloadPrefix);
+  PSTORM_ASSIGN_OR_RETURN(auto rows, table_->Scan(spec));
+  return KeysFromRows(rows, kPayloadPrefix);
+}
+
+FeatureBounds ProfileStore::DynamicBounds(Side side) const {
+  FeatureBounds out;
+  for (const std::string& name : DynamicColumnNames(side)) {
+    auto it = bounds_.find(name);
+    out.mins.push_back(it == bounds_.end() ? 0.0 : it->second.first);
+    out.maxs.push_back(it == bounds_.end() ? 0.0 : it->second.second);
+  }
+  return out;
+}
+
+FeatureBounds ProfileStore::CostBounds(Side side) const {
+  FeatureBounds out;
+  for (const std::string& name : CostColumnNames(side)) {
+    auto it = bounds_.find(name);
+    out.mins.push_back(it == bounds_.end() ? 0.0 : it->second.first);
+    out.maxs.push_back(it == bounds_.end() ? 0.0 : it->second.second);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ProfileStore::DynamicEuclideanScan(
+    Side side, const std::vector<double>& probe, double theta,
+    bool server_side, hstore::ScanStats* stats) const {
+  const FeatureBounds bounds = DynamicBounds(side);
+  hstore::ScanSpec spec;
+  std::vector<std::shared_ptr<const hstore::RowFilter>> filters = {
+      std::make_shared<hstore::PrefixFilter>(kDynamicPrefix),
+      std::make_shared<EuclideanFilter>(DynamicColumnNames(side),
+                                        bounds.Normalize(probe), bounds,
+                                        theta),
+  };
+  spec.filter = std::make_shared<hstore::AndFilter>(std::move(filters));
+  spec.server_side_filtering = server_side;
+  PSTORM_ASSIGN_OR_RETURN(auto rows, table_->Scan(spec, stats));
+  return KeysFromRows(rows, kDynamicPrefix);
+}
+
+Result<std::vector<std::string>> ProfileStore::CostEuclideanScan(
+    Side side, const std::vector<double>& probe, double theta,
+    bool server_side, hstore::ScanStats* stats) const {
+  const FeatureBounds bounds = CostBounds(side);
+  hstore::ScanSpec spec;
+  std::vector<std::shared_ptr<const hstore::RowFilter>> filters = {
+      std::make_shared<hstore::PrefixFilter>(kDynamicPrefix),
+      std::make_shared<EuclideanFilter>(CostColumnNames(side),
+                                        bounds.Normalize(probe), bounds,
+                                        theta),
+  };
+  spec.filter = std::make_shared<hstore::AndFilter>(std::move(filters));
+  spec.server_side_filtering = server_side;
+  PSTORM_ASSIGN_OR_RETURN(auto rows, table_->Scan(spec, stats));
+  return KeysFromRows(rows, kDynamicPrefix);
+}
+
+Result<std::vector<std::string>> ProfileStore::CfgMatchScan(
+    Side side, const staticanalysis::Cfg& probe_cfg,
+    const std::vector<std::string>& candidates,
+    hstore::ScanStats* stats) const {
+  hstore::ScanSpec spec;
+  std::vector<std::shared_ptr<const hstore::RowFilter>> filters = {
+      std::make_shared<KeySetFilter>(kStaticPrefix, candidates),
+      std::make_shared<CfgFilter>(
+          side == Side::kMap ? kMapCfgColumn : kRedCfgColumn, probe_cfg),
+  };
+  spec.filter = std::make_shared<hstore::AndFilter>(std::move(filters));
+  PSTORM_ASSIGN_OR_RETURN(auto rows, table_->Scan(spec, stats));
+  return KeysFromRows(rows, kStaticPrefix);
+}
+
+Result<std::vector<std::string>> ProfileStore::JaccardScan(
+    Side side, const std::vector<std::string>& probe, double theta,
+    const std::vector<std::string>& candidates, hstore::ScanStats* stats,
+    bool include_user_params) const {
+  std::vector<std::string> columns = StaticColumnNames(side);
+  if (include_user_params) columns.push_back(kUserParamsColumn);
+  hstore::ScanSpec spec;
+  std::vector<std::shared_ptr<const hstore::RowFilter>> filters = {
+      std::make_shared<KeySetFilter>(kStaticPrefix, candidates),
+      std::make_shared<JaccardFilter>(std::move(columns), probe, theta),
+  };
+  spec.filter = std::make_shared<hstore::AndFilter>(std::move(filters));
+  PSTORM_ASSIGN_OR_RETURN(auto rows, table_->Scan(spec, stats));
+  return KeysFromRows(rows, kStaticPrefix);
+}
+
+Result<std::vector<std::string>> ProfileStore::CallSetScan(
+    Side side, const std::vector<std::string>& probe_calls,
+    const std::vector<std::string>& candidates,
+    hstore::ScanStats* stats) const {
+  const char* column =
+      side == Side::kMap ? kMapCallsColumn : kRedCallsColumn;
+  hstore::ScanSpec spec;
+  std::vector<std::shared_ptr<const hstore::RowFilter>> filters = {
+      std::make_shared<KeySetFilter>(kStaticPrefix, candidates),
+      std::make_shared<hstore::ColumnValueFilter>(
+          kFamily, column, hstore::CompareOp::kEqual,
+          StrJoin(probe_calls, ",")),
+  };
+  spec.filter = std::make_shared<hstore::AndFilter>(std::move(filters));
+  PSTORM_ASSIGN_OR_RETURN(auto rows, table_->Scan(spec, stats));
+  return KeysFromRows(rows, kStaticPrefix);
+}
+
+Result<double> ProfileStore::InputDataBytes(const std::string& job_key) const {
+  PSTORM_ASSIGN_OR_RETURN(hstore::RowResult row,
+                          table_->Get(kDynamicPrefix + job_key));
+  const std::string* raw = row.GetValue(kFamily, kInputBytesColumn);
+  double v;
+  if (raw == nullptr || !DecodeDouble(*raw, &v)) {
+    return Status::Corruption("missing input bytes for " + job_key);
+  }
+  return v;
+}
+
+}  // namespace pstorm::core

@@ -1,0 +1,148 @@
+#ifndef PSTORM_CORE_PROFILE_STORE_H_
+#define PSTORM_CORE_PROFILE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "hstore/table.h"
+#include "profiler/profile.h"
+#include "staticanalysis/features.h"
+#include "storage/env.h"
+
+namespace pstorm::core {
+
+/// Which half of the job a store operation concerns (the matching
+/// workflow of Figure 4.4 runs once per side).
+enum class Side { kMap, kReduce };
+
+/// One stored job: its complete execution profile and static features.
+struct StoredEntry {
+  std::string job_key;
+  profiler::ExecutionProfile profile;
+  staticanalysis::StaticFeatures statics;
+};
+
+/// Min/max observed per feature, maintained incrementally as profiles are
+/// added (thesis §4.2): the store normalizes features to [0,1] with these
+/// bounds at matching time.
+struct FeatureBounds {
+  std::vector<double> mins;
+  std::vector<double> maxs;
+
+  /// (v - min) / (max - min) per dimension; a constant dimension maps
+  /// to 0.
+  std::vector<double> Normalize(const std::vector<double>& values) const;
+};
+
+/// PStorM's profile store: the Table 5.1 HBase data model on the hstore
+/// layer. Row keys are "<FeatureType>/<job key>" — feature type as a
+/// row-key prefix rather than a column family, so new feature types can be
+/// added without schema surgery (HBase forbids new column families after
+/// creation, §5.1):
+///
+///   Dynamic/<job>  data-flow statistics + cost factors + input size
+///   Static/<job>   Table 4.3 categorical features + both CFGs
+///   Payload/<job>  the serialized complete execution profile
+///   Meta/bounds    per-feature min/max for normalization
+///
+/// One column family ("F") holds everything, with per-row column sets.
+class ProfileStore {
+ public:
+  static Result<std::unique_ptr<ProfileStore>> Open(storage::Env* env,
+                                                    std::string path);
+
+  /// Inserts or replaces the profile of `job_key` and updates the
+  /// normalization bounds.
+  Status PutProfile(const std::string& job_key,
+                    const profiler::ExecutionProfile& profile,
+                    const staticanalysis::StaticFeatures& statics);
+
+  /// Loads one stored job; NotFound if absent.
+  Result<StoredEntry> GetEntry(const std::string& job_key) const;
+
+  /// Removes a job's rows (idempotent). Bounds are left as-is (they only
+  /// ever widen, which keeps normalization stable).
+  Status DeleteProfile(const std::string& job_key);
+
+  /// All stored job keys, sorted.
+  Result<std::vector<std::string>> ListJobKeys() const;
+
+  size_t num_profiles() const { return num_profiles_; }
+
+  /// Normalization bounds of the side's dynamic-feature vector.
+  FeatureBounds DynamicBounds(Side side) const;
+  /// Normalization bounds of the side's cost-factor vector.
+  FeatureBounds CostBounds(Side side) const;
+
+  /// Stage-1 filter of Figure 4.4, pushed down to the regions: job keys
+  /// whose normalized side-dynamic features lie within Euclidean distance
+  /// `theta` of `probe`. `server_side=false` ships every row to the
+  /// client first (the §5.3 ablation).
+  Result<std::vector<std::string>> DynamicEuclideanScan(
+      Side side, const std::vector<double>& probe, double theta,
+      bool server_side = true, hstore::ScanStats* stats = nullptr) const;
+
+  /// The alternative filter: same, over the side's cost factors.
+  Result<std::vector<std::string>> CostEuclideanScan(
+      Side side, const std::vector<double>& probe, double theta,
+      bool server_side = true, hstore::ScanStats* stats = nullptr) const;
+
+  /// Stage-2 filter: of `candidates`, the job keys whose stored side-CFG
+  /// structurally matches `probe_cfg` (pushed down).
+  Result<std::vector<std::string>> CfgMatchScan(
+      Side side, const staticanalysis::Cfg& probe_cfg,
+      const std::vector<std::string>& candidates,
+      hstore::ScanStats* stats = nullptr) const;
+
+  /// Stage-3 filter: of `candidates`, the job keys whose side categorical
+  /// features have Jaccard index >= `theta` against `probe` (pushed down).
+  /// When `include_user_params` is set, the canonicalized user-parameter
+  /// string joins the categorical vector on both sides (the §7.2.1
+  /// extension) — `probe` must then carry it as its last element.
+  Result<std::vector<std::string>> JaccardScan(
+      Side side, const std::vector<std::string>& probe, double theta,
+      const std::vector<std::string>& candidates,
+      hstore::ScanStats* stats = nullptr,
+      bool include_user_params = false) const;
+
+  /// §7.2.2 call-flow filter: of `candidates`, the job keys whose stored
+  /// side call set equals `probe_calls` exactly (conservative, like the
+  /// CFG filter).
+  Result<std::vector<std::string>> CallSetScan(
+      Side side, const std::vector<std::string>& probe_calls,
+      const std::vector<std::string>& candidates,
+      hstore::ScanStats* stats = nullptr) const;
+
+  /// Input data size stored for a job (the tie-break feature).
+  Result<double> InputDataBytes(const std::string& job_key) const;
+
+  /// The .META.-style region catalog entries of the backing table.
+  std::vector<std::string> MetaEntries() const { return table_->MetaEntries(); }
+
+ private:
+  explicit ProfileStore(std::unique_ptr<hstore::HTable> table)
+      : table_(std::move(table)) {}
+
+  Status LoadBounds();
+  Status SaveBounds();
+  void Widen(const std::string& feature, double value);
+  Status RecountProfiles();
+
+  std::unique_ptr<hstore::HTable> table_;
+  /// feature name -> (min, max) observed.
+  std::map<std::string, std::pair<double, double>> bounds_;
+  size_t num_profiles_ = 0;
+};
+
+/// Column names of the side's dynamic features / cost factors, in vector
+/// order (exposed for the pushdown filters and tests).
+const std::vector<std::string>& DynamicColumnNames(Side side);
+const std::vector<std::string>& CostColumnNames(Side side);
+const std::vector<std::string>& StaticColumnNames(Side side);
+
+}  // namespace pstorm::core
+
+#endif  // PSTORM_CORE_PROFILE_STORE_H_

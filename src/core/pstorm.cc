@@ -1,0 +1,90 @@
+#include "core/pstorm.h"
+
+#include "common/logging.h"
+
+namespace pstorm::core {
+
+PStorM::PStorM(const mrsim::Simulator* simulator,
+               std::unique_ptr<ProfileStore> store, PStormOptions options)
+    : simulator_(simulator),
+      store_(std::move(store)),
+      options_(options),
+      profiler_(simulator),
+      engine_(simulator->cluster()) {}
+
+Result<std::unique_ptr<PStorM>> PStorM::Create(
+    const mrsim::Simulator* simulator, storage::Env* env,
+    std::string store_path, PStormOptions options) {
+  PSTORM_CHECK(simulator != nullptr);
+  PSTORM_ASSIGN_OR_RETURN(auto store,
+                          ProfileStore::Open(env, std::move(store_path)));
+  return std::unique_ptr<PStorM>(
+      new PStorM(simulator, std::move(store), options));
+}
+
+Status PStorM::AddProfile(const std::string& job_key,
+                          const profiler::ExecutionProfile& profile,
+                          const staticanalysis::StaticFeatures& statics) {
+  return store_->PutProfile(job_key, profile, statics);
+}
+
+Result<PStorM::SubmissionOutcome> PStorM::SubmitJob(
+    const jobs::BenchmarkJob& job, const mrsim::DataSetSpec& data,
+    const mrsim::Configuration& submitted, uint64_t seed) {
+  SubmissionOutcome outcome;
+
+  // 1. One sample map task with profiling on: PStorM's only overhead.
+  PSTORM_ASSIGN_OR_RETURN(
+      profiler::ProfiledRun sample,
+      profiler_.ProfileOneTask(job.spec, data, submitted, seed));
+  outcome.sample_runtime_s = sample.run.runtime_s;
+
+  // 2. Probe the store.
+  const staticanalysis::StaticFeatures statics =
+      staticanalysis::ExtractStaticFeatures(job.program);
+  const JobFeatureVector probe =
+      BuildFeatureVector(sample.profile, statics);
+  MultiStageMatcher matcher(store_.get(), options_.match);
+  PSTORM_ASSIGN_OR_RETURN(MatchResult match, matcher.Match(probe));
+
+  if (match.found) {
+    // 3a. Tune with the returned profile; run with profiling off.
+    outcome.matched = true;
+    outcome.composite = match.composite;
+    outcome.profile_source = match.composite
+                                 ? match.map_source + "+" + match.reduce_source
+                                 : match.map_source;
+    optimizer::CostBasedOptimizer cbo(&engine_, options_.cbo);
+    PSTORM_ASSIGN_OR_RETURN(auto recommendation,
+                            cbo.Optimize(match.profile, data));
+    outcome.config_used = recommendation.config;
+    outcome.predicted_runtime_s = recommendation.predicted_runtime_s;
+    mrsim::RunOptions run_options;
+    run_options.seed = seed ^ 0x72756eULL;
+    PSTORM_ASSIGN_OR_RETURN(
+        mrsim::JobRunResult run,
+        simulator_->RunJob(job.spec, data, recommendation.config,
+                           run_options));
+    outcome.runtime_s = run.runtime_s;
+    return outcome;
+  }
+
+  // 3b. No Match Found: run with the submitted configuration, profiler
+  // on, and keep the collected profile for the future.
+  mrsim::RunOptions run_options;
+  run_options.profiling_enabled = true;
+  run_options.seed = seed ^ 0x72756eULL;
+  PSTORM_ASSIGN_OR_RETURN(
+      mrsim::JobRunResult run,
+      simulator_->RunJob(job.spec, data, submitted, run_options));
+  outcome.config_used = submitted;
+  outcome.runtime_s = run.runtime_s;
+  const profiler::ExecutionProfile collected =
+      profiler::Profiler::ExtractProfile(run, job.spec.name, data, 1.0);
+  PSTORM_RETURN_IF_ERROR(store_->PutProfile(
+      job.spec.name + "@" + data.name, collected, statics));
+  outcome.stored_new_profile = true;
+  return outcome;
+}
+
+}  // namespace pstorm::core

@@ -1,0 +1,88 @@
+#ifndef PSTORM_CORE_PSTORM_H_
+#define PSTORM_CORE_PSTORM_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/matcher.h"
+#include "core/profile_store.h"
+#include "jobs/benchmark_jobs.h"
+#include "optimizer/cbo.h"
+#include "profiler/profiler.h"
+#include "whatif/whatif_engine.h"
+
+namespace pstorm::core {
+
+struct PStormOptions {
+  MatchOptions match;
+  optimizer::CostBasedOptimizer::Options cbo;
+};
+
+/// The PStorM system facade (thesis chapter 3): given a submitted MR job,
+/// run one sample map task (plus reducers) with profiling on, probe the
+/// profile store, and
+///
+///  * on a match: hand the (possibly composite) stored profile to the
+///    Starfish CBO, then run the job with the tuned configuration and
+///    profiling off;
+///  * on No Match Found: run the job with the submitted configuration and
+///    profiling on, and store the collected complete profile for future
+///    submissions.
+class PStorM {
+ public:
+  /// `simulator` and `env` must outlive the instance. `store_path` roots
+  /// the profile store inside `env`.
+  static Result<std::unique_ptr<PStorM>> Create(
+      const mrsim::Simulator* simulator, storage::Env* env,
+      std::string store_path, PStormOptions options = PStormOptions{});
+
+  struct SubmissionOutcome {
+    /// Whether the matcher found a usable profile.
+    bool matched = false;
+    /// Whether the returned profile stitched two different jobs.
+    bool composite = false;
+    /// "job@dataset" (or "a+b" for composites) the profile came from;
+    /// empty when no match.
+    std::string profile_source;
+    /// Configuration the job finally ran with.
+    mrsim::Configuration config_used;
+    /// Wall time of the final run.
+    double runtime_s = 0;
+    /// Wall time of the 1-task sampling run (PStorM's overhead).
+    double sample_runtime_s = 0;
+    /// CBO's predicted runtime for the chosen configuration (0 when the
+    /// job ran untuned).
+    double predicted_runtime_s = 0;
+    /// True when a freshly collected profile was added to the store.
+    bool stored_new_profile = false;
+  };
+
+  /// Runs the full submission workflow.
+  Result<SubmissionOutcome> SubmitJob(const jobs::BenchmarkJob& job,
+                                      const mrsim::DataSetSpec& data,
+                                      const mrsim::Configuration& submitted,
+                                      uint64_t seed);
+
+  /// Adds an existing complete profile (e.g. collected elsewhere).
+  Status AddProfile(const std::string& job_key,
+                    const profiler::ExecutionProfile& profile,
+                    const staticanalysis::StaticFeatures& statics);
+
+  ProfileStore& store() { return *store_; }
+  const ProfileStore& store() const { return *store_; }
+
+ private:
+  PStorM(const mrsim::Simulator* simulator,
+         std::unique_ptr<ProfileStore> store, PStormOptions options);
+
+  const mrsim::Simulator* simulator_;
+  std::unique_ptr<ProfileStore> store_;
+  PStormOptions options_;
+  profiler::Profiler profiler_;
+  whatif::WhatIfEngine engine_;
+};
+
+}  // namespace pstorm::core
+
+#endif  // PSTORM_CORE_PSTORM_H_

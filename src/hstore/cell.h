@@ -1,0 +1,72 @@
+#ifndef PSTORM_HSTORE_CELL_H_
+#define PSTORM_HSTORE_CELL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pstorm::hstore {
+
+/// One versioned cell: the value at (row, family, qualifier). The store
+/// keeps only the newest version of each cell; `timestamp` is the logical
+/// write time of that version.
+struct Cell {
+  std::string family;
+  std::string qualifier;
+  std::string value;
+  uint64_t timestamp = 0;
+};
+
+/// All cells of one row, as returned by Get and Scan.
+class RowResult {
+ public:
+  RowResult() = default;
+  explicit RowResult(std::string row) : row_(std::move(row)) {}
+
+  const std::string& row() const { return row_; }
+  bool empty() const { return cells_.empty(); }
+  size_t num_cells() const { return cells_.size(); }
+  const std::vector<Cell>& cells() const { return cells_; }
+
+  void AddCell(Cell cell) { cells_.push_back(std::move(cell)); }
+
+  /// The value at (family, qualifier), or nullptr if the row lacks it.
+  const std::string* GetValue(const std::string& family,
+                              const std::string& qualifier) const {
+    for (const Cell& cell : cells_) {
+      if (cell.family == family && cell.qualifier == qualifier) {
+        return &cell.value;
+      }
+    }
+    return nullptr;
+  }
+
+  /// qualifier -> value for one family, in qualifier order.
+  std::map<std::string, std::string> FamilyMap(
+      const std::string& family) const {
+    std::map<std::string, std::string> out;
+    for (const Cell& cell : cells_) {
+      if (cell.family == family) out[cell.qualifier] = cell.value;
+    }
+    return out;
+  }
+
+  /// Payload bytes across all cells; the scan statistics use this to model
+  /// region-server-to-client transfer volume.
+  size_t PayloadBytes() const {
+    size_t bytes = row_.size();
+    for (const Cell& cell : cells_) {
+      bytes += cell.family.size() + cell.qualifier.size() + cell.value.size();
+    }
+    return bytes;
+  }
+
+ private:
+  std::string row_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace pstorm::hstore
+
+#endif  // PSTORM_HSTORE_CELL_H_

@@ -1,0 +1,70 @@
+#include "hstore/filter.h"
+
+#include "common/strings.h"
+
+namespace pstorm::hstore {
+
+bool PrefixFilter::Matches(const RowResult& row) const {
+  return StartsWith(row.row(), prefix_);
+}
+
+namespace {
+const char* OpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEqual:
+      return "==";
+    case CompareOp::kNotEqual:
+      return "!=";
+    case CompareOp::kLess:
+      return "<";
+    case CompareOp::kLessOrEqual:
+      return "<=";
+    case CompareOp::kGreater:
+      return ">";
+    case CompareOp::kGreaterOrEqual:
+      return ">=";
+  }
+  return "?";
+}
+}  // namespace
+
+bool ColumnValueFilter::Matches(const RowResult& row) const {
+  const std::string* value = row.GetValue(family_, qualifier_);
+  if (value == nullptr) return false;
+  const int cmp = value->compare(operand_);
+  switch (op_) {
+    case CompareOp::kEqual:
+      return cmp == 0;
+    case CompareOp::kNotEqual:
+      return cmp != 0;
+    case CompareOp::kLess:
+      return cmp < 0;
+    case CompareOp::kLessOrEqual:
+      return cmp <= 0;
+    case CompareOp::kGreater:
+      return cmp > 0;
+    case CompareOp::kGreaterOrEqual:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+std::string ColumnValueFilter::Describe() const {
+  return family_ + ":" + qualifier_ + " " + OpName(op_) + " " + operand_;
+}
+
+bool AndFilter::Matches(const RowResult& row) const {
+  for (const auto& child : children_) {
+    if (!child->Matches(row)) return false;
+  }
+  return true;
+}
+
+std::string AndFilter::Describe() const {
+  std::vector<std::string> parts;
+  parts.reserve(children_.size());
+  for (const auto& child : children_) parts.push_back(child->Describe());
+  return "and(" + StrJoin(parts, ", ") + ")";
+}
+
+}  // namespace pstorm::hstore

@@ -1,0 +1,80 @@
+#ifndef PSTORM_HSTORE_FILTER_H_
+#define PSTORM_HSTORE_FILTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hstore/cell.h"
+
+namespace pstorm::hstore {
+
+/// Server-side row predicate. Scans ship a filter to each region
+/// (HBase's filter-reaching mechanism, thesis §5.3) so that rows failing
+/// the predicate never cross the region/client boundary. Clients may
+/// subclass this to push down arbitrary predicates — the PStorM matcher
+/// pushes its Euclidean-distance stage down this way.
+class RowFilter {
+ public:
+  virtual ~RowFilter() = default;
+
+  /// True if the row should be returned to the client.
+  virtual bool Matches(const RowResult& row) const = 0;
+
+  /// Human-readable description for diagnostics.
+  virtual std::string Describe() const = 0;
+};
+
+/// Matches rows whose row key starts with a prefix. With the PStorM data
+/// model the feature type is the row-key prefix, so "scan only dynamic
+/// features" is a prefix filter.
+class PrefixFilter final : public RowFilter {
+ public:
+  explicit PrefixFilter(std::string prefix) : prefix_(std::move(prefix)) {}
+  bool Matches(const RowResult& row) const override;
+  std::string Describe() const override { return "prefix(" + prefix_ + ")"; }
+
+ private:
+  std::string prefix_;
+};
+
+enum class CompareOp { kEqual, kNotEqual, kLess, kLessOrEqual, kGreater,
+                       kGreaterOrEqual };
+
+/// Compares one column's value against a constant, as bytes. Rows missing
+/// the column do not match.
+class ColumnValueFilter final : public RowFilter {
+ public:
+  ColumnValueFilter(std::string family, std::string qualifier, CompareOp op,
+                    std::string operand)
+      : family_(std::move(family)),
+        qualifier_(std::move(qualifier)),
+        op_(op),
+        operand_(std::move(operand)) {}
+
+  bool Matches(const RowResult& row) const override;
+  std::string Describe() const override;
+
+ private:
+  std::string family_;
+  std::string qualifier_;
+  CompareOp op_;
+  std::string operand_;
+};
+
+/// Conjunction of filters; matches when every child matches.
+class AndFilter final : public RowFilter {
+ public:
+  explicit AndFilter(std::vector<std::shared_ptr<const RowFilter>> children)
+      : children_(std::move(children)) {}
+
+  bool Matches(const RowResult& row) const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<std::shared_ptr<const RowFilter>> children_;
+};
+
+}  // namespace pstorm::hstore
+
+#endif  // PSTORM_HSTORE_FILTER_H_

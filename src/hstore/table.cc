@@ -1,0 +1,502 @@
+#include "hstore/table.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace pstorm::hstore {
+
+namespace internal {
+
+/// One range partition of a table: [start_key, next region's start_key),
+/// backed by its own storage::Db. Mirrors an HBase region served by a
+/// region server; filters are evaluated here, on the "server side" of the
+/// scan.
+class Region {
+ public:
+  static Result<std::unique_ptr<Region>> Open(storage::Env* env,
+                                              std::string path,
+                                              std::string start_key,
+                                              uint64_t id,
+                                              storage::DbOptions db_options) {
+    auto region = std::unique_ptr<Region>(new Region());
+    region->start_key_ = std::move(start_key);
+    region->id_ = id;
+    PSTORM_ASSIGN_OR_RETURN(region->db_,
+                            storage::Db::Open(env, std::move(path),
+                                              db_options));
+    return region;
+  }
+
+  const std::string& start_key() const { return start_key_; }
+  uint64_t id() const { return id_; }
+  storage::Db* db() { return db_.get(); }
+  const storage::Db* db() const { return db_.get(); }
+
+ private:
+  Region() = default;
+
+  std::string start_key_;
+  uint64_t id_ = 0;
+  std::unique_ptr<storage::Db> db_;
+};
+
+}  // namespace internal
+
+namespace {
+
+constexpr char kSep = '\0';
+constexpr char kTableMetaName[] = "TABLEMETA";
+constexpr char kTableMetaHeader[] = "pstorm-htable-v1";
+
+std::string EncodeCellKey(std::string_view row, std::string_view family,
+                          std::string_view qualifier) {
+  std::string key;
+  key.reserve(row.size() + family.size() + qualifier.size() + 2);
+  key.append(row);
+  key.push_back(kSep);
+  key.append(family);
+  key.push_back(kSep);
+  key.append(qualifier);
+  return key;
+}
+
+/// Splits an encoded cell key back into (row, family, qualifier).
+bool DecodeCellKey(std::string_view key, std::string_view* row,
+                   std::string_view* family, std::string_view* qualifier) {
+  const size_t sep1 = key.find(kSep);
+  if (sep1 == std::string_view::npos) return false;
+  const size_t sep2 = key.find(kSep, sep1 + 1);
+  if (sep2 == std::string_view::npos) return false;
+  *row = key.substr(0, sep1);
+  *family = key.substr(sep1 + 1, sep2 - sep1 - 1);
+  *qualifier = key.substr(sep2 + 1);
+  return true;
+}
+
+std::string EncodeCellValue(uint64_t timestamp, std::string_view value) {
+  std::string out;
+  PutFixed64(&out, timestamp);
+  out.append(value);
+  return out;
+}
+
+bool DecodeCellValue(std::string_view encoded, uint64_t* timestamp,
+                     std::string_view* value) {
+  if (encoded.size() < 8) return false;
+  *timestamp = DecodeFixed64(encoded.data());
+  *value = encoded.substr(8);
+  return true;
+}
+
+std::string HexEncode(std::string_view in) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(in.size() * 2);
+  for (unsigned char c : in) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xf]);
+  }
+  return out;
+}
+
+Result<std::string> HexDecode(std::string_view in) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  if (in.size() % 2 != 0) return Status::Corruption("odd hex length");
+  std::string out;
+  out.reserve(in.size() / 2);
+  for (size_t i = 0; i < in.size(); i += 2) {
+    const int hi = nibble(in[i]);
+    const int lo = nibble(in[i + 1]);
+    if (hi < 0 || lo < 0) return Status::Corruption("bad hex digit");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool ContainsNul(std::string_view s) {
+  return s.find(kSep) != std::string_view::npos;
+}
+
+}  // namespace
+
+HTable::HTable(storage::Env* env, std::string root_path, TableSchema schema,
+               HTableOptions options)
+    : env_(env),
+      root_path_(std::move(root_path)),
+      schema_(std::move(schema)),
+      options_(options) {}
+
+HTable::~HTable() = default;
+
+size_t HTable::num_regions() const { return regions_.size(); }
+
+Result<std::unique_ptr<HTable>> HTable::Open(storage::Env* env,
+                                             std::string root_path,
+                                             TableSchema schema,
+                                             HTableOptions options) {
+  PSTORM_CHECK(env != nullptr);
+  if (schema.name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (schema.families.empty()) {
+    return Status::InvalidArgument("table needs at least one column family");
+  }
+  auto table = std::unique_ptr<HTable>(
+      new HTable(env, std::move(root_path), std::move(schema), options));
+  PSTORM_RETURN_IF_ERROR(env->CreateDir(table->root_path_));
+
+  const std::string meta_path =
+      storage::JoinPath(table->root_path_, kTableMetaName);
+  if (env->FileExists(meta_path)) {
+    PSTORM_RETURN_IF_ERROR(table->LoadTableMeta());
+  } else {
+    // Fresh table: one region covering the whole key space.
+    PSTORM_ASSIGN_OR_RETURN(
+        auto region,
+        internal::Region::Open(
+            env, storage::JoinPath(table->root_path_, "region_0"), "",
+            table->next_region_id_++, options.db_options));
+    table->regions_.push_back(std::move(region));
+    PSTORM_RETURN_IF_ERROR(table->WriteTableMeta());
+  }
+  return table;
+}
+
+Status HTable::WriteTableMeta() {
+  std::string out(kTableMetaHeader);
+  out += "\n";
+  out += "name " + schema_.name + "\n";
+  for (const std::string& family : schema_.families) {
+    out += "family " + family + "\n";
+  }
+  out += "clock " + std::to_string(logical_clock_) + "\n";
+  out += "next_region " + std::to_string(next_region_id_) + "\n";
+  for (const auto& region : regions_) {
+    out += "region " + std::to_string(region->id()) + " " +
+           HexEncode(region->start_key()) + "\n";
+  }
+  const std::string tmp =
+      storage::JoinPath(root_path_, std::string(kTableMetaName) + ".tmp");
+  PSTORM_RETURN_IF_ERROR(env_->WriteFile(tmp, out));
+  return env_->RenameFile(tmp,
+                          storage::JoinPath(root_path_, kTableMetaName));
+}
+
+Status HTable::LoadTableMeta() {
+  PSTORM_ASSIGN_OR_RETURN(
+      std::string meta,
+      env_->ReadFile(storage::JoinPath(root_path_, kTableMetaName)));
+  std::vector<std::string> lines = StrSplit(meta, '\n');
+  if (lines.empty() || lines[0] != kTableMetaHeader) {
+    return Status::Corruption("bad table meta header");
+  }
+  std::vector<std::string> stored_families;
+  std::string stored_name;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    const size_t space = lines[i].find(' ');
+    if (space == std::string::npos) {
+      return Status::Corruption("bad table meta line");
+    }
+    const std::string tag = lines[i].substr(0, space);
+    const std::string rest = lines[i].substr(space + 1);
+    if (tag == "name") {
+      stored_name = rest;
+    } else if (tag == "family") {
+      stored_families.push_back(rest);
+    } else if (tag == "clock") {
+      logical_clock_ = std::strtoull(rest.c_str(), nullptr, 10);
+    } else if (tag == "next_region") {
+      next_region_id_ = std::strtoull(rest.c_str(), nullptr, 10);
+    } else if (tag == "region") {
+      const std::vector<std::string> parts = StrSplit(rest, ' ');
+      if (parts.empty() || parts.size() > 2) {
+        return Status::Corruption("bad region line");
+      }
+      const uint64_t id = std::strtoull(parts[0].c_str(), nullptr, 10);
+      PSTORM_ASSIGN_OR_RETURN(
+          std::string start_key,
+          HexDecode(parts.size() == 2 ? parts[1] : ""));
+      PSTORM_ASSIGN_OR_RETURN(
+          auto region,
+          internal::Region::Open(
+              env_,
+              storage::JoinPath(root_path_, "region_" + std::to_string(id)),
+              std::move(start_key), id, options_.db_options));
+      regions_.push_back(std::move(region));
+    } else {
+      return Status::Corruption("unknown table meta tag: " + tag);
+    }
+  }
+  if (stored_name != schema_.name || stored_families != schema_.families) {
+    return Status::FailedPrecondition(
+        "schema mismatch: HBase column families are fixed at table creation");
+  }
+  if (regions_.empty()) return Status::Corruption("table meta has no regions");
+  std::sort(regions_.begin(), regions_.end(),
+            [](const auto& a, const auto& b) {
+              return a->start_key() < b->start_key();
+            });
+  // The meta's clock may be stale (it is only rewritten on region changes);
+  // re-derive it from the newest stored timestamp so versions keep moving
+  // forward after a reopen.
+  for (const auto& region : regions_) {
+    auto it = region->db()->NewIterator();
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      uint64_t timestamp;
+      std::string_view value;
+      if (DecodeCellValue(it->value(), &timestamp, &value)) {
+        logical_clock_ = std::max(logical_clock_, timestamp);
+      }
+    }
+    PSTORM_RETURN_IF_ERROR(it->status());
+  }
+  return Status::OK();
+}
+
+internal::Region* HTable::RegionFor(std::string_view row) const {
+  PSTORM_CHECK(!regions_.empty());
+  // Last region whose start_key <= row.
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), row,
+      [](std::string_view r, const std::unique_ptr<internal::Region>& region) {
+        return r < std::string_view(region->start_key());
+      });
+  PSTORM_CHECK(it != regions_.begin());
+  return std::prev(it)->get();
+}
+
+Status HTable::ValidateKeyParts(const PutOp& put) const {
+  if (put.row().empty()) return Status::InvalidArgument("empty row key");
+  if (ContainsNul(put.row())) {
+    return Status::InvalidArgument("row key must not contain NUL");
+  }
+  for (const Cell& cell : put.cells()) {
+    if (ContainsNul(cell.family) || ContainsNul(cell.qualifier)) {
+      return Status::InvalidArgument("family/qualifier must not contain NUL");
+    }
+    if (std::find(schema_.families.begin(), schema_.families.end(),
+                  cell.family) == schema_.families.end()) {
+      return Status::InvalidArgument("unknown column family: " + cell.family);
+    }
+  }
+  return Status::OK();
+}
+
+Status HTable::Put(const PutOp& put) {
+  PSTORM_RETURN_IF_ERROR(ValidateKeyParts(put));
+  internal::Region* region = RegionFor(put.row());
+  const uint64_t timestamp = ++logical_clock_;
+  for (const Cell& cell : put.cells()) {
+    PSTORM_RETURN_IF_ERROR(region->db()->Put(
+        EncodeCellKey(put.row(), cell.family, cell.qualifier),
+        EncodeCellValue(timestamp, cell.value)));
+  }
+  return MaybeSplit(region);
+}
+
+Result<RowResult> HTable::Get(std::string_view row) const {
+  const internal::Region* region = RegionFor(row);
+  RowResult result{std::string(row)};
+  const std::string prefix = std::string(row) + kSep;
+  auto it = region->db()->NewIterator();
+  for (it->Seek(prefix); it->Valid() && StartsWith(it->key(), prefix);
+       it->Next()) {
+    std::string_view r, family, qualifier;
+    if (!DecodeCellKey(it->key(), &r, &family, &qualifier)) {
+      return Status::Corruption("bad cell key");
+    }
+    uint64_t timestamp;
+    std::string_view value;
+    if (!DecodeCellValue(it->value(), &timestamp, &value)) {
+      return Status::Corruption("bad cell value");
+    }
+    result.AddCell(Cell{std::string(family), std::string(qualifier),
+                        std::string(value), timestamp});
+  }
+  PSTORM_RETURN_IF_ERROR(it->status());
+  if (result.empty()) return Status::NotFound("no such row");
+  return result;
+}
+
+Status HTable::DeleteRow(std::string_view row) {
+  internal::Region* region = RegionFor(row);
+  const std::string prefix = std::string(row) + kSep;
+  std::vector<std::string> keys;
+  {
+    auto it = region->db()->NewIterator();
+    for (it->Seek(prefix); it->Valid() && StartsWith(it->key(), prefix);
+         it->Next()) {
+      keys.emplace_back(it->key());
+    }
+    PSTORM_RETURN_IF_ERROR(it->status());
+  }
+  for (const std::string& key : keys) {
+    PSTORM_RETURN_IF_ERROR(region->db()->Delete(key));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<RowResult>> HTable::Scan(const ScanSpec& spec,
+                                            ScanStats* stats) const {
+  ScanStats local_stats;
+  ScanStats* s = stats != nullptr ? stats : &local_stats;
+  *s = ScanStats{};
+
+  std::vector<RowResult> out;
+  for (const auto& region : regions_) {
+    // Skip regions entirely past the stop row.
+    if (!spec.stop_row.empty() && region->start_key() >= spec.stop_row) {
+      break;
+    }
+    ++s->regions_visited;
+
+    auto it = region->db()->NewIterator();
+    if (spec.start_row.empty()) {
+      it->SeekToFirst();
+    } else {
+      it->Seek(spec.start_row);
+    }
+
+    RowResult current;
+    auto finish_row = [&]() {
+      if (current.empty()) return;
+      ++s->rows_scanned;
+      const bool matches =
+          spec.filter == nullptr || spec.filter->Matches(current);
+      if (spec.server_side_filtering) {
+        // Only matching rows cross the region boundary.
+        if (matches) {
+          ++s->rows_transferred;
+          s->bytes_transferred += current.PayloadBytes();
+          ++s->rows_returned;
+          out.push_back(std::move(current));
+        }
+      } else {
+        // Everything is shipped to the client, which filters locally.
+        ++s->rows_transferred;
+        s->bytes_transferred += current.PayloadBytes();
+        if (matches) {
+          ++s->rows_returned;
+          out.push_back(std::move(current));
+        }
+      }
+      current = RowResult();
+    };
+
+    for (; it->Valid(); it->Next()) {
+      std::string_view row, family, qualifier;
+      if (!DecodeCellKey(it->key(), &row, &family, &qualifier)) {
+        return Status::Corruption("bad cell key");
+      }
+      if (!spec.stop_row.empty() && row >= std::string_view(spec.stop_row)) {
+        break;
+      }
+      if (current.row() != row) {
+        finish_row();
+        current = RowResult(std::string(row));
+      }
+      if (!spec.families.empty() &&
+          std::find(spec.families.begin(), spec.families.end(), family) ==
+              spec.families.end()) {
+        continue;
+      }
+      uint64_t timestamp;
+      std::string_view value;
+      if (!DecodeCellValue(it->value(), &timestamp, &value)) {
+        return Status::Corruption("bad cell value");
+      }
+      current.AddCell(Cell{std::string(family), std::string(qualifier),
+                           std::string(value), timestamp});
+    }
+    PSTORM_RETURN_IF_ERROR(it->status());
+    finish_row();
+  }
+  return out;
+}
+
+Status HTable::Flush() {
+  for (const auto& region : regions_) {
+    PSTORM_RETURN_IF_ERROR(region->db()->Flush());
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> HTable::MetaEntries() const {
+  std::vector<std::string> out;
+  out.reserve(regions_.size());
+  for (const auto& region : regions_) {
+    out.push_back(schema_.name + "," + region->start_key() + "," +
+                  "region_" + std::to_string(region->id()));
+  }
+  return out;
+}
+
+Status HTable::MaybeSplit(internal::Region* region) {
+  if (region->db()->ApproximateSizeBytes() < options_.region_split_bytes) {
+    return Status::OK();
+  }
+  // Find the median distinct row to split at.
+  std::vector<std::string> rows;
+  {
+    auto it = region->db()->NewIterator();
+    std::string last_row;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      std::string_view row, family, qualifier;
+      if (!DecodeCellKey(it->key(), &row, &family, &qualifier)) {
+        return Status::Corruption("bad cell key");
+      }
+      if (row != std::string_view(last_row)) {
+        last_row.assign(row);
+        rows.push_back(last_row);
+      }
+    }
+    PSTORM_RETURN_IF_ERROR(it->status());
+  }
+  if (rows.size() < 2) return Status::OK();  // Nothing to split.
+  const std::string& split_row = rows[rows.size() / 2];
+
+  // Create the right-hand region and move everything >= split_row into it.
+  const uint64_t new_id = next_region_id_++;
+  PSTORM_ASSIGN_OR_RETURN(
+      auto new_region,
+      internal::Region::Open(
+          env_,
+          storage::JoinPath(root_path_, "region_" + std::to_string(new_id)),
+          split_row, new_id, options_.db_options));
+
+  std::vector<std::string> moved_keys;
+  {
+    auto it = region->db()->NewIterator();
+    for (it->Seek(split_row); it->Valid(); it->Next()) {
+      PSTORM_RETURN_IF_ERROR(
+          new_region->db()->Put(it->key(), it->value()));
+      moved_keys.emplace_back(it->key());
+    }
+    PSTORM_RETURN_IF_ERROR(it->status());
+  }
+  for (const std::string& key : moved_keys) {
+    PSTORM_RETURN_IF_ERROR(region->db()->Delete(key));
+  }
+  PSTORM_RETURN_IF_ERROR(region->db()->CompactAll());
+  PSTORM_RETURN_IF_ERROR(new_region->db()->Flush());
+
+  // Insert in start-key order.
+  auto pos = std::upper_bound(
+      regions_.begin(), regions_.end(), new_region->start_key(),
+      [](const std::string& key,
+         const std::unique_ptr<internal::Region>& r) {
+        return key < r->start_key();
+      });
+  regions_.insert(pos, std::move(new_region));
+  return WriteTableMeta();
+}
+
+}  // namespace pstorm::hstore

@@ -1,0 +1,145 @@
+#ifndef PSTORM_HSTORE_TABLE_H_
+#define PSTORM_HSTORE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "hstore/cell.h"
+#include "hstore/filter.h"
+#include "storage/db.h"
+#include "storage/env.h"
+
+namespace pstorm::hstore {
+
+/// Name and column families of a table. As in HBase, the set of column
+/// families is fixed at table creation — the constraint that drives the
+/// PStorM row-key design (feature type as a row-key prefix instead of a
+/// column family, thesis §5.1).
+struct TableSchema {
+  std::string name;
+  std::vector<std::string> families;
+};
+
+/// A batch of cells written to one row.
+class PutOp {
+ public:
+  explicit PutOp(std::string row) : row_(std::move(row)) {}
+
+  PutOp& Add(std::string family, std::string qualifier, std::string value) {
+    cells_.push_back({std::move(family), std::move(qualifier),
+                      std::move(value), 0});
+    return *this;
+  }
+
+  const std::string& row() const { return row_; }
+  const std::vector<Cell>& cells() const { return cells_; }
+
+ private:
+  std::string row_;
+  std::vector<Cell> cells_;
+};
+
+/// A range scan with optional server-side filter.
+struct ScanSpec {
+  /// Scans [start_row, stop_row); empty stop_row means "to the end".
+  std::string start_row;
+  std::string stop_row;
+  /// Restrict the result to these families (empty = all).
+  std::vector<std::string> families;
+  /// Predicate evaluated at each region before rows are shipped back.
+  std::shared_ptr<const RowFilter> filter;
+  /// When false the filter is evaluated at the client instead, so every
+  /// scanned row is "transferred" first. Exists to measure the benefit of
+  /// HBase's filter pushdown (thesis §5.3).
+  bool server_side_filtering = true;
+};
+
+/// Observed work for one scan; the pushdown ablation benchmark reads these.
+struct ScanStats {
+  uint64_t regions_visited = 0;
+  uint64_t rows_scanned = 0;
+  /// Rows crossing the region->client boundary (equals rows_scanned when
+  /// filtering client-side).
+  uint64_t rows_transferred = 0;
+  uint64_t rows_returned = 0;
+  uint64_t bytes_transferred = 0;
+};
+
+struct HTableOptions {
+  /// Approximate per-region payload size that triggers a region split.
+  size_t region_split_bytes = 8u << 20;
+  storage::DbOptions db_options;
+};
+
+namespace internal {
+class Region;
+}  // namespace internal
+
+/// A range-partitioned, column-family table in the HBase data model,
+/// backed by one storage::Db per region. Region splits happen
+/// automatically as data grows. Not thread-safe.
+class HTable {
+ public:
+  /// Creates or reopens the table rooted at `root_path` inside `env` (which
+  /// must outlive the table). Reopening validates that `schema` matches.
+  static Result<std::unique_ptr<HTable>> Open(storage::Env* env,
+                                              std::string root_path,
+                                              TableSchema schema,
+                                              HTableOptions options = {});
+  ~HTable();
+
+  HTable(const HTable&) = delete;
+  HTable& operator=(const HTable&) = delete;
+
+  /// Writes all cells of `put` atomically-per-row. Fails if a cell names an
+  /// unknown column family, or if any key part contains a NUL byte.
+  Status Put(const PutOp& put);
+
+  /// All cells of `row`; NotFound when the row does not exist.
+  Result<RowResult> Get(std::string_view row) const;
+
+  /// Deletes every cell of `row` (idempotent).
+  Status DeleteRow(std::string_view row);
+
+  /// Rows of [spec.start_row, spec.stop_row) passing the filter, in row
+  /// order. `stats` (optional) receives the work accounting.
+  Result<std::vector<RowResult>> Scan(const ScanSpec& spec,
+                                      ScanStats* stats = nullptr) const;
+
+  /// Persists buffered writes in every region.
+  Status Flush();
+
+  /// .META.-style catalog rows: "<table>,<start_key>,<region_id>" in region
+  /// order, mirroring the thesis §5.2.2 discussion.
+  std::vector<std::string> MetaEntries() const;
+
+  const TableSchema& schema() const { return schema_; }
+  size_t num_regions() const;
+
+ private:
+  HTable(storage::Env* env, std::string root_path, TableSchema schema,
+         HTableOptions options);
+
+  Status ValidateKeyParts(const PutOp& put) const;
+  internal::Region* RegionFor(std::string_view row) const;
+  Status MaybeSplit(internal::Region* region);
+  Status WriteTableMeta();
+  Status LoadTableMeta();
+
+  storage::Env* env_;
+  std::string root_path_;
+  TableSchema schema_;
+  HTableOptions options_;
+  uint64_t logical_clock_ = 0;
+  uint64_t next_region_id_ = 0;
+  /// Sorted by start key; region i covers [start_i, start_{i+1}).
+  std::vector<std::unique_ptr<internal::Region>> regions_;
+};
+
+}  // namespace pstorm::hstore
+
+#endif  // PSTORM_HSTORE_TABLE_H_

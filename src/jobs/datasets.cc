@@ -1,0 +1,150 @@
+#include "jobs/datasets.h"
+
+namespace pstorm::jobs {
+
+namespace {
+
+constexpr uint64_t kMb = 1ull << 20;
+constexpr uint64_t kGb = 1ull << 30;
+
+std::vector<mrsim::DataSetSpec> BuildCatalogue() {
+  std::vector<mrsim::DataSetSpec> catalogue;
+
+  {
+    mrsim::DataSetSpec d;
+    d.name = kRandomText1Gb;
+    d.size_bytes = 1 * kGb;
+    d.avg_record_bytes = 80.0;  // Short generated lines.
+    d.compress_ratio = 0.55;    // Random words compress worse than prose.
+    d.vocabulary_mb = 25.0;     // Small generator vocabulary.
+    catalogue.push_back(d);
+  }
+  {
+    mrsim::DataSetSpec d;
+    d.name = kWikipedia35Gb;
+    // Sized to exactly 571 splits of 64 MB — the split count the thesis
+    // reports for its 35 GB Wikipedia corpus.
+    d.size_bytes = 571ull * 64 * kMb;
+    d.avg_record_bytes = 120.0;
+    d.compress_ratio = 0.32;
+    d.vocabulary_mb = 220.0;  // Wikipedia's vocabulary is enormous.
+    catalogue.push_back(d);
+  }
+  {
+    mrsim::DataSetSpec d;
+    d.name = kWebdocs;
+    d.size_bytes = 1536 * kMb;
+    d.avg_record_bytes = 180.0;  // One transaction (item list) per line.
+    d.compress_ratio = 0.40;
+    d.vocabulary_mb = 60.0;
+    catalogue.push_back(d);
+  }
+  {
+    mrsim::DataSetSpec d;
+    d.name = kMovieLens1M;
+    d.size_bytes = 24 * kMb;
+    d.avg_record_bytes = 24.0;  // user::movie::rating::ts
+    d.compress_ratio = 0.45;
+    d.vocabulary_mb = 2.0;
+    catalogue.push_back(d);
+  }
+  {
+    mrsim::DataSetSpec d;
+    d.name = kMovieLens10M;
+    d.size_bytes = 258 * kMb;
+    d.avg_record_bytes = 24.0;
+    d.compress_ratio = 0.45;
+    d.vocabulary_mb = 6.0;
+    catalogue.push_back(d);
+  }
+  {
+    mrsim::DataSetSpec d;
+    d.name = kTpch1Gb;
+    d.size_bytes = 1 * kGb;
+    d.avg_record_bytes = 140.0;  // lineitem/orders rows.
+    d.compress_ratio = 0.38;
+    d.vocabulary_mb = 15.0;
+    catalogue.push_back(d);
+  }
+  {
+    mrsim::DataSetSpec d;
+    d.name = kTpch35Gb;
+    d.size_bytes = 35ull * kGb;
+    d.avg_record_bytes = 140.0;
+    d.compress_ratio = 0.38;
+    d.vocabulary_mb = 120.0;
+    catalogue.push_back(d);
+  }
+  {
+    mrsim::DataSetSpec d;
+    d.name = kTeraGen1Gb;
+    d.size_bytes = 1 * kGb;
+    d.avg_record_bytes = 100.0;  // TeraGen's fixed 100-byte records.
+    d.compress_ratio = 0.95;     // Random keys barely compress.
+    d.vocabulary_mb = 0.5;
+    catalogue.push_back(d);
+  }
+  {
+    mrsim::DataSetSpec d;
+    d.name = kTeraGen35Gb;
+    d.size_bytes = 35ull * kGb;
+    d.avg_record_bytes = 100.0;
+    d.compress_ratio = 0.95;
+    d.vocabulary_mb = 0.5;
+    catalogue.push_back(d);
+  }
+  {
+    mrsim::DataSetSpec d;
+    d.name = kPigMix1Gb;
+    d.size_bytes = 1 * kGb;
+    d.avg_record_bytes = 160.0;  // Wide page-view rows.
+    d.compress_ratio = 0.35;
+    d.vocabulary_mb = 20.0;
+    catalogue.push_back(d);
+  }
+  {
+    mrsim::DataSetSpec d;
+    d.name = kPigMix35Gb;
+    d.size_bytes = 35ull * kGb;
+    d.avg_record_bytes = 160.0;
+    d.compress_ratio = 0.35;
+    d.vocabulary_mb = 150.0;
+    catalogue.push_back(d);
+  }
+  {
+    mrsim::DataSetSpec d;
+    d.name = kGenomeSample;
+    d.size_bytes = 256 * kMb;
+    d.avg_record_bytes = 200.0;  // Sequence reads.
+    d.compress_ratio = 0.28;
+    d.vocabulary_mb = 8.0;
+    catalogue.push_back(d);
+  }
+  {
+    mrsim::DataSetSpec d;
+    d.name = kLakeWashington;
+    d.size_bytes = 4 * kGb;
+    d.avg_record_bytes = 200.0;
+    d.compress_ratio = 0.28;
+    d.vocabulary_mb = 40.0;
+    catalogue.push_back(d);
+  }
+  return catalogue;
+}
+
+}  // namespace
+
+const std::vector<mrsim::DataSetSpec>& DataSetCatalogue() {
+  static const auto* kCatalogue =
+      new std::vector<mrsim::DataSetSpec>(BuildCatalogue());
+  return *kCatalogue;
+}
+
+Result<mrsim::DataSetSpec> FindDataSet(const std::string& name) {
+  for (const mrsim::DataSetSpec& d : DataSetCatalogue()) {
+    if (d.name == name) return d;
+  }
+  return Status::NotFound("unknown data set: " + name);
+}
+
+}  // namespace pstorm::jobs

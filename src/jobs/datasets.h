@@ -1,0 +1,40 @@
+#ifndef PSTORM_JOBS_DATASETS_H_
+#define PSTORM_JOBS_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mrsim/dataset.h"
+
+namespace pstorm::jobs {
+
+/// Statistical stand-ins for the real data sets of thesis Table 6.1
+/// (Wikipedia dumps, TPC-H, MovieLens, webdocs, TeraGen, genomes). The
+/// simulator only consumes aggregates — sizes, record widths, split
+/// counts, compressibility, vocabulary — which these specs reproduce; the
+/// 35 GB Wikipedia set is sized to occupy exactly 571 HDFS splits, the
+/// number the thesis reports (Figure 4.1).
+const std::vector<mrsim::DataSetSpec>& DataSetCatalogue();
+
+/// Looks a data set up by name; NotFound for unknown names.
+Result<mrsim::DataSetSpec> FindDataSet(const std::string& name);
+
+// Canonical names used by the benchmark workload.
+inline constexpr char kRandomText1Gb[] = "random-text-1gb";
+inline constexpr char kWikipedia35Gb[] = "wikipedia-35gb";
+inline constexpr char kWebdocs[] = "webdocs-1.5gb";
+inline constexpr char kMovieLens1M[] = "movielens-1m";
+inline constexpr char kMovieLens10M[] = "movielens-10m";
+inline constexpr char kTpch1Gb[] = "tpch-1gb";
+inline constexpr char kTpch35Gb[] = "tpch-35gb";
+inline constexpr char kTeraGen1Gb[] = "teragen-1gb";
+inline constexpr char kTeraGen35Gb[] = "teragen-35gb";
+inline constexpr char kPigMix1Gb[] = "pigmix-1gb";
+inline constexpr char kPigMix35Gb[] = "pigmix-35gb";
+inline constexpr char kGenomeSample[] = "genome-sample";
+inline constexpr char kLakeWashington[] = "lakewash-genome";
+
+}  // namespace pstorm::jobs
+
+#endif  // PSTORM_JOBS_DATASETS_H_

@@ -1,0 +1,162 @@
+#include "ml/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+
+namespace pstorm::ml {
+
+namespace {
+
+double Entropy(const std::map<int, int>& counts, int total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [label, count] : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double InformationGain(const std::vector<double>& feature_values,
+                       const std::vector<int>& labels, int num_bins) {
+  PSTORM_CHECK(feature_values.size() == labels.size());
+  PSTORM_CHECK(num_bins >= 2);
+  if (feature_values.empty()) return 0.0;
+
+  std::map<int, int> class_counts;
+  for (int label : labels) ++class_counts[label];
+  const int n = static_cast<int>(labels.size());
+  const double base_entropy = Entropy(class_counts, n);
+
+  const auto [min_it, max_it] =
+      std::minmax_element(feature_values.begin(), feature_values.end());
+  const double lo = *min_it;
+  const double hi = *max_it;
+  if (hi <= lo) return 0.0;  // Constant feature: no information.
+
+  std::vector<std::map<int, int>> bin_counts(num_bins);
+  std::vector<int> bin_totals(num_bins, 0);
+  for (size_t i = 0; i < feature_values.size(); ++i) {
+    int bin = static_cast<int>((feature_values[i] - lo) / (hi - lo) *
+                               num_bins);
+    bin = std::clamp(bin, 0, num_bins - 1);
+    ++bin_counts[bin][labels[i]];
+    ++bin_totals[bin];
+  }
+
+  double conditional = 0.0;
+  for (int b = 0; b < num_bins; ++b) {
+    conditional += static_cast<double>(bin_totals[b]) / n *
+                   Entropy(bin_counts[b], bin_totals[b]);
+  }
+  return base_entropy - conditional;
+}
+
+Result<std::vector<size_t>> RankFeaturesByInformationGain(
+    const FeatureMatrix& x, const std::vector<int>& labels, int num_bins) {
+  if (x.empty() || x.size() != labels.size()) {
+    return Status::InvalidArgument("x and labels must match and be nonempty");
+  }
+  const size_t num_features = x[0].size();
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(num_features);
+  for (size_t f = 0; f < num_features; ++f) {
+    std::vector<double> column;
+    column.reserve(x.size());
+    for (const auto& row : x) {
+      if (row.size() != num_features) {
+        return Status::InvalidArgument("ragged feature matrix");
+      }
+      column.push_back(row[f]);
+    }
+    scored.emplace_back(InformationGain(column, labels, num_bins), f);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  std::vector<size_t> ranked;
+  ranked.reserve(num_features);
+  for (const auto& [gain, f] : scored) ranked.push_back(f);
+  return ranked;
+}
+
+double InformationGainCategorical(const std::vector<int>& categories,
+                                  const std::vector<int>& labels) {
+  PSTORM_CHECK(categories.size() == labels.size());
+  if (categories.empty()) return 0.0;
+  std::map<int, int> class_counts;
+  for (int label : labels) ++class_counts[label];
+  const int n = static_cast<int>(labels.size());
+  const double base_entropy = Entropy(class_counts, n);
+
+  std::map<int, std::map<int, int>> per_category;
+  std::map<int, int> category_totals;
+  for (size_t i = 0; i < categories.size(); ++i) {
+    ++per_category[categories[i]][labels[i]];
+    ++category_totals[categories[i]];
+  }
+  double conditional = 0.0;
+  for (const auto& [category, counts] : per_category) {
+    conditional += static_cast<double>(category_totals[category]) / n *
+                   Entropy(counts, category_totals[category]);
+  }
+  return base_entropy - conditional;
+}
+
+Status NearestNeighborIndex::Add(int id, std::vector<double> features) {
+  if (!entries_.empty() &&
+      features.size() != entries_.front().features.size()) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  entries_.push_back({id, std::move(features)});
+  return Status::OK();
+}
+
+Result<int> NearestNeighborIndex::Nearest(
+    const std::vector<double>& query) const {
+  if (entries_.empty()) return Status::NotFound("index is empty");
+  const size_t dim = entries_.front().features.size();
+  if (query.size() != dim) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+
+  // Min-max bounds per dimension over stored entries and the query, so
+  // distances compare on a common [0,1] scale.
+  std::vector<double> lo = query;
+  std::vector<double> hi = query;
+  for (const Entry& e : entries_) {
+    for (size_t d = 0; d < dim; ++d) {
+      lo[d] = std::min(lo[d], e.features[d]);
+      hi[d] = std::max(hi[d], e.features[d]);
+    }
+  }
+
+  auto normalized = [&](double v, size_t d) {
+    return hi[d] > lo[d] ? (v - lo[d]) / (hi[d] - lo[d]) : 0.0;
+  };
+
+  int best_id = entries_.front().id;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const Entry& e : entries_) {
+    double dist = 0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff =
+          normalized(e.features[d], d) - normalized(query[d], d);
+      dist += diff * diff;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best_id = e.id;
+    }
+  }
+  return best_id;
+}
+
+}  // namespace pstorm::ml

@@ -1,0 +1,53 @@
+#ifndef PSTORM_ML_FEATURE_SELECTION_H_
+#define PSTORM_ML_FEATURE_SELECTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/regression_tree.h"
+
+namespace pstorm::ml {
+
+/// Information gain of a numerical feature for predicting class labels,
+/// after equi-width binning into `num_bins` buckets: H(labels) -
+/// H(labels | binned feature). The standard applied-ML feature-ranking
+/// score the thesis compares against (§6.1.1).
+double InformationGain(const std::vector<double>& feature_values,
+                       const std::vector<int>& labels, int num_bins = 10);
+
+/// Ranks feature columns of `x` by descending information gain against
+/// `labels`. Returns column indices, best first.
+Result<std::vector<size_t>> RankFeaturesByInformationGain(
+    const FeatureMatrix& x, const std::vector<int>& labels,
+    int num_bins = 10);
+
+/// Information gain of a categorical feature (already mapped to category
+/// ids): H(labels) - H(labels | category).
+double InformationGainCategorical(const std::vector<int>& categories,
+                                  const std::vector<int>& labels);
+
+/// Nearest-neighbour index over min-max-normalized numerical vectors:
+/// the matching rule of the P-features / SP-features baselines.
+class NearestNeighborIndex {
+ public:
+  /// Adds a labelled vector. All vectors must share a dimension.
+  Status Add(int id, std::vector<double> features);
+
+  /// Id of the stored vector nearest to `query` under Euclidean distance
+  /// in the min-max-normalized space; NotFound when empty.
+  Result<int> Nearest(const std::vector<double>& query) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    int id;
+    std::vector<double> features;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace pstorm::ml
+
+#endif  // PSTORM_ML_FEATURE_SELECTION_H_

@@ -1,0 +1,191 @@
+#include "ml/regression_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace pstorm::ml {
+
+namespace {
+
+double MeanOf(const std::vector<double>& y, const std::vector<size_t>& rows) {
+  double sum = 0;
+  for (size_t r : rows) sum += y[r];
+  return rows.empty() ? 0.0 : sum / static_cast<double>(rows.size());
+}
+
+double MedianOf(const std::vector<double>& y, std::vector<size_t> rows) {
+  PSTORM_CHECK(!rows.empty());
+  std::sort(rows.begin(), rows.end(),
+            [&y](size_t a, size_t b) { return y[a] < y[b]; });
+  const size_t mid = rows.size() / 2;
+  if (rows.size() % 2 == 1) return y[rows[mid]];
+  return 0.5 * (y[rows[mid - 1]] + y[rows[mid]]);
+}
+
+/// Sum of squared deviations from the mean over the rows.
+double Sse(const std::vector<double>& y, const std::vector<size_t>& rows) {
+  const double mean = MeanOf(y, rows);
+  double sse = 0;
+  for (size_t r : rows) {
+    const double d = y[r] - mean;
+    sse += d * d;
+  }
+  return sse;
+}
+
+struct BestSplit {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;
+  std::vector<size_t> left;
+  std::vector<size_t> right;
+};
+
+}  // namespace
+
+Result<RegressionTree> RegressionTree::Fit(
+    const FeatureMatrix& x, const std::vector<double>& y,
+    const std::vector<size_t>& row_indices, Options options,
+    bool leaf_median) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("x and y must be non-empty, same length");
+  }
+  const size_t num_features = x[0].size();
+  for (const auto& row : x) {
+    if (row.size() != num_features) {
+      return Status::InvalidArgument("ragged feature matrix");
+    }
+  }
+  std::vector<size_t> rows = row_indices;
+  if (rows.empty()) {
+    rows.resize(x.size());
+    std::iota(rows.begin(), rows.end(), 0);
+  }
+  for (size_t r : rows) {
+    if (r >= x.size()) return Status::OutOfRange("row index out of range");
+  }
+
+  RegressionTree tree;
+
+  // Recursive split with an explicit worklist (node id, rows, depth).
+  struct Work {
+    int node;
+    std::vector<size_t> rows;
+    int depth;
+  };
+  tree.nodes_.push_back(Node{});
+  std::vector<Work> stack{{0, std::move(rows), 0}};
+
+  while (!stack.empty()) {
+    Work work = std::move(stack.back());
+    stack.pop_back();
+    Node& node = tree.nodes_[work.node];
+    node.value = leaf_median ? MedianOf(y, work.rows) : MeanOf(y, work.rows);
+
+    if (work.depth >= options.max_depth ||
+        work.rows.size() <
+            static_cast<size_t>(2 * options.min_samples_leaf)) {
+      continue;  // Leaf.
+    }
+
+    const double parent_sse = Sse(y, work.rows);
+    BestSplit best;
+    for (size_t f = 0; f < num_features; ++f) {
+      // Sort row ids by the feature and scan split positions.
+      std::vector<size_t> sorted = work.rows;
+      std::sort(sorted.begin(), sorted.end(), [&x, f](size_t a, size_t b) {
+        return x[a][f] < x[b][f];
+      });
+      // Prefix sums for O(n) SSE evaluation.
+      double left_sum = 0, left_sq = 0;
+      double total_sum = 0, total_sq = 0;
+      for (size_t r : sorted) {
+        total_sum += y[r];
+        total_sq += y[r] * y[r];
+      }
+      const double n = static_cast<double>(sorted.size());
+      for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+        const size_t r = sorted[i];
+        left_sum += y[r];
+        left_sq += y[r] * y[r];
+        // Can't split between equal feature values.
+        if (x[sorted[i]][f] == x[sorted[i + 1]][f]) continue;
+        const double nl = static_cast<double>(i + 1);
+        const double nr = n - nl;
+        if (nl < options.min_samples_leaf || nr < options.min_samples_leaf) {
+          continue;
+        }
+        const double right_sum = total_sum - left_sum;
+        const double right_sq = total_sq - left_sq;
+        const double sse_left = left_sq - left_sum * left_sum / nl;
+        const double sse_right = right_sq - right_sum * right_sum / nr;
+        const double gain = parent_sse - (sse_left + sse_right);
+        if (gain > best.gain + 1e-12) {
+          best.gain = gain;
+          best.feature = static_cast<int>(f);
+          best.threshold =
+              0.5 * (x[sorted[i]][f] + x[sorted[i + 1]][f]);
+        }
+      }
+    }
+
+    if (best.feature < 0) continue;  // No useful split: stay a leaf.
+
+    for (size_t r : work.rows) {
+      (x[r][best.feature] <= best.threshold ? best.left : best.right)
+          .push_back(r);
+    }
+
+    const int left_id = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back(Node{});
+    const int right_id = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back(Node{});
+    // `node` may have been invalidated by push_back: reindex.
+    Node& parent = tree.nodes_[work.node];
+    parent.feature = best.feature;
+    parent.threshold = best.threshold;
+    parent.left = left_id;
+    parent.right = right_id;
+    stack.push_back({left_id, std::move(best.left), work.depth + 1});
+    stack.push_back({right_id, std::move(best.right), work.depth + 1});
+  }
+
+  return tree;
+}
+
+double RegressionTree::Predict(const std::vector<double>& features) const {
+  PSTORM_CHECK(!nodes_.empty());
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    const Node& n = nodes_[node];
+    PSTORM_CHECK(static_cast<size_t>(n.feature) < features.size());
+    node = features[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[node].value;
+}
+
+int RegressionTree::depth() const {
+  // Depth by traversal.
+  struct Item {
+    int node;
+    int depth;
+  };
+  int max_depth = 0;
+  std::vector<Item> stack{{0, 0}};
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, item.depth);
+    const Node& n = nodes_[item.node];
+    if (n.feature >= 0) {
+      stack.push_back({n.left, item.depth + 1});
+      stack.push_back({n.right, item.depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace pstorm::ml

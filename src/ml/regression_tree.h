@@ -1,0 +1,53 @@
+#ifndef PSTORM_ML_REGRESSION_TREE_H_
+#define PSTORM_ML_REGRESSION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pstorm::ml {
+
+/// Row-major feature matrix: samples[i] is one feature vector. All rows
+/// must share a length.
+using FeatureMatrix = std::vector<std::vector<double>>;
+
+/// A CART-style regression tree fit by variance-reduction splitting.
+/// The base learner of GradientBoostedTrees.
+class RegressionTree {
+ public:
+  struct Options {
+    /// Maximum depth ("interaction.depth" in gbm terms).
+    int max_depth = 3;
+    /// Minimum observations per leaf ("n.minobsinnode").
+    int min_samples_leaf = 10;
+  };
+
+  /// Fits on the rows selected by `row_indices` (all rows when empty).
+  /// `leaf_median = true` uses the median of leaf targets instead of the
+  /// mean — the Laplace-loss terminal value.
+  static Result<RegressionTree> Fit(const FeatureMatrix& x,
+                                    const std::vector<double>& y,
+                                    const std::vector<size_t>& row_indices,
+                                    Options options, bool leaf_median = false);
+
+  double Predict(const std::vector<double>& features) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  int depth() const;
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 marks a leaf.
+    double threshold = 0.0;  // Go left when x[feature] <= threshold.
+    double value = 0.0;      // Leaf prediction.
+    int left = -1;
+    int right = -1;
+  };
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace pstorm::ml
+
+#endif  // PSTORM_ML_REGRESSION_TREE_H_

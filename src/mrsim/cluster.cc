@@ -1,0 +1,36 @@
+#include "mrsim/cluster.h"
+
+namespace pstorm::mrsim {
+
+Status ClusterSpec::Validate() const {
+  if (num_worker_nodes < 1) {
+    return Status::InvalidArgument("cluster needs at least one worker");
+  }
+  if (map_slots_per_node < 1 || reduce_slots_per_node < 1) {
+    return Status::InvalidArgument("each worker needs map and reduce slots");
+  }
+  if (task_heap_mb < 32.0) {
+    return Status::InvalidArgument("task heap must be at least 32 MB");
+  }
+  const double costs[] = {hdfs_read_ns_per_byte,   hdfs_write_ns_per_byte,
+                          local_read_ns_per_byte,  local_write_ns_per_byte,
+                          network_ns_per_byte,     collect_ns_per_record,
+                          sort_ns_per_compare,     merge_cpu_ns_per_byte,
+                          compress_cpu_ns_per_byte,
+                          decompress_cpu_ns_per_byte};
+  for (double c : costs) {
+    if (c <= 0.0) return Status::InvalidArgument("costs must be positive");
+  }
+  if (cpu_cost_factor <= 0.0) {
+    return Status::InvalidArgument("cpu_cost_factor must be positive");
+  }
+  if (node_speed_sigma < 0.0 || split_size_jitter < 0.0 ||
+      task_noise_sigma < 0.0) {
+    return Status::InvalidArgument("noise parameters must be >= 0");
+  }
+  return Status::OK();
+}
+
+ClusterSpec ThesisCluster() { return ClusterSpec{}; }
+
+}  // namespace pstorm::mrsim

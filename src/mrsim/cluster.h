@@ -1,0 +1,75 @@
+#ifndef PSTORM_MRSIM_CLUSTER_H_
+#define PSTORM_MRSIM_CLUSTER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace pstorm::mrsim {
+
+/// Hardware and baseline-cost description of a Hadoop cluster. All per-byte
+/// and per-record costs are calibrated to a 2012-era EC2 c1.medium worker
+/// (the thesis evaluation cluster): moderate disks, one JobTracker master,
+/// 15 workers with 2 map and 2 reduce slots each, 300 MB task heaps.
+struct ClusterSpec {
+  int num_worker_nodes = 15;
+  int map_slots_per_node = 2;
+  int reduce_slots_per_node = 2;
+  /// Maximum JVM heap of a task child process, in MB.
+  double task_heap_mb = 300.0;
+
+  // --- IO costs (ns per byte) -------------------------------------------
+  double hdfs_read_ns_per_byte = 15.0;    // ~66 MB/s
+  double hdfs_write_ns_per_byte = 30.0;   // ~33 MB/s effective (replication)
+  double local_read_ns_per_byte = 10.0;   // ~100 MB/s
+  double local_write_ns_per_byte = 12.0;  // ~83 MB/s
+  /// Per-byte cost of moving map output to a reducer, including the
+  /// map-side disk read it implies.
+  double network_ns_per_byte = 18.0;      // ~55 MB/s effective per reducer
+
+  // --- CPU costs --------------------------------------------------------
+  /// Multiplier on all per-record user-code CPU costs (map/combine/reduce
+  /// functions) relative to the reference c1.medium core. 0.5 = cores
+  /// twice as fast. Framework CPU rates below are absolute.
+  double cpu_cost_factor = 1.0;
+  /// Serialize + partition one intermediate record in the collect phase.
+  double collect_ns_per_record = 350.0;
+  /// One key comparison during sorting/merging.
+  double sort_ns_per_compare = 80.0;
+  /// Merge bookkeeping per byte moved through a merge pass.
+  double merge_cpu_ns_per_byte = 1.0;
+  double compress_cpu_ns_per_byte = 20.0;   // LZO on a weak 2012 core.
+  double decompress_cpu_ns_per_byte = 8.0;
+
+  // --- Overheads and noise ----------------------------------------------
+  /// JVM start + task setup/cleanup, seconds.
+  double task_startup_seconds = 2.0;
+  /// Fixed cost of opening/closing one spill file, seconds.
+  double spill_setup_seconds = 0.05;
+  /// Sigma of the per-node log-normal speed factor (heterogeneity; the
+  /// source of cost-factor variance across sample tasks, thesis §4.1.1).
+  double node_speed_sigma = 0.12;
+  /// Relative jitter of split sizes around the nominal split size.
+  double split_size_jitter = 0.04;
+  /// Sigma of the per-task residual noise factor.
+  double task_noise_sigma = 0.03;
+  /// Sigma of the per-task jitter on observed data-flow selectivities
+  /// (different splits contain slightly different data). Kept an order of
+  /// magnitude below the cost noise: the §4.1.1 contrast between stable
+  /// data-flow statistics and noisy cost factors.
+  double dataflow_jitter_sigma = 0.01;
+
+  int total_map_slots() const { return num_worker_nodes * map_slots_per_node; }
+  int total_reduce_slots() const {
+    return num_worker_nodes * reduce_slots_per_node;
+  }
+
+  Status Validate() const;
+};
+
+/// The 16-node EC2 c1.medium cluster of thesis chapter 6 (defaults above).
+ClusterSpec ThesisCluster();
+
+}  // namespace pstorm::mrsim
+
+#endif  // PSTORM_MRSIM_CLUSTER_H_

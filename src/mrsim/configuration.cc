@@ -1,0 +1,127 @@
+#include "mrsim/configuration.h"
+
+#include "common/strings.h"
+
+namespace pstorm::mrsim {
+
+namespace {
+Status CheckFraction(double v, const char* name) {
+  if (v < 0.0 || v > 1.0) {
+    return Status::InvalidArgument(std::string(name) + " must be in [0,1]");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status Configuration::Validate() const {
+  if (io_sort_mb < 1.0 || io_sort_mb > 4096.0) {
+    return Status::InvalidArgument("io.sort.mb must be in [1, 4096]");
+  }
+  PSTORM_RETURN_IF_ERROR(
+      CheckFraction(io_sort_record_percent, "io.sort.record.percent"));
+  if (io_sort_record_percent >= 1.0) {
+    return Status::InvalidArgument("io.sort.record.percent must be < 1");
+  }
+  PSTORM_RETURN_IF_ERROR(
+      CheckFraction(io_sort_spill_percent, "io.sort.spill.percent"));
+  if (io_sort_spill_percent <= 0.0) {
+    return Status::InvalidArgument("io.sort.spill.percent must be > 0");
+  }
+  if (io_sort_factor < 2) {
+    return Status::InvalidArgument("io.sort.factor must be >= 2");
+  }
+  if (min_num_spills_for_combine < 1) {
+    return Status::InvalidArgument("min.num.spills.for.combine must be >= 1");
+  }
+  PSTORM_RETURN_IF_ERROR(CheckFraction(reduce_slowstart_completed_maps,
+                                       "mapred.reduce.slowstart"));
+  if (num_reduce_tasks < 0) {
+    return Status::InvalidArgument("mapred.reduce.tasks must be >= 0");
+  }
+  PSTORM_RETURN_IF_ERROR(CheckFraction(shuffle_input_buffer_percent,
+                                       "shuffle.input.buffer.percent"));
+  PSTORM_RETURN_IF_ERROR(
+      CheckFraction(shuffle_merge_percent, "shuffle.merge.percent"));
+  if (inmem_merge_threshold < 1) {
+    return Status::InvalidArgument("inmem.merge.threshold must be >= 1");
+  }
+  PSTORM_RETURN_IF_ERROR(CheckFraction(reduce_input_buffer_percent,
+                                       "reduce.input.buffer.percent"));
+  return Status::OK();
+}
+
+std::string Configuration::ToString() const {
+  std::string out;
+  out += "io.sort.mb=" + FormatDouble(io_sort_mb, 0);
+  out += " io.sort.record.percent=" + FormatDouble(io_sort_record_percent, 3);
+  out += " io.sort.spill.percent=" + FormatDouble(io_sort_spill_percent, 2);
+  out += " io.sort.factor=" + std::to_string(io_sort_factor);
+  out += std::string(" combiner=") + (use_combiner ? "on" : "off");
+  out += " min.num.spills.for.combine=" +
+         std::to_string(min_num_spills_for_combine);
+  out += std::string(" compress.map.output=") +
+         (compress_map_output ? "true" : "false");
+  out += " slowstart=" + FormatDouble(reduce_slowstart_completed_maps, 2);
+  out += " reduce.tasks=" + std::to_string(num_reduce_tasks);
+  out += " shuffle.input.buffer=" +
+         FormatDouble(shuffle_input_buffer_percent, 2);
+  out += " shuffle.merge=" + FormatDouble(shuffle_merge_percent, 2);
+  out += " inmem.merge.threshold=" + std::to_string(inmem_merge_threshold);
+  out += " reduce.input.buffer=" +
+         FormatDouble(reduce_input_buffer_percent, 2);
+  out += std::string(" output.compress=") +
+         (compress_output ? "true" : "false");
+  return out;
+}
+
+const std::vector<ParameterInfo>& ConfigurationParameterTable() {
+  static const auto* kTable = new std::vector<ParameterInfo>{
+      {"io.sort.mb", "Size in MB of the map-side memory buffer", "100"},
+      {"io.sort.record.percent",
+       "Percentage of the map-side buffer used to store meta-data about the "
+       "intermediate key-value pairs",
+       "0.05"},
+      {"io.sort.spill.percent",
+       "Threshold percentage of the map-side buffer that should be reached "
+       "before a buffer spill to disk is triggered",
+       "0.8"},
+      {"io.sort.factor",
+       "Number of open streams used during the external merge-sort phase",
+       "10"},
+      {"mapreduce.combine.class", "Class name of the combiner (Optional)",
+       "NULL"},
+      {"min.num.spills.for.combine",
+       "Minimum number of disk spills that should exist before the combiner "
+       "is triggered",
+       "3"},
+      {"mapred.compress.map.output",
+       "Whether or not to compress intermediate data", "false"},
+      {"mapred.reduce.slowstart.completed.maps",
+       "Percentage of map tasks that should be completed before the "
+       "JobTracker can start scheduling the reduce tasks",
+       "0.05"},
+      {"mapred.reduce.tasks",
+       "Number of reduce tasks spawned during the reduce phase", "1"},
+      {"mapred.job.shuffle.input.buffer.percent",
+       "Percentage of the reduce-side heap memory used to buffer the "
+       "shuffled data",
+       "0.7"},
+      {"mapred.job.shuffle.merge.percent",
+       "Percentage of the reduce-side shuffle-buffer that should be filled "
+       "before merging is triggered",
+       "0.66"},
+      {"mapred.inmem.merge.threshold",
+       "Number of map tasks whose intermediate data should be shuffled "
+       "before the shuffle-buffer is merged",
+       "1000"},
+      {"mapred.job.reduce.input.buffer.percent",
+       "Percentage of the reduce-side heap memory used to buffer the "
+       "intermediate data before being fed to the reduce function",
+       "0"},
+      {"mapred.output.compress", "Whether or not to compress output data",
+       "false"},
+  };
+  return *kTable;
+}
+
+}  // namespace pstorm::mrsim

@@ -1,0 +1,77 @@
+#ifndef PSTORM_MRSIM_CONFIGURATION_H_
+#define PSTORM_MRSIM_CONFIGURATION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pstorm::mrsim {
+
+/// The 14 job-level Hadoop tuning parameters of thesis Table 2.1, with the
+/// stock Hadoop defaults. These are the knobs the rule-based and cost-based
+/// optimizers set.
+struct Configuration {
+  /// io.sort.mb — size in MB of the map-side serialization buffer.
+  double io_sort_mb = 100.0;
+  /// io.sort.record.percent — fraction of the map-side buffer reserved for
+  /// per-record metadata (16 bytes per intermediate record).
+  double io_sort_record_percent = 0.05;
+  /// io.sort.spill.percent — buffer fill threshold that triggers a spill.
+  double io_sort_spill_percent = 0.8;
+  /// io.sort.factor — number of streams merged at once in external sorts.
+  int io_sort_factor = 10;
+  /// mapreduce.combine.class — whether the job's combiner (if it defines
+  /// one) runs. The Hadoop default is NULL *at the cluster level*, but a
+  /// job that sets a combiner class keeps it under the default submission,
+  /// so the emulation default is "enabled"; the optimizers may disable it.
+  bool use_combiner = true;
+  /// min.num.spills.for.combine — minimum spill files before the combiner
+  /// is re-run during the map-side merge.
+  int min_num_spills_for_combine = 3;
+  /// mapred.compress.map.output — compress intermediate (shuffled) data.
+  bool compress_map_output = false;
+  /// mapred.reduce.slowstart.completed.maps — fraction of map tasks that
+  /// must finish before reducers are scheduled.
+  double reduce_slowstart_completed_maps = 0.05;
+  /// mapred.reduce.tasks — number of reduce tasks.
+  int num_reduce_tasks = 1;
+  /// mapred.job.shuffle.input.buffer.percent — fraction of reduce heap
+  /// buffering shuffled segments.
+  double shuffle_input_buffer_percent = 0.70;
+  /// mapred.job.shuffle.merge.percent — shuffle-buffer fill threshold that
+  /// triggers an in-memory merge to disk.
+  double shuffle_merge_percent = 0.66;
+  /// mapred.inmem.merge.threshold — number of map-output segments that
+  /// triggers an in-memory merge to disk.
+  int inmem_merge_threshold = 1000;
+  /// mapred.job.reduce.input.buffer.percent — fraction of reduce heap that
+  /// may retain map output during the reduce function (0 = spill all).
+  double reduce_input_buffer_percent = 0.0;
+  /// mapred.output.compress — compress the final job output.
+  bool compress_output = false;
+
+  /// Range-checks every field (e.g. percents in [0,1], io.sort.factor >= 2).
+  Status Validate() const;
+
+  /// One "name=value" pair per parameter, in Table 2.1 order.
+  std::string ToString() const;
+
+  friend bool operator==(const Configuration&, const Configuration&) =
+      default;
+};
+
+/// Metadata row of Table 2.1 (used by the table bench and docs).
+struct ParameterInfo {
+  std::string_view hadoop_name;
+  std::string_view description;
+  std::string_view default_value;
+};
+
+/// The 14 rows of Table 2.1, in the thesis order.
+const std::vector<ParameterInfo>& ConfigurationParameterTable();
+
+}  // namespace pstorm::mrsim
+
+#endif  // PSTORM_MRSIM_CONFIGURATION_H_

@@ -1,0 +1,23 @@
+#include "mrsim/dataset.h"
+
+namespace pstorm::mrsim {
+
+Status DataSetSpec::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("data set needs a name");
+  if (size_bytes == 0) return Status::InvalidArgument("empty data set");
+  if (avg_record_bytes <= 0.0) {
+    return Status::InvalidArgument("avg_record_bytes must be positive");
+  }
+  if (split_bytes == 0) {
+    return Status::InvalidArgument("split_bytes must be positive");
+  }
+  if (compress_ratio <= 0.0 || compress_ratio > 1.0) {
+    return Status::InvalidArgument("compress_ratio must be in (0,1]");
+  }
+  if (vocabulary_mb < 0.0) {
+    return Status::InvalidArgument("vocabulary_mb must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace pstorm::mrsim

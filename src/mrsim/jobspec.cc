@@ -1,0 +1,48 @@
+#include "mrsim/jobspec.h"
+
+namespace pstorm::mrsim {
+
+Status JobSpec::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("job needs a name");
+  if (map.pairs_selectivity < 0.0 || map.size_selectivity < 0.0) {
+    return Status::InvalidArgument("map selectivities must be >= 0");
+  }
+  if (map.cpu_ns_per_record < 0.0) {
+    return Status::InvalidArgument("map cpu cost must be >= 0");
+  }
+  if (combine.defined) {
+    if (combine.pairs_selectivity <= 0.0 || combine.pairs_selectivity > 1.0 ||
+        combine.size_selectivity <= 0.0 || combine.size_selectivity > 1.0) {
+      return Status::InvalidArgument(
+          "combiner selectivities must be in (0,1]");
+    }
+    if (combine.merge_pairs_selectivity <= 0.0 ||
+        combine.merge_pairs_selectivity > 1.0 ||
+        combine.merge_size_selectivity <= 0.0 ||
+        combine.merge_size_selectivity > 1.0) {
+      return Status::InvalidArgument(
+          "combiner merge selectivities must be in (0,1]");
+    }
+  }
+  if (reduce.pairs_selectivity < 0.0 || reduce.size_selectivity < 0.0) {
+    return Status::InvalidArgument("reduce selectivities must be >= 0");
+  }
+  if (input_format_cost_factor <= 0.0 || output_format_cost_factor <= 0.0) {
+    return Status::InvalidArgument("format cost factors must be positive");
+  }
+  if (input_record_granularity < 1.0) {
+    return Status::InvalidArgument("input_record_granularity must be >= 1");
+  }
+  if (intermediate_compress_ratio <= 0.0 ||
+      intermediate_compress_ratio > 1.0 || output_compress_ratio <= 0.0 ||
+      output_compress_ratio > 1.0) {
+    return Status::InvalidArgument("compress ratios must be in (0,1]");
+  }
+  if (map_heap_demand_base_mb < 0.0 || map_heap_demand_mb_per_input_mb < 0.0 ||
+      map_heap_demand_mb_per_vocab_mb < 0.0) {
+    return Status::InvalidArgument("heap demands must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace pstorm::mrsim

@@ -1,0 +1,88 @@
+#ifndef PSTORM_MRSIM_JOBSPEC_H_
+#define PSTORM_MRSIM_JOBSPEC_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace pstorm::mrsim {
+
+/// Behaviour of a map function, as dataflow aggregates. These values are
+/// the hidden ground truth of a job; the profiler estimates them from
+/// (simulated) execution and tuning decisions are made from those
+/// estimates, never from this struct directly.
+struct MapBehavior {
+  /// Intermediate records emitted per input record (MAP_PAIRS_SEL truth).
+  double pairs_selectivity = 1.0;
+  /// Intermediate bytes emitted per input byte (MAP_SIZE_SEL truth).
+  double size_selectivity = 1.0;
+  /// CPU spent in the map function per input record, ns.
+  double cpu_ns_per_record = 1000.0;
+};
+
+/// Behaviour of a combiner when one is defined for the job.
+struct CombineBehavior {
+  /// Whether the job ships a combiner class at all. The configuration knob
+  /// `use_combiner` can only enable a combiner that exists here.
+  bool defined = false;
+  /// Output/input record ratio of one combiner application over a spill.
+  double pairs_selectivity = 1.0;
+  double size_selectivity = 1.0;
+  /// Residual duplicate-key collapsing achieved when the combiner re-runs
+  /// during the map-side merge of many spill files.
+  double merge_pairs_selectivity = 0.9;
+  double merge_size_selectivity = 0.9;
+  double cpu_ns_per_record = 500.0;
+};
+
+/// Behaviour of a reduce function.
+struct ReduceBehavior {
+  /// Output records per input (intermediate) record.
+  double pairs_selectivity = 1.0;
+  /// Output bytes per input (intermediate) byte.
+  double size_selectivity = 1.0;
+  double cpu_ns_per_record = 1000.0;
+};
+
+/// The execution-relevant description of one MR job: what Hadoop would
+/// learn by actually running the program. Static code features (class
+/// names, CFGs — thesis Table 4.3) live with the jobs/ module, keeping the
+/// simulator independent of the static analyzer.
+struct JobSpec {
+  std::string name;
+
+  MapBehavior map;
+  CombineBehavior combine;
+  ReduceBehavior reduce;
+
+  /// Cost multiplier of the input format's record reader relative to plain
+  /// TextInputFormat (e.g. CompositeInputFormat joins are pricier).
+  double input_format_cost_factor = 1.0;
+  /// How many of the data set's base records the job's input format packs
+  /// into one *input record* (1 = line-oriented; an XML/document reader
+  /// that hands whole documents to the mapper uses ~40).
+  double input_record_granularity = 1.0;
+  /// Cost multiplier of the output format's record writer.
+  double output_format_cost_factor = 1.0;
+
+  /// Size ratio when intermediate data is compressed.
+  double intermediate_compress_ratio = 0.40;
+  /// Size ratio when final output is compressed.
+  double output_compress_ratio = 0.45;
+
+  /// Memory the map function itself needs (e.g. in-memory stripes /
+  /// association maps), in MB: base + per input MB of the split + per MB
+  /// of the data set's distinct-key working set (vocabulary). A map task
+  /// fails with an OOM when this plus the serialization buffer exceeds the
+  /// task heap — how the word co-occurrence "stripes" job dies on the
+  /// 35 GB Wikipedia data set but survives the small corpus (§6.1.1).
+  double map_heap_demand_base_mb = 20.0;
+  double map_heap_demand_mb_per_input_mb = 0.0;
+  double map_heap_demand_mb_per_vocab_mb = 0.0;
+
+  Status Validate() const;
+};
+
+}  // namespace pstorm::mrsim
+
+#endif  // PSTORM_MRSIM_JOBSPEC_H_

@@ -1,0 +1,296 @@
+#include "mrsim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace pstorm::mrsim {
+
+namespace {
+
+/// (free_time, slot) min-heap entry.
+struct Slot {
+  double free_time;
+  int slot_id;
+  bool operator>(const Slot& other) const {
+    if (free_time != other.free_time) return free_time > other.free_time;
+    return slot_id > other.slot_id;
+  }
+};
+
+using SlotQueue = std::priority_queue<Slot, std::vector<Slot>, std::greater<>>;
+
+SlotQueue MakeSlots(int num_slots) {
+  SlotQueue queue;
+  for (int i = 0; i < num_slots; ++i) queue.push({0.0, i});
+  return queue;
+}
+
+}  // namespace
+
+std::vector<std::pair<double, double>> ListSchedule(
+    int num_slots, const std::vector<double>& durations,
+    double release_time) {
+  PSTORM_CHECK(num_slots > 0);
+  SlotQueue slots = MakeSlots(num_slots);
+  std::vector<std::pair<double, double>> out;
+  out.reserve(durations.size());
+  for (double duration : durations) {
+    Slot slot = slots.top();
+    slots.pop();
+    const double start = std::max(slot.free_time, release_time);
+    const double end = start + duration;
+    out.emplace_back(start, end);
+    slots.push({end, slot.slot_id});
+  }
+  return out;
+}
+
+Simulator::Simulator(ClusterSpec cluster) : cluster_(cluster) {}
+
+Result<JobRunResult> Simulator::RunJob(const JobSpec& job,
+                                       const DataSetSpec& data,
+                                       const Configuration& config,
+                                       const RunOptions& options) const {
+  PSTORM_RETURN_IF_ERROR(cluster_.Validate());
+  PSTORM_RETURN_IF_ERROR(job.Validate());
+  PSTORM_RETURN_IF_ERROR(data.Validate());
+  PSTORM_RETURN_IF_ERROR(config.Validate());
+
+  const uint64_t total_splits = data.num_splits();
+  if (total_splits == 0) return Status::InvalidArgument("no input splits");
+
+  std::vector<uint64_t> splits = options.split_subset;
+  if (splits.empty()) {
+    splits.resize(total_splits);
+    for (uint64_t i = 0; i < total_splits; ++i) splits[i] = i;
+  } else {
+    for (uint64_t s : splits) {
+      if (s >= total_splits) {
+        return Status::OutOfRange("split index out of range");
+      }
+    }
+  }
+
+  Rng rng(options.seed);
+  Rng node_rng = rng.Fork(1);
+  Rng split_rng = rng.Fork(2);
+  Rng partition_rng = rng.Fork(3);
+  Rng task_rng = rng.Fork(4);
+
+  // Per-node speed factor: fixed for the duration of the run; models node
+  // heterogeneity / co-located load. >1 means slower.
+  std::vector<double> node_factor(cluster_.num_worker_nodes);
+  for (double& f : node_factor) {
+    f = node_rng.LogNormal(0.0, cluster_.node_speed_sigma);
+  }
+
+  // Memory gate: the map function's own working set plus the serialization
+  // buffer must fit the task heap.
+  const double split_mb = static_cast<double>(data.split_bytes) / (1 << 20);
+  const double map_heap_demand_mb =
+      job.map_heap_demand_base_mb +
+      job.map_heap_demand_mb_per_input_mb * split_mb +
+      job.map_heap_demand_mb_per_vocab_mb * data.vocabulary_mb +
+      config.io_sort_mb;
+  if (map_heap_demand_mb > cluster_.task_heap_mb) {
+    return Status::ResourceExhausted(
+        "map task OOM: needs " + std::to_string(map_heap_demand_mb) +
+        " MB but task heap is " + std::to_string(cluster_.task_heap_mb) +
+        " MB (java.lang.OutOfMemoryError)");
+  }
+
+  const double profiling_factor =
+      options.profiling_enabled ? 1.0 + options.profiling_slowdown : 1.0;
+
+  JobRunResult result;
+  result.config = config;
+  result.map_tasks.reserve(splits.size());
+
+  // ---- Map phase: greedy assignment to the earliest-free map slot. ----
+  SlotQueue map_slots = MakeSlots(cluster_.total_map_slots());
+  for (uint64_t split_index : splits) {
+    Slot slot = map_slots.top();
+    map_slots.pop();
+    const int node = slot.slot_id / cluster_.map_slots_per_node;
+
+    // Split size: nominal, except a short tail split, plus jitter.
+    double split_bytes = static_cast<double>(data.split_bytes);
+    if (split_index == total_splits - 1) {
+      const uint64_t tail =
+          data.size_bytes - (total_splits - 1) * data.split_bytes;
+      split_bytes = static_cast<double>(tail);
+    }
+    split_bytes *=
+        std::max(0.2, 1.0 + split_rng.Gaussian(0.0, cluster_.split_size_jitter));
+
+    const double rate_factor = node_factor[node] *
+                               task_rng.LogNormal(0.0, cluster_.task_noise_sigma) *
+                               profiling_factor;
+
+    // Split contents differ slightly, so observed selectivities jitter.
+    const double sel_jitter = std::max(
+        0.5, 1.0 + task_rng.Gaussian(0.0, cluster_.dataflow_jitter_sigma));
+
+    MapTaskParams params;
+    params.input_bytes = split_bytes;
+    params.input_records = split_bytes / (data.avg_record_bytes *
+                                          job.input_record_granularity);
+    params.map_pairs_selectivity = job.map.pairs_selectivity * sel_jitter;
+    params.map_size_selectivity = job.map.size_selectivity * sel_jitter;
+    params.map_cpu_ns_per_record =
+        job.map.cpu_ns_per_record * cluster_.cpu_cost_factor * rate_factor;
+    params.combiner_defined = job.combine.defined;
+    params.combine_pairs_selectivity = job.combine.pairs_selectivity;
+    params.combine_size_selectivity = job.combine.size_selectivity;
+    params.combine_merge_pairs_selectivity =
+        job.combine.merge_pairs_selectivity;
+    params.combine_merge_size_selectivity = job.combine.merge_size_selectivity;
+    params.combine_cpu_ns_per_record = job.combine.cpu_ns_per_record *
+                                       cluster_.cpu_cost_factor * rate_factor;
+    params.input_format_cost_factor = job.input_format_cost_factor;
+    params.intermediate_compress_ratio = job.intermediate_compress_ratio;
+    params.hdfs_read_ns_per_byte =
+        cluster_.hdfs_read_ns_per_byte * rate_factor;
+    params.local_read_ns_per_byte =
+        cluster_.local_read_ns_per_byte * rate_factor;
+    params.local_write_ns_per_byte =
+        cluster_.local_write_ns_per_byte * rate_factor;
+    params.collect_ns_per_record =
+        cluster_.collect_ns_per_record * rate_factor;
+    params.sort_ns_per_compare = cluster_.sort_ns_per_compare * rate_factor;
+    params.merge_cpu_ns_per_byte =
+        cluster_.merge_cpu_ns_per_byte * rate_factor;
+    params.compress_cpu_ns_per_byte =
+        cluster_.compress_cpu_ns_per_byte * rate_factor;
+    params.decompress_cpu_ns_per_byte =
+        cluster_.decompress_cpu_ns_per_byte * rate_factor;
+    params.startup_seconds = cluster_.task_startup_seconds;
+    params.spill_setup_seconds = cluster_.spill_setup_seconds;
+
+    MapTaskResult task;
+    task.split_index = split_index;
+    task.node = node;
+    task.input_bytes = params.input_bytes;
+    task.input_records = params.input_records;
+    task.outcome = ModelMapTask(params, config);
+    task.start_s = slot.free_time;
+    task.end_s = task.start_s + task.outcome.total_s;
+    map_slots.push({task.end_s, slot.slot_id});
+
+    result.total_map_output_wire_bytes += task.outcome.final_output_wire_bytes;
+    result.total_map_output_uncompressed_bytes +=
+        task.outcome.final_output_uncompressed_bytes;
+    result.total_map_output_records += task.outcome.final_output_records;
+    result.map_tasks.push_back(task);
+  }
+
+  std::vector<double> map_ends;
+  map_ends.reserve(result.map_tasks.size());
+  for (const auto& task : result.map_tasks) map_ends.push_back(task.end_s);
+  std::sort(map_ends.begin(), map_ends.end());
+  result.map_phase_end_s = map_ends.empty() ? 0.0 : map_ends.back();
+
+  if (config.num_reduce_tasks == 0) {
+    result.runtime_s = result.map_phase_end_s;
+    return result;
+  }
+
+  // Reducers are scheduled once `slowstart` of the maps have completed.
+  const size_t slowstart_index = static_cast<size_t>(std::ceil(
+      config.reduce_slowstart_completed_maps *
+      static_cast<double>(map_ends.size())));
+  const double slowstart_time =
+      slowstart_index == 0
+          ? 0.0
+          : map_ends[std::min(slowstart_index, map_ends.size()) - 1];
+
+  // Partition weights: hash partitioning is approximately even with mild
+  // key-skew jitter.
+  const int num_reducers = config.num_reduce_tasks;
+  std::vector<double> weights(num_reducers);
+  double weight_sum = 0.0;
+  for (double& w : weights) {
+    w = std::max(0.2, 1.0 + partition_rng.Gaussian(0.0, 0.08));
+    weight_sum += w;
+  }
+
+  // ---- Reduce phase: earliest-free reduce slot; a reducer's shuffle can
+  // only complete once every map has finished. ----
+  SlotQueue reduce_slots = MakeSlots(cluster_.total_reduce_slots());
+  result.reduce_tasks.reserve(num_reducers);
+  for (int r = 0; r < num_reducers; ++r) {
+    Slot slot = reduce_slots.top();
+    reduce_slots.pop();
+    const int node = slot.slot_id / cluster_.reduce_slots_per_node;
+    const double share = weights[r] / weight_sum;
+    const double rate_factor = node_factor[node] *
+                               task_rng.LogNormal(0.0, cluster_.task_noise_sigma) *
+                               profiling_factor;
+
+    ReduceTaskParams params;
+    params.shuffle_wire_bytes = result.total_map_output_wire_bytes * share;
+    params.shuffle_uncompressed_bytes =
+        result.total_map_output_uncompressed_bytes * share;
+    params.input_records = result.total_map_output_records * share;
+    params.num_map_segments = static_cast<double>(result.map_tasks.size());
+    params.intermediate_compressed = config.compress_map_output;
+    const double sel_jitter = std::max(
+        0.5, 1.0 + task_rng.Gaussian(0.0, cluster_.dataflow_jitter_sigma));
+    params.reduce_pairs_selectivity = job.reduce.pairs_selectivity * sel_jitter;
+    params.reduce_size_selectivity = job.reduce.size_selectivity * sel_jitter;
+    params.reduce_cpu_ns_per_record = job.reduce.cpu_ns_per_record *
+                                      cluster_.cpu_cost_factor * rate_factor;
+    params.output_format_cost_factor = job.output_format_cost_factor;
+    params.output_compress_ratio = job.output_compress_ratio;
+    params.heap_mb = cluster_.task_heap_mb;
+    params.network_ns_per_byte = cluster_.network_ns_per_byte * rate_factor;
+    params.local_read_ns_per_byte =
+        cluster_.local_read_ns_per_byte * rate_factor;
+    params.local_write_ns_per_byte =
+        cluster_.local_write_ns_per_byte * rate_factor;
+    params.hdfs_write_ns_per_byte =
+        cluster_.hdfs_write_ns_per_byte * rate_factor;
+    params.sort_ns_per_compare = cluster_.sort_ns_per_compare * rate_factor;
+    params.merge_cpu_ns_per_byte =
+        cluster_.merge_cpu_ns_per_byte * rate_factor;
+    params.compress_cpu_ns_per_byte =
+        cluster_.compress_cpu_ns_per_byte * rate_factor;
+    params.decompress_cpu_ns_per_byte =
+        cluster_.decompress_cpu_ns_per_byte * rate_factor;
+    params.startup_seconds = cluster_.task_startup_seconds;
+
+    ReduceTaskResult task;
+    task.reduce_index = r;
+    task.node = node;
+    task.input_wire_bytes = params.shuffle_wire_bytes;
+    task.input_uncompressed_bytes = params.shuffle_uncompressed_bytes;
+    task.input_records = params.input_records;
+    task.outcome = ModelReduceTask(params, config);
+
+    task.start_s = std::max(slot.free_time, slowstart_time);
+    // Shuffle ends no earlier than the last map task.
+    const double shuffle_end =
+        std::max(task.start_s + cluster_.task_startup_seconds +
+                     task.outcome.shuffle_s,
+                 result.map_phase_end_s);
+    task.end_s = shuffle_end + task.outcome.merge_s + task.outcome.reduce_s +
+                 task.outcome.write_s;
+    reduce_slots.push({task.end_s, slot.slot_id});
+
+    result.total_output_bytes += task.outcome.output_bytes;
+    result.reduce_tasks.push_back(task);
+  }
+
+  double reduce_end = 0.0;
+  for (const auto& task : result.reduce_tasks) {
+    reduce_end = std::max(reduce_end, task.end_s);
+  }
+  result.runtime_s = std::max(result.map_phase_end_s, reduce_end);
+  return result;
+}
+
+}  // namespace pstorm::mrsim

@@ -1,0 +1,250 @@
+#include "mrsim/task_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pstorm::mrsim {
+
+namespace {
+
+constexpr double kNsToS = 1e-9;
+constexpr double kMb = 1024.0 * 1024.0;
+/// Hadoop accounting record: 16 bytes of metadata per buffered record.
+constexpr double kMetaBytesPerRecord = 16.0;
+
+double Log2Compares(double records) {
+  return records * std::log2(std::max(records, 2.0));
+}
+
+double MergePasses(double segments, int factor) {
+  if (segments <= 1.0) return 0.0;
+  return std::ceil(std::log(segments) / std::log(static_cast<double>(factor)));
+}
+
+}  // namespace
+
+MapTaskOutcome ModelMapTask(const MapTaskParams& p,
+                            const Configuration& config) {
+  MapTaskOutcome out;
+
+  // READ: pull the split off HDFS through the input format.
+  out.read_s = p.input_bytes * p.hdfs_read_ns_per_byte *
+               p.input_format_cost_factor * kNsToS;
+
+  // MAP: run the user map function over every input record.
+  out.map_s = p.input_records * p.map_cpu_ns_per_record * kNsToS;
+
+  out.map_output_records = p.input_records * p.map_pairs_selectivity;
+  out.map_output_bytes = p.input_bytes * p.map_size_selectivity;
+
+  // COLLECT: serialize + partition each intermediate record into the
+  // map-side buffer.
+  out.collect_s = out.map_output_records * p.collect_ns_per_record * kNsToS;
+
+  if (out.map_output_records <= 0.0) {
+    out.total_s = p.startup_seconds + out.read_s + out.map_s;
+    return out;
+  }
+
+  // SPILL: the buffer (io.sort.mb) is split between record data and
+  // 16-byte-per-record metadata (io.sort.record.percent); a spill triggers
+  // when either side passes io.sort.spill.percent. Whichever side fills
+  // first determines the spill count.
+  const double buffer_bytes = config.io_sort_mb * kMb;
+  const double data_capacity = buffer_bytes *
+                               (1.0 - config.io_sort_record_percent) *
+                               config.io_sort_spill_percent;
+  const double meta_capacity_records =
+      buffer_bytes * config.io_sort_record_percent *
+      config.io_sort_spill_percent / kMetaBytesPerRecord;
+
+  double spills = 1.0;
+  if (data_capacity > 0.0) {
+    spills = std::max(spills, std::ceil(out.map_output_bytes / data_capacity));
+  }
+  if (meta_capacity_records > 0.0) {
+    spills = std::max(spills,
+                      std::ceil(out.map_output_records / meta_capacity_records));
+  }
+  out.num_spills = spills;
+
+  const double records_per_spill = out.map_output_records / spills;
+  const double bytes_per_spill = out.map_output_bytes / spills;
+
+  // Sort each spill's records before writing, plus the fixed per-spill
+  // file overhead.
+  double spill_cpu_s =
+      spills * Log2Compares(records_per_spill) * p.sort_ns_per_compare *
+          kNsToS +
+      spills * p.spill_setup_seconds;
+
+  // Combine each spill if a combiner is defined and enabled.
+  const bool combining = p.combiner_defined && config.use_combiner;
+  double post_combine_records = records_per_spill;
+  double post_combine_bytes = bytes_per_spill;
+  if (combining) {
+    out.combine_input_records = out.map_output_records;
+    const double combine_s = spills * records_per_spill *
+                             p.combine_cpu_ns_per_record * kNsToS;
+    out.combine_cpu_s += combine_s;
+    spill_cpu_s += combine_s;
+    post_combine_records *= p.combine_pairs_selectivity;
+    post_combine_bytes *= p.combine_size_selectivity;
+    out.combine_output_records = spills * post_combine_records;
+  }
+
+  // Optionally compress before hitting disk.
+  double wire_bytes_per_spill = post_combine_bytes;
+  if (config.compress_map_output) {
+    spill_cpu_s += spills * post_combine_bytes * p.compress_cpu_ns_per_byte *
+                   kNsToS;
+    wire_bytes_per_spill *= p.intermediate_compress_ratio;
+  }
+
+  const double spill_write_s = spills * wire_bytes_per_spill *
+                               p.local_write_ns_per_byte * kNsToS;
+  out.spill_write_s = spill_write_s;
+  out.spilled_bytes = spills * wire_bytes_per_spill;
+  out.spill_s = spill_cpu_s + spill_write_s;
+
+  // MERGE: combine the spill files into the final map output in rounds of
+  // io.sort.factor streams.
+  double final_records = spills * post_combine_records;
+  double final_uncompressed = spills * post_combine_bytes;
+  double final_wire = spills * wire_bytes_per_spill;
+  out.merge_passes = MergePasses(spills, config.io_sort_factor);
+  if (out.merge_passes > 0.0) {
+    out.merge_read_s = out.merge_passes * final_wire *
+                       p.local_read_ns_per_byte * kNsToS;
+    out.merge_write_s = out.merge_passes * final_wire *
+                        p.local_write_ns_per_byte * kNsToS;
+    out.merge_io_bytes = out.merge_passes * final_wire;
+    double merge_cpu_s = out.merge_passes * final_wire *
+                         p.merge_cpu_ns_per_byte * kNsToS;
+    if (config.compress_map_output) {
+      // Each pass decompresses and recompresses the stream contents.
+      merge_cpu_s += out.merge_passes * final_uncompressed *
+                     (p.decompress_cpu_ns_per_byte +
+                      p.compress_cpu_ns_per_byte) *
+                     kNsToS;
+    }
+    // Merge-time key comparisons: log2(fan-in) compares per record per pass.
+    merge_cpu_s +=
+        out.merge_passes * final_records *
+        std::log2(std::max(static_cast<double>(config.io_sort_factor), 2.0)) *
+        p.sort_ns_per_compare * kNsToS;
+    out.merge_s = out.merge_read_s + out.merge_write_s + merge_cpu_s;
+
+    // The combiner re-runs on the merged stream when enough spills exist,
+    // collapsing residual duplicate keys.
+    if (combining &&
+        spills >= static_cast<double>(config.min_num_spills_for_combine)) {
+      final_records *= p.combine_merge_pairs_selectivity;
+      final_uncompressed *= p.combine_merge_size_selectivity;
+      final_wire *= p.combine_merge_size_selectivity;
+      const double merge_combine_s =
+          final_records * p.combine_cpu_ns_per_record * kNsToS;
+      out.combine_cpu_s += merge_combine_s;
+      out.merge_s += merge_combine_s;
+    }
+  }
+
+  out.final_output_records = final_records;
+  out.final_output_uncompressed_bytes = final_uncompressed;
+  out.final_output_wire_bytes = final_wire;
+
+  out.total_s = p.startup_seconds + out.read_s + out.map_s + out.collect_s +
+                out.spill_s + out.merge_s;
+  return out;
+}
+
+ReduceTaskOutcome ModelReduceTask(const ReduceTaskParams& p,
+                                  const Configuration& config) {
+  ReduceTaskOutcome out;
+  const double heap_bytes = p.heap_mb * kMb;
+
+  // SHUFFLE: move this reducer's partition across the network; whatever
+  // cannot be retained in heap is staged to local disk.
+  out.shuffle_network_s =
+      p.shuffle_wire_bytes * p.network_ns_per_byte * kNsToS;
+  const double retain_bytes = heap_bytes * config.reduce_input_buffer_percent;
+  const double disk_wire_bytes =
+      std::max(0.0, p.shuffle_wire_bytes - retain_bytes);
+  out.shuffle_disk_bytes = disk_wire_bytes;
+  out.shuffle_disk_write_s =
+      disk_wire_bytes * p.local_write_ns_per_byte * kNsToS;
+  out.shuffle_s = out.shuffle_network_s + out.shuffle_disk_write_s;
+
+  // Segment accounting: an in-memory merge flushes to disk whenever the
+  // shuffle buffer passes shuffle.merge.percent, or every
+  // inmem.merge.threshold map outputs.
+  if (disk_wire_bytes > 0.0) {
+    const double merge_trigger_bytes = std::max(
+        1.0 * kMb, heap_bytes * config.shuffle_input_buffer_percent *
+                       config.shuffle_merge_percent);
+    const double by_bytes = std::ceil(disk_wire_bytes / merge_trigger_bytes);
+    const double by_count =
+        std::ceil(p.num_map_segments /
+                  static_cast<double>(config.inmem_merge_threshold));
+    out.disk_segments = std::max({1.0, by_bytes, by_count});
+  }
+
+  // MERGE: reduce disk segments down to io.sort.factor streams; the final
+  // merge streams straight into the reduce function, so one pass is free.
+  out.merge_passes =
+      std::max(0.0, MergePasses(out.disk_segments, config.io_sort_factor) -
+                        1.0);
+  if (out.merge_passes > 0.0) {
+    out.merge_read_s = out.merge_passes * disk_wire_bytes *
+                       p.local_read_ns_per_byte * kNsToS;
+    out.merge_write_s = out.merge_passes * disk_wire_bytes *
+                        p.local_write_ns_per_byte * kNsToS;
+    out.merge_io_bytes = out.merge_passes * disk_wire_bytes;
+    double merge_cpu_s = out.merge_passes * disk_wire_bytes *
+                         p.merge_cpu_ns_per_byte * kNsToS;
+    if (p.intermediate_compressed) {
+      merge_cpu_s += out.merge_passes * p.shuffle_uncompressed_bytes *
+                     (p.decompress_cpu_ns_per_byte +
+                      p.compress_cpu_ns_per_byte) *
+                     kNsToS;
+    }
+    out.merge_s = out.merge_read_s + out.merge_write_s + merge_cpu_s;
+  }
+  // Final-merge key comparisons ahead of the reduce function.
+  out.merge_s += p.input_records *
+                 std::log2(std::max(out.disk_segments + 1.0, 2.0)) *
+                 p.sort_ns_per_compare * kNsToS;
+
+  // REDUCE: stream the merged run off disk through the reduce function.
+  out.reduce_read_s = disk_wire_bytes * p.local_read_ns_per_byte * kNsToS;
+  double reduce_s = out.reduce_read_s;
+  if (p.intermediate_compressed) {
+    reduce_s += p.shuffle_uncompressed_bytes * p.decompress_cpu_ns_per_byte *
+                kNsToS;
+  }
+  out.reduce_cpu_s = p.input_records * p.reduce_cpu_ns_per_record * kNsToS;
+  reduce_s += out.reduce_cpu_s;
+  out.reduce_s = reduce_s;
+
+  // WRITE: emit output through the output format to HDFS.
+  out.output_records = p.input_records * p.reduce_pairs_selectivity;
+  const double out_uncompressed =
+      p.shuffle_uncompressed_bytes * p.reduce_size_selectivity;
+  out.output_uncompressed_bytes = out_uncompressed;
+  double write_s = 0.0;
+  double written_bytes = out_uncompressed;
+  if (config.compress_output) {
+    write_s += out_uncompressed * p.compress_cpu_ns_per_byte * kNsToS;
+    written_bytes *= p.output_compress_ratio;
+  }
+  write_s += written_bytes * p.hdfs_write_ns_per_byte *
+             p.output_format_cost_factor * kNsToS;
+  out.output_bytes = written_bytes;
+  out.write_s = write_s;
+
+  out.total_s = p.startup_seconds + out.shuffle_s + out.merge_s +
+                out.reduce_s + out.write_s;
+  return out;
+}
+
+}  // namespace pstorm::mrsim

@@ -1,0 +1,142 @@
+#ifndef PSTORM_MRSIM_TASK_MODEL_H_
+#define PSTORM_MRSIM_TASK_MODEL_H_
+
+#include "mrsim/configuration.h"
+
+namespace pstorm::mrsim {
+
+/// Inputs of the analytical map-task model. Deliberately neutral about
+/// where the numbers come from: the simulator fills them from the hidden
+/// JobSpec truth plus node noise, while the what-if engine fills them from
+/// an execution profile (Starfish's "virtual profile" trick) — both then
+/// evaluate the identical phase formulas below.
+struct MapTaskParams {
+  // Input assigned to the task.
+  double input_bytes = 0;
+  double input_records = 0;
+
+  // Job behaviour.
+  double map_pairs_selectivity = 1.0;
+  double map_size_selectivity = 1.0;
+  double map_cpu_ns_per_record = 0;
+  bool combiner_defined = false;
+  double combine_pairs_selectivity = 1.0;
+  double combine_size_selectivity = 1.0;
+  double combine_merge_pairs_selectivity = 1.0;
+  double combine_merge_size_selectivity = 1.0;
+  double combine_cpu_ns_per_record = 0;
+  double input_format_cost_factor = 1.0;
+  double intermediate_compress_ratio = 0.4;
+
+  // Effective cost rates for this task (baseline x node speed x noise).
+  double hdfs_read_ns_per_byte = 0;
+  double local_read_ns_per_byte = 0;
+  double local_write_ns_per_byte = 0;
+  double collect_ns_per_record = 0;
+  double sort_ns_per_compare = 0;
+  double merge_cpu_ns_per_byte = 0;
+  double compress_cpu_ns_per_byte = 0;
+  double decompress_cpu_ns_per_byte = 0;
+  double startup_seconds = 0;
+  double spill_setup_seconds = 0;
+};
+
+/// Phase timings and dataflow of one simulated/predicted map task.
+struct MapTaskOutcome {
+  // Phase durations, seconds.
+  double read_s = 0;
+  double map_s = 0;
+  double collect_s = 0;   // Serialization + partitioning into the buffer.
+  double spill_s = 0;     // Sort + combine + compress + spill writes.
+  double merge_s = 0;     // Multi-pass merge of spill files.
+  double total_s = 0;     // Including startup.
+
+  // Sub-phase measurements (what per-phase instrumentation would report).
+  double combine_cpu_s = 0;      // Inside spill_s/merge_s.
+  double spill_write_s = 0;      // Disk-write share of spill_s.
+  double merge_read_s = 0;       // Disk-read share of merge_s.
+  double merge_write_s = 0;      // Disk-write share of merge_s.
+  double merge_io_bytes = 0;     // Bytes read (= written) per merge pass sum.
+
+  // Dataflow.
+  double map_output_records = 0;  // Emitted by the map function.
+  double map_output_bytes = 0;
+  double num_spills = 0;
+  double spilled_bytes = 0;       // Bytes written across all spill files.
+  double merge_passes = 0;
+  double combine_input_records = 0;
+  double combine_output_records = 0;
+  /// Final materialized map output, as shuffled (compressed if enabled).
+  double final_output_wire_bytes = 0;
+  double final_output_uncompressed_bytes = 0;
+  double final_output_records = 0;
+};
+
+/// Evaluates the map-side phase model under `config`.
+MapTaskOutcome ModelMapTask(const MapTaskParams& params,
+                            const Configuration& config);
+
+/// Inputs of the analytical reduce-task model.
+struct ReduceTaskParams {
+  /// This reducer's partition of the total map output.
+  double shuffle_wire_bytes = 0;          // As moved over the network.
+  double shuffle_uncompressed_bytes = 0;  // Logical size.
+  double input_records = 0;
+  /// Number of map-output segments shuffled (= number of map tasks).
+  double num_map_segments = 0;
+  bool intermediate_compressed = false;
+
+  // Job behaviour.
+  double reduce_pairs_selectivity = 1.0;
+  double reduce_size_selectivity = 1.0;
+  double reduce_cpu_ns_per_record = 0;
+  double output_format_cost_factor = 1.0;
+  double output_compress_ratio = 0.45;
+
+  // Cluster/task facts.
+  double heap_mb = 300.0;
+
+  // Effective cost rates for this task.
+  double network_ns_per_byte = 0;
+  double local_read_ns_per_byte = 0;
+  double local_write_ns_per_byte = 0;
+  double hdfs_write_ns_per_byte = 0;
+  double sort_ns_per_compare = 0;
+  double merge_cpu_ns_per_byte = 0;
+  double compress_cpu_ns_per_byte = 0;
+  double decompress_cpu_ns_per_byte = 0;
+  double startup_seconds = 0;
+};
+
+/// Phase timings and dataflow of one simulated/predicted reduce task.
+struct ReduceTaskOutcome {
+  double shuffle_s = 0;  // Network + shuffle-time disk spills.
+  double merge_s = 0;    // On-disk merge rounds before the reduce phase.
+  double reduce_s = 0;   // Final merge feed + the reduce function itself.
+  double write_s = 0;    // Output to HDFS.
+  double total_s = 0;    // Including startup.
+
+  // Sub-phase measurements.
+  double shuffle_network_s = 0;   // Network share of shuffle_s.
+  double shuffle_disk_write_s = 0;
+  double shuffle_disk_bytes = 0;  // Bytes staged to local disk.
+  double merge_read_s = 0;
+  double merge_write_s = 0;
+  double merge_io_bytes = 0;
+  double reduce_cpu_s = 0;        // The reduce function alone.
+  double reduce_read_s = 0;       // Disk-read share of reduce_s.
+
+  double disk_segments = 0;
+  double merge_passes = 0;
+  double output_records = 0;
+  double output_bytes = 0;  // As written (compressed if enabled).
+  double output_uncompressed_bytes = 0;  // Logical output size.
+};
+
+/// Evaluates the reduce-side phase model under `config`.
+ReduceTaskOutcome ModelReduceTask(const ReduceTaskParams& params,
+                                  const Configuration& config);
+
+}  // namespace pstorm::mrsim
+
+#endif  // PSTORM_MRSIM_TASK_MODEL_H_

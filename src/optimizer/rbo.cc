@@ -1,0 +1,45 @@
+#include "optimizer/rbo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pstorm::optimizer {
+
+mrsim::Configuration RuleBasedOptimizer::Recommend(
+    const mrsim::ClusterSpec& cluster, const RboHints& hints) const {
+  mrsim::Configuration config;  // Start from the Hadoop defaults.
+
+  // Rule: mapred.compress.map.output — enable LZO compression when the
+  // intermediate data is non-negligible or larger than the input. Trades
+  // CPU for spill IO and shuffle volume.
+  if (hints.expect_large_intermediate_data) {
+    config.compress_map_output = true;
+  }
+
+  // Rule: io.sort.mb — raise the buffer for jobs with larger size/number
+  // of intermediate records, bounded by what the task heap can spare.
+  if (hints.expect_large_intermediate_data) {
+    config.io_sort_mb =
+        std::min(200.0, std::floor(cluster.task_heap_mb * 0.5));
+  }
+
+  // Rule: io.sort.record.percent — when intermediate records are small,
+  // reserve more of the buffer for their metadata so record count does
+  // not trigger premature spills.
+  if (hints.expect_small_intermediate_records) {
+    config.io_sort_record_percent = 0.15;
+  }
+
+  // Rule: combiner usage — always enable the combiner when the reduce
+  // function is associative and commutative (sum, min, max).
+  config.use_combiner = hints.reduce_is_associative;
+
+  // Rule: mapred.reduce.tasks — 90% of the cluster's reduce slots, so a
+  // failed reducer always has a free slot to retry on.
+  config.num_reduce_tasks = std::max(
+      1, static_cast<int>(0.9 * cluster.total_reduce_slots()));
+
+  return config;
+}
+
+}  // namespace pstorm::optimizer

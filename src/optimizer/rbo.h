@@ -1,0 +1,35 @@
+#ifndef PSTORM_OPTIMIZER_RBO_H_
+#define PSTORM_OPTIMIZER_RBO_H_
+
+#include "mrsim/cluster.h"
+#include "mrsim/configuration.h"
+
+namespace pstorm::optimizer {
+
+/// What a Hadoop administrator is assumed to know about a job before
+/// running it — the "expectations" the Appendix B tuning rules condition
+/// on. Unlike the CBO, the RBO never sees an execution profile.
+struct RboHints {
+  /// The map output is expected to be as large as or larger than the
+  /// input (triggers the compression rule and the io.sort.mb rule).
+  bool expect_large_intermediate_data = false;
+  /// Intermediate records are expected to be individually small (triggers
+  /// the io.sort.record.percent rule).
+  bool expect_small_intermediate_records = true;
+  /// The reduce function is associative and commutative, so a combiner is
+  /// safe (triggers the combiner rule).
+  bool reduce_is_associative = false;
+};
+
+/// The thesis Appendix B rule-based optimizer: five rules collected from
+/// Hadoop tuning folklore. Heuristic by design — the thesis shows it can
+/// even hurt (Figure 6.3, inverted index).
+class RuleBasedOptimizer {
+ public:
+  mrsim::Configuration Recommend(const mrsim::ClusterSpec& cluster,
+                                 const RboHints& hints) const;
+};
+
+}  // namespace pstorm::optimizer
+
+#endif  // PSTORM_OPTIMIZER_RBO_H_

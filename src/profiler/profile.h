@@ -1,0 +1,133 @@
+#ifndef PSTORM_PROFILER_PROFILE_H_
+#define PSTORM_PROFILER_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pstorm::profiler {
+
+/// The map-side half of an execution profile: data-flow statistics
+/// (Table 4.1), cost factors (Table 4.2) and per-phase timings, aggregated
+/// over the profiled map tasks. Kept separable from the reduce side so the
+/// matcher can stitch a *composite* profile from two jobs (thesis §4.3).
+struct MapSideProfile {
+  int num_tasks = 0;
+
+  // Totals across profiled tasks.
+  double input_bytes = 0;
+  double input_records = 0;
+  double output_bytes = 0;    // Emitted by the map function (pre-combine).
+  double output_records = 0;
+  double final_output_bytes = 0;  // After combine, uncompressed.
+  double final_output_records = 0;
+
+  // Data-flow statistics (Table 4.1, map side).
+  double size_selectivity = 1.0;          // MAP_SIZE_SEL
+  double pairs_selectivity = 1.0;         // MAP_PAIRS_SEL
+  double combine_size_selectivity = 1.0;  // COMBINE_SIZE_SEL (1 = no-op)
+  double combine_pairs_selectivity = 1.0; // COMBINE_PAIRS_SEL
+
+  // Cost factors (Table 4.2, map side), ns per byte / per record.
+  double read_hdfs_io_cost = 0;   // READ_HDFS_IO_COST
+  double read_local_io_cost = 0;  // READ_LOCAL_IO_COST
+  double write_local_io_cost = 0; // WRITE_LOCAL_IO_COST
+  double map_cpu_cost = 0;        // MAP_CPU_COST
+  double combine_cpu_cost = 0;    // COMBINE_CPU_COST
+
+  // Mean per-task phase timings, seconds (Figures 4.3/4.5).
+  double read_s = 0;
+  double map_s = 0;
+  double collect_s = 0;
+  double spill_s = 0;
+  double merge_s = 0;
+
+  /// Coefficient of variation of MAP_CPU_COST across tasks — the §4.1.1
+  /// evidence that cost factors are noisy.
+  double map_cpu_cost_cv = 0;
+
+  /// Compression ratio of the intermediate data: measured when the
+  /// profiled run compressed map output, otherwise a conservative default
+  /// estimate the what-if engine can still use.
+  double intermediate_compress_ratio = 0.40;
+
+  /// The four map-side dynamic features, Table 4.1 order.
+  std::vector<double> DynamicVector() const;
+  /// The five map-side cost factors, Table 4.2 order.
+  std::vector<double> CostVector() const;
+};
+
+/// The reduce-side half of an execution profile.
+struct ReduceSideProfile {
+  int num_tasks = 0;
+
+  double input_bytes = 0;  // Uncompressed shuffled bytes.
+  double input_records = 0;
+  double output_bytes = 0;
+  double output_records = 0;
+
+  // Data-flow statistics (Table 4.1, reduce side).
+  double size_selectivity = 1.0;   // RED_SIZE_SEL
+  double pairs_selectivity = 1.0;  // RED_PAIRS_SEL
+
+  // Cost factors (Table 4.2, reduce side).
+  double write_hdfs_io_cost = 0;
+  double read_local_io_cost = 0;
+  double write_local_io_cost = 0;
+  double reduce_cpu_cost = 0;
+
+  // Mean per-task phase timings, seconds (Figures 4.5/4.6).
+  double shuffle_s = 0;
+  double sort_s = 0;  // The reduce-side merge ("sort" in Hadoop's UI).
+  double reduce_s = 0;
+  double write_s = 0;
+
+  /// Compression ratio of the job output (measured or default estimate).
+  double output_compress_ratio = 0.45;
+
+  /// The two reduce-side dynamic features, Table 4.1 order.
+  std::vector<double> DynamicVector() const;
+  /// The four reduce-side cost factors, Table 4.2 order.
+  std::vector<double> CostVector() const;
+};
+
+/// A complete execution profile: what the Starfish profiler would emit for
+/// one (possibly sampled) run of an MR job.
+struct ExecutionProfile {
+  /// Job that produced the profile; composite profiles carry both sources
+  /// as "mapjob+reducejob".
+  std::string job_name;
+  std::string data_set;
+  /// Size of the data set the profiled job ran over (the tie-breaking
+  /// feature of the matcher, Figure 4.4).
+  double input_data_bytes = 0;
+  /// True when collected from a sampled subset of map tasks.
+  bool is_sample = false;
+  /// Fraction of map tasks profiled (1.0 for a complete profile).
+  double sampling_fraction = 1.0;
+
+  MapSideProfile map_side;
+  ReduceSideProfile reduce_side;
+
+  /// All six Table 4.1 statistics: map-side then reduce-side.
+  std::vector<double> DynamicVector() const;
+  /// All Table 4.2 cost factors in table order: READ_HDFS, WRITE_HDFS,
+  /// READ_LOCAL (avg of sides), WRITE_LOCAL (avg), MAP_CPU, REDUCE_CPU,
+  /// COMBINE_CPU.
+  std::vector<double> CostVector() const;
+
+  /// Key=value text encoding for the profile store; round-trips through
+  /// Parse.
+  std::string Serialize() const;
+  static Result<ExecutionProfile> Parse(const std::string& text);
+};
+
+/// Names of the dynamic features in the order of DynamicVector().
+const std::vector<std::string>& DynamicFeatureNames();
+/// Names of the cost factors in the order of CostVector().
+const std::vector<std::string>& CostFactorNames();
+
+}  // namespace pstorm::profiler
+
+#endif  // PSTORM_PROFILER_PROFILE_H_

@@ -1,0 +1,228 @@
+#include "profiler/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/statistics.h"
+
+namespace pstorm::profiler {
+
+namespace {
+constexpr double kSToNs = 1e9;
+
+double SafeRatio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+}  // namespace
+
+Profiler::Profiler(const mrsim::Simulator* simulator)
+    : simulator_(simulator) {
+  PSTORM_CHECK(simulator != nullptr);
+}
+
+ExecutionProfile Profiler::ExtractProfile(const mrsim::JobRunResult& run,
+                                          const std::string& job_name,
+                                          const mrsim::DataSetSpec& data,
+                                          double sampling_fraction) {
+  ExecutionProfile profile;
+  profile.job_name = job_name;
+  profile.data_set = data.name;
+  profile.input_data_bytes = static_cast<double>(data.size_bytes);
+  profile.sampling_fraction = sampling_fraction;
+  profile.is_sample = sampling_fraction < 1.0;
+
+  // ---- Map side -----------------------------------------------------
+  MapSideProfile& m = profile.map_side;
+  m.num_tasks = static_cast<int>(run.map_tasks.size());
+  double read_s_total = 0, map_s_total = 0, collect_s_total = 0,
+         spill_s_total = 0, merge_s_total = 0;
+  double spill_write_s_total = 0, spilled_bytes_total = 0;
+  double merge_read_s_total = 0, merge_io_bytes_total = 0;
+  double combine_cpu_s_total = 0, combine_in_records_total = 0;
+  double combine_out_records = 0, combine_out_bytes = 0;
+  double wire_bytes_total = 0;
+  bool any_combining = false;
+  RunningStat map_cpu_cost_stat;
+
+  for (const mrsim::MapTaskResult& task : run.map_tasks) {
+    const mrsim::MapTaskOutcome& o = task.outcome;
+    m.input_bytes += task.input_bytes;
+    m.input_records += task.input_records;
+    m.output_bytes += o.map_output_bytes;
+    m.output_records += o.map_output_records;
+    m.final_output_bytes += o.final_output_uncompressed_bytes;
+    m.final_output_records += o.final_output_records;
+    read_s_total += o.read_s;
+    map_s_total += o.map_s;
+    collect_s_total += o.collect_s;
+    spill_s_total += o.spill_s;
+    merge_s_total += o.merge_s;
+    spill_write_s_total += o.spill_write_s;
+    spilled_bytes_total += o.spilled_bytes;
+    merge_read_s_total += o.merge_read_s;
+    merge_io_bytes_total += o.merge_io_bytes;
+    combine_cpu_s_total += o.combine_cpu_s;
+    combine_in_records_total += o.combine_input_records;
+    wire_bytes_total += o.final_output_wire_bytes;
+    if (o.combine_input_records > 0) {
+      any_combining = true;
+      combine_out_records += o.final_output_records;
+      combine_out_bytes += o.final_output_uncompressed_bytes;
+    }
+    map_cpu_cost_stat.Add(SafeRatio(o.map_s * kSToNs, task.input_records));
+  }
+
+  m.size_selectivity = SafeRatio(m.output_bytes, m.input_bytes);
+  m.pairs_selectivity = SafeRatio(m.output_records, m.input_records);
+  if (any_combining) {
+    m.combine_size_selectivity = SafeRatio(combine_out_bytes, m.output_bytes);
+    m.combine_pairs_selectivity =
+        SafeRatio(combine_out_records, m.output_records);
+  }
+
+  m.read_hdfs_io_cost = SafeRatio(read_s_total * kSToNs, m.input_bytes);
+  m.write_local_io_cost =
+      SafeRatio(spill_write_s_total * kSToNs, spilled_bytes_total);
+  // When the map side never merged, no local reads were observed; report
+  // the write-side cost scaled by the canonical read/write ratio so the
+  // what-if engine still has a usable estimate.
+  m.read_local_io_cost =
+      merge_io_bytes_total > 0
+          ? SafeRatio(merge_read_s_total * kSToNs, merge_io_bytes_total)
+          : m.write_local_io_cost * 0.85;
+  m.map_cpu_cost = SafeRatio(map_s_total * kSToNs, m.input_records);
+  m.combine_cpu_cost =
+      SafeRatio(combine_cpu_s_total * kSToNs, combine_in_records_total);
+  m.map_cpu_cost_cv = map_cpu_cost_stat.cv();
+  if (run.config.compress_map_output && m.final_output_bytes > 0) {
+    m.intermediate_compress_ratio =
+        wire_bytes_total / m.final_output_bytes;
+  }
+
+  const double n_map = std::max<double>(1.0, m.num_tasks);
+  m.read_s = read_s_total / n_map;
+  m.map_s = map_s_total / n_map;
+  m.collect_s = collect_s_total / n_map;
+  m.spill_s = spill_s_total / n_map;
+  m.merge_s = merge_s_total / n_map;
+
+  // ---- Reduce side ----------------------------------------------------
+  ReduceSideProfile& r = profile.reduce_side;
+  r.num_tasks = static_cast<int>(run.reduce_tasks.size());
+  double shuffle_s_total = 0, sort_s_total = 0, reduce_s_total = 0,
+         write_s_total = 0;
+  double reduce_cpu_s_total = 0, write_bytes_total = 0;
+  double output_uncompressed_total = 0;
+  double local_read_s_total = 0, local_read_bytes_total = 0;
+  double local_write_s_total = 0, local_write_bytes_total = 0;
+
+  for (const mrsim::ReduceTaskResult& task : run.reduce_tasks) {
+    const mrsim::ReduceTaskOutcome& o = task.outcome;
+    r.input_bytes += task.input_uncompressed_bytes;
+    r.input_records += task.input_records;
+    r.output_bytes += o.output_uncompressed_bytes;  // Logical size.
+    r.output_records += o.output_records;
+    output_uncompressed_total += o.output_uncompressed_bytes;
+    shuffle_s_total += o.shuffle_s;
+    sort_s_total += o.merge_s;
+    reduce_s_total += o.reduce_s;
+    write_s_total += o.write_s;
+    reduce_cpu_s_total += o.reduce_cpu_s;
+    write_bytes_total += o.output_bytes;  // Written (possibly compressed).
+    local_read_s_total += o.merge_read_s + o.reduce_read_s;
+    local_read_bytes_total += o.merge_io_bytes + o.shuffle_disk_bytes;
+    local_write_s_total += o.shuffle_disk_write_s + o.merge_write_s;
+    local_write_bytes_total += o.shuffle_disk_bytes + o.merge_io_bytes;
+  }
+
+  r.size_selectivity = SafeRatio(r.output_bytes, r.input_bytes);
+  r.pairs_selectivity = SafeRatio(r.output_records, r.input_records);
+  r.write_hdfs_io_cost = SafeRatio(write_s_total * kSToNs, write_bytes_total);
+  r.read_local_io_cost =
+      SafeRatio(local_read_s_total * kSToNs, local_read_bytes_total);
+  r.write_local_io_cost =
+      SafeRatio(local_write_s_total * kSToNs, local_write_bytes_total);
+  r.reduce_cpu_cost = SafeRatio(reduce_cpu_s_total * kSToNs, r.input_records);
+  if (run.config.compress_output && output_uncompressed_total > 0) {
+    // Written bytes vs the logical (uncompressed) output size.
+    r.output_compress_ratio =
+        write_bytes_total / output_uncompressed_total;
+  }
+
+  const double n_red = std::max<double>(1.0, r.num_tasks);
+  r.shuffle_s = shuffle_s_total / n_red;
+  r.sort_s = sort_s_total / n_red;
+  r.reduce_s = reduce_s_total / n_red;
+  r.write_s = write_s_total / n_red;
+
+  // Starfish sample profiles are *estimated job profiles*: totals observed
+  // over the sampled tasks are extrapolated to the whole job (rates,
+  // selectivities, and per-task timings need no scaling).
+  if (profile.is_sample && sampling_fraction > 0) {
+    const double scale = 1.0 / sampling_fraction;
+    m.input_bytes *= scale;
+    m.input_records *= scale;
+    m.output_bytes *= scale;
+    m.output_records *= scale;
+    m.final_output_bytes *= scale;
+    m.final_output_records *= scale;
+    r.input_bytes *= scale;
+    r.input_records *= scale;
+    r.output_bytes *= scale;
+    r.output_records *= scale;
+  }
+
+  return profile;
+}
+
+Result<ProfiledRun> Profiler::ProfileFullRun(
+    const mrsim::JobSpec& job, const mrsim::DataSetSpec& data,
+    const mrsim::Configuration& config, uint64_t seed) const {
+  mrsim::RunOptions options;
+  options.profiling_enabled = true;
+  options.seed = seed;
+  PSTORM_ASSIGN_OR_RETURN(mrsim::JobRunResult run,
+                          simulator_->RunJob(job, data, config, options));
+  ProfiledRun out{ExtractProfile(run, job.name, data, 1.0), std::move(run)};
+  return out;
+}
+
+Result<ProfiledRun> Profiler::ProfileSample(const mrsim::JobSpec& job,
+                                            const mrsim::DataSetSpec& data,
+                                            const mrsim::Configuration& config,
+                                            double fraction,
+                                            uint64_t seed) const {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("sampling fraction must be in (0,1]");
+  }
+  const uint64_t total = data.num_splits();
+  if (total == 0) return Status::InvalidArgument("no input splits");
+  const uint64_t k = std::max<uint64_t>(
+      1, static_cast<uint64_t>(fraction * static_cast<double>(total)));
+
+  Rng rng(seed ^ 0x70726f66ULL);  // Distinct stream from the run noise.
+  mrsim::RunOptions options;
+  options.split_subset = rng.SampleWithoutReplacement(total, k);
+  options.profiling_enabled = true;
+  options.seed = seed;
+  PSTORM_ASSIGN_OR_RETURN(mrsim::JobRunResult run,
+                          simulator_->RunJob(job, data, config, options));
+  const double actual_fraction =
+      static_cast<double>(k) / static_cast<double>(total);
+  ProfiledRun out{ExtractProfile(run, job.name, data, actual_fraction),
+                  std::move(run)};
+  return out;
+}
+
+Result<ProfiledRun> Profiler::ProfileOneTask(const mrsim::JobSpec& job,
+                                             const mrsim::DataSetSpec& data,
+                                             const mrsim::Configuration& config,
+                                             uint64_t seed) const {
+  const uint64_t total = data.num_splits();
+  if (total == 0) return Status::InvalidArgument("no input splits");
+  return ProfileSample(
+      job, data, config,
+      std::min(1.0, 1.0 / static_cast<double>(total) + 1e-12), seed);
+}
+
+}  // namespace pstorm::profiler

@@ -1,0 +1,62 @@
+#ifndef PSTORM_PROFILER_PROFILER_H_
+#define PSTORM_PROFILER_PROFILER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "mrsim/simulator.h"
+#include "profiler/profile.h"
+
+namespace pstorm::profiler {
+
+/// A profiled (simulated) run: the extracted profile plus the raw run, so
+/// callers can account for profiling overhead (Figure 4.1).
+struct ProfiledRun {
+  ExecutionProfile profile;
+  mrsim::JobRunResult run;
+};
+
+/// The Starfish profiler + sampler stand-in. Attaches "instrumentation"
+/// (a run-time slowdown) to a simulated job run and aggregates per-task
+/// observations into an ExecutionProfile. Sampling follows the Starfish
+/// sampler: run only k randomly selected map tasks plus the reducers over
+/// their output.
+class Profiler {
+ public:
+  /// `simulator` must outlive the profiler.
+  explicit Profiler(const mrsim::Simulator* simulator);
+
+  /// Profiles a complete run (every map task instrumented).
+  Result<ProfiledRun> ProfileFullRun(const mrsim::JobSpec& job,
+                                     const mrsim::DataSetSpec& data,
+                                     const mrsim::Configuration& config,
+                                     uint64_t seed) const;
+
+  /// Profiles a random sample of `fraction` of the map tasks (at least
+  /// one). The Starfish rule of thumb is fraction = 0.1.
+  Result<ProfiledRun> ProfileSample(const mrsim::JobSpec& job,
+                                    const mrsim::DataSetSpec& data,
+                                    const mrsim::Configuration& config,
+                                    double fraction, uint64_t seed) const;
+
+  /// Profiles exactly one random map task plus its reducers — the cheap
+  /// sample PStorM uses to build a probe feature vector (thesis §3).
+  Result<ProfiledRun> ProfileOneTask(const mrsim::JobSpec& job,
+                                     const mrsim::DataSetSpec& data,
+                                     const mrsim::Configuration& config,
+                                     uint64_t seed) const;
+
+  /// Builds an ExecutionProfile from an already-simulated run. Exposed so
+  /// tests and the what-if engine can profile arbitrary runs.
+  static ExecutionProfile ExtractProfile(const mrsim::JobRunResult& run,
+                                         const std::string& job_name,
+                                         const mrsim::DataSetSpec& data,
+                                         double sampling_fraction);
+
+ private:
+  const mrsim::Simulator* simulator_;
+};
+
+}  // namespace pstorm::profiler
+
+#endif  // PSTORM_PROFILER_PROFILER_H_

@@ -1,0 +1,74 @@
+#ifndef PSTORM_STATICANALYSIS_CFG_H_
+#define PSTORM_STATICANALYSIS_CFG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "staticanalysis/ir.h"
+
+namespace pstorm::staticanalysis {
+
+enum class CfgNodeKind {
+  kEntry,
+  /// A maximal run of sequentially executed simple statements — one vertex
+  /// per the thesis's CFG definition (§4.1.3).
+  kBlock,
+  /// A branching statement (loop condition or if condition): exactly two
+  /// successors.
+  kBranch,
+  kExit,
+};
+
+struct CfgNode {
+  CfgNodeKind kind = CfgNodeKind::kBlock;
+  /// Number of simple statements collapsed into this vertex (blocks only).
+  int stmt_count = 0;
+  /// Condition/operation text for rendering; never used by the matcher.
+  std::string label;
+  std::vector<int> successors;
+};
+
+/// Control flow graph of one map/reduce function, in the shape produced by
+/// the thesis's grammar: every node has one successor (normal) or two
+/// (branch); loops appear as back edges to the branch node.
+class Cfg {
+ public:
+  Cfg() = default;
+  Cfg(std::vector<CfgNode> nodes, int entry, int exit)
+      : nodes_(std::move(nodes)), entry_(entry), exit_(exit) {}
+
+  const std::vector<CfgNode>& nodes() const { return nodes_; }
+  int entry() const { return entry_; }
+  int exit() const { return exit_; }
+  bool empty() const { return nodes_.empty(); }
+
+  int num_branches() const;
+  int num_blocks() const;
+  /// Number of back edges (loops).
+  int num_back_edges() const;
+
+  /// Compact adjacency listing, one node per line.
+  std::string ToString() const;
+  /// Graphviz rendering (used by the Figure 4.2 bench).
+  std::string ToDot(const std::string& graph_name) const;
+
+ private:
+  std::vector<CfgNode> nodes_;
+  int entry_ = -1;
+  int exit_ = -1;
+};
+
+/// Extracts the CFG from a function's IR (the role Soot plays in the
+/// thesis). Deterministic: the same IR always yields the same graph with
+/// the same node numbering.
+Cfg BuildCfg(const FunctionIr& function);
+
+/// Compact text encoding of a CFG (for the profile store); round-trips
+/// through ParseCfg. Labels are not preserved — matching ignores them.
+std::string SerializeCfg(const Cfg& cfg);
+Result<Cfg> ParseCfg(const std::string& text);
+
+}  // namespace pstorm::staticanalysis
+
+#endif  // PSTORM_STATICANALYSIS_CFG_H_

@@ -1,0 +1,59 @@
+#include "staticanalysis/cfg_matcher.h"
+
+#include <queue>
+#include <vector>
+
+namespace pstorm::staticanalysis {
+
+bool MatchCfgs(const Cfg& a, const Cfg& b, CfgMatchOptions options) {
+  if (a.empty() || b.empty()) return a.empty() == b.empty();
+
+  const auto& nodes_a = a.nodes();
+  const auto& nodes_b = b.nodes();
+
+  // Bijection under construction between a-nodes and b-nodes.
+  std::vector<int> a_to_b(nodes_a.size(), -1);
+  std::vector<int> b_to_a(nodes_b.size(), -1);
+
+  std::queue<std::pair<int, int>> frontier;
+  frontier.push({a.entry(), b.entry()});
+  a_to_b[a.entry()] = b.entry();
+  b_to_a[b.entry()] = a.entry();
+
+  while (!frontier.empty()) {
+    const auto [na, nb] = frontier.front();
+    frontier.pop();
+    const CfgNode& node_a = nodes_a[na];
+    const CfgNode& node_b = nodes_b[nb];
+
+    if (node_a.kind != node_b.kind) return false;
+    if (node_a.successors.size() != node_b.successors.size()) return false;
+    if (options.compare_block_sizes &&
+        node_a.kind == CfgNodeKind::kBlock &&
+        node_a.stmt_count != node_b.stmt_count) {
+      return false;
+    }
+
+    // Successors are ordered deterministically by construction
+    // (fall-through first, branch target second), so lockstep traversal
+    // compares like with like.
+    for (size_t i = 0; i < node_a.successors.size(); ++i) {
+      const int sa = node_a.successors[i];
+      const int sb = node_b.successors[i];
+      if ((sa < 0) != (sb < 0)) return false;
+      if (sa < 0) continue;
+      const int mapped_b = a_to_b[sa];
+      const int mapped_a = b_to_a[sb];
+      if (mapped_b == -1 && mapped_a == -1) {
+        a_to_b[sa] = sb;
+        b_to_a[sb] = sa;
+        frontier.push({sa, sb});
+      } else if (mapped_b != sb || mapped_a != sa) {
+        return false;  // Inconsistent with the bijection so far.
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace pstorm::staticanalysis

@@ -1,0 +1,25 @@
+#ifndef PSTORM_STATICANALYSIS_CFG_MATCHER_H_
+#define PSTORM_STATICANALYSIS_CFG_MATCHER_H_
+
+#include "staticanalysis/cfg.h"
+
+namespace pstorm::staticanalysis {
+
+struct CfgMatchOptions {
+  /// Also require collapsed basic blocks to contain the same number of
+  /// simple statements. Off by default: the thesis matcher compares shape
+  /// only, so a while-loop word count matches a for-loop word count.
+  bool compare_block_sizes = false;
+};
+
+/// Conservative structural CFG equivalence by synchronized breadth-first
+/// traversal (thesis §4.2): starting from both entry nodes, walk the two
+/// graphs in lockstep, requiring the same node kinds and out-degrees at
+/// every step and a consistent bijection between visited nodes. Returns
+/// 1/0 match semantics — there is no partial CFG score.
+bool MatchCfgs(const Cfg& a, const Cfg& b,
+               CfgMatchOptions options = CfgMatchOptions());
+
+}  // namespace pstorm::staticanalysis
+
+#endif  // PSTORM_STATICANALYSIS_CFG_MATCHER_H_

@@ -1,0 +1,90 @@
+#include "staticanalysis/ir.h"
+
+#include <algorithm>
+
+namespace pstorm::staticanalysis {
+
+StmtPtr Op(std::string label) {
+  return std::make_shared<Stmt>(StmtKind::kOp, std::move(label),
+                                std::vector<StmtPtr>{});
+}
+
+StmtPtr Emit() {
+  return std::make_shared<Stmt>(StmtKind::kEmit, "context.write",
+                                std::vector<StmtPtr>{});
+}
+
+StmtPtr Call(std::string callee) {
+  return std::make_shared<Stmt>(StmtKind::kCall, std::move(callee),
+                                std::vector<StmtPtr>{});
+}
+
+StmtPtr Seq(std::vector<StmtPtr> stmts) {
+  return std::make_shared<Stmt>(StmtKind::kSeq, "", std::move(stmts));
+}
+
+StmtPtr Loop(std::string cond, StmtPtr body) {
+  return std::make_shared<Stmt>(StmtKind::kLoop, std::move(cond),
+                                std::vector<StmtPtr>{std::move(body)});
+}
+
+StmtPtr If(std::string cond, StmtPtr then_branch) {
+  return std::make_shared<Stmt>(StmtKind::kIf, std::move(cond),
+                                std::vector<StmtPtr>{std::move(then_branch)});
+}
+
+StmtPtr IfElse(std::string cond, StmtPtr then_branch, StmtPtr else_branch) {
+  return std::make_shared<Stmt>(
+      StmtKind::kIf, std::move(cond),
+      std::vector<StmtPtr>{std::move(then_branch), std::move(else_branch)});
+}
+
+namespace {
+void CountInto(const StmtPtr& stmt, IrStats* stats) {
+  if (stmt == nullptr) return;
+  switch (stmt->kind()) {
+    case StmtKind::kOp:
+      ++stats->ops;
+      break;
+    case StmtKind::kEmit:
+      ++stats->emits;
+      break;
+    case StmtKind::kCall:
+      ++stats->calls;
+      break;
+    case StmtKind::kSeq:
+      break;
+    case StmtKind::kLoop:
+      ++stats->loops;
+      break;
+    case StmtKind::kIf:
+      ++stats->ifs;
+      break;
+  }
+  for (const StmtPtr& child : stmt->children()) CountInto(child, stats);
+}
+}  // namespace
+
+IrStats CountStatements(const StmtPtr& stmt) {
+  IrStats stats;
+  CountInto(stmt, &stats);
+  return stats;
+}
+
+namespace {
+void CollectCalls(const StmtPtr& stmt, std::vector<std::string>* out) {
+  if (stmt == nullptr) return;
+  if (stmt->kind() == StmtKind::kCall) out->push_back(stmt->label());
+  for (const StmtPtr& child : stmt->children()) CollectCalls(child, out);
+}
+}  // namespace
+
+std::vector<std::string> CalledFunctions(const FunctionIr& function) {
+  std::vector<std::string> calls;
+  CollectCalls(function.body, &calls);
+  std::sort(calls.begin(), calls.end());
+  calls.erase(std::unique(calls.begin(), calls.end()), calls.end());
+  return calls;
+}
+
+}  // namespace pstorm::staticanalysis

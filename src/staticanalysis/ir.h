@@ -1,0 +1,90 @@
+#ifndef PSTORM_STATICANALYSIS_IR_H_
+#define PSTORM_STATICANALYSIS_IR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pstorm::staticanalysis {
+
+/// Statement kinds of the miniature structured IR in which every benchmark
+/// job's map/reduce function is written. This plays the role of Java
+/// bytecode in the thesis: rich enough to extract the control flow graph
+/// and call targets, oblivious to actual data values.
+enum class StmtKind {
+  /// A simple computation ("tokenize", "extractWords", assignment...).
+  kOp,
+  /// A context.write(...) of one key/value pair.
+  kEmit,
+  /// A call to a named helper function (future-work §7.2.2 call-flow
+  /// analysis keys off these).
+  kCall,
+  /// A sequence of statements executed in order.
+  kSeq,
+  /// A pre-tested loop (while/for): children[0] is the body.
+  kLoop,
+  /// A conditional: children[0] is the then-branch, optional children[1]
+  /// the else-branch.
+  kIf,
+};
+
+class Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+/// One immutable IR statement. Build with the factory helpers below; trees
+/// are shared freely (jobs reuse map functions, as real MR code does).
+class Stmt {
+ public:
+  Stmt(StmtKind kind, std::string label, std::vector<StmtPtr> children)
+      : kind_(kind), label_(std::move(label)), children_(std::move(children)) {}
+
+  StmtKind kind() const { return kind_; }
+  const std::string& label() const { return label_; }
+  const std::vector<StmtPtr>& children() const { return children_; }
+
+ private:
+  StmtKind kind_;
+  std::string label_;
+  std::vector<StmtPtr> children_;
+};
+
+/// A simple computation statement.
+StmtPtr Op(std::string label);
+/// A context.write(key, value) statement.
+StmtPtr Emit();
+/// A call to a helper function.
+StmtPtr Call(std::string callee);
+/// Sequential composition.
+StmtPtr Seq(std::vector<StmtPtr> stmts);
+/// while (<cond>) { body }.
+StmtPtr Loop(std::string cond, StmtPtr body);
+/// if (<cond>) { then_branch }.
+StmtPtr If(std::string cond, StmtPtr then_branch);
+/// if (<cond>) { then_branch } else { else_branch }.
+StmtPtr IfElse(std::string cond, StmtPtr then_branch, StmtPtr else_branch);
+
+/// One map or reduce function: a name plus its body.
+struct FunctionIr {
+  std::string name;
+  StmtPtr body;  // May be null for an identity function.
+};
+
+/// Counts statements of each kind; used in tests and diagnostics.
+struct IrStats {
+  int ops = 0;
+  int emits = 0;
+  int calls = 0;
+  int loops = 0;
+  int ifs = 0;
+};
+IrStats CountStatements(const StmtPtr& stmt);
+
+/// The call flow graph of a single function, flattened: the sorted,
+/// deduplicated names of the helper functions it calls (§7.2.2). Two
+/// functions with identical control flow but different helpers have
+/// different call sets — and very different execution profiles.
+std::vector<std::string> CalledFunctions(const FunctionIr& function);
+
+}  // namespace pstorm::staticanalysis
+
+#endif  // PSTORM_STATICANALYSIS_IR_H_

@@ -1,0 +1,209 @@
+#include "storage/block.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace pstorm::storage {
+
+BlockBuilder::BlockBuilder(int restart_interval)
+    : restart_interval_(restart_interval) {
+  PSTORM_CHECK(restart_interval >= 1);
+  restarts_.push_back(0);
+}
+
+void BlockBuilder::Add(std::string_view key, std::string_view value,
+                       EntryType type) {
+  PSTORM_CHECK(num_entries_ == 0 || key > std::string_view(last_key_))
+      << "keys must be added in strictly increasing order";
+  size_t shared = 0;
+  if (count_since_restart_ < restart_interval_) {
+    const size_t limit = std::min(last_key_.size(), key.size());
+    while (shared < limit && last_key_[shared] == key[shared]) ++shared;
+  } else {
+    restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+    count_since_restart_ = 0;
+  }
+
+  PutVarint32(&buffer_, static_cast<uint32_t>(shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(key.size() - shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(value.size()));
+  buffer_.push_back(static_cast<char>(type));
+  buffer_.append(key.data() + shared, key.size() - shared);
+  buffer_.append(value.data(), value.size());
+
+  last_key_.assign(key.data(), key.size());
+  ++num_entries_;
+  ++count_since_restart_;
+}
+
+std::string BlockBuilder::Finish() {
+  for (uint32_t r : restarts_) PutFixed32(&buffer_, r);
+  PutFixed32(&buffer_, static_cast<uint32_t>(restarts_.size()));
+
+  std::string out = std::move(buffer_);
+  buffer_.clear();
+  restarts_.assign(1, 0);
+  count_since_restart_ = 0;
+  num_entries_ = 0;
+  last_key_.clear();
+  return out;
+}
+
+size_t BlockBuilder::CurrentSizeEstimate() const {
+  return buffer_.size() + restarts_.size() * 4 + 4;
+}
+
+std::unique_ptr<Block> Block::Parse(std::string data) {
+  if (data.size() < 4) return nullptr;
+  const uint32_t num_restarts = DecodeFixed32(data.data() + data.size() - 4);
+  const size_t restart_bytes = static_cast<size_t>(num_restarts) * 4 + 4;
+  if (num_restarts == 0 || restart_bytes > data.size()) return nullptr;
+  const size_t restarts_offset = data.size() - restart_bytes;
+  return std::unique_ptr<Block>(
+      new Block(std::move(data), num_restarts, restarts_offset));
+}
+
+namespace {
+
+class BlockIterator final : public Iterator {
+ public:
+  explicit BlockIterator(const Block* block) : block_(block) {}
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    offset_ = 0;
+    key_.clear();
+    ParseCurrent();
+  }
+
+  void Seek(std::string_view target) override {
+    // Binary search over restart points: find the last restart whose key is
+    // < target, then scan forward.
+    uint32_t lo = 0;
+    uint32_t hi = block_->num_restarts() - 1;
+    while (lo < hi) {
+      const uint32_t mid = (lo + hi + 1) / 2;
+      std::string_view restart_key = KeyAtRestart(mid);
+      if (!status_.ok()) {
+        valid_ = false;
+        return;
+      }
+      if (restart_key < target) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    offset_ = RestartOffset(lo);
+    key_.clear();
+    ParseCurrent();
+    while (valid_ && std::string_view(key_) < target) Next();
+  }
+
+  void Next() override {
+    PSTORM_CHECK(valid_);
+    offset_ = next_offset_;
+    ParseCurrent();
+  }
+
+  std::string_view key() const override { return key_; }
+  std::string_view value() const override { return value_; }
+  EntryType type() const override { return type_; }
+  Status status() const override { return status_; }
+
+ private:
+  size_t RestartOffset(uint32_t i) const {
+    return DecodeFixed32(block_->data().data() + block_->restarts_offset() +
+                         static_cast<size_t>(i) * 4);
+  }
+
+  // The full key at restart point i (shared is 0 there by construction).
+  std::string_view KeyAtRestart(uint32_t i) {
+    const size_t off = RestartOffset(i);
+    std::string_view input(block_->data().data() + off,
+                           block_->restarts_offset() - off);
+    uint32_t shared, non_shared, value_len;
+    if (!GetVarint32(&input, &shared) || !GetVarint32(&input, &non_shared) ||
+        !GetVarint32(&input, &value_len) || shared != 0 ||
+        input.size() < non_shared + 1) {
+      status_ = Status::Corruption("bad restart entry");
+      return {};
+    }
+    return input.substr(1, non_shared);  // Skip the type byte.
+  }
+
+  void ParseCurrent() {
+    if (offset_ >= block_->restarts_offset()) {
+      valid_ = false;
+      return;
+    }
+    std::string_view input(block_->data().data() + offset_,
+                           block_->restarts_offset() - offset_);
+    const size_t before = input.size();
+    uint32_t shared, non_shared, value_len;
+    if (!GetVarint32(&input, &shared) || !GetVarint32(&input, &non_shared) ||
+        !GetVarint32(&input, &value_len) || input.size() < 1) {
+      Corrupt();
+      return;
+    }
+    const uint8_t type_byte = static_cast<uint8_t>(input[0]);
+    input.remove_prefix(1);
+    if (shared > key_.size() || input.size() < non_shared + value_len ||
+        type_byte > 1) {
+      Corrupt();
+      return;
+    }
+    key_.resize(shared);
+    key_.append(input.data(), non_shared);
+    value_ = input.substr(non_shared, value_len);
+    type_ = static_cast<EntryType>(type_byte);
+    const size_t consumed = (before - input.size()) + non_shared + value_len;
+    next_offset_ = offset_ + consumed;
+    valid_ = true;
+  }
+
+  void Corrupt() {
+    status_ = Status::Corruption("bad block entry");
+    valid_ = false;
+  }
+
+  const Block* block_;
+  size_t offset_ = 0;
+  size_t next_offset_ = 0;
+  bool valid_ = false;
+  std::string key_;
+  std::string_view value_;
+  EntryType type_ = EntryType::kValue;
+  Status status_;
+};
+
+class EmptyIterator final : public Iterator {
+ public:
+  explicit EmptyIterator(Status status) : status_(std::move(status)) {}
+  bool Valid() const override { return false; }
+  void SeekToFirst() override {}
+  void Seek(std::string_view) override {}
+  void Next() override { PSTORM_CHECK(false) << "Next on empty iterator"; }
+  std::string_view key() const override { return {}; }
+  std::string_view value() const override { return {}; }
+  EntryType type() const override { return EntryType::kValue; }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> Block::NewIterator() const {
+  return std::make_unique<BlockIterator>(this);
+}
+
+std::unique_ptr<Iterator> NewEmptyIterator(Status status) {
+  return std::make_unique<EmptyIterator>(std::move(status));
+}
+
+}  // namespace pstorm::storage

@@ -1,0 +1,81 @@
+#ifndef PSTORM_STORAGE_BLOCK_H_
+#define PSTORM_STORAGE_BLOCK_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/iterator.h"
+
+namespace pstorm::storage {
+
+/// Serialized-block layout (LevelDB-style):
+///
+///   entry*            each entry: varint32 shared_key_len,
+///                                 varint32 unshared_key_len,
+///                                 varint32 value_len,
+///                                 uint8    entry_type,
+///                                 unshared key bytes, value bytes
+///   uint32 restart[0..n)   absolute offsets of restart entries
+///   uint32 n                number of restart points
+///
+/// Keys are prefix-compressed against the previous key; every
+/// `restart_interval` entries an entry is written with shared = 0 so Seek
+/// can binary-search the restart array.
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16);
+
+  /// Keys must be added in strictly increasing order.
+  void Add(std::string_view key, std::string_view value, EntryType type);
+
+  /// Serializes and resets the builder.
+  std::string Finish();
+
+  /// Bytes the serialized block would currently occupy.
+  size_t CurrentSizeEstimate() const;
+  bool empty() const { return num_entries_ == 0; }
+  std::string_view last_key() const { return last_key_; }
+
+ private:
+  int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int count_since_restart_ = 0;
+  size_t num_entries_ = 0;
+  std::string last_key_;
+};
+
+/// Immutable parsed view over a serialized block. The block keeps its own
+/// copy of the bytes so iterators remain valid independent of the source
+/// buffer's lifetime.
+class Block {
+ public:
+  /// Returns nullptr if the trailer is malformed.
+  static std::unique_ptr<Block> Parse(std::string data);
+
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  size_t size_bytes() const { return data_.size(); }
+
+  /// Layout accessors for the iterator implementation; not part of the
+  /// intended client API.
+  const std::string& data() const { return data_; }
+  uint32_t num_restarts() const { return num_restarts_; }
+  size_t restarts_offset() const { return restarts_offset_; }
+
+ private:
+  Block(std::string data, uint32_t num_restarts, size_t restarts_offset)
+      : data_(std::move(data)),
+        num_restarts_(num_restarts),
+        restarts_offset_(restarts_offset) {}
+
+  std::string data_;
+  uint32_t num_restarts_;
+  size_t restarts_offset_;  // Offset of the restart array; end of entries.
+};
+
+}  // namespace pstorm::storage
+
+#endif  // PSTORM_STORAGE_BLOCK_H_

@@ -1,0 +1,71 @@
+#include "storage/bloom.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace pstorm::storage {
+
+namespace {
+// Kirsch–Mitzenmacher: probe_i = h1 + i * h2.
+constexpr uint64_t kSeed1 = 0xa5a5a5a5a5a5a5a5ULL;
+constexpr uint64_t kSeed2 = 0x5a5a5a5a5a5a5a5aULL;
+}  // namespace
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(bits_per_key) {
+  PSTORM_CHECK(bits_per_key > 0);
+}
+
+void BloomFilterBuilder::AddKey(std::string_view key) {
+  keys_.push_back(Fnv1a64(key, kSeed1));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  // k = bits_per_key * ln(2), clamped to a sane range.
+  int k = static_cast<int>(bits_per_key_ * 0.69);
+  k = std::clamp(k, 1, 30);
+
+  size_t bits = keys_.size() * static_cast<size_t>(bits_per_key_);
+  bits = std::max<size_t>(bits, 64);
+  const size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string filter(bytes, '\0');
+  for (uint64_t h1 : keys_) {
+    const uint64_t h2 = Mix64(h1 ^ kSeed2) | 1;  // Odd stride.
+    uint64_t h = h1;
+    for (int i = 0; i < k; ++i) {
+      const size_t bit = h % bits;
+      filter[bit / 8] = static_cast<char>(
+          static_cast<unsigned char>(filter[bit / 8]) | (1u << (bit % 8)));
+      h += h2;
+    }
+  }
+  filter.push_back(static_cast<char>(k));
+  keys_.clear();
+  return filter;
+}
+
+bool BloomFilterMayContain(std::string_view filter, std::string_view key) {
+  if (filter.size() < 2) return true;
+  const int k = static_cast<unsigned char>(filter.back());
+  if (k < 1 || k > 30) return true;  // Future-format escape hatch.
+  const size_t bits = (filter.size() - 1) * 8;
+
+  const uint64_t h1 = Fnv1a64(key, kSeed1);
+  const uint64_t h2 = Mix64(h1 ^ kSeed2) | 1;
+  uint64_t h = h1;
+  for (int i = 0; i < k; ++i) {
+    const size_t bit = h % bits;
+    if ((static_cast<unsigned char>(filter[bit / 8]) & (1u << (bit % 8))) ==
+        0) {
+      return false;
+    }
+    h += h2;
+  }
+  return true;
+}
+
+}  // namespace pstorm::storage

@@ -1,0 +1,39 @@
+#ifndef PSTORM_STORAGE_BLOOM_H_
+#define PSTORM_STORAGE_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pstorm::storage {
+
+/// Builds a bloom filter over a set of keys, serialized as
+/// [bit bytes...][1 byte probe count]. Double hashing over FNV-1a with two
+/// seeds generates the k probe positions (Kirsch–Mitzenmacher).
+class BloomFilterBuilder {
+ public:
+  /// `bits_per_key` trades space for false-positive rate; 10 bits/key gives
+  /// roughly a 1% FP rate.
+  explicit BloomFilterBuilder(int bits_per_key);
+
+  void AddKey(std::string_view key);
+
+  /// Serializes the filter over all added keys. The builder may be reused
+  /// after calling Finish (it resets).
+  std::string Finish();
+
+  size_t num_keys() const { return keys_.size(); }
+
+ private:
+  int bits_per_key_;
+  std::vector<uint64_t> keys_;  // Pre-hashed.
+};
+
+/// Tests membership against a filter produced by BloomFilterBuilder.
+/// An empty or malformed filter conservatively reports "may contain".
+bool BloomFilterMayContain(std::string_view filter, std::string_view key);
+
+}  // namespace pstorm::storage
+
+#endif  // PSTORM_STORAGE_BLOOM_H_

@@ -1,0 +1,244 @@
+#include "storage/db.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "storage/merging_iterator.h"
+
+namespace pstorm::storage {
+
+namespace {
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestHeader[] = "pstorm-manifest-v1";
+}  // namespace
+
+Result<std::unique_ptr<Db>> Db::Open(Env* env, std::string path,
+                                     DbOptions options) {
+  PSTORM_CHECK(env != nullptr);
+  auto db = std::unique_ptr<Db>(new Db(env, std::move(path), options));
+  PSTORM_RETURN_IF_ERROR(env->CreateDir(db->path_));
+  if (env->FileExists(JoinPath(db->path_, kManifestName))) {
+    PSTORM_RETURN_IF_ERROR(db->LoadManifest());
+  } else {
+    PSTORM_RETURN_IF_ERROR(db->WriteManifest());
+  }
+  return db;
+}
+
+Status Db::Put(std::string_view key, std::string_view value) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  memtable_.Put(key, value);
+  return MaybeFlush();
+}
+
+Status Db::Delete(std::string_view key) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  memtable_.Delete(key);
+  return MaybeFlush();
+}
+
+Status Db::MaybeFlush() {
+  if (memtable_.ApproximateBytes() >= options_.memtable_flush_bytes) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
+Result<std::string> Db::Get(std::string_view key) const {
+  if (auto entry = memtable_.Get(key); entry.has_value()) {
+    if (entry->type == EntryType::kTombstone) {
+      return Status::NotFound("deleted");
+    }
+    return entry->value;
+  }
+  // Level 0, newest first.
+  for (const auto& [name, table] : l0_) {
+    PSTORM_ASSIGN_OR_RETURN(auto hit, table->Get(key));
+    if (hit.has_value()) {
+      if (hit->type == EntryType::kTombstone) {
+        return Status::NotFound("deleted");
+      }
+      return std::move(hit->value);
+    }
+  }
+  // Level 1: tables are key-disjoint and sorted; binary search the ranges.
+  auto it = std::lower_bound(
+      l1_.begin(), l1_.end(), key, [](const auto& entry, std::string_view k) {
+        return std::string_view(entry.second->largest_key()) < k;
+      });
+  if (it != l1_.end() && key >= it->second->smallest_key()) {
+    PSTORM_ASSIGN_OR_RETURN(auto hit, it->second->Get(key));
+    if (hit.has_value()) {
+      if (hit->type == EntryType::kTombstone) {
+        return Status::NotFound("deleted");
+      }
+      return std::move(hit->value);
+    }
+  }
+  return Status::NotFound("no such key");
+}
+
+std::vector<std::unique_ptr<Iterator>> Db::AllChildren() const {
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(memtable_.NewIterator());
+  for (const auto& [name, table] : l0_) {
+    children.push_back(table->NewIterator());
+  }
+  for (const auto& [name, table] : l1_) {
+    children.push_back(table->NewIterator());
+  }
+  return children;
+}
+
+size_t Db::ApproximateSizeBytes() const {
+  size_t bytes = memtable_.ApproximateBytes();
+  for (const auto& [name, table] : l0_) bytes += table->size_bytes();
+  for (const auto& [name, table] : l1_) bytes += table->size_bytes();
+  return bytes;
+}
+
+std::unique_ptr<Iterator> Db::NewIterator() const {
+  return NewLiveRecordIterator(NewMergingIterator(AllChildren()));
+}
+
+std::string Db::NewFileName() {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06llu.sst",
+                static_cast<unsigned long long>(next_file_number_++));
+  return buf;
+}
+
+Status Db::Flush() {
+  if (memtable_.empty()) return Status::OK();
+  TableBuilder builder(options_.table_options);
+  auto iter = memtable_.NewIterator();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    builder.Add(iter->key(), iter->value(), iter->type());
+  }
+  const std::string contents = builder.Finish();
+  const std::string name = NewFileName();
+  PSTORM_RETURN_IF_ERROR(env_->WriteFile(JoinPath(path_, name), contents));
+  PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                          Table::Open(contents));
+  l0_.insert(l0_.begin(), {name, std::move(table)});
+  memtable_ = Memtable();
+  ++stats_.flushes;
+  stats_.bytes_flushed += contents.size();
+  PSTORM_RETURN_IF_ERROR(WriteManifest());
+  if (static_cast<int>(l0_.size()) >= options_.l0_compaction_trigger) {
+    return CompactAll();
+  }
+  return Status::OK();
+}
+
+Status Db::CompactAll() {
+  PSTORM_RETURN_IF_ERROR(Flush());  // Fold any buffered writes in too.
+  if (l0_.empty() && l1_.size() <= 1) return Status::OK();
+
+  // Merge every table; the memtable is empty after the flush above.
+  std::vector<std::unique_ptr<Iterator>> children;
+  for (const auto& [name, table] : l0_) {
+    children.push_back(table->NewIterator());
+  }
+  for (const auto& [name, table] : l1_) {
+    children.push_back(table->NewIterator());
+  }
+  auto merged = NewMergingIterator(std::move(children));
+
+  std::vector<std::pair<std::string, std::shared_ptr<Table>>> new_l1;
+  TableBuilder builder(options_.table_options);
+  size_t built_bytes = 0;
+  auto emit_table = [&]() -> Status {
+    if (builder.num_entries() == 0) return Status::OK();
+    const std::string contents = builder.Finish();
+    const std::string name = NewFileName();
+    PSTORM_RETURN_IF_ERROR(env_->WriteFile(JoinPath(path_, name), contents));
+    PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                            Table::Open(contents));
+    new_l1.emplace_back(name, std::move(table));
+    stats_.bytes_compacted += contents.size();
+    built_bytes = 0;
+    return Status::OK();
+  };
+
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    // Full-database compaction: tombstones have shadowed everything they
+    // ever will, so drop them.
+    if (merged->type() == EntryType::kTombstone) continue;
+    builder.Add(merged->key(), merged->value(), EntryType::kValue);
+    built_bytes += merged->key().size() + merged->value().size();
+    if (built_bytes >= options_.target_file_bytes) {
+      PSTORM_RETURN_IF_ERROR(emit_table());
+    }
+  }
+  PSTORM_RETURN_IF_ERROR(merged->status());
+  PSTORM_RETURN_IF_ERROR(emit_table());
+
+  std::vector<std::string> obsolete;
+  for (const auto& [name, table] : l0_) obsolete.push_back(name);
+  for (const auto& [name, table] : l1_) obsolete.push_back(name);
+
+  l0_.clear();
+  l1_ = std::move(new_l1);
+  ++stats_.compactions;
+  PSTORM_RETURN_IF_ERROR(WriteManifest());
+
+  for (const std::string& name : obsolete) {
+    // Best-effort: an orphaned file is wasted space, not corruption.
+    (void)env_->DeleteFile(JoinPath(path_, name));
+  }
+  return Status::OK();
+}
+
+Status Db::WriteManifest() {
+  std::string out(kManifestHeader);
+  out += "\n";
+  out += "next_file " + std::to_string(next_file_number_) + "\n";
+  for (const auto& [name, table] : l0_) out += "l0 " + name + "\n";
+  for (const auto& [name, table] : l1_) out += "l1 " + name + "\n";
+  const std::string tmp = JoinPath(path_, std::string(kManifestName) + ".tmp");
+  PSTORM_RETURN_IF_ERROR(env_->WriteFile(tmp, out));
+  return env_->RenameFile(tmp, JoinPath(path_, kManifestName));
+}
+
+Result<std::shared_ptr<Table>> Db::LoadTable(const std::string& file_name) {
+  PSTORM_ASSIGN_OR_RETURN(std::string contents,
+                          env_->ReadFile(JoinPath(path_, file_name)));
+  return Table::Open(std::move(contents));
+}
+
+Status Db::LoadManifest() {
+  PSTORM_ASSIGN_OR_RETURN(std::string manifest,
+                          env_->ReadFile(JoinPath(path_, kManifestName)));
+  std::vector<std::string> lines = StrSplit(manifest, '\n');
+  if (lines.empty() || lines[0] != kManifestHeader) {
+    return Status::Corruption("bad manifest header");
+  }
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    const std::vector<std::string> parts = StrSplit(lines[i], ' ');
+    if (parts.size() != 2) return Status::Corruption("bad manifest line");
+    if (parts[0] == "next_file") {
+      char* end = nullptr;
+      next_file_number_ = std::strtoull(parts[1].c_str(), &end, 10);
+      if (end == parts[1].c_str() || *end != '\0') {
+        return Status::Corruption("bad next_file value");
+      }
+    } else if (parts[0] == "l0") {
+      PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                              LoadTable(parts[1]));
+      l0_.emplace_back(parts[1], std::move(table));
+    } else if (parts[0] == "l1") {
+      PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                              LoadTable(parts[1]));
+      l1_.emplace_back(parts[1], std::move(table));
+    } else {
+      return Status::Corruption("unknown manifest tag: " + parts[0]);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pstorm::storage

@@ -1,0 +1,99 @@
+#ifndef PSTORM_STORAGE_DB_H_
+#define PSTORM_STORAGE_DB_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/env.h"
+#include "storage/iterator.h"
+#include "storage/memtable.h"
+#include "storage/sstable.h"
+
+namespace pstorm::storage {
+
+struct DbOptions {
+  /// Memtable payload size that triggers a flush to a level-0 table.
+  size_t memtable_flush_bytes = 1 << 20;
+  /// Number of level-0 tables that triggers a full compaction into level 1.
+  int l0_compaction_trigger = 4;
+  /// Target size of each level-1 table produced by compaction.
+  size_t target_file_bytes = 2 << 20;
+  TableBuilder::Options table_options;
+};
+
+/// Counters exposed for observability and the micro-benchmarks.
+struct DbStats {
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t bytes_flushed = 0;
+  uint64_t bytes_compacted = 0;
+};
+
+/// A small embedded LSM key-value store: one memtable, a newest-first list
+/// of level-0 tables, and a level-1 run of key-disjoint tables. This is the
+/// storage engine underneath the hstore table layer (the repository's HBase
+/// stand-in). Not thread-safe; the profile store serializes access.
+class Db {
+ public:
+  /// Opens (or creates) a database rooted at `path` inside `env`, which
+  /// must outlive the Db.
+  static Result<std::unique_ptr<Db>> Open(Env* env, std::string path,
+                                          DbOptions options = {});
+
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+
+  /// NotFound if the key is absent or deleted.
+  Result<std::string> Get(std::string_view key) const;
+
+  /// Iterates live records (no tombstones) over the whole database in key
+  /// order. The iterator must not outlive the Db and must be discarded
+  /// before any further writes.
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  /// Persists the memtable as a level-0 table (no-op when empty). Runs a
+  /// compaction if level 0 is over the trigger.
+  Status Flush();
+
+  /// Merges everything into a fresh level-1 run, dropping tombstones.
+  Status CompactAll();
+
+  size_t num_level0_tables() const { return l0_.size(); }
+  size_t num_level1_tables() const { return l1_.size(); }
+  size_t memtable_entries() const { return memtable_.num_entries(); }
+  /// Rough resident payload: memtable bytes plus serialized table bytes.
+  size_t ApproximateSizeBytes() const;
+  const DbStats& stats() const { return stats_; }
+
+ private:
+  Db(Env* env, std::string path, DbOptions options)
+      : env_(env), path_(std::move(path)), options_(options) {}
+
+  Status MaybeFlush();
+  Status WriteManifest();
+  Status LoadManifest();
+  Result<std::shared_ptr<Table>> LoadTable(const std::string& file_name);
+  std::string NewFileName();
+  /// All sources newest-first (memtable, L0 newest-first, L1).
+  std::vector<std::unique_ptr<Iterator>> AllChildren() const;
+
+  Env* env_;
+  std::string path_;
+  DbOptions options_;
+  Memtable memtable_;
+  std::vector<std::pair<std::string, std::shared_ptr<Table>>> l0_;
+  std::vector<std::pair<std::string, std::shared_ptr<Table>>> l1_;
+  uint64_t next_file_number_ = 1;
+  DbStats stats_;
+};
+
+}  // namespace pstorm::storage
+
+#endif  // PSTORM_STORAGE_DB_H_

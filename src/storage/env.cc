@@ -1,0 +1,135 @@
+#include "storage/env.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace pstorm::storage {
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+// ---------------------------------------------------------------- InMemory
+
+Status InMemoryEnv::CreateDir(const std::string&) { return Status::OK(); }
+
+bool InMemoryEnv::FileExists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Status InMemoryEnv::WriteFile(const std::string& path,
+                              const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path] = data;
+  return Status::OK();
+}
+
+Result<std::string> InMemoryEnv::ReadFile(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second;
+}
+
+Status InMemoryEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return Status::OK();
+}
+
+Status InMemoryEnv::RenameFile(const std::string& from,
+                               const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file: " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> InMemoryEnv::ListDir(
+    const std::string& dir) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir
+                                                              : dir + "/";
+  std::vector<std::string> names;
+  for (const auto& [path, _] : files_) {
+    if (!StartsWith(path, prefix)) continue;
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;
+}
+
+// ------------------------------------------------------------------- Posix
+
+Status PosixEnv::CreateDir(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) return Status::IoError("create_directories " + path + ": " +
+                                 ec.message());
+  return Status::OK();
+}
+
+bool PosixEnv::FileExists(const std::string& path) const {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+Status PosixEnv::WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("open for write: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) return Status::IoError("write: " + path);
+  return Status::OK();
+}
+
+Result<std::string> PosixEnv::ReadFile(const std::string& path) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no such file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) return Status::IoError("read: " + path);
+  return buf.str();
+}
+
+Status PosixEnv::DeleteFile(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::remove(path, ec)) {
+    return Status::NotFound("no such file: " + path);
+  }
+  if (ec) return Status::IoError("remove " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status PosixEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  std::filesystem::rename(from, to, ec);
+  if (ec) return Status::IoError("rename " + from + " -> " + to + ": " +
+                                 ec.message());
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> PosixEnv::ListDir(
+    const std::string& dir) const {
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    names.push_back(entry.path().filename().string());
+  }
+  if (ec) return Status::IoError("listdir " + dir + ": " + ec.message());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace pstorm::storage

@@ -1,0 +1,72 @@
+#ifndef PSTORM_STORAGE_ENV_H_
+#define PSTORM_STORAGE_ENV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pstorm::storage {
+
+/// Filesystem abstraction for the storage engine. Tables are small (profile
+/// payloads are a few hundred bytes each, thesis §5), so whole-file
+/// read/write is the unit of IO; there is no streaming file handle layer.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Status CreateDir(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) const = 0;
+  virtual Status WriteFile(const std::string& path,
+                           const std::string& data) = 0;
+  virtual Result<std::string> ReadFile(const std::string& path) const = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  /// Atomic-within-the-env rename; replaces the target if it exists.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  /// Names (not paths) of files directly inside `dir`, sorted.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& dir) const = 0;
+};
+
+/// In-memory Env. The default for tests and for the profile-store use case,
+/// where the entire corpus of profiles is tiny and persistence is optional.
+class InMemoryEnv final : public Env {
+ public:
+  Status CreateDir(const std::string& path) override;
+  bool FileExists(const std::string& path) const override;
+  Status WriteFile(const std::string& path, const std::string& data) override;
+  Result<std::string> ReadFile(const std::string& path) const override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Result<std::vector<std::string>> ListDir(
+      const std::string& dir) const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> files_;
+};
+
+/// POSIX filesystem Env for on-disk stores.
+class PosixEnv final : public Env {
+ public:
+  Status CreateDir(const std::string& path) override;
+  bool FileExists(const std::string& path) const override;
+  Status WriteFile(const std::string& path, const std::string& data) override;
+  Result<std::string> ReadFile(const std::string& path) const override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Result<std::vector<std::string>> ListDir(
+      const std::string& dir) const override;
+};
+
+/// Joins `dir` and `name` with exactly one separator.
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+}  // namespace pstorm::storage
+
+#endif  // PSTORM_STORAGE_ENV_H_

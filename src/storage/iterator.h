@@ -1,0 +1,42 @@
+#ifndef PSTORM_STORAGE_ITERATOR_H_
+#define PSTORM_STORAGE_ITERATOR_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace pstorm::storage {
+
+/// Whether a record is a live value or a deletion marker. Tombstones are
+/// visible to internal (merge/compaction) iterators and hidden from DB
+/// clients.
+enum class EntryType : uint8_t { kValue = 0, kTombstone = 1 };
+
+/// Forward iterator over ordered key/value records. After construction the
+/// iterator is unpositioned; call SeekToFirst or Seek before use. key() and
+/// value() views are valid only until the next mutation of the iterator.
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  /// Positions at the first record with key >= target.
+  virtual void Seek(std::string_view target) = 0;
+  virtual void Next() = 0;
+
+  virtual std::string_view key() const = 0;
+  virtual std::string_view value() const = 0;
+  virtual EntryType type() const = 0;
+
+  /// Non-OK if the underlying source was corrupt; iteration stops early.
+  virtual Status status() const = 0;
+};
+
+/// An iterator over nothing (always invalid), optionally carrying an error.
+std::unique_ptr<Iterator> NewEmptyIterator(Status status = Status::OK());
+
+}  // namespace pstorm::storage
+
+#endif  // PSTORM_STORAGE_ITERATOR_H_

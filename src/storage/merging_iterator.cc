@@ -1,0 +1,120 @@
+#include "storage/merging_iterator.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace pstorm::storage {
+
+namespace {
+
+class MergingIterator final : public Iterator {
+ public:
+  explicit MergingIterator(std::vector<std::unique_ptr<Iterator>> children)
+      : children_(std::move(children)) {}
+
+  bool Valid() const override { return current_ >= 0; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    FindSmallest();
+  }
+
+  void Seek(std::string_view target) override {
+    for (auto& child : children_) child->Seek(target);
+    FindSmallest();
+  }
+
+  void Next() override {
+    PSTORM_CHECK(Valid());
+    // Advance every child positioned at the current key (the winner and all
+    // the shadowed duplicates), then re-select.
+    const std::string current_key(children_[current_]->key());
+    for (auto& child : children_) {
+      if (child->Valid() && child->key() == current_key) child->Next();
+    }
+    FindSmallest();
+  }
+
+  std::string_view key() const override { return children_[current_]->key(); }
+  std::string_view value() const override {
+    return children_[current_]->value();
+  }
+  EntryType type() const override { return children_[current_]->type(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      if (!child->status().ok()) return child->status();
+    }
+    return Status::OK();
+  }
+
+ private:
+  void FindSmallest() {
+    current_ = -1;
+    for (int i = 0; i < static_cast<int>(children_.size()); ++i) {
+      if (!children_[i]->Valid()) continue;
+      // Strict < keeps the lowest-index (newest) child for equal keys.
+      if (current_ < 0 || children_[i]->key() < children_[current_]->key()) {
+        current_ = i;
+      }
+    }
+    if (!status().ok()) current_ = -1;
+  }
+
+  std::vector<std::unique_ptr<Iterator>> children_;
+  int current_ = -1;
+};
+
+class LiveRecordIterator final : public Iterator {
+ public:
+  explicit LiveRecordIterator(std::unique_ptr<Iterator> base)
+      : base_(std::move(base)) {}
+
+  bool Valid() const override { return base_->Valid(); }
+
+  void SeekToFirst() override {
+    base_->SeekToFirst();
+    SkipTombstones();
+  }
+
+  void Seek(std::string_view target) override {
+    base_->Seek(target);
+    SkipTombstones();
+  }
+
+  void Next() override {
+    base_->Next();
+    SkipTombstones();
+  }
+
+  std::string_view key() const override { return base_->key(); }
+  std::string_view value() const override { return base_->value(); }
+  EntryType type() const override { return base_->type(); }
+  Status status() const override { return base_->status(); }
+
+ private:
+  void SkipTombstones() {
+    while (base_->Valid() && base_->type() == EntryType::kTombstone) {
+      base_->Next();
+    }
+  }
+
+  std::unique_ptr<Iterator> base_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> NewMergingIterator(
+    std::vector<std::unique_ptr<Iterator>> children) {
+  if (children.empty()) return NewEmptyIterator();
+  if (children.size() == 1) return std::move(children[0]);
+  return std::make_unique<MergingIterator>(std::move(children));
+}
+
+std::unique_ptr<Iterator> NewLiveRecordIterator(
+    std::unique_ptr<Iterator> base) {
+  return std::make_unique<LiveRecordIterator>(std::move(base));
+}
+
+}  // namespace pstorm::storage

@@ -1,0 +1,26 @@
+#ifndef PSTORM_STORAGE_MERGING_ITERATOR_H_
+#define PSTORM_STORAGE_MERGING_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/iterator.h"
+
+namespace pstorm::storage {
+
+/// Merges several sorted children into one sorted stream. `children` are
+/// ordered newest-first: when multiple children expose the same key, the
+/// record from the lowest-index child wins and the shadowed records are
+/// skipped. Tombstones are surfaced (type() == kTombstone) so compactions
+/// and the DB read path can act on them; use NewLiveRecordIterator to hide
+/// them from clients.
+std::unique_ptr<Iterator> NewMergingIterator(
+    std::vector<std::unique_ptr<Iterator>> children);
+
+/// Wraps `base`, skipping tombstoned records.
+std::unique_ptr<Iterator> NewLiveRecordIterator(
+    std::unique_ptr<Iterator> base);
+
+}  // namespace pstorm::storage
+
+#endif  // PSTORM_STORAGE_MERGING_ITERATOR_H_

@@ -1,0 +1,255 @@
+#include "storage/sstable.h"
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace pstorm::storage {
+
+namespace {
+constexpr uint64_t kTableMagic = 0x7073746f726d5354ULL;  // "pstormST"
+constexpr size_t kFooterSize = 6 * 8;
+}  // namespace
+
+TableBuilder::TableBuilder(TableBuilder::Options options)
+    : options_(options),
+      data_block_(options.restart_interval),
+      index_block_(options.restart_interval),
+      bloom_(options.bloom_bits_per_key) {}
+
+void TableBuilder::Add(std::string_view key, std::string_view value,
+                       EntryType type) {
+  PSTORM_CHECK(num_entries_ == 0 || key > std::string_view(last_key_))
+      << "keys must be added in strictly increasing order";
+  data_block_.Add(key, value, type);
+  bloom_.AddKey(key);
+  last_key_.assign(key.data(), key.size());
+  ++num_entries_;
+  if (data_block_.CurrentSizeEstimate() >= options_.block_size_bytes) {
+    FlushDataBlock();
+  }
+}
+
+void TableBuilder::FlushDataBlock() {
+  if (data_block_.empty()) return;
+  const uint64_t offset = file_.size();
+  const std::string block = data_block_.Finish();
+  file_ += block;
+  std::string handle;
+  PutFixed64(&handle, offset);
+  PutFixed64(&handle, block.size());
+  index_block_.Add(last_key_, handle, EntryType::kValue);
+}
+
+std::string TableBuilder::Finish() {
+  FlushDataBlock();
+
+  const uint64_t filter_offset = file_.size();
+  const std::string filter = bloom_.Finish();
+  file_ += filter;
+
+  const uint64_t index_offset = file_.size();
+  const std::string index = index_block_.Finish();
+  file_ += index;
+
+  const uint64_t content_hash = Fnv1a64(file_);
+  PutFixed64(&file_, filter_offset);
+  PutFixed64(&file_, filter.size());
+  PutFixed64(&file_, index_offset);
+  PutFixed64(&file_, index.size());
+  PutFixed64(&file_, content_hash);
+  PutFixed64(&file_, kTableMagic);
+
+  std::string out = std::move(file_);
+  file_.clear();
+  last_key_.clear();
+  num_entries_ = 0;
+  return out;
+}
+
+Result<std::shared_ptr<Table>> Table::Open(std::string contents) {
+  if (contents.size() < kFooterSize) {
+    return Status::Corruption("table too small for footer");
+  }
+  const char* footer = contents.data() + contents.size() - kFooterSize;
+  const uint64_t filter_offset = DecodeFixed64(footer);
+  const uint64_t filter_size = DecodeFixed64(footer + 8);
+  const uint64_t index_offset = DecodeFixed64(footer + 16);
+  const uint64_t index_size = DecodeFixed64(footer + 24);
+  const uint64_t content_hash = DecodeFixed64(footer + 32);
+  const uint64_t magic = DecodeFixed64(footer + 40);
+  if (magic != kTableMagic) return Status::Corruption("bad table magic");
+
+  const size_t body = contents.size() - kFooterSize;
+  if (filter_offset + filter_size > body || index_offset + index_size > body ||
+      index_offset != filter_offset + filter_size) {
+    return Status::Corruption("bad table footer offsets");
+  }
+  if (Fnv1a64(std::string_view(contents.data(), body)) != content_hash) {
+    return Status::Corruption("table content hash mismatch");
+  }
+
+  auto table = std::shared_ptr<Table>(new Table());
+  table->contents_ = std::move(contents);
+  table->filter_ =
+      std::string_view(table->contents_.data() + filter_offset, filter_size);
+  table->index_ = Block::Parse(
+      table->contents_.substr(index_offset, index_size));
+  if (table->index_ == nullptr) {
+    return Status::Corruption("bad index block");
+  }
+
+  // Derive key range and block count from the index + first block.
+  auto index_iter = table->index().NewIterator();
+  for (index_iter->SeekToFirst(); index_iter->Valid(); index_iter->Next()) {
+    ++table->num_data_blocks_;
+    table->largest_key_.assign(index_iter->key());
+  }
+  PSTORM_RETURN_IF_ERROR(index_iter->status());
+  if (table->num_data_blocks_ > 0) {
+    index_iter->SeekToFirst();
+    std::string_view handle = index_iter->value();
+    if (handle.size() != 16) return Status::Corruption("bad index handle");
+    PSTORM_ASSIGN_OR_RETURN(
+        std::shared_ptr<Block> first,
+        table->ReadBlock(DecodeFixed64(handle.data()),
+                         DecodeFixed64(handle.data() + 8)));
+    auto block_iter = first->NewIterator();
+    block_iter->SeekToFirst();
+    if (block_iter->Valid()) table->smallest_key_.assign(block_iter->key());
+  }
+  return table;
+}
+
+Result<std::shared_ptr<Block>> Table::ReadBlock(uint64_t offset,
+                                                uint64_t size) const {
+  if (offset + size > contents_.size()) {
+    return Status::Corruption("block handle out of range");
+  }
+  std::unique_ptr<Block> block = Block::Parse(contents_.substr(offset, size));
+  if (block == nullptr) return Status::Corruption("unparseable data block");
+  return std::shared_ptr<Block>(std::move(block));
+}
+
+Result<std::optional<Table::GetResult>> Table::Get(
+    std::string_view key) const {
+  if (!BloomFilterMayContain(filter_, key)) return std::optional<GetResult>();
+
+  auto index_iter = index_->NewIterator();
+  index_iter->Seek(key);
+  if (!index_iter->Valid()) {
+    PSTORM_RETURN_IF_ERROR(index_iter->status());
+    return std::optional<GetResult>();
+  }
+  std::string_view handle = index_iter->value();
+  if (handle.size() != 16) return Status::Corruption("bad index handle");
+  PSTORM_ASSIGN_OR_RETURN(
+      std::shared_ptr<Block> block,
+      ReadBlock(DecodeFixed64(handle.data()), DecodeFixed64(handle.data() + 8)));
+  auto iter = block->NewIterator();
+  iter->Seek(key);
+  PSTORM_RETURN_IF_ERROR(iter->status());
+  if (!iter->Valid() || iter->key() != key) return std::optional<GetResult>();
+  return std::optional<GetResult>(
+      GetResult{std::string(iter->value()), iter->type()});
+}
+
+namespace {
+
+/// Two-level iterator: walks the index block, opening each data block in
+/// turn.
+class TableIterator final : public Iterator {
+ public:
+  explicit TableIterator(const Table* table)
+      : table_(table), index_iter_(table->index().NewIterator()) {}
+
+  bool Valid() const override {
+    return block_iter_ != nullptr && block_iter_->Valid();
+  }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    LoadBlockAndPosition([](Iterator* it) { it->SeekToFirst(); });
+  }
+
+  void Seek(std::string_view target) override {
+    index_iter_->Seek(target);
+    const std::string target_copy(target);
+    LoadBlockAndPosition(
+        [&target_copy](Iterator* it) { it->Seek(target_copy); });
+    // The target may be greater than every key in the located block (it was
+    // <= the index key but sits in a gap); advance to the next block.
+    if (block_iter_ != nullptr && !block_iter_->Valid() && status_.ok()) {
+      AdvanceBlock();
+    }
+  }
+
+  void Next() override {
+    PSTORM_CHECK(Valid());
+    block_iter_->Next();
+    if (!block_iter_->Valid()) {
+      if (!block_iter_->status().ok()) {
+        status_ = block_iter_->status();
+        block_iter_ = nullptr;
+        return;
+      }
+      AdvanceBlock();
+    }
+  }
+
+  std::string_view key() const override { return block_iter_->key(); }
+  std::string_view value() const override { return block_iter_->value(); }
+  EntryType type() const override { return block_iter_->type(); }
+
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    if (!index_iter_->status().ok()) return index_iter_->status();
+    if (block_iter_ != nullptr) return block_iter_->status();
+    return Status::OK();
+  }
+
+ private:
+  template <typename PositionFn>
+  void LoadBlockAndPosition(PositionFn position) {
+    block_ = nullptr;
+    block_iter_ = nullptr;
+    if (!index_iter_->Valid()) return;
+    std::string_view handle = index_iter_->value();
+    if (handle.size() != 16) {
+      status_ = Status::Corruption("bad index handle");
+      return;
+    }
+    auto block = table_->ReadBlock(DecodeFixed64(handle.data()),
+                                   DecodeFixed64(handle.data() + 8));
+    if (!block.ok()) {
+      status_ = block.status();
+      return;
+    }
+    block_ = std::move(block).value();
+    block_iter_ = block_->NewIterator();
+    position(block_iter_.get());
+    if (!block_iter_->status().ok()) {
+      status_ = block_iter_->status();
+      block_iter_ = nullptr;
+    }
+  }
+
+  void AdvanceBlock() {
+    index_iter_->Next();
+    LoadBlockAndPosition([](Iterator* it) { it->SeekToFirst(); });
+  }
+
+  const Table* table_;
+  std::unique_ptr<Iterator> index_iter_;
+  std::shared_ptr<Block> block_;
+  std::unique_ptr<Iterator> block_iter_;
+  Status status_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> Table::NewIterator() const {
+  return std::make_unique<TableIterator>(this);
+}
+
+}  // namespace pstorm::storage

@@ -1,0 +1,101 @@
+#ifndef PSTORM_STORAGE_SSTABLE_H_
+#define PSTORM_STORAGE_SSTABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/block.h"
+#include "storage/bloom.h"
+#include "storage/iterator.h"
+
+namespace pstorm::storage {
+
+/// Serialized-table layout:
+///
+///   data block*
+///   filter block      one bloom filter over every key in the table
+///   index block       entry per data block: key = last key in the block,
+///                     value = fixed64 offset, fixed64 size
+///   footer            fixed64 filter_offset, fixed64 filter_size,
+///                     fixed64 index_offset, fixed64 index_size,
+///                     fixed64 content_hash, fixed64 magic
+///
+/// `content_hash` covers everything before the footer and lets the reader
+/// reject corrupted files.
+class TableBuilder {
+ public:
+  struct Options {
+    size_t block_size_bytes = 4096;
+    int restart_interval = 16;
+    int bloom_bits_per_key = 10;
+  };
+
+  TableBuilder() : TableBuilder(Options{}) {}
+  explicit TableBuilder(Options options);
+
+  /// Keys must be added in strictly increasing order.
+  void Add(std::string_view key, std::string_view value, EntryType type);
+
+  /// Serializes the table and resets the builder.
+  std::string Finish();
+
+  size_t num_entries() const { return num_entries_; }
+
+ private:
+  void FlushDataBlock();
+
+  Options options_;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  BloomFilterBuilder bloom_;
+  std::string file_;
+  std::string last_key_;
+  size_t num_entries_ = 0;
+};
+
+/// Immutable reader over one serialized table. The whole table lives in
+/// memory (tables are bounded by the compactor's target file size).
+class Table {
+ public:
+  /// Validates the footer and content hash.
+  static Result<std::shared_ptr<Table>> Open(std::string contents);
+
+  /// The value for `key`, the tombstone, or nothing.
+  struct GetResult {
+    std::string value;
+    EntryType type;
+  };
+  Result<std::optional<GetResult>> Get(std::string_view key) const;
+
+  /// Iterates every record in the table in key order (tombstones included).
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  std::string_view smallest_key() const { return smallest_key_; }
+  std::string_view largest_key() const { return largest_key_; }
+  size_t num_data_blocks() const { return num_data_blocks_; }
+  size_t size_bytes() const { return contents_.size(); }
+
+  /// Layout accessors for the iterator implementation; not part of the
+  /// intended client API.
+  const Block& index() const { return *index_; }
+  Result<std::shared_ptr<Block>> ReadBlock(uint64_t offset,
+                                           uint64_t size) const;
+
+ private:
+  Table() = default;
+
+  std::string contents_;
+  std::string_view filter_;            // Points into contents_.
+  std::unique_ptr<Block> index_;
+  std::string smallest_key_;
+  std::string largest_key_;
+  size_t num_data_blocks_ = 0;
+};
+
+}  // namespace pstorm::storage
+
+#endif  // PSTORM_STORAGE_SSTABLE_H_

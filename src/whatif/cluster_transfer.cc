@@ -1,0 +1,53 @@
+#include "whatif/cluster_transfer.h"
+
+namespace pstorm::whatif {
+
+namespace {
+double Ratio(double target, double source) {
+  return source > 0.0 ? target / source : 1.0;
+}
+}  // namespace
+
+profiler::ExecutionProfile AdjustProfileForCluster(
+    const profiler::ExecutionProfile& profile,
+    const mrsim::ClusterSpec& source, const mrsim::ClusterSpec& target) {
+  profiler::ExecutionProfile out = profile;
+  out.job_name = profile.job_name + "@transferred";
+
+  const double hdfs_read = Ratio(target.hdfs_read_ns_per_byte,
+                                 source.hdfs_read_ns_per_byte);
+  const double hdfs_write = Ratio(target.hdfs_write_ns_per_byte,
+                                  source.hdfs_write_ns_per_byte);
+  const double local_read = Ratio(target.local_read_ns_per_byte,
+                                  source.local_read_ns_per_byte);
+  const double local_write = Ratio(target.local_write_ns_per_byte,
+                                   source.local_write_ns_per_byte);
+  const double cpu = Ratio(target.cpu_cost_factor, source.cpu_cost_factor);
+
+  profiler::MapSideProfile& m = out.map_side;
+  m.read_hdfs_io_cost *= hdfs_read;
+  m.read_local_io_cost *= local_read;
+  m.write_local_io_cost *= local_write;
+  m.map_cpu_cost *= cpu;
+  m.combine_cpu_cost *= cpu;
+  // Timings: scale by the phase's dominant rate for plausible diagnostics.
+  m.read_s *= hdfs_read;
+  m.map_s *= cpu;
+  m.spill_s *= local_write;
+  m.merge_s *= 0.5 * (local_read + local_write);
+
+  profiler::ReduceSideProfile& r = out.reduce_side;
+  r.write_hdfs_io_cost *= hdfs_write;
+  r.read_local_io_cost *= local_read;
+  r.write_local_io_cost *= local_write;
+  r.reduce_cpu_cost *= cpu;
+  r.shuffle_s *= Ratio(target.network_ns_per_byte,
+                       source.network_ns_per_byte);
+  r.sort_s *= 0.5 * (local_read + local_write);
+  r.reduce_s *= cpu;
+  r.write_s *= hdfs_write;
+
+  return out;
+}
+
+}  // namespace pstorm::whatif

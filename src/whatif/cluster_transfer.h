@@ -1,0 +1,25 @@
+#ifndef PSTORM_WHATIF_CLUSTER_TRANSFER_H_
+#define PSTORM_WHATIF_CLUSTER_TRANSFER_H_
+
+#include "mrsim/cluster.h"
+#include "profiler/profile.h"
+
+namespace pstorm::whatif {
+
+/// Rewrites a profile collected on `source` so its cost factors describe
+/// the job running on `target` instead (thesis §7.2.3 / §7.2.6: sharing
+/// one profile store across clusters, or bootstrapping PStorM on a new
+/// cluster from another cluster's profiles).
+///
+/// Data-flow statistics are properties of the job and transfer as-is; the
+/// cost factors are scaled by the ratio of the clusters' baseline rates
+/// (the "crucial role" the thesis flags as the challenge). Phase timings
+/// are scaled alongside their dominant rate so diagnostic output stays
+/// plausible, though only the cost factors matter to the what-if engine.
+profiler::ExecutionProfile AdjustProfileForCluster(
+    const profiler::ExecutionProfile& profile,
+    const mrsim::ClusterSpec& source, const mrsim::ClusterSpec& target);
+
+}  // namespace pstorm::whatif
+
+#endif  // PSTORM_WHATIF_CLUSTER_TRANSFER_H_

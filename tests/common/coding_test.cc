@@ -1,0 +1,117 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace pstorm {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 12345);
+  PutFixed32(&buf, std::numeric_limits<uint32_t>::max());
+  ASSERT_EQ(buf.size(), 12u);
+  EXPECT_EQ(DecodeFixed32(buf.data()), 0u);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 4), 12345u);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 8),
+            std::numeric_limits<uint32_t>::max());
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x1122334455667788ULL);
+  ASSERT_EQ(buf.size(), 8u);
+  EXPECT_EQ(DecodeFixed64(buf.data()), 0x1122334455667788ULL);
+}
+
+TEST(CodingTest, Varint32RoundTripBoundaries) {
+  const uint32_t cases[] = {0,          1,          127,        128,
+                            16383,      16384,      2097151,    2097152,
+                            268435455,  268435456,  4294967295U};
+  std::string buf;
+  for (uint32_t v : cases) PutVarint32(&buf, v);
+  std::string_view input = buf;
+  for (uint32_t expected : cases) {
+    uint32_t got;
+    ASSERT_TRUE(GetVarint32(&input, &got));
+    EXPECT_EQ(got, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, Varint64RoundTripBoundaries) {
+  const uint64_t cases[] = {0,
+                            1,
+                            (1ULL << 7) - 1,
+                            (1ULL << 7),
+                            (1ULL << 35),
+                            (1ULL << 63),
+                            std::numeric_limits<uint64_t>::max()};
+  std::string buf;
+  for (uint64_t v : cases) PutVarint64(&buf, v);
+  std::string_view input = buf;
+  for (uint64_t expected : cases) {
+    uint64_t got;
+    ASSERT_TRUE(GetVarint64(&input, &got));
+    EXPECT_EQ(got, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, VarintRejectsTruncatedInput) {
+  std::string buf;
+  PutVarint64(&buf, std::numeric_limits<uint64_t>::max());
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view input(buf.data(), cut);
+    uint64_t v;
+    EXPECT_FALSE(GetVarint64(&input, &v)) << "cut=" << cut;
+  }
+}
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 40);
+  std::string_view input = buf;
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&input, &v));
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(300, 'x'));
+  std::string_view input = buf;
+  std::string_view v;
+  ASSERT_TRUE(GetLengthPrefixed(&input, &v));
+  EXPECT_EQ(v, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&input, &v));
+  EXPECT_EQ(v, "");
+  ASSERT_TRUE(GetLengthPrefixed(&input, &v));
+  EXPECT_EQ(v, std::string(300, 'x'));
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, LengthPrefixedRejectsShortBuffer) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  buf.resize(buf.size() - 1);
+  std::string_view input = buf;
+  std::string_view v;
+  EXPECT_FALSE(GetLengthPrefixed(&input, &v));
+}
+
+TEST(CodingTest, BinarySafeValues) {
+  std::string payload("\x00\x01\xff\x7f", 4);
+  std::string buf;
+  PutLengthPrefixed(&buf, payload);
+  std::string_view input = buf;
+  std::string_view v;
+  ASSERT_TRUE(GetLengthPrefixed(&input, &v));
+  EXPECT_EQ(v, payload);
+}
+
+}  // namespace
+}  // namespace pstorm

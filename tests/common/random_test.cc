@@ -1,0 +1,136 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace pstorm {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, BoundedDrawsStayInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanConverges) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(2.0, 4.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsConverge) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(15);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.LogNormal(0.0, 0.5), 0.0);
+}
+
+TEST(RngTest, ZipfRanksWithinBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t k = rng.Zipf(100, 1.1);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 100u);
+  }
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  Rng rng(19);
+  std::map<uint64_t, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Zipf(1000, 1.0)];
+  // Rank 1 should be drawn far more often than rank 10.
+  EXPECT_GT(counts[1], counts[10] * 3);
+  // Rank-1 frequency for s=1, n=1000 is 1/H_1000 ~ 13%.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.13, 0.04);
+}
+
+TEST(RngTest, ZipfSingleElement) {
+  Rng rng(21);
+  EXPECT_EQ(rng.Zipf(1, 1.5), 1u);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent1(31), parent2(31);
+  Rng childa = parent1.Fork(1);
+  Rng childb = parent2.Fork(1);
+  EXPECT_EQ(childa.NextUint64(), childb.NextUint64());
+
+  Rng parent3(31);
+  Rng child1 = parent3.Fork(1);
+  Rng child2 = parent3.Fork(2);
+  EXPECT_NE(child1.NextUint64(), child2.NextUint64());
+}
+
+TEST(RngTest, SampleWithoutReplacementProperties) {
+  Rng rng(37);
+  for (uint64_t k : {0ull, 1ull, 5ull, 57ull, 571ull}) {
+    auto sample = rng.SampleWithoutReplacement(571, k);
+    ASSERT_EQ(sample.size(), k);
+    std::set<uint64_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), k) << "duplicates for k=" << k;
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    for (uint64_t v : sample) EXPECT_LT(v, 571u);
+  }
+}
+
+TEST(RngTest, SampleFullRangeIsPermutationOfAll) {
+  Rng rng(41);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+}  // namespace
+}  // namespace pstorm

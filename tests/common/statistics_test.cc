@@ -1,0 +1,119 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pstorm {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSinglePass) {
+  RunningStat all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10 + i * 0.1;
+    all.Add(v);
+    (i < 37 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStat merged = a;
+  merged.Merge(empty);
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_EQ(merged.mean(), 2.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStatTest, CoefficientOfVariation) {
+  RunningStat s;
+  s.Add(10.0);
+  s.Add(20.0);
+  // mean 15, stddev sqrt(50) -> cv ~ 0.4714.
+  EXPECT_NEAR(s.cv(), std::sqrt(50.0) / 15.0, 1e-12);
+}
+
+TEST(PercentileTest, MedianAndExtremes) {
+  std::vector<double> v = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 90), 9.0);
+}
+
+TEST(PercentileTest, EmptyIsZero) {
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+}
+
+TEST(EuclideanDistanceTest, KnownDistances) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1, 1, 1}, {1, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({}, {}), 0.0);
+}
+
+TEST(PositionalJaccardTest, CountsPositionalMatches) {
+  EXPECT_DOUBLE_EQ(PositionalJaccard({"a", "b", "c"}, {"a", "b", "c"}), 1.0);
+  EXPECT_DOUBLE_EQ(PositionalJaccard({"a", "b", "c"}, {"a", "x", "c"}),
+                   2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PositionalJaccard({"a"}, {"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(PositionalJaccard({}, {}), 1.0);
+}
+
+TEST(PositionalJaccardTest, OrderMatters) {
+  // Positional comparison: same multiset in a different order mismatches.
+  EXPECT_DOUBLE_EQ(PositionalJaccard({"a", "b"}, {"b", "a"}), 0.0);
+}
+
+}  // namespace
+}  // namespace pstorm

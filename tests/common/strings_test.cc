@@ -1,0 +1,57 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace pstorm {
+namespace {
+
+TEST(StrSplitTest, SplitsAndKeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrJoinTest, Joins) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"only"}, ","), "only");
+}
+
+TEST(StrSplitJoinTest, RoundTrips) {
+  const std::string text = "Static/Job1|Dynamic/Job2|x";
+  EXPECT_EQ(StrJoin(StrSplit(text, '|'), "|"), text);
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("Static/Job1", "Static/"));
+  EXPECT_FALSE(StartsWith("Dyn", "Dynamic"));
+  EXPECT_TRUE(EndsWith("map.cfg", ".cfg"));
+  EXPECT_FALSE(EndsWith("cfg", "map.cfg"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(HumanBytesTest, PicksUnits) {
+  EXPECT_EQ(HumanBytes(7), "7 B");
+  EXPECT_EQ(HumanBytes(12 * 1024), "12.0 KB");
+  EXPECT_EQ(HumanBytes(100ull * 1024 * 1024), "100.0 MB");
+  EXPECT_EQ(HumanBytes(35ull * 1024 * 1024 * 1024), "35.00 GB");
+  EXPECT_EQ(HumanBytes(2ull * 1024 * 1024 * 1024 * 1024), "2.00 TB");
+}
+
+TEST(HumanDurationTest, PicksUnits) {
+  EXPECT_EQ(HumanDuration(0.183), "183 ms");
+  EXPECT_EQ(HumanDuration(44.2), "44.2s");
+  EXPECT_EQ(HumanDuration(13 * 60 + 44), "13m 44s");
+  EXPECT_EQ(HumanDuration(2 * 3600 + 13 * 60), "2h 13m");
+}
+
+TEST(FormatDoubleTest, FixedDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(0.5, 3), "0.500");
+}
+
+}  // namespace
+}  // namespace pstorm

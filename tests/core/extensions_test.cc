@@ -1,0 +1,238 @@
+// Tests of the §7.2 future-work extensions (user parameters in the static
+// feature vector, call-flow-graph matching) and of the PerfXplain-style
+// explanation module (§2.3.2 / §7.2.4).
+
+#include <gtest/gtest.h>
+
+#include "core/explain.h"
+#include "staticanalysis/cfg_matcher.h"
+#include "core/matcher.h"
+#include "jobs/benchmark_jobs.h"
+#include "jobs/datasets.h"
+#include "profiler/profiler.h"
+
+namespace pstorm::core {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  ExtensionsTest() : sim_(mrsim::ThesisCluster()), profiler_(&sim_) {
+    auto store = ProfileStore::Open(&env_, "/ext-store");
+    PSTORM_CHECK_OK(store.status());
+    store_ = std::move(store).value();
+  }
+
+  void StoreJob(const jobs::BenchmarkJob& job, const char* data_name,
+                uint64_t seed) {
+    auto data = jobs::FindDataSet(data_name).value();
+    auto profiled = profiler_.ProfileFullRun(job.spec, data,
+                                             mrsim::Configuration{}, seed);
+    ASSERT_TRUE(profiled.ok()) << profiled.status();
+    ASSERT_TRUE(store_
+                    ->PutProfile(job.spec.name, profiled->profile,
+                                 staticanalysis::ExtractStaticFeatures(
+                                     job.program))
+                    .ok());
+  }
+
+  JobFeatureVector Probe(const jobs::BenchmarkJob& job,
+                         const char* data_name, uint64_t seed) {
+    auto data = jobs::FindDataSet(data_name).value();
+    auto sampled = profiler_.ProfileOneTask(job.spec, *&data,
+                                            mrsim::Configuration{}, seed);
+    PSTORM_CHECK(sampled.ok());
+    return BuildFeatureVector(
+        sampled->profile,
+        staticanalysis::ExtractStaticFeatures(job.program));
+  }
+
+  storage::InMemoryEnv env_;
+  mrsim::Simulator sim_;
+  profiler::Profiler profiler_;
+  std::unique_ptr<ProfileStore> store_;
+};
+
+TEST_F(ExtensionsTest, UserParametersAreExtractedAndStored) {
+  const auto cooc = jobs::WordCooccurrencePairs(3);
+  const auto statics = staticanalysis::ExtractStaticFeatures(cooc.program);
+  EXPECT_EQ(statics.user_params, "window=3");
+
+  StoreJob(cooc, jobs::kRandomText1Gb, 1);
+  auto entry = store_->GetEntry(cooc.spec.name);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->statics.user_params, "window=3");
+}
+
+TEST_F(ExtensionsTest, StaticOnlyMatchingSeparatesWindowsViaParameters) {
+  // §7.2.1's promise: with parameters in the static vector, matching needs
+  // no dynamic sample at all — the same code at windows 2/4/6 is separated
+  // by the parameter alone.
+  for (int window : {2, 4, 6}) {
+    StoreJob(jobs::WordCooccurrencePairs(window), jobs::kRandomText1Gb,
+             10 + window);
+  }
+  MatchOptions options;
+  options.static_only = true;
+  options.include_user_parameters = true;
+  MultiStageMatcher matcher(store_.get(), options);
+  for (int window : {2, 4, 6}) {
+    const auto probe =
+        Probe(jobs::WordCooccurrencePairs(window), jobs::kRandomText1Gb,
+              20 + window);
+    auto match = matcher.Match(probe);
+    ASSERT_TRUE(match.ok());
+    ASSERT_TRUE(match->found) << "window " << window;
+    EXPECT_EQ(match->map_source,
+              "word-cooccurrence-pairs-w" + std::to_string(window));
+  }
+}
+
+TEST_F(ExtensionsTest, WithoutParametersStaticOnlyCannotSeparateWindows) {
+  for (int window : {2, 6}) {
+    StoreJob(jobs::WordCooccurrencePairs(window), jobs::kRandomText1Gb,
+             30 + window);
+  }
+  // Static-only WITHOUT user parameters: both windows are identical
+  // statically, so the matcher cannot reliably tell them apart — the
+  // submitted w6 probe may land on either. Verify the filters keep both.
+  MatchOptions options;
+  options.static_only = true;
+  options.include_user_parameters = false;
+  MultiStageMatcher matcher(store_.get(), options);
+  auto side = matcher.MatchSide(
+      Side::kMap,
+      Probe(jobs::WordCooccurrencePairs(6), jobs::kRandomText1Gb, 40));
+  ASSERT_TRUE(side.ok());
+  EXPECT_EQ(side->after_jaccard, 2u)
+      << "identical static features cannot separate windows";
+}
+
+TEST_F(ExtensionsTest, CallSetsAreExtracted) {
+  const auto cloudburst = jobs::CloudBurst();
+  const auto statics =
+      staticanalysis::ExtractStaticFeatures(cloudburst.program);
+  EXPECT_TRUE(statics.map_calls.empty());
+  ASSERT_EQ(statics.reduce_calls.size(), 1u);
+  EXPECT_EQ(statics.reduce_calls[0], "extendAlignment");
+}
+
+TEST_F(ExtensionsTest, CallGraphFilterSeparatesSameShapeDifferentHelpers) {
+  // §7.2.2's motivation: identical CFGs, different helper calls, very
+  // different profiles. Build two such jobs.
+  auto make_job = [](const char* name, const char* helper, double cpu) {
+    jobs::BenchmarkJob job = jobs::WordCount();
+    job.spec.name = name;
+    job.spec.map.cpu_ns_per_record = cpu;
+    job.program.mapper_class = "GenericUdfMapper";  // Same class name!
+    job.program.map_function = {
+        "GenericUdfMapper.map",
+        staticanalysis::Loop(
+            "records",
+            staticanalysis::Seq({staticanalysis::Call(helper),
+                                 staticanalysis::Emit()}))};
+    return job;
+  };
+  const auto cheap = make_job("udf-cheap", "toLowerCase", 2000.0);
+  const auto costly = make_job("udf-costly", "stemAndLemmatize", 40000.0);
+
+  // Same CFG shape by construction.
+  const auto f1 = staticanalysis::ExtractStaticFeatures(cheap.program);
+  const auto f2 = staticanalysis::ExtractStaticFeatures(costly.program);
+  ASSERT_TRUE(staticanalysis::MatchCfgs(f1.map_cfg, f2.map_cfg));
+  ASSERT_NE(f1.map_calls, f2.map_calls);
+
+  StoreJob(cheap, jobs::kRandomText1Gb, 50);
+  StoreJob(costly, jobs::kRandomText1Gb, 51);
+
+  MatchOptions with_calls;
+  with_calls.use_call_graph = true;
+  MultiStageMatcher matcher(store_.get(), with_calls);
+  auto side = matcher.MatchSide(
+      Side::kMap, Probe(costly, jobs::kRandomText1Gb, 52));
+  ASSERT_TRUE(side.ok());
+  EXPECT_EQ(side->job_key, "udf-costly");
+
+  // Without the call filter both survive the CFG stage.
+  MultiStageMatcher plain(store_.get());
+  auto plain_side = plain.MatchSide(
+      Side::kMap, Probe(costly, jobs::kRandomText1Gb, 53));
+  ASSERT_TRUE(plain_side.ok());
+  EXPECT_GE(plain_side->after_cfg, 2u);
+}
+
+TEST(ExplainTest, IdenticalJobsNeedNoExplanation) {
+  const mrsim::Simulator sim(mrsim::ThesisCluster());
+  const profiler::Profiler prof(&sim);
+  const auto wc = jobs::WordCount();
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  const auto statics = staticanalysis::ExtractStaticFeatures(wc.program);
+  auto a = prof.ProfileFullRun(wc.spec, data, mrsim::Configuration{}, 1);
+  auto b = prof.ProfileFullRun(wc.spec, data, mrsim::Configuration{}, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const auto explanations = ExplainPerformanceDifference(
+      a->profile, statics, b->profile, statics);
+  EXPECT_TRUE(explanations.empty())
+      << "two runs of the same job differ only by noise";
+}
+
+TEST(ExplainTest, DifferentJobsGetCausalExplanations) {
+  const mrsim::Simulator sim(mrsim::ThesisCluster());
+  const profiler::Profiler prof(&sim);
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  const auto wc = jobs::WordCount();
+  const auto join = jobs::TpchJoin();
+  const auto join_data = jobs::FindDataSet(jobs::kTpch1Gb).value();
+  auto a = prof.ProfileFullRun(wc.spec, data, mrsim::Configuration{}, 3);
+  auto b = prof.ProfileFullRun(join.spec, join_data, mrsim::Configuration{},
+                               4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const auto explanations = ExplainPerformanceDifference(
+      a->profile, staticanalysis::ExtractStaticFeatures(wc.program),
+      b->profile, staticanalysis::ExtractStaticFeatures(join.program));
+  ASSERT_FALSE(explanations.empty());
+
+  // At least one explanation carries a static-feature cause — the insight
+  // PerfXplain alone cannot produce (§7.2.4).
+  bool has_cause = false;
+  for (const auto& e : explanations) has_cause |= !e.cause.empty();
+  EXPECT_TRUE(has_cause);
+
+  // Explanations with causes outrank bare observations.
+  EXPECT_FALSE(explanations.front().cause.empty());
+
+  const std::string report =
+      RenderExplanations("word-count", "tpch-join", explanations);
+  EXPECT_NE(report.find("because:"), std::string::npos);
+}
+
+TEST(ExplainTest, InputFormatterDifferenceIsAttributed) {
+  const mrsim::Simulator sim(mrsim::ThesisCluster());
+  const profiler::Profiler prof(&sim);
+  const auto wc = jobs::WordCount();       // TextInputFormat.
+  const auto join = jobs::TpchJoin();      // CompositeInputFormat (1.5x).
+  const auto wc_data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  const auto join_data = jobs::FindDataSet(jobs::kTpch1Gb).value();
+  auto a = prof.ProfileFullRun(wc.spec, wc_data, mrsim::Configuration{}, 5);
+  auto b =
+      prof.ProfileFullRun(join.spec, join_data, mrsim::Configuration{}, 6);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExplainOptions options;
+  options.min_divergence = 0.2;
+  const auto explanations = ExplainPerformanceDifference(
+      a->profile, staticanalysis::ExtractStaticFeatures(wc.program),
+      b->profile, staticanalysis::ExtractStaticFeatures(join.program),
+      options);
+  bool formatter_blamed = false;
+  for (const auto& e : explanations) {
+    if (e.cause.find("input formatters") != std::string::npos) {
+      formatter_blamed = true;
+    }
+  }
+  EXPECT_TRUE(formatter_blamed);
+}
+
+}  // namespace
+}  // namespace pstorm::core

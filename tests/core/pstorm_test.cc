@@ -1,0 +1,156 @@
+#include "core/pstorm.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "jobs/datasets.h"
+
+namespace pstorm::core {
+namespace {
+
+class PStormFacadeTest : public ::testing::Test {
+ protected:
+  PStormFacadeTest() : sim_(mrsim::ThesisCluster()) {
+    PStormOptions options;
+    options.cbo.global_samples = 150;  // Keep tests quick.
+    options.cbo.local_samples = 50;
+    auto system = PStorM::Create(&sim_, &env_, "/pstorm", options);
+    PSTORM_CHECK_OK(system.status());
+    system_ = std::move(system).value();
+  }
+
+  mrsim::DataSetSpec DataSet(const char* name) {
+    auto d = jobs::FindDataSet(name);
+    EXPECT_TRUE(d.ok());
+    return d.value();
+  }
+
+  storage::InMemoryEnv env_;
+  mrsim::Simulator sim_;
+  std::unique_ptr<PStorM> system_;
+};
+
+TEST_F(PStormFacadeTest, FirstSubmissionProfilesAndStores) {
+  auto outcome = system_->SubmitJob(jobs::WordCount(),
+                                    DataSet(jobs::kRandomText1Gb),
+                                    mrsim::Configuration{}, 1);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_FALSE(outcome->matched);
+  EXPECT_TRUE(outcome->stored_new_profile);
+  EXPECT_EQ(system_->store().num_profiles(), 1u);
+  EXPECT_GT(outcome->runtime_s, 0);
+  EXPECT_GT(outcome->sample_runtime_s, 0);
+  EXPECT_LT(outcome->sample_runtime_s, outcome->runtime_s);
+}
+
+TEST_F(PStormFacadeTest, SecondSubmissionMatchesAndTunes) {
+  const auto data = DataSet(jobs::kRandomText1Gb);
+  auto first = system_->SubmitJob(jobs::WordCooccurrencePairs(2), data,
+                                  mrsim::Configuration{}, 2);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first->matched);
+
+  auto second = system_->SubmitJob(jobs::WordCooccurrencePairs(2), data,
+                                   mrsim::Configuration{}, 3);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->matched);
+  EXPECT_FALSE(second->stored_new_profile);
+  EXPECT_EQ(second->profile_source,
+            "word-cooccurrence-pairs-w2@random-text-1gb");
+  // Tuning pays off: the second (tuned) run beats the first (default,
+  // profiled) run decisively for this shuffle-heavy job.
+  EXPECT_LT(second->runtime_s, first->runtime_s * 0.6);
+}
+
+TEST_F(PStormFacadeTest, UnseenJobReusesSimilarProfile) {
+  const auto data = DataSet(jobs::kWikipedia35Gb);
+  // Seed the store with the bigram job only.
+  auto seeding = system_->SubmitJob(jobs::BigramRelativeFrequency(), data,
+                                    mrsim::Configuration{}, 4);
+  ASSERT_TRUE(seeding.ok());
+  ASSERT_TRUE(seeding->stored_new_profile);
+
+  // The co-occurrence pairs job has never run, yet gets tuned via the
+  // bigram profile (the Figure 1.3 story).
+  auto outcome = system_->SubmitJob(jobs::WordCooccurrencePairs(2), data,
+                                    mrsim::Configuration{}, 5);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_TRUE(outcome->matched);
+  EXPECT_NE(outcome->profile_source.find("bigram-relative-frequency"),
+            std::string::npos);
+
+  // And the tuned run is much faster than the default would have been.
+  auto default_run = sim_.RunJob(jobs::WordCooccurrencePairs(2).spec, data,
+                                 mrsim::Configuration{});
+  ASSERT_TRUE(default_run.ok());
+  EXPECT_GT(default_run->runtime_s / outcome->runtime_s, 3.0);
+}
+
+TEST(CorpusTest, BuildsAllWorkloadEntriesAndFindsTwins) {
+  const mrsim::Simulator sim(mrsim::ThesisCluster());
+  auto corpus = BuildEvaluationCorpus(sim, mrsim::Configuration{}, 7);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  EXPECT_EQ(corpus->items.size(), 54u);
+
+  int without_twin = 0;
+  for (size_t i = 0; i < corpus->items.size(); ++i) {
+    const int twin = corpus->TwinOf(i);
+    if (twin < 0) {
+      ++without_twin;
+    } else {
+      EXPECT_EQ(corpus->items[twin].entry.job.spec.name,
+                corpus->items[i].entry.job.spec.name);
+      EXPECT_NE(corpus->items[twin].entry.data_set,
+                corpus->items[i].entry.data_set);
+    }
+  }
+  // Stripes + the 3 FIM chain jobs ran on a single data set: exactly the
+  // "four profiles whose twins are not stored" of §6.1.1.
+  EXPECT_EQ(without_twin, 4);
+}
+
+TEST(EvaluatorTest, PStormAccuracyIsHighInBothStates) {
+  const mrsim::Simulator sim(mrsim::ThesisCluster());
+  auto corpus = BuildEvaluationCorpus(sim, mrsim::Configuration{}, 8);
+  ASSERT_TRUE(corpus.ok());
+  storage::InMemoryEnv env;
+  MatcherEvaluator evaluator(&env, std::move(corpus).value());
+
+  auto sd = evaluator.EvaluatePStorM(StoreState::kSameData);
+  ASSERT_TRUE(sd.ok()) << sd.status();
+  EXPECT_GE(sd->map_accuracy(), 0.95)
+      << sd->map_correct << "/" << sd->total;
+  EXPECT_GE(sd->reduce_accuracy(), 0.90)
+      << sd->reduce_correct << "/" << sd->total;
+
+  auto dd = evaluator.EvaluatePStorM(StoreState::kDifferentData);
+  ASSERT_TRUE(dd.ok());
+  // Four submissions have no twin, so perfection is impossible; the
+  // thesis reports 5 map-side and 7 reduce-side errors out of ~54.
+  EXPECT_GE(dd->map_accuracy(), 0.80);
+  EXPECT_GE(dd->reduce_accuracy(), 0.75);
+  EXPECT_LT(dd->map_accuracy(), 1.0);
+}
+
+TEST(EvaluatorTest, BaselinesUnderperformPStorM) {
+  const mrsim::Simulator sim(mrsim::ThesisCluster());
+  auto corpus = BuildEvaluationCorpus(sim, mrsim::Configuration{}, 9);
+  ASSERT_TRUE(corpus.ok());
+  storage::InMemoryEnv env;
+  MatcherEvaluator evaluator(&env, std::move(corpus).value());
+
+  auto pstorm = evaluator.EvaluatePStorM(StoreState::kSameData);
+  auto p_features =
+      evaluator.EvaluateBaseline(StoreState::kSameData,
+                                 BaselineFeatures::kProfileOnly);
+  ASSERT_TRUE(pstorm.ok());
+  ASSERT_TRUE(p_features.ok());
+  // Figure 6.1: the naive information-gain selection misses for over a
+  // third of submissions even in the SD state.
+  EXPECT_GT(pstorm->map_accuracy(), p_features->map_accuracy());
+  EXPECT_LT(p_features->map_accuracy(), 0.8)
+      << p_features->map_correct << "/" << p_features->total;
+}
+
+}  // namespace
+}  // namespace pstorm::core

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "ml/feature_selection.h"
+#include "ml/gbrt.h"
+#include "ml/regression_tree.h"
+
+namespace pstorm::ml {
+namespace {
+
+/// y = step function of x0: a tree should nail it.
+void MakeStepData(int n, FeatureMatrix* x, std::vector<double>* y) {
+  Rng rng(42);
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng.Uniform(0, 10);
+    const double x1 = rng.Uniform(0, 10);  // Irrelevant.
+    x->push_back({x0, x1});
+    y->push_back(x0 < 5.0 ? 1.0 : 9.0);
+  }
+}
+
+TEST(RegressionTreeTest, FitsAStepFunction) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  MakeStepData(200, &x, &y);
+  auto tree = RegressionTree::Fit(x, y, {}, {.max_depth = 2,
+                                             .min_samples_leaf = 5});
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_NEAR(tree->Predict({2.0, 7.0}), 1.0, 0.05);
+  EXPECT_NEAR(tree->Predict({8.0, 1.0}), 9.0, 0.05);
+}
+
+TEST(RegressionTreeTest, ConstantTargetIsALeaf) {
+  FeatureMatrix x = {{1}, {2}, {3}, {4}, {5},
+                     {6}, {7}, {8}, {9}, {10}};
+  std::vector<double> y(10, 3.5);
+  auto tree = RegressionTree::Fit(x, y, {}, {.max_depth = 4,
+                                             .min_samples_leaf = 2});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree->Predict({100.0}), 3.5);
+}
+
+TEST(RegressionTreeTest, RespectsMaxDepth) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Uniform(0, 1);
+    x.push_back({v});
+    y.push_back(std::sin(v * 20));
+  }
+  auto tree = RegressionTree::Fit(x, y, {}, {.max_depth = 3,
+                                             .min_samples_leaf = 5});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->depth(), 3);
+}
+
+TEST(RegressionTreeTest, MedianLeavesResistOutliers) {
+  // 9 small values and one huge outlier in each half: the median leaf
+  // should sit near the typical value; the mean leaf is dragged away.
+  FeatureMatrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i % 10 == 9 ? 1000.0 : 1.0);
+  }
+  auto mean_tree = RegressionTree::Fit(x, y, {}, {.max_depth = 0},
+                                       /*leaf_median=*/false);
+  auto median_tree = RegressionTree::Fit(x, y, {}, {.max_depth = 0},
+                                         /*leaf_median=*/true);
+  ASSERT_TRUE(mean_tree.ok());
+  ASSERT_TRUE(median_tree.ok());
+  EXPECT_GT(mean_tree->Predict({0}), 50.0);
+  EXPECT_NEAR(median_tree->Predict({0}), 1.0, 1e-9);
+}
+
+TEST(RegressionTreeTest, RejectsBadInput) {
+  EXPECT_FALSE(RegressionTree::Fit({}, {}, {}, {}).ok());
+  EXPECT_FALSE(RegressionTree::Fit({{1}}, {1, 2}, {}, {}).ok());
+  EXPECT_FALSE(RegressionTree::Fit({{1}, {1, 2}}, {1, 2}, {}, {}).ok());
+  EXPECT_FALSE(RegressionTree::Fit({{1}}, {1}, {5}, {}).ok());
+}
+
+TEST(GbrtTest, LearnsANonlinearFunction) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.Uniform(0, 1);
+    const double b = rng.Uniform(0, 1);
+    x.push_back({a, b});
+    y.push_back(3.0 * a * a + b + rng.Gaussian(0, 0.01));
+  }
+  GradientBoostedTrees::Options options;
+  options.num_trees = 300;
+  options.shrinkage = 0.05;
+  options.train_fraction = 1.0;
+  options.cv_folds = 5;
+  options.min_obs_in_node = 5;
+  auto model = GradientBoostedTrees::Fit(x, y, options);
+  ASSERT_TRUE(model.ok()) << model.status();
+
+  double mse = 0;
+  Rng test_rng(8);
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    const double a = test_rng.Uniform(0.1, 0.9);
+    const double b = test_rng.Uniform(0.1, 0.9);
+    const double truth = 3.0 * a * a + b;
+    const double err = model->Predict({a, b}) - truth;
+    mse += err * err;
+  }
+  mse /= trials;
+  EXPECT_LT(mse, 0.05) << "GBRT should fit a smooth surface well";
+}
+
+TEST(GbrtTest, CvSelectsAReasonableIteration) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  MakeStepData(300, &x, &y);
+  GradientBoostedTrees::Options options;
+  options.num_trees = 200;
+  options.shrinkage = 0.1;
+  options.train_fraction = 1.0;
+  options.cv_folds = 4;
+  options.min_obs_in_node = 5;
+  auto model = GradientBoostedTrees::Fit(x, y, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GE(model->best_iteration(), 10);
+  EXPECT_LE(model->best_iteration(), 200);
+  EXPECT_EQ(model->num_trees_trained(), 200u);
+}
+
+TEST(GbrtTest, LaplaceLossHandlesOutliers) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.Uniform(0, 1);
+    x.push_back({a});
+    // 10% wild outliers.
+    y.push_back(2.0 * a + (i % 10 == 0 ? 100.0 : 0.0));
+  }
+  GradientBoostedTrees::Options options;
+  options.loss = GbrtLoss::kLaplace;
+  options.num_trees = 200;
+  options.shrinkage = 0.1;
+  options.train_fraction = 1.0;
+  options.cv_folds = 4;
+  options.min_obs_in_node = 5;
+  auto model = GradientBoostedTrees::Fit(x, y, options);
+  ASSERT_TRUE(model.ok());
+  // Median regression: predictions track 2a, not the outlier-shifted mean.
+  EXPECT_NEAR(model->Predict({0.5}), 1.0, 0.5);
+}
+
+TEST(GbrtTest, DeterministicGivenSeed) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  MakeStepData(150, &x, &y);
+  GradientBoostedTrees::Options options;
+  options.num_trees = 50;
+  options.train_fraction = 1.0;
+  options.cv_folds = 3;
+  options.min_obs_in_node = 5;
+  auto a = GradientBoostedTrees::Fit(x, y, options);
+  auto b = GradientBoostedTrees::Fit(x, y, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Predict({3.0, 3.0}), b->Predict({3.0, 3.0}));
+  EXPECT_EQ(a->best_iteration(), b->best_iteration());
+}
+
+TEST(GbrtTest, RejectsBadOptions) {
+  FeatureMatrix x = {{1}, {2}};
+  std::vector<double> y = {1, 2};
+  GradientBoostedTrees::Options options;
+  options.num_trees = 0;
+  EXPECT_FALSE(GradientBoostedTrees::Fit(x, y, options).ok());
+  options = {};
+  options.bag_fraction = 1.5;
+  EXPECT_FALSE(GradientBoostedTrees::Fit(x, y, options).ok());
+  options = {};
+  options.cv_folds = 1;
+  EXPECT_FALSE(GradientBoostedTrees::Fit(x, y, options).ok());
+}
+
+TEST(InformationGainTest, DiscriminativeFeatureScoresHigh) {
+  std::vector<double> good, bad;
+  std::vector<int> labels;
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    const int label = i % 2;
+    labels.push_back(label);
+    good.push_back(label == 0 ? rng.Uniform(0, 1) : rng.Uniform(5, 6));
+    bad.push_back(rng.Uniform(0, 10));
+  }
+  EXPECT_GT(InformationGain(good, labels), 0.9);
+  EXPECT_LT(InformationGain(bad, labels), 0.2);
+}
+
+TEST(InformationGainTest, ConstantFeatureHasZeroGain) {
+  std::vector<double> constant(100, 1.0);
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) labels.push_back(i % 3);
+  EXPECT_EQ(InformationGain(constant, labels), 0.0);
+}
+
+TEST(InformationGainTest, RankingPutsDiscriminativeFirst) {
+  FeatureMatrix x;
+  std::vector<int> labels;
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const int label = i % 2;
+    labels.push_back(label);
+    x.push_back({rng.Uniform(0, 10),                       // Noise.
+                 label == 0 ? 0.0 + rng.Uniform(0, 1)      // Signal.
+                            : 7.0 + rng.Uniform(0, 1),
+                 rng.Uniform(0, 10)});                     // Noise.
+  }
+  auto ranked = RankFeaturesByInformationGain(x, labels);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ((*ranked)[0], 1u);
+}
+
+TEST(NearestNeighborTest, FindsClosestAfterNormalization) {
+  NearestNeighborIndex index;
+  // Dimension 0 spans [0, 1000], dimension 1 spans [0, 1]: without
+  // normalization dimension 0 would drown out dimension 1.
+  ASSERT_TRUE(index.Add(1, {0.0, 0.0}).ok());
+  ASSERT_TRUE(index.Add(2, {1000.0, 1.0}).ok());
+  ASSERT_TRUE(index.Add(3, {500.0, 0.9}).ok());
+  // Query near the middle of dim0 but with dim1 close to entry 3.
+  auto got = index.Nearest({480.0, 0.85});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), 3);
+}
+
+TEST(NearestNeighborTest, ExactMatchWins) {
+  NearestNeighborIndex index;
+  ASSERT_TRUE(index.Add(7, {1.0, 2.0, 3.0}).ok());
+  ASSERT_TRUE(index.Add(8, {4.0, 5.0, 6.0}).ok());
+  EXPECT_EQ(index.Nearest({4.0, 5.0, 6.0}).value(), 8);
+}
+
+TEST(NearestNeighborTest, ErrorsOnEmptyAndMismatch) {
+  NearestNeighborIndex index;
+  EXPECT_TRUE(index.Nearest({1.0}).status().IsNotFound());
+  ASSERT_TRUE(index.Add(1, {1.0, 2.0}).ok());
+  EXPECT_TRUE(index.Add(2, {1.0}).IsInvalidArgument());
+  EXPECT_TRUE(index.Nearest({1.0}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace pstorm::ml

@@ -1,0 +1,153 @@
+// Property sweeps over the simulator: invariants that must hold for every
+// benchmark job under every reasonable configuration.
+
+#include <gtest/gtest.h>
+
+#include "jobs/benchmark_jobs.h"
+#include "jobs/datasets.h"
+#include "mrsim/simulator.h"
+
+namespace pstorm::mrsim {
+namespace {
+
+/// Every (job, data set) execution of the workload, under a few distinct
+/// configurations, must satisfy the basic sanity invariants.
+class WorkloadInvariantTest
+    : public ::testing::TestWithParam<Configuration> {};
+
+TEST_P(WorkloadInvariantTest, AllJobsSatisfyBasicInvariants) {
+  const Simulator sim(ThesisCluster());
+  const Configuration& config = GetParam();
+  for (const auto& entry : jobs::Table61Workload()) {
+    const auto data = jobs::FindDataSet(entry.data_set).value();
+    auto result = sim.RunJob(entry.job.spec, data, config);
+    ASSERT_TRUE(result.ok()) << entry.job.spec.name << ": "
+                             << result.status();
+
+    EXPECT_GT(result->runtime_s, 0.0);
+    EXPECT_EQ(result->map_tasks.size(), data.num_splits());
+    EXPECT_EQ(result->reduce_tasks.size(),
+              static_cast<size_t>(config.num_reduce_tasks));
+    EXPECT_GE(result->runtime_s, result->map_phase_end_s);
+
+    double wire_sum = 0;
+    for (const auto& task : result->map_tasks) {
+      EXPECT_GE(task.end_s, task.start_s) << entry.job.spec.name;
+      EXPECT_GE(task.outcome.final_output_wire_bytes, 0.0);
+      EXPECT_LE(task.outcome.final_output_records,
+                task.outcome.map_output_records + 1.0)
+          << "combining cannot create records";
+      wire_sum += task.outcome.final_output_wire_bytes;
+    }
+    EXPECT_NEAR(wire_sum, result->total_map_output_wire_bytes,
+                1e-6 * (wire_sum + 1));
+    for (const auto& task : result->reduce_tasks) {
+      EXPECT_GE(task.end_s, result->map_phase_end_s)
+          << "no reducer finishes before the last map";
+    }
+  }
+}
+
+std::vector<Configuration> InvariantConfigs() {
+  std::vector<Configuration> configs;
+  configs.push_back(Configuration{});  // Hadoop defaults.
+  {
+    Configuration c;
+    c.num_reduce_tasks = 27;
+    c.compress_map_output = true;
+    c.io_sort_mb = 180;
+    configs.push_back(c);
+  }
+  {
+    Configuration c;
+    c.num_reduce_tasks = 60;  // Two reduce waves.
+    c.use_combiner = false;
+    c.io_sort_record_percent = 0.3;
+    c.io_sort_factor = 100;
+    c.reduce_input_buffer_percent = 0.5;
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, WorkloadInvariantTest,
+                         ::testing::ValuesIn(InvariantConfigs()),
+                         [](const auto& info) {
+                           return "config" + std::to_string(info.index);
+                         });
+
+TEST(SimulatorMonotonicityTest, MoreDataNeverRunsFaster) {
+  const Simulator sim(ThesisCluster());
+  const auto job = jobs::WordCount().spec;
+  Configuration config;
+  config.num_reduce_tasks = 8;
+  double previous = 0;
+  for (uint64_t gb : {1, 4, 16}) {
+    mrsim::DataSetSpec data;
+    data.name = "sweep-" + std::to_string(gb);
+    data.size_bytes = gb << 30;
+    data.avg_record_bytes = 100;
+    auto result = sim.RunJob(job, data, config, {.seed = 5});
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result->runtime_s, previous) << gb << " GB";
+    previous = result->runtime_s;
+  }
+}
+
+TEST(SimulatorMonotonicityTest, BiggerClusterIsNotSlower) {
+  const auto job = jobs::WordCooccurrencePairs(2).spec;
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  Configuration config;
+  config.num_reduce_tasks = 8;
+  double previous = 1e18;
+  for (int nodes : {5, 15, 45}) {
+    ClusterSpec cluster = ThesisCluster();
+    cluster.num_worker_nodes = nodes;
+    cluster.node_speed_sigma = 0.0;  // Isolate the scale effect.
+    cluster.task_noise_sigma = 0.0;
+    const Simulator sim(cluster);
+    auto result = sim.RunJob(job, data, config, {.seed = 6});
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->runtime_s, previous * 1.001) << nodes << " nodes";
+    previous = result->runtime_s;
+  }
+}
+
+TEST(SimulatorMonotonicityTest, ProfilingOverheadIsBounded) {
+  const Simulator sim(ThesisCluster());
+  const auto job = jobs::InvertedIndex().spec;
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  RunOptions plain, profiled;
+  plain.seed = profiled.seed = 7;
+  profiled.profiling_enabled = true;
+  for (double slowdown : {0.02, 0.08, 0.3}) {
+    profiled.profiling_slowdown = slowdown;
+    auto a = sim.RunJob(job, data, Configuration{}, plain);
+    auto b = sim.RunJob(job, data, Configuration{}, profiled);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    const double overhead = b->runtime_s / a->runtime_s - 1.0;
+    EXPECT_GT(overhead, 0.0);
+    EXPECT_LT(overhead, slowdown * 1.5 + 0.02);
+  }
+}
+
+TEST(SimulatorSeedSweepTest, RuntimeVarianceIsModest) {
+  const Simulator sim(ThesisCluster());
+  const auto job = jobs::WordCount().spec;
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  double min_runtime = 1e18, max_runtime = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    auto result = sim.RunJob(job, data, Configuration{}, {.seed = seed});
+    ASSERT_TRUE(result.ok());
+    min_runtime = std::min(min_runtime, result->runtime_s);
+    max_runtime = std::max(max_runtime, result->runtime_s);
+  }
+  EXPECT_LT(max_runtime / min_runtime, 1.5)
+      << "run-to-run noise should be realistic, not chaotic";
+  EXPECT_GT(max_runtime / min_runtime, 1.01)
+      << "there must BE run-to-run noise";
+}
+
+}  // namespace
+}  // namespace pstorm::mrsim

@@ -1,0 +1,343 @@
+#include "mrsim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pstorm::mrsim {
+namespace {
+
+DataSetSpec SmallTextData() {
+  DataSetSpec d;
+  d.name = "text-1gb";
+  d.size_bytes = 16ull * 64 * (1 << 20);  // 16 splits.
+  d.avg_record_bytes = 100.0;
+  return d;
+}
+
+DataSetSpec BigTextData() {
+  DataSetSpec d;
+  d.name = "wikipedia-35gb";
+  d.size_bytes = 571ull * 64 * (1 << 20);  // 571 splits (thesis).
+  d.avg_record_bytes = 100.0;
+  return d;
+}
+
+/// A shuffle-heavy job in the spirit of word co-occurrence pairs.
+JobSpec ShuffleHeavyJob() {
+  JobSpec j;
+  j.name = "cooc-like";
+  j.map.pairs_selectivity = 30.0;
+  j.map.size_selectivity = 6.0;
+  j.map.cpu_ns_per_record = 9000.0;
+  j.combine.defined = true;
+  j.combine.pairs_selectivity = 0.7;
+  j.combine.size_selectivity = 0.7;
+  j.combine.cpu_ns_per_record = 400.0;
+  j.reduce.pairs_selectivity = 0.2;
+  j.reduce.size_selectivity = 0.2;
+  j.reduce.cpu_ns_per_record = 1500.0;
+  return j;
+}
+
+JobSpec LightJob() {
+  JobSpec j;
+  j.name = "light";
+  j.map.pairs_selectivity = 1.0;
+  j.map.size_selectivity = 0.3;
+  j.map.cpu_ns_per_record = 2000.0;
+  j.reduce.pairs_selectivity = 1.0;
+  j.reduce.size_selectivity = 1.0;
+  j.reduce.cpu_ns_per_record = 1000.0;
+  return j;
+}
+
+TEST(ListScheduleTest, SingleSlotIsSequential) {
+  auto schedule = ListSchedule(1, {3.0, 2.0, 1.0});
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_EQ(schedule[0], (std::pair<double, double>{0.0, 3.0}));
+  EXPECT_EQ(schedule[1], (std::pair<double, double>{3.0, 5.0}));
+  EXPECT_EQ(schedule[2], (std::pair<double, double>{5.0, 6.0}));
+}
+
+TEST(ListScheduleTest, WavesAcrossSlots) {
+  auto schedule = ListSchedule(2, {1.0, 1.0, 1.0, 1.0});
+  EXPECT_EQ(schedule[0].first, 0.0);
+  EXPECT_EQ(schedule[1].first, 0.0);
+  EXPECT_EQ(schedule[2].first, 1.0);
+  EXPECT_EQ(schedule[3].first, 1.0);
+}
+
+TEST(ListScheduleTest, RespectsReleaseTime) {
+  auto schedule = ListSchedule(4, {1.0}, 10.0);
+  EXPECT_EQ(schedule[0].first, 10.0);
+}
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  Simulator sim_{ThesisCluster()};
+};
+
+TEST_F(SimulatorTest, SameSeedIsDeterministic) {
+  RunOptions options;
+  options.seed = 7;
+  auto a = sim_.RunJob(LightJob(), SmallTextData(), Configuration{}, options);
+  auto b = sim_.RunJob(LightJob(), SmallTextData(), Configuration{}, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->runtime_s, b->runtime_s);
+  ASSERT_EQ(a->map_tasks.size(), b->map_tasks.size());
+  for (size_t i = 0; i < a->map_tasks.size(); ++i) {
+    EXPECT_EQ(a->map_tasks[i].end_s, b->map_tasks[i].end_s);
+  }
+}
+
+TEST_F(SimulatorTest, DifferentSeedsVarySlightly) {
+  RunOptions s1, s2;
+  s1.seed = 1;
+  s2.seed = 2;
+  auto a = sim_.RunJob(LightJob(), SmallTextData(), Configuration{}, s1);
+  auto b = sim_.RunJob(LightJob(), SmallTextData(), Configuration{}, s2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->runtime_s, b->runtime_s);
+  // Noise, not chaos: within ~25%.
+  EXPECT_LT(std::fabs(a->runtime_s - b->runtime_s) / a->runtime_s, 0.25);
+}
+
+TEST_F(SimulatorTest, OneMapTaskPerSplit) {
+  auto result =
+      sim_.RunJob(LightJob(), SmallTextData(), Configuration{}, RunOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->map_tasks.size(), 16u);
+  EXPECT_EQ(result->reduce_tasks.size(), 1u);  // Default config.
+}
+
+TEST_F(SimulatorTest, MapTasksRunInWaves) {
+  // 571 splits over 30 map slots: ~20 waves, so the map phase must be much
+  // longer than any single task but much shorter than serial execution.
+  auto result =
+      sim_.RunJob(LightJob(), BigTextData(), Configuration{}, RunOptions{});
+  ASSERT_TRUE(result.ok());
+  double max_task = 0.0, sum_task = 0.0;
+  for (const auto& t : result->map_tasks) {
+    max_task = std::max(max_task, t.outcome.total_s);
+    sum_task += t.outcome.total_s;
+  }
+  EXPECT_GT(result->map_phase_end_s, 10.0 * max_task);
+  EXPECT_LT(result->map_phase_end_s, sum_task / 15.0);
+}
+
+TEST_F(SimulatorTest, SplitSubsetRunsOnlySampledTasks) {
+  RunOptions options;
+  options.split_subset = {0, 5, 10};
+  auto result =
+      sim_.RunJob(LightJob(), SmallTextData(), Configuration{}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->map_tasks.size(), 3u);
+  EXPECT_EQ(result->map_tasks[1].split_index, 5u);
+
+  RunOptions bad;
+  bad.split_subset = {99};
+  EXPECT_EQ(sim_.RunJob(LightJob(), SmallTextData(), Configuration{}, bad)
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(SimulatorTest, SamplingIsFarCheaperThanFullRun) {
+  RunOptions sample;
+  sample.split_subset = {0};
+  sample.profiling_enabled = true;
+  auto sampled =
+      sim_.RunJob(LightJob(), BigTextData(), Configuration{}, sample);
+  auto full =
+      sim_.RunJob(LightJob(), BigTextData(), Configuration{}, RunOptions{});
+  ASSERT_TRUE(sampled.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_LT(sampled->runtime_s, full->runtime_s * 0.10);
+}
+
+TEST_F(SimulatorTest, ProfilingSlowsTasksDown) {
+  RunOptions plain, profiled;
+  plain.seed = profiled.seed = 3;
+  profiled.profiling_enabled = true;
+  profiled.profiling_slowdown = 0.10;
+  auto a = sim_.RunJob(LightJob(), SmallTextData(), Configuration{}, plain);
+  auto b = sim_.RunJob(LightJob(), SmallTextData(), Configuration{}, profiled);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->runtime_s, a->runtime_s * 1.05);
+  EXPECT_LT(b->runtime_s, a->runtime_s * 1.20);
+}
+
+TEST_F(SimulatorTest, MoreReducersSpeedUpShuffleHeavyJob) {
+  // The headline Hadoop tuning effect: the default single reducer is awful
+  // for a shuffle-heavy job.
+  Configuration one, many;
+  one.num_reduce_tasks = 1;
+  many.num_reduce_tasks = 27;  // ~90% of 30 reduce slots (the RBO rule).
+  auto slow = sim_.RunJob(ShuffleHeavyJob(), SmallTextData(), one, {});
+  auto fast = sim_.RunJob(ShuffleHeavyJob(), SmallTextData(), many, {});
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_GT(slow->runtime_s, fast->runtime_s * 2.0);
+}
+
+TEST_F(SimulatorTest, TooManyReducersAddWaveOverhead) {
+  Configuration right, excessive;
+  right.num_reduce_tasks = 27;
+  excessive.num_reduce_tasks = 600;  // 20 waves of startup + scheduling.
+  auto good = sim_.RunJob(LightJob(), SmallTextData(), right, {});
+  auto bad = sim_.RunJob(LightJob(), SmallTextData(), excessive, {});
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(bad.ok());
+  EXPECT_GT(bad->runtime_s, good->runtime_s);
+}
+
+TEST_F(SimulatorTest, CombinerHelpsAggregatableJob) {
+  Configuration with, without;
+  with.use_combiner = true;
+  with.num_reduce_tasks = without.num_reduce_tasks = 4;
+  without.use_combiner = false;
+  JobSpec job = ShuffleHeavyJob();
+  job.combine.pairs_selectivity = 0.1;
+  job.combine.size_selectivity = 0.1;
+  auto fast = sim_.RunJob(job, SmallTextData(), with, {});
+  auto slow = sim_.RunJob(job, SmallTextData(), without, {});
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_LT(fast->runtime_s, slow->runtime_s);
+  EXPECT_LT(fast->total_map_output_wire_bytes,
+            slow->total_map_output_wire_bytes * 0.2);
+}
+
+TEST_F(SimulatorTest, CompressionIsATradeoff) {
+  // Compression pays off when the network is the bottleneck and backfires
+  // when it is not — the reason the blanket RBO compression rule can hurt
+  // (thesis Figure 6.3, inverted index).
+  Configuration with, without;
+  with.compress_map_output = true;
+  with.num_reduce_tasks = without.num_reduce_tasks = 8;
+
+  ClusterSpec congested = ThesisCluster();
+  congested.network_ns_per_byte = 80.0;
+  const Simulator slow_net(congested);
+  auto c_with = slow_net.RunJob(ShuffleHeavyJob(), SmallTextData(), with, {});
+  auto c_without =
+      slow_net.RunJob(ShuffleHeavyJob(), SmallTextData(), without, {});
+  ASSERT_TRUE(c_with.ok());
+  ASSERT_TRUE(c_without.ok());
+  EXPECT_LT(c_with->runtime_s, c_without->runtime_s)
+      << "congested network: compression wins";
+  EXPECT_LT(c_with->total_map_output_wire_bytes,
+            c_without->total_map_output_wire_bytes * 0.5);
+
+  ClusterSpec fast_net = ThesisCluster();
+  fast_net.network_ns_per_byte = 2.0;
+  const Simulator quick(fast_net);
+  auto f_with = quick.RunJob(ShuffleHeavyJob(), SmallTextData(), with, {});
+  auto f_without =
+      quick.RunJob(ShuffleHeavyJob(), SmallTextData(), without, {});
+  ASSERT_TRUE(f_with.ok());
+  ASSERT_TRUE(f_without.ok());
+  EXPECT_GT(f_with->runtime_s, f_without->runtime_s)
+      << "fast network: compression CPU is wasted";
+}
+
+TEST_F(SimulatorTest, MapOnlyJobHasNoReduceTasks) {
+  Configuration c;
+  c.num_reduce_tasks = 0;
+  auto result = sim_.RunJob(LightJob(), SmallTextData(), c, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->reduce_tasks.empty());
+  EXPECT_EQ(result->runtime_s, result->map_phase_end_s);
+}
+
+TEST_F(SimulatorTest, OversizedSortBufferTriggersOom) {
+  Configuration c;
+  c.io_sort_mb = 290;  // Task heap is 300 MB; base demand pushes it over.
+  auto result = sim_.RunJob(LightJob(), SmallTextData(), c, {});
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(SimulatorTest, MemoryHungryMapperOomsOnLargeSplits) {
+  JobSpec stripes = LightJob();
+  stripes.name = "stripes-like";
+  stripes.map_heap_demand_base_mb = 40.0;
+  stripes.map_heap_demand_mb_per_input_mb = 4.0;  // In-memory stripes.
+  auto result =
+      sim_.RunJob(stripes, BigTextData(), Configuration{}, RunOptions{});
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+
+  // The same job passes on a data set with small splits.
+  DataSetSpec small = SmallTextData();
+  small.split_bytes = 8 << 20;
+  EXPECT_TRUE(sim_.RunJob(stripes, small, Configuration{}, {}).ok());
+}
+
+TEST_F(SimulatorTest, SlowstartDelaysReducers) {
+  Configuration eager, lazy;
+  eager.reduce_slowstart_completed_maps = 0.05;
+  lazy.reduce_slowstart_completed_maps = 1.0;
+  eager.num_reduce_tasks = lazy.num_reduce_tasks = 4;
+  RunOptions options;
+  options.seed = 11;
+  auto a = sim_.RunJob(LightJob(), BigTextData(), eager, options);
+  auto b = sim_.RunJob(LightJob(), BigTextData(), lazy, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a->reduce_tasks[0].start_s, b->reduce_tasks[0].start_s);
+}
+
+TEST_F(SimulatorTest, ReduceSharesRoughlyBalanced) {
+  Configuration c;
+  c.num_reduce_tasks = 10;
+  auto result = sim_.RunJob(ShuffleHeavyJob(), SmallTextData(), c, {});
+  ASSERT_TRUE(result.ok());
+  double total = 0.0;
+  for (const auto& t : result->reduce_tasks) total += t.input_wire_bytes;
+  EXPECT_NEAR(total, result->total_map_output_wire_bytes, total * 1e-9);
+  for (const auto& t : result->reduce_tasks) {
+    EXPECT_GT(t.input_wire_bytes, total / 10 * 0.5);
+    EXPECT_LT(t.input_wire_bytes, total / 10 * 1.8);
+  }
+}
+
+TEST_F(SimulatorTest, CostRatesVaryAcrossTasksButDataflowDoesNot) {
+  // The statistical premise behind PStorM's feature choice (§4.1.1):
+  // data-flow statistics are stable across tasks of a job, cost factors
+  // are noisy.
+  auto result =
+      sim_.RunJob(LightJob(), BigTextData(), Configuration{}, RunOptions{});
+  ASSERT_TRUE(result.ok());
+  double min_rate = 1e18, max_rate = 0.0;
+  for (const auto& t : result->map_tasks) {
+    const double rate = t.outcome.read_s / t.input_bytes;  // Effective cost.
+    min_rate = std::min(min_rate, rate);
+    max_rate = std::max(max_rate, rate);
+    // Selectivity stays within ~5% of the job's truth for every task
+    // (split-content jitter is an order of magnitude below cost noise).
+    EXPECT_NEAR(t.outcome.map_output_bytes / t.input_bytes, 0.3, 0.015);
+  }
+  EXPECT_GT(max_rate / min_rate, 1.15) << "cost factors should be noisy";
+}
+
+TEST_F(SimulatorTest, RejectsInvalidInputs) {
+  DataSetSpec no_data;
+  EXPECT_TRUE(sim_.RunJob(LightJob(), no_data, Configuration{}, {})
+                  .status()
+                  .IsInvalidArgument());
+  Configuration bad;
+  bad.num_reduce_tasks = -2;
+  EXPECT_TRUE(sim_.RunJob(LightJob(), SmallTextData(), bad, {})
+                  .status()
+                  .IsInvalidArgument());
+  JobSpec bad_job;
+  EXPECT_TRUE(sim_.RunJob(bad_job, SmallTextData(), Configuration{}, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace pstorm::mrsim

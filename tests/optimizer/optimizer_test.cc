@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "jobs/benchmark_jobs.h"
+#include "jobs/datasets.h"
+#include "optimizer/cbo.h"
+#include "optimizer/rbo.h"
+#include "profiler/profiler.h"
+
+namespace pstorm::optimizer {
+namespace {
+
+class RboTest : public ::testing::Test {
+ protected:
+  RuleBasedOptimizer rbo_;
+  mrsim::ClusterSpec cluster_ = mrsim::ThesisCluster();
+};
+
+TEST_F(RboTest, ReducerRuleUses90PercentOfSlots) {
+  const auto config = rbo_.Recommend(cluster_, RboHints{});
+  EXPECT_EQ(config.num_reduce_tasks, 27);  // 0.9 * 30 reduce slots.
+}
+
+TEST_F(RboTest, CompressionRuleFiresOnLargeIntermediateData) {
+  RboHints hints;
+  hints.expect_large_intermediate_data = true;
+  EXPECT_TRUE(rbo_.Recommend(cluster_, hints).compress_map_output);
+  hints.expect_large_intermediate_data = false;
+  EXPECT_FALSE(rbo_.Recommend(cluster_, hints).compress_map_output);
+}
+
+TEST_F(RboTest, SortBufferRuleBoundedByHeap) {
+  RboHints hints;
+  hints.expect_large_intermediate_data = true;
+  const auto config = rbo_.Recommend(cluster_, hints);
+  EXPECT_GT(config.io_sort_mb, 100.0);
+  EXPECT_LT(config.io_sort_mb, cluster_.task_heap_mb);
+}
+
+TEST_F(RboTest, RecordPercentRuleFiresOnSmallRecords) {
+  RboHints hints;
+  hints.expect_small_intermediate_records = true;
+  EXPECT_GT(rbo_.Recommend(cluster_, hints).io_sort_record_percent, 0.05);
+  hints.expect_small_intermediate_records = false;
+  EXPECT_DOUBLE_EQ(rbo_.Recommend(cluster_, hints).io_sort_record_percent,
+                   0.05);
+}
+
+TEST_F(RboTest, CombinerRuleRequiresAssociativity) {
+  RboHints hints;
+  hints.reduce_is_associative = true;
+  EXPECT_TRUE(rbo_.Recommend(cluster_, hints).use_combiner);
+  hints.reduce_is_associative = false;
+  EXPECT_FALSE(rbo_.Recommend(cluster_, hints).use_combiner);
+}
+
+TEST_F(RboTest, RecommendationIsAlwaysValid) {
+  for (bool a : {false, true}) {
+    for (bool b : {false, true}) {
+      for (bool c : {false, true}) {
+        RboHints hints{a, b, c};
+        EXPECT_TRUE(rbo_.Recommend(cluster_, hints).Validate().ok());
+      }
+    }
+  }
+}
+
+class CboTest : public ::testing::Test {
+ protected:
+  CboTest()
+      : sim_(mrsim::ThesisCluster()),
+        profiler_(&sim_),
+        engine_(mrsim::ThesisCluster()),
+        cbo_(&engine_) {}
+
+  mrsim::DataSetSpec DataSet(const char* name) {
+    auto d = jobs::FindDataSet(name);
+    EXPECT_TRUE(d.ok());
+    return d.value();
+  }
+
+  /// Full end-to-end tuning loop: profile under the default config,
+  /// optimize, then measure the *simulated* speedup of the recommendation.
+  double TunedSpeedup(const mrsim::JobSpec& job,
+                      const mrsim::DataSetSpec& data) {
+    auto profiled =
+        profiler_.ProfileFullRun(job, data, mrsim::Configuration{}, 3);
+    EXPECT_TRUE(profiled.ok()) << profiled.status();
+    auto rec = cbo_.Optimize(profiled->profile, data);
+    EXPECT_TRUE(rec.ok()) << rec.status();
+
+    auto default_run = sim_.RunJob(job, data, mrsim::Configuration{});
+    auto tuned_run = sim_.RunJob(job, data, rec->config);
+    EXPECT_TRUE(default_run.ok());
+    EXPECT_TRUE(tuned_run.ok()) << tuned_run.status();
+    return default_run->runtime_s / tuned_run->runtime_s;
+  }
+
+  mrsim::Simulator sim_;
+  profiler::Profiler profiler_;
+  whatif::WhatIfEngine engine_;
+  CostBasedOptimizer cbo_;
+};
+
+TEST_F(CboTest, NeverWorseThanDefaultByItsOwnModel) {
+  const auto job = jobs::WordCount();
+  const auto data = DataSet(jobs::kRandomText1Gb);
+  auto profiled =
+      profiler_.ProfileFullRun(job.spec, data, mrsim::Configuration{}, 1);
+  ASSERT_TRUE(profiled.ok());
+  auto rec = cbo_.Optimize(profiled->profile, data);
+  ASSERT_TRUE(rec.ok());
+  auto default_prediction =
+      engine_.Predict(profiled->profile, data, mrsim::Configuration{});
+  ASSERT_TRUE(default_prediction.ok());
+  EXPECT_LE(rec->predicted_runtime_s, default_prediction->runtime_s);
+  EXPECT_GT(rec->candidates_evaluated, 100);
+}
+
+TEST_F(CboTest, DeterministicGivenSeed) {
+  const auto job = jobs::WordCount();
+  const auto data = DataSet(jobs::kRandomText1Gb);
+  auto profiled =
+      profiler_.ProfileFullRun(job.spec, data, mrsim::Configuration{}, 1);
+  ASSERT_TRUE(profiled.ok());
+  auto rec1 = cbo_.Optimize(profiled->profile, data);
+  auto rec2 = cbo_.Optimize(profiled->profile, data);
+  ASSERT_TRUE(rec1.ok());
+  ASSERT_TRUE(rec2.ok());
+  EXPECT_EQ(rec1->config, rec2->config);
+  EXPECT_EQ(rec1->predicted_runtime_s, rec2->predicted_runtime_s);
+}
+
+TEST_F(CboTest, RecommendationRespectsHeapBound) {
+  const auto job = jobs::WordCooccurrencePairs(2);
+  const auto data = DataSet(jobs::kRandomText1Gb);
+  auto profiled =
+      profiler_.ProfileFullRun(job.spec, data, mrsim::Configuration{}, 1);
+  ASSERT_TRUE(profiled.ok());
+  auto rec = cbo_.Optimize(profiled->profile, data);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_LE(rec->config.io_sort_mb,
+            engine_.cluster().task_heap_mb - 79.0);
+  // And the simulator accepts it (no OOM).
+  EXPECT_TRUE(sim_.RunJob(job.spec, data, rec->config).ok());
+}
+
+TEST_F(CboTest, ShuffleHeavyJobGetsLargeSpeedup) {
+  // The headline effect: co-occurrence-style jobs speed up severalfold
+  // once the CBO escapes the single-reducer default.
+  const double speedup = TunedSpeedup(jobs::WordCooccurrencePairs(2).spec,
+                                      DataSet(jobs::kRandomText1Gb));
+  EXPECT_GT(speedup, 2.5) << "expected a large tuning win";
+}
+
+TEST_F(CboTest, ModestJobStillImproves) {
+  const double speedup =
+      TunedSpeedup(jobs::WordCount().spec, DataSet(jobs::kRandomText1Gb));
+  EXPECT_GT(speedup, 1.0);
+}
+
+TEST_F(CboTest, TunedConfigUsesManyReducersForShuffleHeavyJob) {
+  const auto job = jobs::WordCooccurrencePairs(2);
+  const auto data = DataSet(jobs::kWikipedia35Gb);
+  auto profiled =
+      profiler_.ProfileFullRun(job.spec, data, mrsim::Configuration{}, 2);
+  ASSERT_TRUE(profiled.ok());
+  auto rec = cbo_.Optimize(profiled->profile, data);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_GT(rec->config.num_reduce_tasks, 5)
+      << "one reducer cannot be optimal for this job";
+}
+
+}  // namespace
+}  // namespace pstorm::optimizer

@@ -1,0 +1,153 @@
+#include "staticanalysis/cfg.h"
+
+#include <gtest/gtest.h>
+
+#include "staticanalysis/cfg_matcher.h"
+
+namespace pstorm::staticanalysis {
+namespace {
+
+/// The thesis Algorithm 1: word count map — one loop containing the emit.
+FunctionIr WordCountMap() {
+  return {"WordCountMapper.map",
+          Seq({Op("tokenize line"),
+               Loop("hasMoreTokens", Seq({Op("currentToken"), Emit()}))})};
+}
+
+/// The thesis Algorithm 2: word co-occurrence map — outer loop, inner
+/// condition, inner loop.
+FunctionIr CoocMap() {
+  return {"CoocMapper.map",
+          Seq({Op("window = getUserParameter"), Op("extractWords"),
+               Loop("i < words.length",
+                    If("isNotEmpty(words[i])",
+                       Loop("j < i + window",
+                            Seq({Op("pair = (words[i], words[j])"),
+                                 Emit()}))))})};
+}
+
+FunctionIr IdentityMap() { return {"IdentityMapper.map", Emit()}; }
+
+TEST(CfgBuilderTest, StraightLineIsSingleBlock) {
+  const Cfg cfg = BuildCfg(
+      {"f", Seq({Op("a"), Op("b"), Op("c"), Emit()})});
+  EXPECT_EQ(cfg.num_branches(), 0);
+  EXPECT_EQ(cfg.num_blocks(), 1) << "simple runs collapse into one vertex";
+  EXPECT_EQ(cfg.nodes()[1].stmt_count, 4);
+  EXPECT_EQ(cfg.num_back_edges(), 0);
+}
+
+TEST(CfgBuilderTest, EmptyFunctionIsEntryToExit) {
+  const Cfg cfg = BuildCfg({"f", nullptr});
+  EXPECT_EQ(cfg.num_blocks(), 0);
+  EXPECT_EQ(cfg.num_branches(), 0);
+  // Entry flows straight to exit.
+  EXPECT_EQ(cfg.nodes()[cfg.entry()].successors[0], cfg.exit());
+}
+
+TEST(CfgBuilderTest, WordCountHasOneLoopCycle) {
+  const Cfg cfg = BuildCfg(WordCountMap());
+  EXPECT_EQ(cfg.num_branches(), 1);
+  EXPECT_EQ(cfg.num_back_edges(), 1) << "the while loop is a cycle";
+}
+
+TEST(CfgBuilderTest, CoocHasNestedStructure) {
+  const Cfg cfg = BuildCfg(CoocMap());
+  EXPECT_EQ(cfg.num_branches(), 3);  // Outer loop, if, inner loop.
+  // Two loop bodies cycle back, and both the if-false edge and the inner
+  // loop's exit continue to the outer loop header: 3 backward edges.
+  EXPECT_EQ(cfg.num_back_edges(), 3);
+}
+
+TEST(CfgBuilderTest, IfElseBothBranchesConverge) {
+  const Cfg cfg = BuildCfg(
+      {"f", IfElse("cond", Op("then"), Op("else"))});
+  EXPECT_EQ(cfg.num_branches(), 1);
+  EXPECT_EQ(cfg.num_blocks(), 2);
+  EXPECT_EQ(cfg.num_back_edges(), 0);
+  // Both branch targets are set.
+  for (const CfgNode& node : cfg.nodes()) {
+    for (int succ : node.successors) EXPECT_GE(succ, 0);
+  }
+}
+
+TEST(CfgBuilderTest, DeterministicNodeNumbering) {
+  const Cfg a = BuildCfg(CoocMap());
+  const Cfg b = BuildCfg(CoocMap());
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST(CfgBuilderTest, DotRenderingMentionsAllNodes) {
+  const Cfg cfg = BuildCfg(WordCountMap());
+  const std::string dot = cfg.ToDot("wordcount_map");
+  EXPECT_NE(dot.find("digraph wordcount_map"), std::string::npos);
+  for (size_t i = 0; i < cfg.nodes().size(); ++i) {
+    EXPECT_NE(dot.find("n" + std::to_string(i) + " ["), std::string::npos);
+  }
+}
+
+TEST(CfgMatcherTest, IdenticalFunctionsMatch) {
+  EXPECT_TRUE(MatchCfgs(BuildCfg(WordCountMap()), BuildCfg(WordCountMap())));
+  EXPECT_TRUE(MatchCfgs(BuildCfg(CoocMap()), BuildCfg(CoocMap())));
+}
+
+TEST(CfgMatcherTest, WordCountAndCoocDiffer) {
+  // The Figure 4.2 pair: different loop/branch structure -> mismatch.
+  EXPECT_FALSE(MatchCfgs(BuildCfg(WordCountMap()), BuildCfg(CoocMap())));
+}
+
+TEST(CfgMatcherTest, MatchIsSymmetric) {
+  const Cfg wc = BuildCfg(WordCountMap());
+  const Cfg cooc = BuildCfg(CoocMap());
+  EXPECT_EQ(MatchCfgs(wc, cooc), MatchCfgs(cooc, wc));
+  EXPECT_TRUE(MatchCfgs(wc, wc));
+}
+
+TEST(CfgMatcherTest, RobustToRenamedOperations) {
+  // A while-loop word count and a re-labelled equivalent: same shape, so
+  // they match — this is the robustness-to-rewrites property of §4.1.3.
+  FunctionIr variant{"OtherWordCount.map",
+                     Seq({Op("split into words"),
+                          Loop("more words?", Seq({Op("next"), Emit()}))})};
+  EXPECT_TRUE(MatchCfgs(BuildCfg(WordCountMap()), BuildCfg(variant)));
+}
+
+TEST(CfgMatcherTest, BlockSizeOptionTightensMatch) {
+  FunctionIr two_ops{"f", Seq({Op("a"), Op("b")})};
+  FunctionIr three_ops{"g", Seq({Op("a"), Op("b"), Op("c")})};
+  EXPECT_TRUE(MatchCfgs(BuildCfg(two_ops), BuildCfg(three_ops)));
+  CfgMatchOptions strict;
+  strict.compare_block_sizes = true;
+  EXPECT_FALSE(MatchCfgs(BuildCfg(two_ops), BuildCfg(three_ops), strict));
+}
+
+TEST(CfgMatcherTest, LoopVersusStraightLineDiffer) {
+  EXPECT_FALSE(
+      MatchCfgs(BuildCfg(WordCountMap()), BuildCfg(IdentityMap())));
+}
+
+TEST(CfgMatcherTest, IfWithAndWithoutElseDiffer) {
+  const Cfg with_else =
+      BuildCfg({"f", IfElse("c", Op("a"), Op("b"))});
+  const Cfg without_else = BuildCfg({"f", If("c", Op("a"))});
+  EXPECT_FALSE(MatchCfgs(with_else, without_else));
+}
+
+TEST(CfgMatcherTest, NestedLoopOrderMatters) {
+  // loop{ if{...} } vs if{ loop{...} } must not match.
+  const Cfg loop_if = BuildCfg({"f", Loop("l", If("c", Emit()))});
+  const Cfg if_loop = BuildCfg({"f", If("c", Loop("l", Emit()))});
+  EXPECT_FALSE(MatchCfgs(loop_if, if_loop));
+}
+
+TEST(IrTest, CountStatements) {
+  const IrStats stats = CountStatements(CoocMap().body);
+  EXPECT_EQ(stats.loops, 2);
+  EXPECT_EQ(stats.ifs, 1);
+  EXPECT_EQ(stats.emits, 1);
+  EXPECT_EQ(stats.ops, 3);
+  EXPECT_EQ(stats.calls, 0);
+}
+
+}  // namespace
+}  // namespace pstorm::staticanalysis

@@ -1,0 +1,71 @@
+#include "staticanalysis/features.h"
+
+#include <gtest/gtest.h>
+
+#include "staticanalysis/cfg_matcher.h"
+
+namespace pstorm::staticanalysis {
+namespace {
+
+MrProgram WordCountProgram() {
+  MrProgram p;
+  p.job_class_name = "WordCount";
+  p.mapper_class = "TokenCounterMapper";
+  p.combiner_class = "IntSumReducer";
+  p.reducer_class = "IntSumReducer";
+  p.map_function = {"map", Loop("tokens", Seq({Op("token"), Emit()}))};
+  p.reduce_function = {"reduce", Seq({Op("sum = 0"),
+                                      Loop("values", Op("sum += v")),
+                                      Emit()})};
+  return p;
+}
+
+TEST(StaticFeaturesTest, CategoricalVectorsFollowTable43Order) {
+  const StaticFeatures f = ExtractStaticFeatures(WordCountProgram());
+  const std::vector<std::string> map_side = f.MapCategorical();
+  ASSERT_EQ(map_side.size(), 7u);
+  EXPECT_EQ(map_side[0], "TextInputFormat");     // IN_FORMATTER
+  EXPECT_EQ(map_side[1], "TokenCounterMapper");  // MAPPER
+  EXPECT_EQ(map_side[2], "LongWritable");        // MAP_IN_KEY
+  EXPECT_EQ(map_side[3], "Text");                // MAP_IN_VAL
+  EXPECT_EQ(map_side[4], "Text");                // MAP_OUT_KEY
+  EXPECT_EQ(map_side[5], "IntWritable");         // MAP_OUT_VAL
+  EXPECT_EQ(map_side[6], "IntSumReducer");       // COMBINER
+
+  const std::vector<std::string> reduce_side = f.ReduceCategorical();
+  ASSERT_EQ(reduce_side.size(), 4u);
+  EXPECT_EQ(reduce_side[0], "IntSumReducer");    // REDUCER
+  EXPECT_EQ(reduce_side[3], "TextOutputFormat"); // OUT_FORMATTER
+}
+
+TEST(StaticFeaturesTest, MissingCombinerBecomesNull) {
+  MrProgram p = WordCountProgram();
+  p.combiner_class.clear();
+  const StaticFeatures f = ExtractStaticFeatures(p);
+  EXPECT_EQ(f.combiner, "NULL");
+}
+
+TEST(StaticFeaturesTest, CfgsAreExtractedForBothSides) {
+  const StaticFeatures f = ExtractStaticFeatures(WordCountProgram());
+  EXPECT_FALSE(f.map_cfg.empty());
+  EXPECT_FALSE(f.reduce_cfg.empty());
+  EXPECT_EQ(f.map_cfg.num_back_edges(), 1);
+  EXPECT_EQ(f.reduce_cfg.num_back_edges(), 1);
+  // Map and reduce function shapes differ for word count (ops around the
+  // loop differ).
+  EXPECT_TRUE(MatchCfgs(f.map_cfg, f.map_cfg));
+}
+
+TEST(StaticFeaturesTest, SameCodeDifferentJobNameYieldsSameFeatures) {
+  MrProgram a = WordCountProgram();
+  MrProgram b = WordCountProgram();
+  b.job_class_name = "WordCountV2";  // Resubmitted under a new name.
+  const StaticFeatures fa = ExtractStaticFeatures(a);
+  const StaticFeatures fb = ExtractStaticFeatures(b);
+  EXPECT_EQ(fa.MapCategorical(), fb.MapCategorical());
+  EXPECT_EQ(fa.ReduceCategorical(), fb.ReduceCategorical());
+  EXPECT_TRUE(MatchCfgs(fa.map_cfg, fb.map_cfg));
+}
+
+}  // namespace
+}  // namespace pstorm::staticanalysis

@@ -1,0 +1,282 @@
+#include "storage/db.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "storage/merging_iterator.h"
+
+namespace pstorm::storage {
+namespace {
+
+class DbTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Db> OpenDb(DbOptions options = {}) {
+    auto db = Db::Open(&env_, "/db", options);
+    EXPECT_TRUE(db.ok()) << db.status();
+    return std::move(db).value();
+  }
+
+  /// Options that force frequent flush/compaction so tests cover the full
+  /// write path with small data.
+  static DbOptions TinyOptions() {
+    DbOptions options;
+    options.memtable_flush_bytes = 512;
+    options.l0_compaction_trigger = 3;
+    options.target_file_bytes = 1024;
+    options.table_options.block_size_bytes = 256;
+    return options;
+  }
+
+  InMemoryEnv env_;
+};
+
+TEST_F(DbTest, PutGetRoundTrip) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->Put("k1", "v1").ok());
+  ASSERT_TRUE(db->Put("k2", "v2").ok());
+  EXPECT_EQ(db->Get("k1").value(), "v1");
+  EXPECT_EQ(db->Get("k2").value(), "v2");
+  EXPECT_TRUE(db->Get("k3").status().IsNotFound());
+}
+
+TEST_F(DbTest, EmptyKeyRejected) {
+  auto db = OpenDb();
+  EXPECT_TRUE(db->Put("", "v").IsInvalidArgument());
+  EXPECT_TRUE(db->Delete("").IsInvalidArgument());
+}
+
+TEST_F(DbTest, OverwriteTakesLatestValue) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->Put("k", "old").ok());
+  ASSERT_TRUE(db->Put("k", "new").ok());
+  EXPECT_EQ(db->Get("k").value(), "new");
+}
+
+TEST_F(DbTest, DeleteHidesKey) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->Put("k", "v").ok());
+  ASSERT_TRUE(db->Delete("k").ok());
+  EXPECT_TRUE(db->Get("k").status().IsNotFound());
+}
+
+TEST_F(DbTest, DeleteShadowsFlushedValue) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->Put("k", "v").ok());
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->Delete("k").ok());
+  EXPECT_TRUE(db->Get("k").status().IsNotFound());
+  ASSERT_TRUE(db->Flush().ok());
+  EXPECT_TRUE(db->Get("k").status().IsNotFound());
+  ASSERT_TRUE(db->CompactAll().ok());
+  EXPECT_TRUE(db->Get("k").status().IsNotFound());
+}
+
+TEST_F(DbTest, GetReadsAcrossMemtableL0AndL1) {
+  auto db = OpenDb(TinyOptions());
+  // Enough writes to populate every level.
+  std::map<std::string, std::string> model;
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    std::string k = "key" + std::to_string(rng.NextUint64(200));
+    std::string v = "val" + std::to_string(i);
+    model[k] = v;
+    ASSERT_TRUE(db->Put(k, v).ok());
+  }
+  EXPECT_GT(db->stats().flushes, 0u);
+  EXPECT_GT(db->stats().compactions, 0u);
+  for (const auto& [k, v] : model) {
+    auto got = db->Get(k);
+    ASSERT_TRUE(got.ok()) << k << ": " << got.status();
+    EXPECT_EQ(got.value(), v) << k;
+  }
+}
+
+TEST_F(DbTest, IteratorMatchesModelUnderRandomOps) {
+  auto db = OpenDb(TinyOptions());
+  std::map<std::string, std::string> model;
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    std::string k = "key" + std::to_string(rng.NextUint64(300));
+    if (rng.Bernoulli(0.25)) {
+      model.erase(k);
+      ASSERT_TRUE(db->Delete(k).ok());
+    } else {
+      std::string v = "val" + std::to_string(i);
+      model[k] = v;
+      ASSERT_TRUE(db->Put(k, v).ok());
+    }
+  }
+  auto it = db->NewIterator();
+  auto expected = model.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++expected) {
+    ASSERT_NE(expected, model.end());
+    EXPECT_EQ(it->key(), expected->first);
+    EXPECT_EQ(it->value(), expected->second);
+  }
+  EXPECT_EQ(expected, model.end());
+  EXPECT_TRUE(it->status().ok());
+}
+
+TEST_F(DbTest, IteratorSeek) {
+  auto db = OpenDb();
+  for (const char* k : {"b", "d", "f"}) ASSERT_TRUE(db->Put(k, k).ok());
+  ASSERT_TRUE(db->Delete("d").ok());
+  auto it = db->NewIterator();
+  it->Seek("c");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "f") << "tombstoned 'd' must be skipped";
+}
+
+TEST_F(DbTest, PersistsAcrossReopen) {
+  DbOptions options = TinyOptions();
+  std::map<std::string, std::string> model;
+  {
+    auto db = OpenDb(options);
+    Rng rng(3);
+    for (int i = 0; i < 300; ++i) {
+      std::string k = "key" + std::to_string(rng.NextUint64(100));
+      std::string v = "val" + std::to_string(i);
+      model[k] = v;
+      ASSERT_TRUE(db->Put(k, v).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());  // Memtable is not durable by itself.
+  }
+  auto db = OpenDb(options);
+  for (const auto& [k, v] : model) {
+    auto got = db->Get(k);
+    ASSERT_TRUE(got.ok()) << k;
+    EXPECT_EQ(got.value(), v);
+  }
+}
+
+TEST_F(DbTest, CompactionDropsTombstonesAndObsoleteFiles) {
+  auto db = OpenDb(TinyOptions());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db->Put("key" + std::to_string(i), "v").ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db->Delete("key" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(db->CompactAll().ok());
+  EXPECT_EQ(db->num_level0_tables(), 0u);
+  auto it = db->NewIterator();
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid()) << "everything was deleted";
+  // After dropping all records, level 1 should hold at most a stub.
+  EXPECT_LE(db->num_level1_tables(), 1u);
+}
+
+TEST_F(DbTest, FlushEmptyMemtableIsNoop) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->Flush().ok());
+  EXPECT_EQ(db->stats().flushes, 0u);
+}
+
+TEST_F(DbTest, CorruptManifestFailsOpen) {
+  {
+    auto db = OpenDb();
+    ASSERT_TRUE(db->Put("k", "v").ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  ASSERT_TRUE(env_.WriteFile("/db/MANIFEST", "not a manifest").ok());
+  auto reopened = Db::Open(&env_, "/db");
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption());
+}
+
+TEST_F(DbTest, CorruptTableFileFailsOpen) {
+  {
+    auto db = OpenDb();
+    ASSERT_TRUE(db->Put("k", "v").ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  auto files = env_.ListDir("/db");
+  ASSERT_TRUE(files.ok());
+  for (const auto& name : files.value()) {
+    if (name.find(".sst") == std::string::npos) continue;
+    auto contents = env_.ReadFile("/db/" + name);
+    ASSERT_TRUE(contents.ok());
+    std::string bad = contents.value();
+    bad[0] ^= 0xff;
+    ASSERT_TRUE(env_.WriteFile("/db/" + name, bad).ok());
+  }
+  auto reopened = Db::Open(&env_, "/db");
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption());
+}
+
+TEST(MergingIteratorTest, NewestSourceWins) {
+  Memtable newer, older;
+  older.Put("k", "old");
+  older.Put("only-old", "x");
+  newer.Put("k", "new");
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(newer.NewIterator());
+  children.push_back(older.NewIterator());
+  auto merged = NewMergingIterator(std::move(children));
+  merged->SeekToFirst();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->key(), "k");
+  EXPECT_EQ(merged->value(), "new");
+  merged->Next();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->key(), "only-old");
+  merged->Next();
+  EXPECT_FALSE(merged->Valid());
+}
+
+TEST(MergingIteratorTest, EmptyChildren) {
+  auto merged = NewMergingIterator({});
+  merged->SeekToFirst();
+  EXPECT_FALSE(merged->Valid());
+}
+
+TEST(EnvTest, InMemoryBasics) {
+  InMemoryEnv env;
+  EXPECT_FALSE(env.FileExists("/a/b"));
+  ASSERT_TRUE(env.WriteFile("/a/b", "data").ok());
+  EXPECT_TRUE(env.FileExists("/a/b"));
+  EXPECT_EQ(env.ReadFile("/a/b").value(), "data");
+  ASSERT_TRUE(env.RenameFile("/a/b", "/a/c").ok());
+  EXPECT_FALSE(env.FileExists("/a/b"));
+  EXPECT_EQ(env.ReadFile("/a/c").value(), "data");
+  auto listing = env.ListDir("/a");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing.value(), std::vector<std::string>{"c"});
+  ASSERT_TRUE(env.DeleteFile("/a/c").ok());
+  EXPECT_TRUE(env.DeleteFile("/a/c").IsNotFound());
+}
+
+TEST(EnvTest, PosixRoundTrip) {
+  PosixEnv env;
+  const std::string dir =
+      ::testing::TempDir() + "/pstorm_env_test_" + std::to_string(::getpid());
+  ASSERT_TRUE(env.CreateDir(dir).ok());
+  ASSERT_TRUE(env.WriteFile(dir + "/f1", "hello").ok());
+  EXPECT_EQ(env.ReadFile(dir + "/f1").value(), "hello");
+  ASSERT_TRUE(env.RenameFile(dir + "/f1", dir + "/f2").ok());
+  auto listing = env.ListDir(dir);
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing.value(), std::vector<std::string>{"f2"});
+  ASSERT_TRUE(env.DeleteFile(dir + "/f2").ok());
+}
+
+TEST(DbOnPosixTest, EndToEnd) {
+  PosixEnv env;
+  const std::string dir =
+      ::testing::TempDir() + "/pstorm_db_test_" + std::to_string(::getpid());
+  {
+    auto db = Db::Open(&env, dir);
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE((*db)->Put("persisted", "yes").ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+  }
+  auto db = Db::Open(&env, dir);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ((*db)->Get("persisted").value(), "yes");
+}
+
+}  // namespace
+}  // namespace pstorm::storage

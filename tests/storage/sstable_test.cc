@@ -1,0 +1,180 @@
+#include "storage/sstable.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace pstorm::storage {
+namespace {
+
+std::shared_ptr<Table> BuildTable(
+    const std::map<std::string, std::string>& entries,
+    TableBuilder::Options options = {}) {
+  TableBuilder builder(options);
+  for (const auto& [k, v] : entries) builder.Add(k, v, EntryType::kValue);
+  auto table = Table::Open(builder.Finish());
+  EXPECT_TRUE(table.ok()) << table.status();
+  return table.value();
+}
+
+std::map<std::string, std::string> ManyEntries(int n) {
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < n; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    entries[key] = "value-" + std::to_string(i) + std::string(i % 50, 'x');
+  }
+  return entries;
+}
+
+TEST(SSTableTest, EmptyTable) {
+  auto table = BuildTable({});
+  EXPECT_EQ(table->num_data_blocks(), 0u);
+  auto it = table->NewIterator();
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+  auto got = table->Get("anything");
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->has_value());
+}
+
+TEST(SSTableTest, GetFindsEveryKey) {
+  auto entries = ManyEntries(2000);
+  auto table = BuildTable(entries);
+  EXPECT_GT(table->num_data_blocks(), 1u) << "want multiple blocks";
+  for (const auto& [k, v] : entries) {
+    auto got = table->Get(k);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_TRUE(got->has_value()) << k;
+    EXPECT_EQ((*got)->value, v);
+    EXPECT_EQ((*got)->type, EntryType::kValue);
+  }
+}
+
+TEST(SSTableTest, GetMissesAbsentKeys) {
+  auto table = BuildTable(ManyEntries(500));
+  for (const char* probe : {"absent", "key9999999", "a", "zzz"}) {
+    auto got = table->Get(probe);
+    ASSERT_TRUE(got.ok());
+    EXPECT_FALSE(got->has_value()) << probe;
+  }
+}
+
+TEST(SSTableTest, KeyRangeIsExposed) {
+  auto table = BuildTable(ManyEntries(100));
+  EXPECT_EQ(table->smallest_key(), "key000000");
+  EXPECT_EQ(table->largest_key(), "key000099");
+}
+
+TEST(SSTableTest, FullScanInOrder) {
+  auto entries = ManyEntries(3000);
+  auto table = BuildTable(entries);
+  auto it = table->NewIterator();
+  auto expected = entries.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++expected) {
+    ASSERT_NE(expected, entries.end());
+    EXPECT_EQ(it->key(), expected->first);
+    EXPECT_EQ(it->value(), expected->second);
+  }
+  EXPECT_EQ(expected, entries.end());
+  EXPECT_TRUE(it->status().ok()) << it->status();
+}
+
+TEST(SSTableTest, SeekAcrossBlockBoundaries) {
+  auto entries = ManyEntries(2000);
+  TableBuilder::Options small_blocks;
+  small_blocks.block_size_bytes = 256;
+  auto table = BuildTable(entries, small_blocks);
+  EXPECT_GT(table->num_data_blocks(), 20u);
+
+  Rng rng(5);
+  auto it = table->NewIterator();
+  for (int trial = 0; trial < 300; ++trial) {
+    char probe[16];
+    std::snprintf(probe, sizeof(probe), "key%06d",
+                  static_cast<int>(rng.NextUint64(2100)));
+    it->Seek(probe);
+    auto expected = entries.lower_bound(probe);
+    if (expected == entries.end()) {
+      EXPECT_FALSE(it->Valid());
+    } else {
+      ASSERT_TRUE(it->Valid()) << probe;
+      EXPECT_EQ(it->key(), expected->first);
+    }
+  }
+}
+
+TEST(SSTableTest, SeekPastEndIsInvalid) {
+  auto table = BuildTable(ManyEntries(10));
+  auto it = table->NewIterator();
+  it->Seek("zzzz");
+  EXPECT_FALSE(it->Valid());
+  EXPECT_TRUE(it->status().ok());
+}
+
+TEST(SSTableTest, TombstonesRoundTrip) {
+  TableBuilder builder;
+  builder.Add("a", "va", EntryType::kValue);
+  builder.Add("b", "", EntryType::kTombstone);
+  builder.Add("c", "vc", EntryType::kValue);
+  auto table = Table::Open(builder.Finish());
+  ASSERT_TRUE(table.ok());
+  auto got = (*table)->Get("b");
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ((*got)->type, EntryType::kTombstone);
+}
+
+TEST(SSTableTest, OpenRejectsCorruptedBody) {
+  TableBuilder builder;
+  for (const auto& [k, v] : ManyEntries(200)) {
+    builder.Add(k, v, EntryType::kValue);
+  }
+  std::string contents = builder.Finish();
+  contents[contents.size() / 2] ^= 0x01;  // Flip one bit in the body.
+  auto table = Table::Open(contents);
+  EXPECT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsCorruption()) << table.status();
+}
+
+TEST(SSTableTest, OpenRejectsBadMagicAndTruncation) {
+  TableBuilder builder;
+  builder.Add("k", "v", EntryType::kValue);
+  std::string contents = builder.Finish();
+
+  std::string bad_magic = contents;
+  bad_magic.back() ^= 0xff;
+  EXPECT_TRUE(Table::Open(bad_magic).status().IsCorruption());
+
+  EXPECT_TRUE(Table::Open("short").status().IsCorruption());
+  EXPECT_TRUE(
+      Table::Open(contents.substr(0, contents.size() - 10)).status()
+          .IsCorruption());
+}
+
+class TableBlockSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TableBlockSizeTest, ScanAndGetAgreeAtAnyBlockSize) {
+  TableBuilder::Options options;
+  options.block_size_bytes = GetParam();
+  auto entries = ManyEntries(600);
+  auto table = BuildTable(entries, options);
+
+  size_t scanned = 0;
+  auto it = table->NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) ++scanned;
+  EXPECT_EQ(scanned, entries.size());
+
+  auto got = table->Get("key000300");
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ((*got)->value, entries["key000300"]);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, TableBlockSizeTest,
+                         ::testing::Values(64, 256, 1024, 4096, 1 << 20));
+
+}  // namespace
+}  // namespace pstorm::storage

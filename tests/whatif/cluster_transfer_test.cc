@@ -1,0 +1,141 @@
+#include "whatif/cluster_transfer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "jobs/benchmark_jobs.h"
+#include "jobs/datasets.h"
+#include "profiler/profiler.h"
+#include "whatif/whatif_engine.h"
+
+namespace pstorm::whatif {
+namespace {
+
+/// A beefier cluster: twice as many nodes, SSD-class disks, faster cores.
+mrsim::ClusterSpec FastCluster() {
+  mrsim::ClusterSpec c = mrsim::ThesisCluster();
+  c.num_worker_nodes = 30;
+  c.hdfs_read_ns_per_byte = 5.0;
+  c.hdfs_write_ns_per_byte = 10.0;
+  c.local_read_ns_per_byte = 3.0;
+  c.local_write_ns_per_byte = 4.0;
+  c.network_ns_per_byte = 6.0;
+  c.cpu_cost_factor = 0.5;
+  c.task_heap_mb = 600.0;
+  return c;
+}
+
+class ClusterTransferTest : public ::testing::Test {
+ protected:
+  ClusterTransferTest()
+      : source_(mrsim::ThesisCluster()),
+        target_(FastCluster()),
+        source_sim_(source_),
+        target_sim_(target_) {}
+
+  mrsim::ClusterSpec source_;
+  mrsim::ClusterSpec target_;
+  mrsim::Simulator source_sim_;
+  mrsim::Simulator target_sim_;
+};
+
+TEST_F(ClusterTransferTest, DataflowStatisticsAreUntouched) {
+  const profiler::Profiler prof(&source_sim_);
+  const auto job = jobs::WordCount();
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  auto profiled =
+      prof.ProfileFullRun(job.spec, data, mrsim::Configuration{}, 1);
+  ASSERT_TRUE(profiled.ok());
+  const auto adjusted =
+      AdjustProfileForCluster(profiled->profile, source_, target_);
+  EXPECT_EQ(adjusted.DynamicVector(), profiled->profile.DynamicVector());
+}
+
+TEST_F(ClusterTransferTest, CostFactorsScaleWithClusterRates) {
+  const profiler::Profiler prof(&source_sim_);
+  const auto job = jobs::WordCount();
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  auto profiled =
+      prof.ProfileFullRun(job.spec, data, mrsim::Configuration{}, 2);
+  ASSERT_TRUE(profiled.ok());
+  const auto adjusted =
+      AdjustProfileForCluster(profiled->profile, source_, target_);
+  // HDFS reads are 3x faster on the target (15 -> 5 ns/B).
+  EXPECT_NEAR(adjusted.map_side.read_hdfs_io_cost,
+              profiled->profile.map_side.read_hdfs_io_cost / 3.0, 1e-9);
+  // User-code CPU is 2x faster.
+  EXPECT_NEAR(adjusted.map_side.map_cpu_cost,
+              profiled->profile.map_side.map_cpu_cost / 2.0, 1e-9);
+  EXPECT_NEAR(adjusted.reduce_side.reduce_cpu_cost,
+              profiled->profile.reduce_side.reduce_cpu_cost / 2.0, 1e-9);
+}
+
+TEST_F(ClusterTransferTest, AdjustedProfilePredictsTargetClusterWell) {
+  // Bootstrapping scenario (§7.2.3): a profile from the old cluster,
+  // adjusted, should predict runtimes on the new cluster far better than
+  // the raw profile does.
+  const profiler::Profiler prof(&source_sim_);
+  const auto job = jobs::WordCooccurrencePairs(2);
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  auto profiled =
+      prof.ProfileFullRun(job.spec, data, mrsim::Configuration{}, 3);
+  ASSERT_TRUE(profiled.ok());
+
+  mrsim::Configuration config;
+  config.num_reduce_tasks = 27;
+  auto truth = target_sim_.RunJob(job.spec, data, config);
+  ASSERT_TRUE(truth.ok());
+
+  const WhatIfEngine target_engine(target_);
+  auto raw = target_engine.Predict(profiled->profile, data, config);
+  const auto adjusted =
+      AdjustProfileForCluster(profiled->profile, source_, target_);
+  auto transferred = target_engine.Predict(adjusted, data, config);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(transferred.ok());
+
+  const double raw_error =
+      std::fabs(raw->runtime_s - truth->runtime_s) / truth->runtime_s;
+  const double adjusted_error =
+      std::fabs(transferred->runtime_s - truth->runtime_s) /
+      truth->runtime_s;
+  EXPECT_LT(adjusted_error, raw_error)
+      << "adjustment must improve cross-cluster prediction";
+  EXPECT_LT(adjusted_error, 0.5);
+}
+
+TEST_F(ClusterTransferTest, RoundTripIsIdentityish) {
+  const profiler::Profiler prof(&source_sim_);
+  const auto job = jobs::Sort();
+  const auto data = jobs::FindDataSet(jobs::kTeraGen1Gb).value();
+  auto profiled =
+      prof.ProfileFullRun(job.spec, data, mrsim::Configuration{}, 4);
+  ASSERT_TRUE(profiled.ok());
+  const auto there =
+      AdjustProfileForCluster(profiled->profile, source_, target_);
+  const auto back = AdjustProfileForCluster(there, target_, source_);
+  EXPECT_NEAR(back.map_side.read_hdfs_io_cost,
+              profiled->profile.map_side.read_hdfs_io_cost, 1e-9);
+  EXPECT_NEAR(back.reduce_side.write_hdfs_io_cost,
+              profiled->profile.reduce_side.write_hdfs_io_cost, 1e-9);
+  EXPECT_NEAR(back.map_side.map_cpu_cost,
+              profiled->profile.map_side.map_cpu_cost, 1e-9);
+}
+
+TEST(ClusterSpecTest, CpuCostFactorSpeedsUpJobs) {
+  mrsim::ClusterSpec fast = mrsim::ThesisCluster();
+  fast.cpu_cost_factor = 0.25;
+  const mrsim::Simulator slow_sim(mrsim::ThesisCluster());
+  const mrsim::Simulator fast_sim(fast);
+  const auto job = jobs::CloudBurst();  // CPU-bound.
+  const auto data = jobs::FindDataSet(jobs::kGenomeSample).value();
+  auto slow = slow_sim.RunJob(job.spec, data, mrsim::Configuration{});
+  auto quick = fast_sim.RunJob(job.spec, data, mrsim::Configuration{});
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(quick.ok());
+  EXPECT_LT(quick->runtime_s, slow->runtime_s * 0.7);
+}
+
+}  // namespace
+}  // namespace pstorm::whatif

@@ -1,0 +1,147 @@
+// Property sweep: the what-if engine's self-prediction fidelity and
+// monotonicity properties must hold across the entire Table 6.1 workload,
+// not just the jobs the unit tests poke at.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "jobs/benchmark_jobs.h"
+#include "jobs/datasets.h"
+#include "profiler/profiler.h"
+#include "whatif/whatif_engine.h"
+
+namespace pstorm::whatif {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : sim(mrsim::ThesisCluster()),
+        profiler(&sim),
+        engine(mrsim::ThesisCluster()) {}
+  mrsim::Simulator sim;
+  profiler::Profiler profiler;
+  WhatIfEngine engine;
+};
+
+class WorkloadWhatIfTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WorkloadWhatIfTest, SelfPredictionWithinFactorTwoForEveryJob) {
+  static Fixture* f = new Fixture();
+  const auto workload = jobs::Table61Workload();
+  ASSERT_LT(GetParam(), workload.size());
+  const auto& entry = workload[GetParam()];
+  const auto data = jobs::FindDataSet(entry.data_set).value();
+
+  mrsim::Configuration config;
+  config.num_reduce_tasks = 8;
+  auto profiled = f->profiler.ProfileFullRun(entry.job.spec, data, config,
+                                             GetParam() + 1);
+  ASSERT_TRUE(profiled.ok()) << profiled.status();
+  auto truth = f->sim.RunJob(entry.job.spec, data, config);
+  ASSERT_TRUE(truth.ok());
+  auto prediction = f->engine.Predict(profiled->profile, data, config);
+  ASSERT_TRUE(prediction.ok()) << prediction.status();
+
+  const double ratio = prediction->runtime_s / truth->runtime_s;
+  EXPECT_GT(ratio, 0.5) << entry.job.spec.name << "@" << entry.data_set;
+  EXPECT_LT(ratio, 2.0) << entry.job.spec.name << "@" << entry.data_set;
+}
+
+// Every 5th workload entry keeps the sweep broad but the suite fast.
+INSTANTIATE_TEST_SUITE_P(WorkloadSample, WorkloadWhatIfTest,
+                         ::testing::Values(0, 5, 10, 15, 20, 25, 30, 35, 40,
+                                           45, 50, 53));
+
+TEST(WhatIfMonotonicityTest, ReducerSweepIsConvexish) {
+  // Runtime as a function of reducer count should fall steeply from 1,
+  // bottom out, and rise again once waves/startup dominate — the landscape
+  // the CBO searches.
+  Fixture f;
+  const auto job = jobs::WordCooccurrencePairs(2);
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  auto profiled =
+      f.profiler.ProfileFullRun(job.spec, data, mrsim::Configuration{}, 1);
+  ASSERT_TRUE(profiled.ok());
+
+  std::vector<double> runtimes;
+  for (int reducers : {1, 4, 16, 30, 600}) {
+    mrsim::Configuration config;
+    config.num_reduce_tasks = reducers;
+    auto prediction = f.engine.Predict(profiled->profile, data, config);
+    ASSERT_TRUE(prediction.ok());
+    runtimes.push_back(prediction->runtime_s);
+  }
+  EXPECT_GT(runtimes[0], runtimes[1]);
+  EXPECT_GT(runtimes[1], runtimes[2]);
+  EXPECT_GT(runtimes[4], runtimes[3])
+      << "600 reducers on 30 slots must pay wave overhead";
+}
+
+TEST(WhatIfMonotonicityTest, SortBufferSweepReducesSpills) {
+  Fixture f;
+  const auto job = jobs::BigramRelativeFrequency();
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  auto profiled =
+      f.profiler.ProfileFullRun(job.spec, data, mrsim::Configuration{}, 2);
+  ASSERT_TRUE(profiled.ok());
+
+  double previous_spills = 1e18;
+  for (double mb : {50.0, 100.0, 200.0}) {
+    mrsim::Configuration config;
+    config.io_sort_mb = mb;
+    config.num_reduce_tasks = 8;
+    auto prediction = f.engine.Predict(profiled->profile, data, config);
+    ASSERT_TRUE(prediction.ok());
+    EXPECT_LE(prediction->map_outcome.num_spills, previous_spills);
+    previous_spills = prediction->map_outcome.num_spills;
+  }
+}
+
+TEST(WhatIfMonotonicityTest, SlowstartSweepDelaysButNeverBreaks) {
+  Fixture f;
+  const auto job = jobs::WordCount();
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  auto profiled =
+      f.profiler.ProfileFullRun(job.spec, data, mrsim::Configuration{}, 3);
+  ASSERT_TRUE(profiled.ok());
+  double previous = 0;
+  for (double slowstart : {0.05, 0.5, 1.0}) {
+    mrsim::Configuration config;
+    config.reduce_slowstart_completed_maps = slowstart;
+    config.num_reduce_tasks = 8;
+    auto prediction = f.engine.Predict(profiled->profile, data, config);
+    ASSERT_TRUE(prediction.ok());
+    EXPECT_GE(prediction->runtime_s, previous - 1e-9);
+    previous = prediction->runtime_s;
+  }
+}
+
+TEST(WhatIfCompositeTest, CompositeOfTwinHalvesPredictsLikeOriginal) {
+  // The §4.3 soundness argument for composite profiles: map and reduce
+  // sub-profiles are independent, so stitching the bigram reduce side onto
+  // the co-occurrence map side yields predictions close to co-occurrence's
+  // own (their behaviours being similar).
+  Fixture f;
+  const auto data = jobs::FindDataSet(jobs::kWikipedia35Gb).value();
+  auto cooc = f.profiler.ProfileFullRun(jobs::WordCooccurrencePairs(2).spec,
+                                        data, mrsim::Configuration{}, 4);
+  auto bigram = f.profiler.ProfileFullRun(
+      jobs::BigramRelativeFrequency().spec, data, mrsim::Configuration{}, 5);
+  ASSERT_TRUE(cooc.ok());
+  ASSERT_TRUE(bigram.ok());
+
+  profiler::ExecutionProfile composite = cooc->profile;
+  composite.reduce_side = bigram->profile.reduce_side;
+
+  mrsim::Configuration config;
+  config.num_reduce_tasks = 27;
+  auto own = f.engine.Predict(cooc->profile, data, config);
+  auto stitched = f.engine.Predict(composite, data, config);
+  ASSERT_TRUE(own.ok());
+  ASSERT_TRUE(stitched.ok());
+  EXPECT_NEAR(stitched->runtime_s, own->runtime_s, own->runtime_s * 0.35);
+}
+
+}  // namespace
+}  // namespace pstorm::whatif

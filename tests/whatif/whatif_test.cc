@@ -1,0 +1,161 @@
+#include "whatif/whatif_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "jobs/benchmark_jobs.h"
+#include "jobs/datasets.h"
+#include "profiler/profiler.h"
+
+namespace pstorm::whatif {
+namespace {
+
+class WhatIfTest : public ::testing::Test {
+ protected:
+  WhatIfTest()
+      : sim_(mrsim::ThesisCluster()),
+        profiler_(&sim_),
+        engine_(mrsim::ThesisCluster()) {}
+
+  mrsim::DataSetSpec DataSet(const char* name) {
+    auto d = jobs::FindDataSet(name);
+    EXPECT_TRUE(d.ok());
+    return d.value();
+  }
+
+  profiler::ExecutionProfile FullProfile(const mrsim::JobSpec& job,
+                                         const mrsim::DataSetSpec& data,
+                                         const mrsim::Configuration& config,
+                                         uint64_t seed = 1) {
+    auto profiled = profiler_.ProfileFullRun(job, data, config, seed);
+    EXPECT_TRUE(profiled.ok()) << profiled.status();
+    return profiled->profile;
+  }
+
+  mrsim::Simulator sim_;
+  profiler::Profiler profiler_;
+  WhatIfEngine engine_;
+};
+
+TEST_F(WhatIfTest, SelfPredictionTracksSimulatedTruth) {
+  // Predicting the profiled configuration itself should land close to the
+  // observed runtime (modulo the noise the simulator injects).
+  const auto job = jobs::WordCount();
+  const auto data = DataSet(jobs::kRandomText1Gb);
+  mrsim::Configuration config;
+  config.num_reduce_tasks = 8;
+
+  const auto profile = FullProfile(job.spec, data, config);
+  auto truth = sim_.RunJob(job.spec, data, config);
+  ASSERT_TRUE(truth.ok());
+  auto prediction = engine_.Predict(profile, data, config);
+  ASSERT_TRUE(prediction.ok()) << prediction.status();
+
+  const double ratio = prediction->runtime_s / truth->runtime_s;
+  EXPECT_GT(ratio, 0.6) << "prediction too optimistic";
+  EXPECT_LT(ratio, 1.6) << "prediction too pessimistic";
+}
+
+TEST_F(WhatIfTest, RanksConfigurationsCorrectly) {
+  // The what-if engine's job is relative, not absolute, accuracy: it must
+  // order configurations the way the (simulated) world does.
+  const auto job = jobs::WordCooccurrencePairs(2);
+  const auto data = DataSet(jobs::kRandomText1Gb);
+  const auto profile = FullProfile(job.spec, data, mrsim::Configuration{});
+
+  mrsim::Configuration one_reducer, many_reducers;
+  one_reducer.num_reduce_tasks = 1;
+  many_reducers.num_reduce_tasks = 27;
+  auto p1 = engine_.Predict(profile, data, one_reducer);
+  auto p27 = engine_.Predict(profile, data, many_reducers);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p27.ok());
+  EXPECT_GT(p1->runtime_s, 1.5 * p27->runtime_s);
+
+  auto t1 = sim_.RunJob(job.spec, data, one_reducer);
+  auto t27 = sim_.RunJob(job.spec, data, many_reducers);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t27.ok());
+  EXPECT_GT(t1->runtime_s, t27->runtime_s) << "the world agrees";
+}
+
+TEST_F(WhatIfTest, SampleProfilePredictsNearlyAsWellAsFullProfile) {
+  // A 1-task sample captures the data-flow statistics; its predictions
+  // should be close to those from the complete profile (the premise of
+  // profile reuse).
+  const auto job = jobs::WordCount();
+  const auto data = DataSet(jobs::kWikipedia35Gb);
+  const auto full = FullProfile(job.spec, data, mrsim::Configuration{});
+  auto sampled = profiler_.ProfileOneTask(job.spec, data,
+                                          mrsim::Configuration{}, 5);
+  ASSERT_TRUE(sampled.ok());
+
+  mrsim::Configuration candidate;
+  candidate.num_reduce_tasks = 16;
+  candidate.compress_map_output = true;
+  auto from_full = engine_.Predict(full, data, candidate);
+  auto from_sample = engine_.Predict(sampled->profile, data, candidate);
+  ASSERT_TRUE(from_full.ok());
+  ASSERT_TRUE(from_sample.ok());
+  EXPECT_NEAR(from_sample->runtime_s, from_full->runtime_s,
+              from_full->runtime_s * 0.30);
+}
+
+TEST_F(WhatIfTest, PredictsAcrossDataSizes) {
+  // Same job profile, larger data: runtime scales up.
+  const auto job = jobs::WordCount();
+  const auto small = DataSet(jobs::kRandomText1Gb);
+  const auto big = DataSet(jobs::kWikipedia35Gb);
+  const auto profile = FullProfile(job.spec, small, mrsim::Configuration{});
+  mrsim::Configuration config;
+  config.num_reduce_tasks = 8;
+  auto p_small = engine_.Predict(profile, small, config);
+  auto p_big = engine_.Predict(profile, big, config);
+  ASSERT_TRUE(p_small.ok());
+  ASSERT_TRUE(p_big.ok());
+  EXPECT_GT(p_big->runtime_s, 10.0 * p_small->runtime_s);
+}
+
+TEST_F(WhatIfTest, MapOnlyConfiguration) {
+  const auto job = jobs::WordCount();
+  const auto data = DataSet(jobs::kRandomText1Gb);
+  const auto profile = FullProfile(job.spec, data, mrsim::Configuration{});
+  mrsim::Configuration map_only;
+  map_only.num_reduce_tasks = 0;
+  auto prediction = engine_.Predict(profile, data, map_only);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_EQ(prediction->runtime_s, prediction->map_phase_s);
+}
+
+TEST_F(WhatIfTest, RejectsUnusableProfileAndBadConfig) {
+  profiler::ExecutionProfile empty;
+  const auto data = DataSet(jobs::kRandomText1Gb);
+  EXPECT_TRUE(engine_.Predict(empty, data, mrsim::Configuration{})
+                  .status()
+                  .IsInvalidArgument());
+
+  const auto job = jobs::WordCount();
+  const auto profile = FullProfile(job.spec, data, mrsim::Configuration{});
+  mrsim::Configuration bad;
+  bad.io_sort_factor = 0;
+  EXPECT_TRUE(
+      engine_.Predict(profile, data, bad).status().IsInvalidArgument());
+}
+
+TEST_F(WhatIfTest, CombinerKnobOnlyHelpsWhenProfileShowsACombiner) {
+  const auto data = DataSet(jobs::kTeraGen1Gb);
+  const auto sort_profile =
+      FullProfile(jobs::Sort().spec, data, mrsim::Configuration{});
+  mrsim::Configuration with, without;
+  with.use_combiner = true;
+  without.use_combiner = false;
+  with.num_reduce_tasks = without.num_reduce_tasks = 8;
+  auto p_with = engine_.Predict(sort_profile, data, with);
+  auto p_without = engine_.Predict(sort_profile, data, without);
+  ASSERT_TRUE(p_with.ok());
+  ASSERT_TRUE(p_without.ok());
+  EXPECT_DOUBLE_EQ(p_with->runtime_s, p_without->runtime_s)
+      << "sort has no combiner; the knob is inert";
+}
+
+}  // namespace
+}  // namespace pstorm::whatif
