@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_stage_order.cc" "bench/CMakeFiles/bench_ablation_stage_order.dir/bench_ablation_stage_order.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_stage_order.dir/bench_ablation_stage_order.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pstorm_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pstorm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hstore/CMakeFiles/pstorm_hstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pstorm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/pstorm_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/whatif/CMakeFiles/pstorm_whatif.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/pstorm_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pstorm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/jobs/CMakeFiles/pstorm_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrsim/CMakeFiles/pstorm_mrsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/staticanalysis/CMakeFiles/pstorm_staticanalysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pstorm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_1_sampling_overhead.
+# This may be replaced when dependencies are built.

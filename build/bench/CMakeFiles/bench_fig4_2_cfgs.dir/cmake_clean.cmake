@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_2_cfgs.dir/bench_fig4_2_cfgs.cc.o"
+  "CMakeFiles/bench_fig4_2_cfgs.dir/bench_fig4_2_cfgs.cc.o.d"
+  "bench_fig4_2_cfgs"
+  "bench_fig4_2_cfgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_2_cfgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_5_phase_similarity.dir/bench_fig4_5_phase_similarity.cc.o"
+  "CMakeFiles/bench_fig4_5_phase_similarity.dir/bench_fig4_5_phase_similarity.cc.o.d"
+  "bench_fig4_5_phase_similarity"
+  "bench_fig4_5_phase_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_5_phase_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

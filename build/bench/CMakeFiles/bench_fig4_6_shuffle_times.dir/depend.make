@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_6_shuffle_times.
+# This may be replaced when dependencies are built.

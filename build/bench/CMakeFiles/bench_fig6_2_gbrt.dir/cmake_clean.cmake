@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_2_gbrt.dir/bench_fig6_2_gbrt.cc.o"
+  "CMakeFiles/bench_fig6_2_gbrt.dir/bench_fig6_2_gbrt.cc.o.d"
+  "bench_fig6_2_gbrt"
+  "bench_fig6_2_gbrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_2_gbrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

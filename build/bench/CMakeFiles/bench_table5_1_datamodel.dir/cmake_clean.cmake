@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_1_datamodel.dir/bench_table5_1_datamodel.cc.o"
+  "CMakeFiles/bench_table5_1_datamodel.dir/bench_table5_1_datamodel.cc.o.d"
+  "bench_table5_1_datamodel"
+  "bench_table5_1_datamodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_1_datamodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_2_default_runtimes.dir/bench_table6_2_default_runtimes.cc.o"
+  "CMakeFiles/bench_table6_2_default_runtimes.dir/bench_table6_2_default_runtimes.cc.o.d"
+  "bench_table6_2_default_runtimes"
+  "bench_table6_2_default_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_2_default_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table6_2_default_runtimes.
+# This may be replaced when dependencies are built.

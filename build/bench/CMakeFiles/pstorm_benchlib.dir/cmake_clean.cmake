@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstorm_benchlib.dir/report.cc.o"
+  "CMakeFiles/pstorm_benchlib.dir/report.cc.o.d"
+  "libpstorm_benchlib.a"
+  "libpstorm_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstorm_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pstorm_benchlib.
+# This may be replaced when dependencies are built.

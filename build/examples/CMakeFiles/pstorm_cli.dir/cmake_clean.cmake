@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstorm_cli.dir/pstorm_cli.cpp.o"
+  "CMakeFiles/pstorm_cli.dir/pstorm_cli.cpp.o.d"
+  "pstorm_cli"
+  "pstorm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstorm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_cluster_service.dir/shared_cluster_service.cpp.o"
+  "CMakeFiles/shared_cluster_service.dir/shared_cluster_service.cpp.o.d"
+  "shared_cluster_service"
+  "shared_cluster_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_cluster_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unseen_job_tuning.dir/unseen_job_tuning.cpp.o"
+  "CMakeFiles/unseen_job_tuning.dir/unseen_job_tuning.cpp.o.d"
+  "unseen_job_tuning"
+  "unseen_job_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unseen_job_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstorm_common.dir/coding.cc.o"
+  "CMakeFiles/pstorm_common.dir/coding.cc.o.d"
+  "CMakeFiles/pstorm_common.dir/logging.cc.o"
+  "CMakeFiles/pstorm_common.dir/logging.cc.o.d"
+  "CMakeFiles/pstorm_common.dir/random.cc.o"
+  "CMakeFiles/pstorm_common.dir/random.cc.o.d"
+  "CMakeFiles/pstorm_common.dir/statistics.cc.o"
+  "CMakeFiles/pstorm_common.dir/statistics.cc.o.d"
+  "CMakeFiles/pstorm_common.dir/status.cc.o"
+  "CMakeFiles/pstorm_common.dir/status.cc.o.d"
+  "CMakeFiles/pstorm_common.dir/strings.cc.o"
+  "CMakeFiles/pstorm_common.dir/strings.cc.o.d"
+  "libpstorm_common.a"
+  "libpstorm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstorm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/evaluator.cc" "src/core/CMakeFiles/pstorm_core.dir/evaluator.cc.o" "gcc" "src/core/CMakeFiles/pstorm_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/pstorm_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/pstorm_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/feature_vector.cc" "src/core/CMakeFiles/pstorm_core.dir/feature_vector.cc.o" "gcc" "src/core/CMakeFiles/pstorm_core.dir/feature_vector.cc.o.d"
+  "/root/repo/src/core/matcher.cc" "src/core/CMakeFiles/pstorm_core.dir/matcher.cc.o" "gcc" "src/core/CMakeFiles/pstorm_core.dir/matcher.cc.o.d"
+  "/root/repo/src/core/profile_store.cc" "src/core/CMakeFiles/pstorm_core.dir/profile_store.cc.o" "gcc" "src/core/CMakeFiles/pstorm_core.dir/profile_store.cc.o.d"
+  "/root/repo/src/core/pstorm.cc" "src/core/CMakeFiles/pstorm_core.dir/pstorm.cc.o" "gcc" "src/core/CMakeFiles/pstorm_core.dir/pstorm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hstore/CMakeFiles/pstorm_hstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/pstorm_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/pstorm_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pstorm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/jobs/CMakeFiles/pstorm_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pstorm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/whatif/CMakeFiles/pstorm_whatif.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrsim/CMakeFiles/pstorm_mrsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/staticanalysis/CMakeFiles/pstorm_staticanalysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pstorm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

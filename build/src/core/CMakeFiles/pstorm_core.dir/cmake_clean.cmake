@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstorm_core.dir/evaluator.cc.o"
+  "CMakeFiles/pstorm_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/pstorm_core.dir/explain.cc.o"
+  "CMakeFiles/pstorm_core.dir/explain.cc.o.d"
+  "CMakeFiles/pstorm_core.dir/feature_vector.cc.o"
+  "CMakeFiles/pstorm_core.dir/feature_vector.cc.o.d"
+  "CMakeFiles/pstorm_core.dir/matcher.cc.o"
+  "CMakeFiles/pstorm_core.dir/matcher.cc.o.d"
+  "CMakeFiles/pstorm_core.dir/profile_store.cc.o"
+  "CMakeFiles/pstorm_core.dir/profile_store.cc.o.d"
+  "CMakeFiles/pstorm_core.dir/pstorm.cc.o"
+  "CMakeFiles/pstorm_core.dir/pstorm.cc.o.d"
+  "libpstorm_core.a"
+  "libpstorm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstorm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

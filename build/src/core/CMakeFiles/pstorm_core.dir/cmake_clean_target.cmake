@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpstorm_core.a"
+)

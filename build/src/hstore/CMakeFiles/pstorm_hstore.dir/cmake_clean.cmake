@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstorm_hstore.dir/filter.cc.o"
+  "CMakeFiles/pstorm_hstore.dir/filter.cc.o.d"
+  "CMakeFiles/pstorm_hstore.dir/table.cc.o"
+  "CMakeFiles/pstorm_hstore.dir/table.cc.o.d"
+  "libpstorm_hstore.a"
+  "libpstorm_hstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstorm_hstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jobs/benchmark_jobs.cc" "src/jobs/CMakeFiles/pstorm_jobs.dir/benchmark_jobs.cc.o" "gcc" "src/jobs/CMakeFiles/pstorm_jobs.dir/benchmark_jobs.cc.o.d"
+  "/root/repo/src/jobs/datasets.cc" "src/jobs/CMakeFiles/pstorm_jobs.dir/datasets.cc.o" "gcc" "src/jobs/CMakeFiles/pstorm_jobs.dir/datasets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mrsim/CMakeFiles/pstorm_mrsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/staticanalysis/CMakeFiles/pstorm_staticanalysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pstorm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

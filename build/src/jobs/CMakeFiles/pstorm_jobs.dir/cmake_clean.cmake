@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstorm_jobs.dir/benchmark_jobs.cc.o"
+  "CMakeFiles/pstorm_jobs.dir/benchmark_jobs.cc.o.d"
+  "CMakeFiles/pstorm_jobs.dir/datasets.cc.o"
+  "CMakeFiles/pstorm_jobs.dir/datasets.cc.o.d"
+  "libpstorm_jobs.a"
+  "libpstorm_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstorm_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

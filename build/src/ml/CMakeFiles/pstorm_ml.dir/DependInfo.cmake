@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/feature_selection.cc" "src/ml/CMakeFiles/pstorm_ml.dir/feature_selection.cc.o" "gcc" "src/ml/CMakeFiles/pstorm_ml.dir/feature_selection.cc.o.d"
+  "/root/repo/src/ml/gbrt.cc" "src/ml/CMakeFiles/pstorm_ml.dir/gbrt.cc.o" "gcc" "src/ml/CMakeFiles/pstorm_ml.dir/gbrt.cc.o.d"
+  "/root/repo/src/ml/regression_tree.cc" "src/ml/CMakeFiles/pstorm_ml.dir/regression_tree.cc.o" "gcc" "src/ml/CMakeFiles/pstorm_ml.dir/regression_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pstorm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstorm_ml.dir/feature_selection.cc.o"
+  "CMakeFiles/pstorm_ml.dir/feature_selection.cc.o.d"
+  "CMakeFiles/pstorm_ml.dir/gbrt.cc.o"
+  "CMakeFiles/pstorm_ml.dir/gbrt.cc.o.d"
+  "CMakeFiles/pstorm_ml.dir/regression_tree.cc.o"
+  "CMakeFiles/pstorm_ml.dir/regression_tree.cc.o.d"
+  "libpstorm_ml.a"
+  "libpstorm_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstorm_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

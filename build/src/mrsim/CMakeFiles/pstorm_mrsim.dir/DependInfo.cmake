@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrsim/cluster.cc" "src/mrsim/CMakeFiles/pstorm_mrsim.dir/cluster.cc.o" "gcc" "src/mrsim/CMakeFiles/pstorm_mrsim.dir/cluster.cc.o.d"
+  "/root/repo/src/mrsim/configuration.cc" "src/mrsim/CMakeFiles/pstorm_mrsim.dir/configuration.cc.o" "gcc" "src/mrsim/CMakeFiles/pstorm_mrsim.dir/configuration.cc.o.d"
+  "/root/repo/src/mrsim/dataset.cc" "src/mrsim/CMakeFiles/pstorm_mrsim.dir/dataset.cc.o" "gcc" "src/mrsim/CMakeFiles/pstorm_mrsim.dir/dataset.cc.o.d"
+  "/root/repo/src/mrsim/jobspec.cc" "src/mrsim/CMakeFiles/pstorm_mrsim.dir/jobspec.cc.o" "gcc" "src/mrsim/CMakeFiles/pstorm_mrsim.dir/jobspec.cc.o.d"
+  "/root/repo/src/mrsim/simulator.cc" "src/mrsim/CMakeFiles/pstorm_mrsim.dir/simulator.cc.o" "gcc" "src/mrsim/CMakeFiles/pstorm_mrsim.dir/simulator.cc.o.d"
+  "/root/repo/src/mrsim/task_model.cc" "src/mrsim/CMakeFiles/pstorm_mrsim.dir/task_model.cc.o" "gcc" "src/mrsim/CMakeFiles/pstorm_mrsim.dir/task_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pstorm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

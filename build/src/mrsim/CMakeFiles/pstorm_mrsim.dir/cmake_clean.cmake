@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstorm_mrsim.dir/cluster.cc.o"
+  "CMakeFiles/pstorm_mrsim.dir/cluster.cc.o.d"
+  "CMakeFiles/pstorm_mrsim.dir/configuration.cc.o"
+  "CMakeFiles/pstorm_mrsim.dir/configuration.cc.o.d"
+  "CMakeFiles/pstorm_mrsim.dir/dataset.cc.o"
+  "CMakeFiles/pstorm_mrsim.dir/dataset.cc.o.d"
+  "CMakeFiles/pstorm_mrsim.dir/jobspec.cc.o"
+  "CMakeFiles/pstorm_mrsim.dir/jobspec.cc.o.d"
+  "CMakeFiles/pstorm_mrsim.dir/simulator.cc.o"
+  "CMakeFiles/pstorm_mrsim.dir/simulator.cc.o.d"
+  "CMakeFiles/pstorm_mrsim.dir/task_model.cc.o"
+  "CMakeFiles/pstorm_mrsim.dir/task_model.cc.o.d"
+  "libpstorm_mrsim.a"
+  "libpstorm_mrsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstorm_mrsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pstorm_mrsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstorm_optimizer.dir/cbo.cc.o"
+  "CMakeFiles/pstorm_optimizer.dir/cbo.cc.o.d"
+  "CMakeFiles/pstorm_optimizer.dir/rbo.cc.o"
+  "CMakeFiles/pstorm_optimizer.dir/rbo.cc.o.d"
+  "libpstorm_optimizer.a"
+  "libpstorm_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstorm_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

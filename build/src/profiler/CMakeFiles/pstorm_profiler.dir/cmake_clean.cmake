@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstorm_profiler.dir/profile.cc.o"
+  "CMakeFiles/pstorm_profiler.dir/profile.cc.o.d"
+  "CMakeFiles/pstorm_profiler.dir/profiler.cc.o"
+  "CMakeFiles/pstorm_profiler.dir/profiler.cc.o.d"
+  "libpstorm_profiler.a"
+  "libpstorm_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstorm_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

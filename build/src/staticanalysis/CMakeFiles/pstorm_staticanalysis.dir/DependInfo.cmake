@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/staticanalysis/cfg.cc" "src/staticanalysis/CMakeFiles/pstorm_staticanalysis.dir/cfg.cc.o" "gcc" "src/staticanalysis/CMakeFiles/pstorm_staticanalysis.dir/cfg.cc.o.d"
+  "/root/repo/src/staticanalysis/cfg_matcher.cc" "src/staticanalysis/CMakeFiles/pstorm_staticanalysis.dir/cfg_matcher.cc.o" "gcc" "src/staticanalysis/CMakeFiles/pstorm_staticanalysis.dir/cfg_matcher.cc.o.d"
+  "/root/repo/src/staticanalysis/features.cc" "src/staticanalysis/CMakeFiles/pstorm_staticanalysis.dir/features.cc.o" "gcc" "src/staticanalysis/CMakeFiles/pstorm_staticanalysis.dir/features.cc.o.d"
+  "/root/repo/src/staticanalysis/ir.cc" "src/staticanalysis/CMakeFiles/pstorm_staticanalysis.dir/ir.cc.o" "gcc" "src/staticanalysis/CMakeFiles/pstorm_staticanalysis.dir/ir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pstorm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstorm_staticanalysis.dir/cfg.cc.o"
+  "CMakeFiles/pstorm_staticanalysis.dir/cfg.cc.o.d"
+  "CMakeFiles/pstorm_staticanalysis.dir/cfg_matcher.cc.o"
+  "CMakeFiles/pstorm_staticanalysis.dir/cfg_matcher.cc.o.d"
+  "CMakeFiles/pstorm_staticanalysis.dir/features.cc.o"
+  "CMakeFiles/pstorm_staticanalysis.dir/features.cc.o.d"
+  "CMakeFiles/pstorm_staticanalysis.dir/ir.cc.o"
+  "CMakeFiles/pstorm_staticanalysis.dir/ir.cc.o.d"
+  "libpstorm_staticanalysis.a"
+  "libpstorm_staticanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstorm_staticanalysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

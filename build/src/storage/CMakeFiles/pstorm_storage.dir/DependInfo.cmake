@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block.cc" "src/storage/CMakeFiles/pstorm_storage.dir/block.cc.o" "gcc" "src/storage/CMakeFiles/pstorm_storage.dir/block.cc.o.d"
+  "/root/repo/src/storage/bloom.cc" "src/storage/CMakeFiles/pstorm_storage.dir/bloom.cc.o" "gcc" "src/storage/CMakeFiles/pstorm_storage.dir/bloom.cc.o.d"
+  "/root/repo/src/storage/db.cc" "src/storage/CMakeFiles/pstorm_storage.dir/db.cc.o" "gcc" "src/storage/CMakeFiles/pstorm_storage.dir/db.cc.o.d"
+  "/root/repo/src/storage/env.cc" "src/storage/CMakeFiles/pstorm_storage.dir/env.cc.o" "gcc" "src/storage/CMakeFiles/pstorm_storage.dir/env.cc.o.d"
+  "/root/repo/src/storage/memtable.cc" "src/storage/CMakeFiles/pstorm_storage.dir/memtable.cc.o" "gcc" "src/storage/CMakeFiles/pstorm_storage.dir/memtable.cc.o.d"
+  "/root/repo/src/storage/merging_iterator.cc" "src/storage/CMakeFiles/pstorm_storage.dir/merging_iterator.cc.o" "gcc" "src/storage/CMakeFiles/pstorm_storage.dir/merging_iterator.cc.o.d"
+  "/root/repo/src/storage/sstable.cc" "src/storage/CMakeFiles/pstorm_storage.dir/sstable.cc.o" "gcc" "src/storage/CMakeFiles/pstorm_storage.dir/sstable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pstorm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

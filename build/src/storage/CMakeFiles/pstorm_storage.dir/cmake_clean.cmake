@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstorm_storage.dir/block.cc.o"
+  "CMakeFiles/pstorm_storage.dir/block.cc.o.d"
+  "CMakeFiles/pstorm_storage.dir/bloom.cc.o"
+  "CMakeFiles/pstorm_storage.dir/bloom.cc.o.d"
+  "CMakeFiles/pstorm_storage.dir/db.cc.o"
+  "CMakeFiles/pstorm_storage.dir/db.cc.o.d"
+  "CMakeFiles/pstorm_storage.dir/env.cc.o"
+  "CMakeFiles/pstorm_storage.dir/env.cc.o.d"
+  "CMakeFiles/pstorm_storage.dir/memtable.cc.o"
+  "CMakeFiles/pstorm_storage.dir/memtable.cc.o.d"
+  "CMakeFiles/pstorm_storage.dir/merging_iterator.cc.o"
+  "CMakeFiles/pstorm_storage.dir/merging_iterator.cc.o.d"
+  "CMakeFiles/pstorm_storage.dir/sstable.cc.o"
+  "CMakeFiles/pstorm_storage.dir/sstable.cc.o.d"
+  "libpstorm_storage.a"
+  "libpstorm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstorm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/whatif/cluster_transfer.cc" "src/whatif/CMakeFiles/pstorm_whatif.dir/cluster_transfer.cc.o" "gcc" "src/whatif/CMakeFiles/pstorm_whatif.dir/cluster_transfer.cc.o.d"
+  "/root/repo/src/whatif/whatif_engine.cc" "src/whatif/CMakeFiles/pstorm_whatif.dir/whatif_engine.cc.o" "gcc" "src/whatif/CMakeFiles/pstorm_whatif.dir/whatif_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiler/CMakeFiles/pstorm_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrsim/CMakeFiles/pstorm_mrsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pstorm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

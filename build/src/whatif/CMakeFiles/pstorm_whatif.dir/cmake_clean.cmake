@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstorm_whatif.dir/cluster_transfer.cc.o"
+  "CMakeFiles/pstorm_whatif.dir/cluster_transfer.cc.o.d"
+  "CMakeFiles/pstorm_whatif.dir/whatif_engine.cc.o"
+  "CMakeFiles/pstorm_whatif.dir/whatif_engine.cc.o.d"
+  "libpstorm_whatif.a"
+  "libpstorm_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstorm_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hstore_test.dir/hstore/filter_test.cc.o"
+  "CMakeFiles/hstore_test.dir/hstore/filter_test.cc.o.d"
+  "CMakeFiles/hstore_test.dir/hstore/table_test.cc.o"
+  "CMakeFiles/hstore_test.dir/hstore/table_test.cc.o.d"
+  "hstore_test"
+  "hstore_test.pdb"
+  "hstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrsim_test.dir/mrsim/simulator_property_test.cc.o"
+  "CMakeFiles/mrsim_test.dir/mrsim/simulator_property_test.cc.o.d"
+  "CMakeFiles/mrsim_test.dir/mrsim/simulator_test.cc.o"
+  "CMakeFiles/mrsim_test.dir/mrsim/simulator_test.cc.o.d"
+  "CMakeFiles/mrsim_test.dir/mrsim/task_model_test.cc.o"
+  "CMakeFiles/mrsim_test.dir/mrsim/task_model_test.cc.o.d"
+  "mrsim_test"
+  "mrsim_test.pdb"
+  "mrsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staticanalysis_test.dir/staticanalysis/cfg_test.cc.o"
+  "CMakeFiles/staticanalysis_test.dir/staticanalysis/cfg_test.cc.o.d"
+  "CMakeFiles/staticanalysis_test.dir/staticanalysis/features_test.cc.o"
+  "CMakeFiles/staticanalysis_test.dir/staticanalysis/features_test.cc.o.d"
+  "staticanalysis_test"
+  "staticanalysis_test.pdb"
+  "staticanalysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staticanalysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/whatif/cluster_transfer_test.cc" "tests/CMakeFiles/whatif_test.dir/whatif/cluster_transfer_test.cc.o" "gcc" "tests/CMakeFiles/whatif_test.dir/whatif/cluster_transfer_test.cc.o.d"
+  "/root/repo/tests/whatif/whatif_property_test.cc" "tests/CMakeFiles/whatif_test.dir/whatif/whatif_property_test.cc.o" "gcc" "tests/CMakeFiles/whatif_test.dir/whatif/whatif_property_test.cc.o.d"
+  "/root/repo/tests/whatif/whatif_test.cc" "tests/CMakeFiles/whatif_test.dir/whatif/whatif_test.cc.o" "gcc" "tests/CMakeFiles/whatif_test.dir/whatif/whatif_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/whatif/CMakeFiles/pstorm_whatif.dir/DependInfo.cmake"
+  "/root/repo/build/src/jobs/CMakeFiles/pstorm_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/pstorm_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrsim/CMakeFiles/pstorm_mrsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/staticanalysis/CMakeFiles/pstorm_staticanalysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pstorm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_test.dir/whatif/cluster_transfer_test.cc.o"
+  "CMakeFiles/whatif_test.dir/whatif/cluster_transfer_test.cc.o.d"
+  "CMakeFiles/whatif_test.dir/whatif/whatif_property_test.cc.o"
+  "CMakeFiles/whatif_test.dir/whatif/whatif_property_test.cc.o.d"
+  "CMakeFiles/whatif_test.dir/whatif/whatif_test.cc.o"
+  "CMakeFiles/whatif_test.dir/whatif/whatif_test.cc.o.d"
+  "whatif_test"
+  "whatif_test.pdb"
+  "whatif_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
