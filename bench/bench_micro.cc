@@ -9,6 +9,7 @@
 #include "jobs/benchmark_jobs.h"
 #include "jobs/datasets.h"
 #include "mrsim/simulator.h"
+#include "optimizer/cbo.h"
 #include "profiler/profiler.h"
 #include "staticanalysis/cfg_matcher.h"
 #include "storage/db.h"
@@ -122,6 +123,38 @@ void BM_WhatIfPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_WhatIfPredict);
 
+// ---------------------------------------------------------------- optimizer
+
+// The parallel CBO search: Arg is the thread count, so the Arg(4)/Arg(1)
+// real-time ratio is the headline speedup of the shared-thread-pool work.
+void BM_CboOptimize(benchmark::State& state) {
+  const mrsim::Simulator sim(mrsim::ThesisCluster());
+  const profiler::Profiler prof(&sim);
+  const whatif::WhatIfEngine engine(sim.cluster());
+  const auto job = jobs::WordCooccurrencePairs(2);
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  const auto profile =
+      prof.ProfileFullRun(job.spec, data, mrsim::Configuration{}, 1)
+          .value()
+          .profile;
+  optimizer::CostBasedOptimizer::Options options;
+  options.num_threads = static_cast<int>(state.range(0));
+  const optimizer::CostBasedOptimizer cbo(&engine, options);
+  int evaluated = 0;
+  for (auto _ : state) {
+    auto rec = cbo.Optimize(profile, data);
+    PSTORM_CHECK_OK(rec.status());
+    evaluated = rec->candidates_evaluated;
+    benchmark::DoNotOptimize(rec);
+  }
+  state.SetItemsProcessed(state.iterations() * evaluated);
+}
+BENCHMARK(BM_CboOptimize)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 // ----------------------------------------------------------------- matching
 
 class MatcherFixture : public benchmark::Fixture {
@@ -187,6 +220,27 @@ BENCHMARK_REGISTER_F(MatcherFixture, BM_MatchProfile)
     ->Arg(54)
     ->Arg(216)
     ->Unit(benchmark::kMillisecond);
+
+// Tie-break over every stored profile: with the decoded-entry cache this
+// is pure scoring after the first iteration instead of one payload
+// deserialization (+ two CFG parses) per candidate per call.
+BENCHMARK_DEFINE_F(MatcherFixture, BM_MatcherTieBreak)
+(benchmark::State& state) {
+  core::MultiStageMatcher matcher(store_.get());
+  const auto candidates = store_->ListJobKeys().value();
+  for (auto _ : state) {
+    auto key = matcher.TieBreak(core::Side::kMap, candidates,
+                                probe_.map_categorical, probe_.map_dynamic,
+                                probe_.input_data_bytes);
+    PSTORM_CHECK_OK(key.status());
+    benchmark::DoNotOptimize(key);
+  }
+  state.SetItemsProcessed(state.iterations() * candidates.size());
+}
+BENCHMARK_REGISTER_F(MatcherFixture, BM_MatcherTieBreak)
+    ->Arg(54)
+    ->Arg(216)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

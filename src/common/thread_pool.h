@@ -1,0 +1,91 @@
+#ifndef PSTORM_COMMON_THREAD_POOL_H_
+#define PSTORM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pstorm::common {
+
+/// A fixed-size worker pool. Tasks are plain closures executed FIFO by the
+/// next free worker. The pool is the process-wide substrate for
+/// CPU-parallel work (the CBO search today; batch matching and sharded
+/// scans later), so tasks must never *block on* other pool tasks —
+/// ParallelFor below shows the pattern that stays deadlock-free: the
+/// submitting thread participates in the work instead of waiting idle.
+///
+/// Schedule/Submit are thread-safe, including from inside a running pool
+/// task (nested submission enqueues; it never runs inline and never
+/// blocks).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  /// Completes every task already scheduled, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker. Never blocks.
+  void Schedule(std::function<void()> task);
+
+  /// Enqueues `fn` and returns a future for its result; an exception
+  /// thrown by `fn` surfaces from future.get().
+  template <typename F>
+  auto Submit(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    Schedule([task]() { (*task)(); });
+    return result;
+  }
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// The process-wide pool, sized to the hardware concurrency, created on
+  /// first use and kept alive for the life of the process.
+  static ThreadPool* Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs `body(i)` for every i in [begin, end), spreading the iterations
+/// across `pool` while the calling thread works too, and returns when all
+/// claimed iterations have finished. At most `max_parallelism` threads
+/// (0 = the pool size, calling thread included) process iterations
+/// concurrently.
+///
+/// Semantics:
+///  - An empty range returns immediately without touching the pool.
+///  - `pool == nullptr` (or max_parallelism == 1) runs serially inline.
+///  - If any `body` throws, unclaimed iterations are abandoned, already
+///    running ones finish, and the first captured exception is rethrown on
+///    the calling thread.
+///  - Safe to call from inside a pool task: the caller drains iterations
+///    itself and never waits on queued helpers, so nesting cannot
+///    deadlock.
+///
+/// `body` must be safe to invoke concurrently from multiple threads.
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body,
+                 size_t max_parallelism = 0);
+
+}  // namespace pstorm::common
+
+#endif  // PSTORM_COMMON_THREAD_POOL_H_

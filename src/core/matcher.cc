@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/statistics.h"
@@ -41,28 +43,29 @@ Result<std::string> MultiStageMatcher::TieBreak(
   std::vector<Scored> scored;
   scored.reserve(candidates.size());
   for (const std::string& key : candidates) {
-    PSTORM_ASSIGN_OR_RETURN(StoredEntry entry, store_->GetEntry(key));
+    PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<const StoredEntry> entry,
+                            store_->GetEntryRef(key));
     Scored s;
     s.key = key;
     std::vector<std::string> stored_categorical =
-        side == Side::kMap ? entry.statics.MapCategorical()
-                           : entry.statics.ReduceCategorical();
+        side == Side::kMap ? entry->statics.MapCategorical()
+                           : entry->statics.ReduceCategorical();
     // A probe extended with the user-parameter feature (§7.2.1) compares
     // against the stored parameter string in the same slot.
     if (categorical.size() == stored_categorical.size() + 1) {
-      stored_categorical.push_back(entry.statics.user_params);
+      stored_categorical.push_back(entry->statics.user_params);
     }
     s.jaccard = categorical.empty()
                     ? 0.0
                     : PositionalJaccard(stored_categorical, categorical);
     s.input_gap =
-        std::fabs(entry.profile.input_data_bytes - probe_input_bytes);
+        std::fabs(entry->profile.input_data_bytes - probe_input_bytes);
     if (probe_normalized.empty()) {
       s.dynamic_distance = 0.0;
     } else {
       const std::vector<double> stored_dynamic =
-          side == Side::kMap ? entry.profile.map_side.DynamicVector()
-                             : entry.profile.reduce_side.DynamicVector();
+          side == Side::kMap ? entry->profile.map_side.DynamicVector()
+                             : entry->profile.reduce_side.DynamicVector();
       s.dynamic_distance = EuclideanDistance(
           bounds.Normalize(stored_dynamic), probe_normalized);
     }
@@ -192,13 +195,10 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
         store_->DynamicEuclideanScan(side, dynamic,
                                      ThetaEuclidean(dynamic.size()),
                                      options_.server_side_filtering));
+    const std::unordered_set<std::string> dynamic_pass_set(
+        dynamic_pass.begin(), dynamic_pass.end());
     for (const std::string& key : after_jaccard) {
-      for (const std::string& ok : dynamic_pass) {
-        if (key == ok) {
-          final_set.push_back(key);
-          break;
-        }
-      }
+      if (dynamic_pass_set.count(key) > 0) final_set.push_back(key);
     }
     if (final_set.empty()) return result;
     PSTORM_ASSIGN_OR_RETURN(
@@ -228,14 +228,11 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
                                 options_.server_side_filtering));
   // Intersect with the dynamic survivors: the fallback refines C', it
   // does not resurrect profiles the dynamic filter rejected.
+  const std::unordered_set<std::string> survivor_set(
+      dynamic_survivors.begin(), dynamic_survivors.end());
   std::vector<std::string> refined;
   for (const std::string& key : fallback) {
-    for (const std::string& ok : dynamic_survivors) {
-      if (key == ok) {
-        refined.push_back(key);
-        break;
-      }
-    }
+    if (survivor_set.count(key) > 0) refined.push_back(key);
   }
   if (refined.empty()) return result;
   // Fallback tie-break: static features already failed, so only input
@@ -265,15 +262,15 @@ Result<MatchResult> MultiStageMatcher::Match(
   // Compose the returned profile: map half from the map match, reduce
   // half from the reduce match (§4.3). Map and reduce sub-profiles are
   // independent by MR's blocking execution, so the stitch is sound.
-  PSTORM_ASSIGN_OR_RETURN(StoredEntry map_entry,
-                          store_->GetEntry(result.map_source));
-  result.profile = map_entry.profile;
+  PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<const StoredEntry> map_entry,
+                          store_->GetEntryRef(result.map_source));
+  result.profile = map_entry->profile;
   if (result.composite) {
-    PSTORM_ASSIGN_OR_RETURN(StoredEntry reduce_entry,
-                            store_->GetEntry(result.reduce_source));
-    result.profile.reduce_side = reduce_entry.profile.reduce_side;
+    PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<const StoredEntry> reduce_entry,
+                            store_->GetEntryRef(result.reduce_source));
+    result.profile.reduce_side = reduce_entry->profile.reduce_side;
     result.profile.job_name =
-        map_entry.profile.job_name + "+" + reduce_entry.profile.job_name;
+        map_entry->profile.job_name + "+" + reduce_entry->profile.job_name;
   }
   result.found = true;
   return result;

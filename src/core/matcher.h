@@ -95,19 +95,21 @@ class MultiStageMatcher {
   /// One side's workflow, exposed for tests and benches.
   Result<SideMatch> MatchSide(Side side, const JobFeatureVector& probe) const;
 
- private:
-  double ThetaEuclidean(size_t dims) const;
   /// The Figure 4.4 tie-break with one refinement: when several candidates
   /// survive every filter, prefer those with the highest Jaccard score
   /// (exact static matches beat near matches), then the closest input
   /// data size, then the smallest dynamic distance — the last two exactly
   /// as the thesis motivates via Figure 4.6. Pass empty `categorical` /
   /// `dynamic` to skip the respective criterion (fallback path).
+  /// Exposed for tests and benches.
   Result<std::string> TieBreak(Side side,
                                const std::vector<std::string>& candidates,
                                const std::vector<std::string>& categorical,
                                const std::vector<double>& dynamic,
                                double probe_input_bytes) const;
+
+ private:
+  double ThetaEuclidean(size_t dims) const;
 
   const ProfileStore* store_;
   MatchOptions options_;

@@ -288,6 +288,11 @@ Status ProfileStore::PutProfile(
   if (job_key.find('/') != std::string::npos) {
     return Status::InvalidArgument("job key must not contain '/'");
   }
+  // Cache rule: a put invalidates exactly the decoded entry it replaces.
+  {
+    std::lock_guard<std::mutex> lock(entry_cache_mu_);
+    entry_cache_.erase(job_key);
+  }
   const bool existed = table_->Get(kPayloadPrefix + job_key).ok();
 
   // Dynamic row: the numeric features the matcher filters on.
@@ -360,6 +365,24 @@ Status ProfileStore::PutProfile(
 }
 
 Result<StoredEntry> ProfileStore::GetEntry(const std::string& job_key) const {
+  PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<const StoredEntry> entry,
+                          GetEntryRef(job_key));
+  return *entry;
+}
+
+size_t ProfileStore::entry_cache_size() const {
+  std::lock_guard<std::mutex> lock(entry_cache_mu_);
+  return entry_cache_.size();
+}
+
+Result<std::shared_ptr<const StoredEntry>> ProfileStore::GetEntryRef(
+    const std::string& job_key) const {
+  {
+    std::lock_guard<std::mutex> lock(entry_cache_mu_);
+    auto it = entry_cache_.find(job_key);
+    if (it != entry_cache_.end()) return it->second;
+  }
+
   StoredEntry entry;
   entry.job_key = job_key;
 
@@ -409,10 +432,20 @@ Result<StoredEntry> ProfileStore::GetEntry(const std::string& job_key) const {
   };
   read_calls(kMapCallsColumn, &f.map_calls);
   read_calls(kRedCallsColumn, &f.reduce_calls);
-  return entry;
+
+  auto shared = std::make_shared<const StoredEntry>(std::move(entry));
+  {
+    std::lock_guard<std::mutex> lock(entry_cache_mu_);
+    entry_cache_[job_key] = shared;
+  }
+  return shared;
 }
 
 Status ProfileStore::DeleteProfile(const std::string& job_key) {
+  {
+    std::lock_guard<std::mutex> lock(entry_cache_mu_);
+    entry_cache_.erase(job_key);
+  }
   const bool existed = table_->Get(kPayloadPrefix + job_key).ok();
   PSTORM_RETURN_IF_ERROR(table_->DeleteRow(kDynamicPrefix + job_key));
   PSTORM_RETURN_IF_ERROR(table_->DeleteRow(kStaticPrefix + job_key));

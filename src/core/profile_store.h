@@ -3,7 +3,9 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -62,6 +64,18 @@ class ProfileStore {
 
   /// Loads one stored job; NotFound if absent.
   Result<StoredEntry> GetEntry(const std::string& job_key) const;
+
+  /// Like GetEntry but shares the store's decoded-entry cache: repeated
+  /// probes of the same rows (matcher tie-breaks, composite stitches)
+  /// skip re-deserializing the payload blob and re-parsing both CFGs.
+  /// The returned entry is immutable and stays valid after invalidation.
+  /// Cache rule: an entry is invalidated by the PutProfile or
+  /// DeleteProfile of its own job key, and by nothing else.
+  Result<std::shared_ptr<const StoredEntry>> GetEntryRef(
+      const std::string& job_key) const;
+
+  /// Decoded entries currently cached (tests/diagnostics).
+  size_t entry_cache_size() const;
 
   /// Removes a job's rows (idempotent). Bounds are left as-is (they only
   /// ever widen, which keeps normalization stable).
@@ -135,6 +149,13 @@ class ProfileStore {
   /// feature name -> (min, max) observed.
   std::map<std::string, std::pair<double, double>> bounds_;
   size_t num_profiles_ = 0;
+  /// Decoded-entry cache behind GetEntryRef. The mutex guards only the
+  /// map; the entries themselves are immutable shared values. Mutations
+  /// (PutProfile/DeleteProfile) erase the affected key — see the cache
+  /// rule on GetEntryRef.
+  mutable std::mutex entry_cache_mu_;
+  mutable std::unordered_map<std::string, std::shared_ptr<const StoredEntry>>
+      entry_cache_;
 };
 
 /// Column names of the side's dynamic features / cost factors, in vector

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
+#include "whatif/map_outcome_cache.h"
 
 namespace pstorm::optimizer {
 
@@ -87,39 +91,80 @@ Result<CostBasedOptimizer::Recommendation> CostBasedOptimizer::Optimize(
   best.predicted_runtime_s = std::numeric_limits<double>::infinity();
   int evaluated = 0;
 
-  auto consider = [&](const mrsim::Configuration& c) {
-    if (!c.Validate().ok()) return;
-    auto prediction = engine_->Predict(profile, data, c);
-    if (!prediction.ok()) return;
-    ++evaluated;
-    if (prediction->runtime_s < best.predicted_runtime_s) {
-      best.predicted_runtime_s = prediction->runtime_s;
-      best.config = c;
+  const size_t num_threads =
+      options_.num_threads > 0
+          ? static_cast<size_t>(options_.num_threads)
+          : std::max(1u, std::thread::hardware_concurrency());
+  common::ThreadPool* pool =
+      num_threads > 1 ? common::ThreadPool::Shared() : nullptr;
+  // One memo table per Optimize call: it is keyed on the map-relevant
+  // configuration subset alone, so it is only valid for this
+  // (profile, data) pair.
+  whatif::MapOutcomeCache map_cache;
+
+  // Evaluates a batch of candidates across the pool and folds it into the
+  // incumbent. Every candidate in a batch is generated before any is
+  // evaluated (evaluation consumes no randomness), and the argmin scans in
+  // candidate order with a strict '<' — ties keep the earlier index — so
+  // the result is bit-identical to the sequential generate-then-evaluate
+  // loop for any thread count.
+  auto evaluate_batch = [&](const std::vector<mrsim::Configuration>& batch) {
+    std::vector<double> runtimes(batch.size(),
+                                 std::numeric_limits<double>::infinity());
+    std::vector<char> feasible(batch.size(), 0);
+    common::ParallelFor(
+        pool, 0, batch.size(),
+        [&](size_t i) {
+          const mrsim::Configuration& c = batch[i];
+          if (!c.Validate().ok()) return;
+          auto prediction = engine_->Predict(profile, data, c, &map_cache);
+          if (!prediction.ok()) return;
+          runtimes[i] = prediction->runtime_s;
+          feasible[i] = 1;
+        },
+        num_threads);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!feasible[i]) continue;
+      ++evaluated;
+      if (runtimes[i] < best.predicted_runtime_s) {
+        best.predicted_runtime_s = runtimes[i];
+        best.config = batch[i];
+      }
     }
   };
 
-  // Seed points: the Hadoop defaults and a sensible-reducers variant,
-  // so the optimizer can never be worse than the obvious baselines
-  // according to its own model.
-  consider(mrsim::Configuration{});
+  // Seed points first: the Hadoop defaults and a sensible-reducers
+  // variant, so the optimizer can never be worse than the obvious
+  // baselines according to its own model. Then global exploration — all
+  // candidates drawn up front from the single RNG on this thread.
   {
-    mrsim::Configuration c;
-    c.num_reduce_tasks =
-        std::max(1, static_cast<int>(0.9 * cluster.total_reduce_slots()));
-    consider(c);
+    std::vector<mrsim::Configuration> batch;
+    batch.reserve(2 + static_cast<size_t>(options_.global_samples));
+    batch.emplace_back();
+    {
+      mrsim::Configuration c;
+      c.num_reduce_tasks =
+          std::max(1, static_cast<int>(0.9 * cluster.total_reduce_slots()));
+      batch.push_back(c);
+    }
+    for (int i = 0; i < options_.global_samples; ++i) {
+      batch.push_back(random_candidate());
+    }
+    evaluate_batch(batch);
   }
 
-  // Global exploration.
-  for (int i = 0; i < options_.global_samples; ++i) {
-    consider(random_candidate());
-  }
-
-  // Local refinement around the incumbent (recursive random search).
+  // Local refinement around the incumbent (recursive random search). A
+  // round's perturbations all derive from the incumbent entering the
+  // round, so generation stays on the submitting thread and rounds remain
+  // sequential barriers.
   for (int round = 0; round < options_.refinement_rounds; ++round) {
     const mrsim::Configuration incumbent = best.config;
+    std::vector<mrsim::Configuration> batch;
+    batch.reserve(static_cast<size_t>(options_.local_samples));
     for (int i = 0; i < options_.local_samples; ++i) {
-      consider(perturb(incumbent));
+      batch.push_back(perturb(incumbent));
     }
+    evaluate_batch(batch);
   }
 
   if (!std::isfinite(best.predicted_runtime_s)) {

@@ -28,6 +28,12 @@ class CostBasedOptimizer {
     /// Heap headroom the optimizer must leave when sizing io.sort.mb.
     double heap_margin_mb = 80.0;
     uint64_t seed = 17;
+    /// What-if evaluations run across the shared thread pool with this
+    /// much parallelism; 0 means the hardware concurrency, 1 runs inline
+    /// on the submitting thread. The recommendation is bit-identical for
+    /// every value: candidates are generated up front from the single
+    /// seeded RNG and reduced with a deterministic argmin.
+    int num_threads = 0;
   };
 
   /// `engine` must outlive the optimizer.

@@ -1,0 +1,30 @@
+#include "whatif/map_outcome_cache.h"
+
+#include <bit>
+
+namespace pstorm::whatif {
+
+MapModelKey MapRelevantSubset(const mrsim::Configuration& config) {
+  MapModelKey key;
+  key.io_sort_mb = config.io_sort_mb;
+  key.io_sort_record_percent = config.io_sort_record_percent;
+  key.io_sort_spill_percent = config.io_sort_spill_percent;
+  key.io_sort_factor = config.io_sort_factor;
+  key.use_combiner = config.use_combiner;
+  key.min_num_spills_for_combine = config.min_num_spills_for_combine;
+  key.compress_map_output = config.compress_map_output;
+  return key;
+}
+
+size_t MapModelKeyHash::operator()(const MapModelKey& k) const {
+  uint64_t h = Mix64(std::bit_cast<uint64_t>(k.io_sort_mb));
+  h = HashCombine(h, std::bit_cast<uint64_t>(k.io_sort_record_percent));
+  h = HashCombine(h, std::bit_cast<uint64_t>(k.io_sort_spill_percent));
+  h = HashCombine(h, static_cast<uint64_t>(k.io_sort_factor));
+  h = HashCombine(h, (static_cast<uint64_t>(k.use_combiner) << 1) |
+                         static_cast<uint64_t>(k.compress_map_output));
+  h = HashCombine(h, static_cast<uint64_t>(k.min_num_spills_for_combine));
+  return static_cast<size_t>(h);
+}
+
+}  // namespace pstorm::whatif

@@ -1,0 +1,88 @@
+#ifndef PSTORM_WHATIF_MAP_OUTCOME_CACHE_H_
+#define PSTORM_WHATIF_MAP_OUTCOME_CACHE_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "mrsim/configuration.h"
+#include "mrsim/task_model.h"
+
+namespace pstorm::whatif {
+
+/// The subset of the 14 tuning parameters that the map-side model —
+/// ModelMapTask plus the map-wave schedule — actually reads. Candidates
+/// that differ only in reduce-side parameters (reducer count, shuffle
+/// buffers, slowstart, output compression) share one map outcome, which
+/// is what makes memoizing it worthwhile: the CBO's local-refinement
+/// rounds perturb reduce-side knobs far more often than they change the
+/// map-side buffer geometry.
+struct MapModelKey {
+  double io_sort_mb = 0;
+  double io_sort_record_percent = 0;
+  double io_sort_spill_percent = 0;
+  int io_sort_factor = 0;
+  bool use_combiner = false;
+  int min_num_spills_for_combine = 0;
+  bool compress_map_output = false;
+
+  friend bool operator==(const MapModelKey&, const MapModelKey&) = default;
+};
+
+/// Extracts the map-relevant subset of `config`.
+MapModelKey MapRelevantSubset(const mrsim::Configuration& config);
+
+struct MapModelKeyHash {
+  size_t operator()(const MapModelKey& k) const;
+};
+
+/// Everything Predict derives from the map-relevant subset alone (for a
+/// fixed profile, data set, and cluster): the task outcome and the
+/// full map-wave schedule digest the reduce side needs.
+struct MapModelEntry {
+  mrsim::MapTaskOutcome outcome;
+  double map_task_s = 0;
+  double map_phase_s = 0;
+  /// Map-task end times sorted ascending — the slowstart barrier indexes
+  /// into this for any reduce_slowstart_completed_maps value.
+  std::vector<double> sorted_end_times;
+};
+
+/// Memo table for the map half of WhatIfEngine::Predict. One cache is
+/// valid for exactly one (profile, data, cluster) triple — the CBO owns
+/// one per Optimize call — and is safe to share across the thread pool:
+/// entries are immutable once inserted and the map is mutex-protected.
+/// A racing double-compute inserts the same pure-function value twice,
+/// so results never depend on thread interleaving.
+class MapOutcomeCache {
+ public:
+  std::shared_ptr<const MapModelEntry> Lookup(const MapModelKey& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : it->second;
+  }
+
+  void Insert(const MapModelKey& key,
+              std::shared_ptr<const MapModelEntry> entry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.emplace(key, std::move(entry));
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<MapModelKey, std::shared_ptr<const MapModelEntry>,
+                     MapModelKeyHash>
+      entries_;
+};
+
+}  // namespace pstorm::whatif
+
+#endif  // PSTORM_WHATIF_MAP_OUTCOME_CACHE_H_

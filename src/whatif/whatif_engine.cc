@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "mrsim/simulator.h"
 
@@ -11,7 +12,7 @@ WhatIfEngine::WhatIfEngine(mrsim::ClusterSpec cluster) : cluster_(cluster) {}
 
 Result<Prediction> WhatIfEngine::Predict(
     const profiler::ExecutionProfile& profile, const mrsim::DataSetSpec& data,
-    const mrsim::Configuration& config) const {
+    const mrsim::Configuration& config, MapOutcomeCache* map_cache) const {
   PSTORM_RETURN_IF_ERROR(cluster_.Validate());
   PSTORM_RETURN_IF_ERROR(data.Validate());
   PSTORM_RETURN_IF_ERROR(config.Validate());
@@ -63,19 +64,39 @@ Result<Prediction> WhatIfEngine::Predict(
   map_params.startup_seconds = cluster_.task_startup_seconds;
   map_params.spill_setup_seconds = cluster_.spill_setup_seconds;
 
-  Prediction prediction;
-  prediction.map_outcome = mrsim::ModelMapTask(map_params, config);
-  prediction.map_task_s = prediction.map_outcome.total_s;
+  // The whole map half — task model plus wave schedule — is a pure
+  // function of the map-relevant configuration subset, so a sweep over
+  // candidates can memoize it.
+  std::shared_ptr<const MapModelEntry> map_entry;
+  const MapModelKey map_key = MapRelevantSubset(config);
+  if (map_cache != nullptr) map_entry = map_cache->Lookup(map_key);
+  if (map_entry == nullptr) {
+    auto fresh = std::make_shared<MapModelEntry>();
+    fresh->outcome = mrsim::ModelMapTask(map_params, config);
+    fresh->map_task_s = fresh->outcome.total_s;
 
-  // Wave scheduling of identical map tasks.
-  const std::vector<double> map_durations(num_splits,
-                                          prediction.map_task_s);
-  auto map_schedule =
-      mrsim::ListSchedule(cluster_.total_map_slots(), map_durations);
-  double map_phase_end = 0;
-  for (const auto& [start, end] : map_schedule) {
-    map_phase_end = std::max(map_phase_end, end);
+    // Wave scheduling of identical map tasks; keep the end times sorted
+    // so any slowstart fraction can index into them.
+    const std::vector<double> map_durations(num_splits, fresh->map_task_s);
+    const auto map_schedule =
+        mrsim::ListSchedule(cluster_.total_map_slots(), map_durations);
+    fresh->sorted_end_times.reserve(map_schedule.size());
+    for (const auto& [start, end] : map_schedule) {
+      fresh->sorted_end_times.push_back(end);
+    }
+    std::sort(fresh->sorted_end_times.begin(),
+              fresh->sorted_end_times.end());
+    fresh->map_phase_s = fresh->sorted_end_times.empty()
+                             ? 0.0
+                             : fresh->sorted_end_times.back();
+    map_entry = std::move(fresh);
+    if (map_cache != nullptr) map_cache->Insert(map_key, map_entry);
   }
+
+  Prediction prediction;
+  prediction.map_outcome = map_entry->outcome;
+  prediction.map_task_s = map_entry->map_task_s;
+  const double map_phase_end = map_entry->map_phase_s;
   prediction.map_phase_s = map_phase_end;
 
   if (config.num_reduce_tasks == 0) {
@@ -127,16 +148,14 @@ Result<Prediction> WhatIfEngine::Predict(
 
   // Reducers wait for the slowstart share of maps, and no shuffle ends
   // before the last map does.
-  std::sort(map_schedule.begin(), map_schedule.end(),
-            [](const auto& a, const auto& b) { return a.second < b.second; });
+  const std::vector<double>& map_ends = map_entry->sorted_end_times;
   const size_t slowstart_index = static_cast<size_t>(std::ceil(
       config.reduce_slowstart_completed_maps *
       static_cast<double>(num_splits)));
   const double slowstart_time =
       slowstart_index == 0
           ? 0.0
-          : map_schedule[std::min<size_t>(slowstart_index, num_splits) - 1]
-                .second;
+          : map_ends[std::min<size_t>(slowstart_index, num_splits) - 1];
 
   // Wave scheduling of identical reduce tasks with the shuffle barrier.
   const int reduce_slots = cluster_.total_reduce_slots();

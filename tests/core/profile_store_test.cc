@@ -218,5 +218,54 @@ TEST_F(ProfileStoreTest, OverwriteKeepsSingleProfile) {
   EXPECT_EQ(store->num_profiles(), 1u);
 }
 
+TEST_F(ProfileStoreTest, GetEntryRefCachesDecodedEntries) {
+  auto store = OpenStore();
+  const StoredEntry e = MakeEntry(jobs::WordCount(), jobs::kRandomText1Gb);
+  ASSERT_TRUE(store->PutProfile(e.job_key, e.profile, e.statics).ok());
+  EXPECT_EQ(store->entry_cache_size(), 0u);
+
+  auto first = store->GetEntryRef(e.job_key);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(store->entry_cache_size(), 1u);
+  auto second = store->GetEntryRef(e.job_key);
+  ASSERT_TRUE(second.ok());
+  // Same decoded object, not a re-deserialization.
+  EXPECT_EQ(first->get(), second->get());
+  EXPECT_EQ((*first)->profile.job_name, "word-count");
+}
+
+TEST_F(ProfileStoreTest, PutInvalidatesCachedEntry) {
+  auto store = OpenStore();
+  const StoredEntry e = MakeEntry(jobs::WordCount(), jobs::kRandomText1Gb);
+  ASSERT_TRUE(store->PutProfile(e.job_key, e.profile, e.statics).ok());
+  auto stale = store->GetEntryRef(e.job_key);
+  ASSERT_TRUE(stale.ok());
+
+  // Overwrite with a different profile under the same key.
+  StoredEntry updated = MakeEntry(jobs::WordCount(), jobs::kRandomText1Gb);
+  updated.profile.input_data_bytes += 1234.0;
+  ASSERT_TRUE(
+      store->PutProfile(e.job_key, updated.profile, updated.statics).ok());
+
+  auto fresh = store->GetEntryRef(e.job_key);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(stale->get(), fresh->get());
+  EXPECT_DOUBLE_EQ((*fresh)->profile.input_data_bytes,
+                   updated.profile.input_data_bytes);
+  // The pre-invalidation snapshot stays readable (immutable value).
+  EXPECT_DOUBLE_EQ((*stale)->profile.input_data_bytes,
+                   e.profile.input_data_bytes);
+}
+
+TEST_F(ProfileStoreTest, DeleteInvalidatesCachedEntry) {
+  auto store = OpenStore();
+  const StoredEntry e = MakeEntry(jobs::WordCount(), jobs::kRandomText1Gb);
+  ASSERT_TRUE(store->PutProfile(e.job_key, e.profile, e.statics).ok());
+  ASSERT_TRUE(store->GetEntryRef(e.job_key).ok());
+  ASSERT_TRUE(store->DeleteProfile(e.job_key).ok());
+  EXPECT_EQ(store->entry_cache_size(), 0u);
+  EXPECT_TRUE(store->GetEntryRef(e.job_key).status().IsNotFound());
+}
+
 }  // namespace
 }  // namespace pstorm::core

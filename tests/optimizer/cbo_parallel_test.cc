@@ -1,0 +1,113 @@
+// The contract of the parallel CBO: the recommendation is a pure function
+// of (profile, data, options.seed) — the thread count may change only how
+// fast it is produced, never which configuration wins.
+
+#include <gtest/gtest.h>
+
+#include "jobs/benchmark_jobs.h"
+#include "jobs/datasets.h"
+#include "optimizer/cbo.h"
+#include "profiler/profiler.h"
+#include "whatif/map_outcome_cache.h"
+
+namespace pstorm::optimizer {
+namespace {
+
+class CboParallelTest : public ::testing::Test {
+ protected:
+  CboParallelTest() : sim_(mrsim::ThesisCluster()), profiler_(&sim_),
+                      engine_(mrsim::ThesisCluster()) {}
+
+  profiler::ExecutionProfile Profile(const jobs::BenchmarkJob& job,
+                                     const mrsim::DataSetSpec& data) {
+    auto profiled =
+        profiler_.ProfileFullRun(job.spec, data, mrsim::Configuration{}, 5);
+    EXPECT_TRUE(profiled.ok()) << profiled.status();
+    return profiled->profile;
+  }
+
+  mrsim::Simulator sim_;
+  profiler::Profiler profiler_;
+  whatif::WhatIfEngine engine_;
+};
+
+TEST_F(CboParallelTest, RecommendationIdenticalForAnyThreadCount) {
+  const auto job = jobs::WordCooccurrencePairs(2);
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  const auto profile = Profile(job, data);
+
+  CostBasedOptimizer::Options options;
+  options.global_samples = 120;
+  options.local_samples = 60;
+  options.num_threads = 1;
+  const auto baseline =
+      CostBasedOptimizer(&engine_, options).Optimize(profile, data);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  for (int threads : {2, 8}) {
+    options.num_threads = threads;
+    const auto rec =
+        CostBasedOptimizer(&engine_, options).Optimize(profile, data);
+    ASSERT_TRUE(rec.ok()) << rec.status();
+    EXPECT_EQ(rec->config, baseline->config) << threads << " threads";
+    EXPECT_EQ(rec->predicted_runtime_s, baseline->predicted_runtime_s)
+        << threads << " threads";
+    EXPECT_EQ(rec->candidates_evaluated, baseline->candidates_evaluated)
+        << threads << " threads";
+  }
+}
+
+TEST_F(CboParallelTest, DefaultThreadCountMatchesSingleThreaded) {
+  const auto job = jobs::WordCount();
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  const auto profile = Profile(job, data);
+
+  CostBasedOptimizer::Options options;
+  options.global_samples = 80;
+  options.local_samples = 40;
+  options.num_threads = 1;
+  const auto serial =
+      CostBasedOptimizer(&engine_, options).Optimize(profile, data);
+  ASSERT_TRUE(serial.ok());
+
+  options.num_threads = 0;  // Hardware concurrency, whatever it is here.
+  const auto parallel =
+      CostBasedOptimizer(&engine_, options).Optimize(profile, data);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->config, serial->config);
+  EXPECT_EQ(parallel->predicted_runtime_s, serial->predicted_runtime_s);
+}
+
+TEST_F(CboParallelTest, MapOutcomeCacheDoesNotChangePredictions) {
+  const auto job = jobs::WordCount();
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  const auto profile = Profile(job, data);
+
+  whatif::MapOutcomeCache cache;
+  mrsim::Configuration a;  // Defaults.
+  mrsim::Configuration b = a;
+  b.num_reduce_tasks = 13;  // Reduce-side-only change: same map key.
+  b.reduce_slowstart_completed_maps = 0.4;
+  ASSERT_EQ(whatif::MapRelevantSubset(a), whatif::MapRelevantSubset(b));
+
+  const auto a_cold = engine_.Predict(profile, data, a);
+  const auto a_cached = engine_.Predict(profile, data, a, &cache);
+  const auto b_cached = engine_.Predict(profile, data, b, &cache);
+  const auto b_cold = engine_.Predict(profile, data, b);
+  ASSERT_TRUE(a_cold.ok() && a_cached.ok() && b_cold.ok() && b_cached.ok());
+  EXPECT_EQ(a_cached->runtime_s, a_cold->runtime_s);
+  EXPECT_EQ(b_cached->runtime_s, b_cold->runtime_s);
+  // Both configurations share one memoized map outcome.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(a_cached->map_task_s, b_cached->map_task_s);
+  // A map-side change misses the cache.
+  mrsim::Configuration c = a;
+  c.io_sort_mb = 180.0;
+  const auto c_cached = engine_.Predict(profile, data, c, &cache);
+  ASSERT_TRUE(c_cached.ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(c_cached->runtime_s, engine_.Predict(profile, data, c)->runtime_s);
+}
+
+}  // namespace
+}  // namespace pstorm::optimizer
