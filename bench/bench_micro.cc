@@ -13,6 +13,7 @@
 #include "profiler/profiler.h"
 #include "staticanalysis/cfg_matcher.h"
 #include "storage/db.h"
+#include "storage/wal.h"
 #include "whatif/whatif_engine.h"
 
 namespace {
@@ -67,6 +68,50 @@ void BM_StorageDbScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_StorageDbScan)->Arg(10000);
+
+// The WAL append is the new cost on every Put (one frame encode + one
+// appending write): this is the price of crash durability per mutation.
+void BM_WalAppend(benchmark::State& state) {
+  storage::InMemoryEnv env;
+  storage::WalWriter wal(&env, "/bm-wal");
+  int i = 0;
+  const std::string value(128, 'v');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wal.AppendPut("key" + std::to_string(i++), value));
+    if (i % 4096 == 0) {
+      state.PauseTiming();
+      PSTORM_CHECK_OK(wal.Truncate());  // Keep the log from ballooning.
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalAppend);
+
+// Recovery cost: reopening a Db whose last run "crashed" with range(0)
+// unflushed records in the log — the WAL replay path end to end.
+void BM_DbReopenAfterCrash(benchmark::State& state) {
+  storage::InMemoryEnv env;
+  const int n = static_cast<int>(state.range(0));
+  storage::DbOptions options;
+  options.memtable_flush_bytes = 64u << 20;  // No auto-flush: all WAL.
+  {
+    auto db = storage::Db::Open(&env, "/bm-db", options).value();
+    for (int i = 0; i < n; ++i) {
+      PSTORM_CHECK_OK(db->Put("key" + std::to_string(i), std::string(128, 'v')));
+    }
+    // Dropped without a flush: the records survive only in the WAL.
+  }
+  for (auto _ : state) {
+    auto db = storage::Db::Open(&env, "/bm-db", options);
+    PSTORM_CHECK_OK(db.status());
+    PSTORM_CHECK(db.value()->stats().wal_records_replayed ==
+                 static_cast<uint64_t>(n));
+    benchmark::DoNotOptimize(db);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DbReopenAfterCrash)->Arg(1000)->Arg(10000);
 
 // ----------------------------------------------------------- static analysis
 

@@ -83,6 +83,7 @@ class Status {
   }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

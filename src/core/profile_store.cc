@@ -227,8 +227,23 @@ Result<std::unique_ptr<ProfileStore>> ProfileStore::Open(storage::Env* env,
       auto table, hstore::HTable::Open(env, std::move(path), schema));
   auto store = std::unique_ptr<ProfileStore>(
       new ProfileStore(std::move(table)));
-  PSTORM_RETURN_IF_ERROR(store->LoadBounds());
-  PSTORM_RETURN_IF_ERROR(store->RecountProfiles());
+  // Corrupt metadata degrades to an empty-looking store instead of failing
+  // the open: the matcher then returns No Match Found and PStorM falls
+  // back to run-untuned + re-profile (the paper's own cold path), which
+  // re-populates everything lost. Bounds only ever widen, so starting them
+  // empty is always safe.
+  if (Status s = store->LoadBounds(); !s.ok()) {
+    if (!s.IsCorruption()) return s;
+    PSTORM_LOG(Warning) << "profile store: resetting corrupt normalization "
+                        << "bounds: " << s.ToString();
+    store->bounds_.clear();
+  }
+  if (Status s = store->RecountProfiles(); !s.ok()) {
+    if (!s.IsCorruption()) return s;
+    PSTORM_LOG(Warning) << "profile store: profile count unavailable under "
+                        << "corruption: " << s.ToString();
+    store->num_profiles_ = 0;
+  }
   return store;
 }
 

@@ -136,6 +136,19 @@ class ProfileStore {
   /// The .META.-style region catalog entries of the backing table.
   std::vector<std::string> MetaEntries() const { return table_->MetaEntries(); }
 
+  /// Storage counters summed over the backing table's regions. After a
+  /// reopen over damaged files this is where quarantined-sstable and
+  /// WAL-recovery counts surface (the observability half of the graceful-
+  /// degradation contract: corruption costs stored profiles, never an
+  /// error out of SubmitJob).
+  storage::DbStats StorageStats() const { return table_->AggregatedDbStats(); }
+
+  /// Regions of the backing table that were unreadable at open and came
+  /// back empty.
+  const std::vector<std::string>& RegionOpenErrors() const {
+    return table_->region_open_errors();
+  }
+
  private:
   explicit ProfileStore(std::unique_ptr<hstore::HTable> table)
       : table_(std::move(table)) {}

@@ -39,13 +39,26 @@ Result<PStorM::SubmissionOutcome> PStorM::SubmitJob(
       profiler_.ProfileOneTask(job.spec, data, submitted, seed));
   outcome.sample_runtime_s = sample.run.runtime_s;
 
-  // 2. Probe the store.
+  // 2. Probe the store. A corrupt store must not fail the submission: a
+  // wrong profile would mistune the job, but No Match Found merely costs
+  // one profiled run (thesis §3) — so corruption degrades to the untuned
+  // fallback path below instead of propagating.
   const staticanalysis::StaticFeatures statics =
       staticanalysis::ExtractStaticFeatures(job.program);
   const JobFeatureVector probe =
       BuildFeatureVector(sample.profile, statics);
   MultiStageMatcher matcher(store_.get(), options_.match);
-  PSTORM_ASSIGN_OR_RETURN(MatchResult match, matcher.Match(probe));
+  MatchResult match;
+  if (Result<MatchResult> matched = matcher.Match(probe); matched.ok()) {
+    match = std::move(matched).value();
+  } else if (matched.status().IsCorruption()) {
+    PSTORM_LOG(Warning) << "profile store corruption while matching; "
+                        << "treating as No Match Found: "
+                        << matched.status().ToString();
+    match = MatchResult{};
+  } else {
+    return matched.status();
+  }
 
   if (match.found) {
     // 3a. Tune with the returned profile; run with profiling off.
@@ -81,9 +94,19 @@ Result<PStorM::SubmissionOutcome> PStorM::SubmitJob(
   outcome.runtime_s = run.runtime_s;
   const profiler::ExecutionProfile collected =
       profiler::Profiler::ExtractProfile(run, job.spec.name, data, 1.0);
-  PSTORM_RETURN_IF_ERROR(store_->PutProfile(
-      job.spec.name + "@" + data.name, collected, statics));
-  outcome.stored_new_profile = true;
+  if (Status stored = store_->PutProfile(job.spec.name + "@" + data.name,
+                                         collected, statics);
+      stored.ok()) {
+    outcome.stored_new_profile = true;
+  } else if (stored.IsCorruption()) {
+    // The job itself ran fine; losing one profile to a sick store is the
+    // cheaper outcome.
+    PSTORM_LOG(Warning) << "profile store corruption while storing "
+                        << job.spec.name << "@" << data.name
+                        << "; profile dropped: " << stored.ToString();
+  } else {
+    return stored;
+  }
   return outcome;
 }
 

@@ -224,13 +224,36 @@ Status HTable::LoadTableMeta() {
       PSTORM_ASSIGN_OR_RETURN(
           std::string start_key,
           HexDecode(parts.size() == 2 ? parts[1] : ""));
-      PSTORM_ASSIGN_OR_RETURN(
-          auto region,
-          internal::Region::Open(
-              env_,
-              storage::JoinPath(root_path_, "region_" + std::to_string(id)),
-              std::move(start_key), id, options_.db_options));
-      regions_.push_back(std::move(region));
+      const std::string region_path =
+          storage::JoinPath(root_path_, "region_" + std::to_string(id));
+      auto region = internal::Region::Open(env_, region_path, start_key, id,
+                                           options_.db_options);
+      if (!region.ok() && region.status().IsCorruption()) {
+        // The region's own manifest is rotten (single bad sstables are
+        // quarantined inside Db::Open and do not land here). Losing one
+        // region's rows degrades the matcher to No Match Found; losing the
+        // whole table would take PStorM down. Quarantine the region's
+        // files and recover it empty, keeping the key-space cover intact.
+        const std::string diagnosis =
+            "region_" + std::to_string(id) + ": " +
+            region.status().ToString();
+        PSTORM_LOG(Warning) << "htable " << root_path_
+                            << ": recovering unreadable region empty ("
+                            << diagnosis << ")";
+        if (auto files = env_->ListDir(region_path); files.ok()) {
+          for (const std::string& name : files.value()) {
+            (void)env_->RenameFile(
+                storage::JoinPath(region_path, name),
+                storage::JoinPath(region_path, name + ".quarantine"));
+          }
+        }
+        region_open_errors_.push_back(diagnosis);
+        region = internal::Region::Open(env_, region_path,
+                                        std::move(start_key), id,
+                                        options_.db_options);
+      }
+      if (!region.ok()) return region.status();
+      regions_.push_back(std::move(region).value());
     } else {
       return Status::Corruption("unknown table meta tag: " + tag);
     }
@@ -344,11 +367,29 @@ Status HTable::DeleteRow(std::string_view row) {
   return Status::OK();
 }
 
+storage::DbStats HTable::AggregatedDbStats() const {
+  storage::DbStats total;
+  for (const auto& region : regions_) {
+    const storage::DbStats& s = region->db()->stats();
+    total.flushes += s.flushes;
+    total.compactions += s.compactions;
+    total.bytes_flushed += s.bytes_flushed;
+    total.bytes_compacted += s.bytes_compacted;
+    total.wal_appends += s.wal_appends;
+    total.wal_records_replayed += s.wal_records_replayed;
+    total.wal_tail_truncated += s.wal_tail_truncated;
+    total.quarantined_files += s.quarantined_files;
+    total.orphans_removed += s.orphans_removed;
+  }
+  return total;
+}
+
 Result<std::vector<RowResult>> HTable::Scan(const ScanSpec& spec,
                                             ScanStats* stats) const {
   ScanStats local_stats;
   ScanStats* s = stats != nullptr ? stats : &local_stats;
   *s = ScanStats{};
+  s->regions_recovered_empty = region_open_errors_.size();
 
   std::vector<RowResult> out;
   for (const auto& region : regions_) {

@@ -67,6 +67,10 @@ struct ScanStats {
   uint64_t rows_transferred = 0;
   uint64_t rows_returned = 0;
   uint64_t bytes_transferred = 0;
+  /// Regions whose store was unreadable at table open and was recovered
+  /// empty (their rows are gone from every scan; see
+  /// HTable::region_open_errors for the diagnoses).
+  uint64_t regions_recovered_empty = 0;
 };
 
 struct HTableOptions {
@@ -86,6 +90,8 @@ class HTable {
  public:
   /// Creates or reopens the table rooted at `root_path` inside `env` (which
   /// must outlive the table). Reopening validates that `schema` matches.
+  /// A region whose store is unreadable is quarantined and recovered empty
+  /// rather than failing the open; see region_open_errors().
   static Result<std::unique_ptr<HTable>> Open(storage::Env* env,
                                               std::string root_path,
                                               TableSchema schema,
@@ -120,6 +126,17 @@ class HTable {
   const TableSchema& schema() const { return schema_; }
   size_t num_regions() const;
 
+  /// One human-readable diagnosis per region whose store failed to open
+  /// and was quarantined + recovered empty (see Open). Scans also report
+  /// the count as ScanStats::regions_recovered_empty.
+  const std::vector<std::string>& region_open_errors() const {
+    return region_open_errors_;
+  }
+
+  /// Per-region storage counters summed over the whole table — the
+  /// quarantined-file and WAL-recovery counts roll up here.
+  storage::DbStats AggregatedDbStats() const;
+
  private:
   HTable(storage::Env* env, std::string root_path, TableSchema schema,
          HTableOptions options);
@@ -138,6 +155,7 @@ class HTable {
   uint64_t next_region_id_ = 0;
   /// Sorted by start key; region i covers [start_i, start_{i+1}).
   std::vector<std::unique_ptr<internal::Region>> regions_;
+  std::vector<std::string> region_open_errors_;
 };
 
 }  // namespace pstorm::hstore

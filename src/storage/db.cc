@@ -12,6 +12,8 @@ namespace pstorm::storage {
 namespace {
 constexpr char kManifestName[] = "MANIFEST";
 constexpr char kManifestHeader[] = "pstorm-manifest-v1";
+constexpr char kWalName[] = "WAL";
+constexpr char kQuarantineSuffix[] = ".quarantine";
 }  // namespace
 
 Result<std::unique_ptr<Db>> Db::Open(Env* env, std::string path,
@@ -24,17 +26,75 @@ Result<std::unique_ptr<Db>> Db::Open(Env* env, std::string path,
   } else {
     PSTORM_RETURN_IF_ERROR(db->WriteManifest());
   }
+
+  // Recover acked-but-unflushed mutations. The log stays in place until
+  // the next flush truncates it, so a crash during recovery just replays
+  // again (replay is idempotent: last write per key wins either way).
+  const std::string wal_path = JoinPath(db->path_, kWalName);
+  PSTORM_ASSIGN_OR_RETURN(WalReplayResult replay,
+                          ReplayWal(*env, wal_path, &db->memtable_));
+  db->stats_.wal_records_replayed = replay.records_applied;
+  db->stats_.wal_tail_truncated = replay.truncated_tail ? 1 : 0;
+  if (replay.truncated_tail) {
+    PSTORM_LOG(Warning) << "db " << db->path_ << ": WAL tail torn after "
+                        << replay.records_applied
+                        << " records; dropping the damaged suffix";
+  }
+  if (options.wal_enabled) {
+    db->wal_ = std::make_unique<WalWriter>(env, wal_path);
+  }
+
+  PSTORM_RETURN_IF_ERROR(db->RemoveOrphans());
+  if (db->stats_.quarantined_files > 0) {
+    // Drop the quarantined tables from the manifest so the next open does
+    // not trip over them again.
+    PSTORM_RETURN_IF_ERROR(db->WriteManifest());
+  }
   return db;
+}
+
+Status Db::RemoveOrphans() {
+  PSTORM_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                          env_->ListDir(path_));
+  std::vector<std::string> live = {kManifestName, kWalName};
+  for (const auto& [name, table] : l0_) live.push_back(name);
+  for (const auto& [name, table] : l1_) live.push_back(name);
+  for (const std::string& name : names) {
+    if (std::find(live.begin(), live.end(), name) != live.end()) continue;
+    if (EndsWith(name, kQuarantineSuffix)) continue;  // Kept for forensics.
+    // Anything else is debris from a crashed flush, compaction, or staged
+    // write (.tmp): unreferenced, so deleting it cannot lose data.
+    const Status s = env_->DeleteFile(JoinPath(path_, name));
+    if (s.ok()) {
+      ++stats_.orphans_removed;
+      PSTORM_LOG(Info) << "db " << path_ << ": removed orphaned file "
+                       << name;
+    } else {
+      PSTORM_LOG(Warning) << "db " << path_ << ": could not remove orphan "
+                          << name << ": " << s.ToString();
+    }
+  }
+  return Status::OK();
 }
 
 Status Db::Put(std::string_view key, std::string_view value) {
   if (key.empty()) return Status::InvalidArgument("empty key");
+  if (wal_ != nullptr) {
+    // Log before memtable: a mutation is acked only once it would survive
+    // a crash.
+    PSTORM_RETURN_IF_ERROR(wal_->AppendPut(key, value));
+    ++stats_.wal_appends;
+  }
   memtable_.Put(key, value);
   return MaybeFlush();
 }
 
 Status Db::Delete(std::string_view key) {
   if (key.empty()) return Status::InvalidArgument("empty key");
+  if (wal_ != nullptr) {
+    PSTORM_RETURN_IF_ERROR(wal_->AppendDelete(key));
+    ++stats_.wal_appends;
+  }
   memtable_.Delete(key);
   return MaybeFlush();
 }
@@ -127,6 +187,12 @@ Status Db::Flush() {
   ++stats_.flushes;
   stats_.bytes_flushed += contents.size();
   PSTORM_RETURN_IF_ERROR(WriteManifest());
+  // The flushed records are durable in the sstable now; the log restarts
+  // empty. Ordering matters: truncating before the manifest lands would
+  // open a window where a crash loses the flushed-but-unreferenced data.
+  if (wal_ != nullptr) {
+    PSTORM_RETURN_IF_ERROR(wal_->Truncate());
+  }
   if (static_cast<int>(l0_.size()) >= options_.l0_compaction_trigger) {
     return CompactAll();
   }
@@ -186,8 +252,14 @@ Status Db::CompactAll() {
   PSTORM_RETURN_IF_ERROR(WriteManifest());
 
   for (const std::string& name : obsolete) {
-    // Best-effort: an orphaned file is wasted space, not corruption.
-    (void)env_->DeleteFile(JoinPath(path_, name));
+    // Best-effort: an orphaned file is wasted space, not corruption — the
+    // next Open's orphan sweep gets another chance at it.
+    const Status s = env_->DeleteFile(JoinPath(path_, name));
+    if (!s.ok()) {
+      PSTORM_LOG(Warning) << "db " << path_
+                          << ": leaving obsolete file " << name
+                          << " for the next open to sweep: " << s.ToString();
+    }
   }
   return Status::OK();
 }
@@ -226,14 +298,27 @@ Status Db::LoadManifest() {
       if (end == parts[1].c_str() || *end != '\0') {
         return Status::Corruption("bad next_file value");
       }
-    } else if (parts[0] == "l0") {
-      PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
-                              LoadTable(parts[1]));
-      l0_.emplace_back(parts[1], std::move(table));
-    } else if (parts[0] == "l1") {
-      PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
-                              LoadTable(parts[1]));
-      l1_.emplace_back(parts[1], std::move(table));
+    } else if (parts[0] == "l0" || parts[0] == "l1") {
+      Result<std::shared_ptr<Table>> table = LoadTable(parts[1]);
+      if (!table.ok()) {
+        // Graceful degradation: one rotten table must not take the whole
+        // store down. Rename it aside (keeping the bytes for forensics),
+        // count it, and serve what is left — the layers above turn the
+        // missing rows into No Match Found.
+        PSTORM_LOG(Warning) << "db " << path_ << ": quarantining sstable "
+                            << parts[1] << ": " << table.status().ToString();
+        const Status rename = env_->RenameFile(
+            JoinPath(path_, parts[1]),
+            JoinPath(path_, parts[1] + kQuarantineSuffix));
+        if (!rename.ok()) {
+          PSTORM_LOG(Warning) << "db " << path_ << ": quarantine rename of "
+                              << parts[1] << " failed: " << rename.ToString();
+        }
+        ++stats_.quarantined_files;
+        continue;
+      }
+      auto& level = parts[0] == "l0" ? l0_ : l1_;
+      level.emplace_back(parts[1], std::move(table).value());
     } else {
       return Status::Corruption("unknown manifest tag: " + parts[0]);
     }

@@ -12,6 +12,7 @@
 #include "storage/iterator.h"
 #include "storage/memtable.h"
 #include "storage/sstable.h"
+#include "storage/wal.h"
 
 namespace pstorm::storage {
 
@@ -22,6 +23,10 @@ struct DbOptions {
   int l0_compaction_trigger = 4;
   /// Target size of each level-1 table produced by compaction.
   size_t target_file_bytes = 2 << 20;
+  /// Append every mutation to a write-ahead log before the memtable, so an
+  /// acked write survives a crash without waiting for a flush. Off buys
+  /// write throughput at the cost of losing the unflushed memtable.
+  bool wal_enabled = true;
   TableBuilder::Options table_options;
 };
 
@@ -31,6 +36,17 @@ struct DbStats {
   uint64_t compactions = 0;
   uint64_t bytes_flushed = 0;
   uint64_t bytes_compacted = 0;
+  /// Mutations appended to the write-ahead log.
+  uint64_t wal_appends = 0;
+  /// Records recovered from the log by the last Open.
+  uint64_t wal_records_replayed = 0;
+  /// 1 when that replay stopped at a torn/corrupt tail record.
+  uint64_t wal_tail_truncated = 0;
+  /// Unreadable sstables renamed aside (not loaded) by Open.
+  uint64_t quarantined_files = 0;
+  /// Unreferenced leftovers (crashed flush/compaction debris) deleted by
+  /// Open.
+  uint64_t orphans_removed = 0;
 };
 
 /// A small embedded LSM key-value store: one memtable, a newest-first list
@@ -40,7 +56,12 @@ struct DbStats {
 class Db {
  public:
   /// Opens (or creates) a database rooted at `path` inside `env`, which
-  /// must outlive the Db.
+  /// must outlive the Db. Recovery sequence: load the manifest
+  /// (quarantining any unreadable sstable instead of failing the open),
+  /// replay the write-ahead log into the memtable (stopping cleanly at a
+  /// torn tail), then sweep files the manifest no longer references.
+  /// A corrupt manifest itself still fails the open — the layer above
+  /// (hstore) decides whether to sacrifice the region.
   static Result<std::unique_ptr<Db>> Open(Env* env, std::string path,
                                           DbOptions options = {});
 
@@ -79,6 +100,10 @@ class Db {
   Status MaybeFlush();
   Status WriteManifest();
   Status LoadManifest();
+  /// Deletes files in the db directory that are neither live (manifest,
+  /// WAL, referenced tables) nor quarantined — the debris of a crashed
+  /// flush or compaction.
+  Status RemoveOrphans();
   Result<std::shared_ptr<Table>> LoadTable(const std::string& file_name);
   std::string NewFileName();
   /// All sources newest-first (memtable, L0 newest-first, L1).
@@ -87,6 +112,7 @@ class Db {
   Env* env_;
   std::string path_;
   DbOptions options_;
+  std::unique_ptr<WalWriter> wal_;
   Memtable memtable_;
   std::vector<std::pair<std::string, std::shared_ptr<Table>>> l0_;
   std::vector<std::pair<std::string, std::shared_ptr<Table>>> l1_;

@@ -1,12 +1,14 @@
 #ifndef PSTORM_STORAGE_ENV_H_
 #define PSTORM_STORAGE_ENV_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -14,15 +16,26 @@ namespace pstorm::storage {
 
 /// Filesystem abstraction for the storage engine. Tables are small (profile
 /// payloads are a few hundred bytes each, thesis §5), so whole-file
-/// read/write is the unit of IO; there is no streaming file handle layer.
+/// read/write is the unit of IO; there is no streaming file handle layer —
+/// the one exception is AppendFile, which the write-ahead log uses to add
+/// records without rewriting the log.
 class Env {
  public:
   virtual ~Env() = default;
 
   virtual Status CreateDir(const std::string& path) = 0;
   virtual bool FileExists(const std::string& path) const = 0;
+  /// Atomicity contract: after WriteFile returns OK the file holds exactly
+  /// `data`, and a crash at any point leaves either the old contents or the
+  /// new — never a half-written mix. (PosixEnv implements this as write to
+  /// `path.tmp` + fsync + rename.)
   virtual Status WriteFile(const std::string& path,
                            const std::string& data) = 0;
+  /// Appends `data` to the file, creating it if absent. NOT atomic: a crash
+  /// mid-append may leave a torn suffix, which is why the WAL frames and
+  /// checksums each record.
+  virtual Status AppendFile(const std::string& path,
+                            const std::string& data) = 0;
   virtual Result<std::string> ReadFile(const std::string& path) const = 0;
   virtual Status DeleteFile(const std::string& path) = 0;
   /// Atomic-within-the-env rename; replaces the target if it exists.
@@ -40,6 +53,7 @@ class InMemoryEnv final : public Env {
   Status CreateDir(const std::string& path) override;
   bool FileExists(const std::string& path) const override;
   Status WriteFile(const std::string& path, const std::string& data) override;
+  Status AppendFile(const std::string& path, const std::string& data) override;
   Result<std::string> ReadFile(const std::string& path) const override;
   Status DeleteFile(const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
@@ -57,11 +71,75 @@ class PosixEnv final : public Env {
   Status CreateDir(const std::string& path) override;
   bool FileExists(const std::string& path) const override;
   Status WriteFile(const std::string& path, const std::string& data) override;
+  Status AppendFile(const std::string& path, const std::string& data) override;
   Result<std::string> ReadFile(const std::string& path) const override;
   Status DeleteFile(const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Result<std::vector<std::string>> ListDir(
       const std::string& dir) const override;
+};
+
+/// Decorates any Env with deterministic, seedable failure schedules — the
+/// crash-safety test harness. Three independent fault modes:
+///
+///  * CrashAtMutation(n): the Nth mutating operation (1-based; WriteFile,
+///    AppendFile, DeleteFile, RenameFile) "crashes the process": a WriteFile
+///    leaves the old contents intact plus a torn `.tmp` staging file (per
+///    the Env::WriteFile atomicity contract), an append lands a torn suffix
+///    on the real file, a delete or rename does nothing, and that operation
+///    plus every later mutation returns IoError. Reads keep working so the
+///    harness can reopen the store afterwards, which models a restart on
+///    the surviving bytes.
+///  * SetErrorProbability(p, seed): each mutation independently fails with
+///    probability p, applying nothing. Deterministic for a fixed seed.
+///  * FlipByte(path, offset): bit-rot injection on the wrapped env.
+///
+/// Not thread-safe (like Db); drive it from one thread.
+class FaultInjectionEnv final : public Env {
+ public:
+  /// `target` must outlive this env.
+  explicit FaultInjectionEnv(Env* target) : target_(target) {}
+
+  /// Schedules a simulated crash at the `n`th mutating operation from now
+  /// (1-based). Resets the mutation counter.
+  void CrashAtMutation(uint64_t n);
+  /// Every mutation fails (nothing applied) with probability `p`.
+  void SetErrorProbability(double p, uint64_t seed);
+  /// Clears every fault and the crashed state — the "reboot" before a
+  /// reopen.
+  void ClearFaults();
+
+  /// Mutating operations attempted since the last CrashAtMutation /
+  /// ClearFaults (counting the crashed one).
+  uint64_t mutation_count() const { return mutations_; }
+  bool crashed() const { return crashed_; }
+
+  /// XORs the byte at `offset` of `path` with 0xff, bypassing fault
+  /// schedules.
+  Status FlipByte(const std::string& path, size_t offset);
+
+  Status CreateDir(const std::string& path) override;
+  bool FileExists(const std::string& path) const override;
+  Status WriteFile(const std::string& path, const std::string& data) override;
+  Status AppendFile(const std::string& path, const std::string& data) override;
+  Result<std::string> ReadFile(const std::string& path) const override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Result<std::vector<std::string>> ListDir(
+      const std::string& dir) const override;
+
+ private:
+  /// Advances the fault schedule for one mutation. Returns OK when the
+  /// operation should proceed normally; IoError when it must fail. Sets
+  /// `*torn` when the operation should apply a partial effect first.
+  Status CheckMutation(bool* torn);
+
+  Env* target_;
+  uint64_t mutations_ = 0;
+  uint64_t crash_at_ = 0;  // 0 = no crash scheduled.
+  bool crashed_ = false;
+  double error_probability_ = 0;
+  Rng rng_{0};
 };
 
 /// Joins `dir` and `name` with exactly one separator.

@@ -1,0 +1,88 @@
+#include "storage/wal.h"
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace pstorm::storage {
+
+namespace {
+constexpr size_t kFrameHeaderSize = 8;  // fixed32 length + fixed32 checksum
+
+uint32_t PayloadChecksum(std::string_view payload) {
+  return static_cast<uint32_t>(Fnv1a64(payload));
+}
+}  // namespace
+
+std::string EncodeWalRecord(EntryType type, std::string_view key,
+                            std::string_view value) {
+  std::string payload;
+  payload.reserve(1 + key.size() + value.size() + 10);
+  payload.push_back(static_cast<char>(type));
+  PutLengthPrefixed(&payload, key);
+  PutLengthPrefixed(&payload, value);
+
+  std::string record;
+  record.reserve(kFrameHeaderSize + payload.size());
+  PutFixed32(&record, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&record, PayloadChecksum(payload));
+  record += payload;
+  return record;
+}
+
+Status WalWriter::Append(EntryType type, std::string_view key,
+                         std::string_view value) {
+  return env_->AppendFile(path_, EncodeWalRecord(type, key, value));
+}
+
+Result<WalReplayResult> ReplayWal(const Env& env, const std::string& path,
+                                  Memtable* memtable) {
+  WalReplayResult result;
+  if (!env.FileExists(path)) return result;
+  PSTORM_ASSIGN_OR_RETURN(std::string log, env.ReadFile(path));
+
+  std::string_view rest(log);
+  while (!rest.empty()) {
+    if (rest.size() < kFrameHeaderSize) {
+      result.truncated_tail = true;  // Partial frame header.
+      break;
+    }
+    const uint32_t length = DecodeFixed32(rest.data());
+    const uint32_t checksum = DecodeFixed32(rest.data() + 4);
+    if (rest.size() - kFrameHeaderSize < length) {
+      result.truncated_tail = true;  // Payload cut short by a crash.
+      break;
+    }
+    const std::string_view payload = rest.substr(kFrameHeaderSize, length);
+    if (PayloadChecksum(payload) != checksum) {
+      result.truncated_tail = true;  // Torn or bit-rotted record.
+      break;
+    }
+
+    std::string_view fields = payload;
+    if (fields.empty()) {
+      result.truncated_tail = true;
+      break;
+    }
+    const auto type = static_cast<EntryType>(fields.front());
+    fields.remove_prefix(1);
+    std::string_view key, value;
+    if ((type != EntryType::kValue && type != EntryType::kTombstone) ||
+        !GetLengthPrefixed(&fields, &key) ||
+        !GetLengthPrefixed(&fields, &value) || !fields.empty() ||
+        key.empty()) {
+      result.truncated_tail = true;  // Frame intact but payload malformed.
+      break;
+    }
+
+    if (type == EntryType::kValue) {
+      memtable->Put(key, value);
+    } else {
+      memtable->Delete(key);
+    }
+    ++result.records_applied;
+    rest.remove_prefix(kFrameHeaderSize + length);
+  }
+  return result;
+}
+
+}  // namespace pstorm::storage

@@ -152,5 +152,52 @@ TEST(EvaluatorTest, BaselinesUnderperformPStorM) {
       << p_features->map_correct << "/" << p_features->total;
 }
 
+TEST_F(PStormFacadeTest, StoreCorruptionDegradesToNoMatchFound) {
+  const auto data = DataSet(jobs::kRandomText1Gb);
+  auto first = system_->SubmitJob(jobs::WordCount(), data,
+                                  mrsim::Configuration{}, 11);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(first->stored_new_profile);
+
+  // Rot every sstable under the store (PutProfile flushes eagerly, so the
+  // whole corpus lives in sstables at this point).
+  size_t corrupted = 0;
+  for (int r = 0; r < 8; ++r) {
+    const std::string dir = "/pstorm/region_" + std::to_string(r);
+    auto files = env_.ListDir(dir);
+    if (!files.ok()) continue;
+    for (const std::string& name : files.value()) {
+      if (name.size() < 4 || name.compare(name.size() - 4, 4, ".sst") != 0) {
+        continue;
+      }
+      const std::string path = dir + "/" + name;
+      std::string contents = env_.ReadFile(path).value();
+      ASSERT_FALSE(contents.empty());
+      contents[0] = static_cast<char>(contents[0] ^ 0xff);
+      ASSERT_TRUE(env_.WriteFile(path, contents).ok());
+      ++corrupted;
+    }
+  }
+  ASSERT_GT(corrupted, 0u);
+
+  // A fresh PStorM over the damaged files: the open quarantines the bad
+  // tables and the submission degrades to the paper's cold path (run
+  // untuned, re-profile, re-store) instead of erroring.
+  PStormOptions options;
+  options.cbo.global_samples = 150;
+  options.cbo.local_samples = 50;
+  auto reopened = PStorM::Create(&sim_, &env_, "/pstorm", options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_GE((*reopened)->store().StorageStats().quarantined_files, 1u);
+  EXPECT_EQ((*reopened)->store().num_profiles(), 0u);
+
+  auto outcome = (*reopened)->SubmitJob(jobs::WordCount(), data,
+                                        mrsim::Configuration{}, 12);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_FALSE(outcome->matched);
+  EXPECT_TRUE(outcome->stored_new_profile);
+  EXPECT_EQ((*reopened)->store().num_profiles(), 1u);
+}
+
 }  // namespace
 }  // namespace pstorm::core

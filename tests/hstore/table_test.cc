@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 
 #include "common/random.h"
@@ -284,6 +285,93 @@ TEST_F(HTableTest, ReopenPreservesDataAndRejectsSchemaChange) {
                               TableSchema{"Jobs", {"Features", "Extra"}});
   EXPECT_FALSE(changed.ok());
   EXPECT_EQ(changed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(HTableTest, CorruptRegionRecoversEmptyAndIsReported) {
+  HTableOptions options;
+  options.region_split_bytes = 2048;
+  options.db_options.memtable_flush_bytes = 512;
+  size_t regions = 0;
+  {
+    auto table = OpenTable(ProfileSchema(), options);
+    for (int i = 0; i < 60; ++i) {
+      char row[16];
+      std::snprintf(row, sizeof(row), "Row%02d", i);
+      PutOp put(row);
+      put.Add("Features", "q", std::string(64, 'x'));
+      ASSERT_TRUE(table->Put(put).ok());
+    }
+    ASSERT_TRUE(table->Flush().ok());
+    regions = table->num_regions();
+    ASSERT_GT(regions, 1u);  // The corruption must not take the whole table.
+  }
+  // Smash region_0's store manifest: its Db can no longer open.
+  ASSERT_TRUE(
+      env_.WriteFile("/tables/jobs/region_0/MANIFEST", "not a manifest\n")
+          .ok());
+
+  auto table = OpenTable(ProfileSchema(), options);
+  ASSERT_EQ(table->region_open_errors().size(), 1u);
+  EXPECT_NE(table->region_open_errors()[0].find("region_0"),
+            std::string::npos);
+  EXPECT_EQ(table->num_regions(), regions);  // Recovered, not dropped.
+
+  // The healthy regions still serve their rows; region_0's are gone.
+  size_t readable = 0, lost = 0;
+  for (int i = 0; i < 60; ++i) {
+    char row[16];
+    std::snprintf(row, sizeof(row), "Row%02d", i);
+    auto got = table->Get(row);
+    if (got.ok()) {
+      ++readable;
+      EXPECT_EQ(*got->GetValue("Features", "q"), std::string(64, 'x'));
+    } else {
+      ASSERT_TRUE(got.status().IsNotFound()) << got.status();
+      ++lost;
+    }
+  }
+  EXPECT_GT(readable, 0u);
+  EXPECT_GT(lost, 0u);
+
+  // Scans surface the degradation instead of hiding it.
+  ScanStats stats;
+  auto rows = table->Scan(ScanSpec{}, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(stats.regions_recovered_empty, 1u);
+  EXPECT_EQ(rows->size(), readable);
+
+  // The recovered region is empty but writable again.
+  PutOp put("Row00");
+  put.Add("Features", "q", "rewritten");
+  ASSERT_TRUE(table->Put(put).ok());
+  EXPECT_EQ(*table->Get("Row00")->GetValue("Features", "q"), "rewritten");
+
+  // The unreadable files were set aside, not destroyed.
+  auto leftovers = env_.ListDir("/tables/jobs/region_0");
+  ASSERT_TRUE(leftovers.ok());
+  bool quarantined = false;
+  for (const std::string& name : leftovers.value()) {
+    if (name.size() > 11 &&
+        name.compare(name.size() - 11, 11, ".quarantine") == 0) {
+      quarantined = true;
+    }
+  }
+  EXPECT_TRUE(quarantined);
+}
+
+TEST_F(HTableTest, HealthyReopenReportsNoRecoveredRegions) {
+  {
+    auto table = OpenTable();
+    PutOp put("row");
+    put.Add("Features", "q", "v");
+    ASSERT_TRUE(table->Put(put).ok());
+    ASSERT_TRUE(table->Flush().ok());
+  }
+  auto table = OpenTable();
+  EXPECT_TRUE(table->region_open_errors().empty());
+  ScanStats stats;
+  ASSERT_TRUE(table->Scan(ScanSpec{}, &stats).ok());
+  EXPECT_EQ(stats.regions_recovered_empty, 0u);
 }
 
 }  // namespace

@@ -186,25 +186,145 @@ TEST_F(DbTest, CorruptManifestFailsOpen) {
   EXPECT_TRUE(reopened.status().IsCorruption());
 }
 
-TEST_F(DbTest, CorruptTableFileFailsOpen) {
+TEST_F(DbTest, CorruptTableFileIsQuarantinedNotFatal) {
+  {
+    auto db = OpenDb();
+    ASSERT_TRUE(db->Put("gone", "v").ok());
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->Put("kept", "v2").ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  // Rot the older of the two sstables (they are numbered in flush order).
+  auto contents = env_.ReadFile("/db/000001.sst");
+  ASSERT_TRUE(contents.ok());
+  std::string bad = contents.value();
+  bad[0] ^= 0xff;
+  ASSERT_TRUE(env_.WriteFile("/db/000001.sst", bad).ok());
+
+  // The open survives: the rotten table is renamed aside and counted, the
+  // healthy one still serves.
+  auto reopened = Db::Open(&env_, "/db");
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->stats().quarantined_files, 1u);
+  EXPECT_EQ((*reopened)->Get("kept").value(), "v2");
+  EXPECT_TRUE((*reopened)->Get("gone").status().IsNotFound());
+  EXPECT_TRUE(env_.FileExists("/db/000001.sst.quarantine"));
+  EXPECT_FALSE(env_.FileExists("/db/000001.sst"));
+
+  // The rewritten manifest dropped the quarantined table, so the next
+  // open is clean.
+  auto again = Db::Open(&env_, "/db");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->stats().quarantined_files, 0u);
+  EXPECT_EQ((*again)->Get("kept").value(), "v2");
+}
+
+TEST_F(DbTest, TruncatedTableFooterIsQuarantined) {
   {
     auto db = OpenDb();
     ASSERT_TRUE(db->Put("k", "v").ok());
     ASSERT_TRUE(db->Flush().ok());
   }
-  auto files = env_.ListDir("/db");
-  ASSERT_TRUE(files.ok());
-  for (const auto& name : files.value()) {
-    if (name.find(".sst") == std::string::npos) continue;
-    auto contents = env_.ReadFile("/db/" + name);
-    ASSERT_TRUE(contents.ok());
-    std::string bad = contents.value();
-    bad[0] ^= 0xff;
-    ASSERT_TRUE(env_.WriteFile("/db/" + name, bad).ok());
+  // A torn sstable write cuts the file mid-footer; the reader must call it
+  // Corruption (not walk off the end) and the open must quarantine it.
+  auto contents = env_.ReadFile("/db/000001.sst");
+  ASSERT_TRUE(contents.ok());
+  ASSERT_TRUE(env_.WriteFile("/db/000001.sst",
+                             contents.value().substr(
+                                 0, contents.value().size() - 20))
+                  .ok());
+  EXPECT_TRUE(Table::Open(contents.value().substr(
+                              0, contents.value().size() - 20))
+                  .status()
+                  .IsCorruption());
+  auto reopened = Db::Open(&env_, "/db");
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->stats().quarantined_files, 1u);
+}
+
+TEST_F(DbTest, MissingTableFileIsQuarantineCounted) {
+  {
+    auto db = OpenDb();
+    ASSERT_TRUE(db->Put("k", "v").ok());
+    ASSERT_TRUE(db->Flush().ok());
   }
+  ASSERT_TRUE(env_.DeleteFile("/db/000001.sst").ok());
+  auto reopened = Db::Open(&env_, "/db");
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->stats().quarantined_files, 1u);
+  EXPECT_TRUE((*reopened)->Get("k").status().IsNotFound());
+}
+
+TEST_F(DbTest, BadManifestLineFailsOpen) {
+  {
+    auto db = OpenDb();
+    ASSERT_TRUE(db->Put("k", "v").ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  ASSERT_TRUE(env_.WriteFile("/db/MANIFEST",
+                             "pstorm-manifest-v1\nl0 a b c\n")
+                  .ok());
   auto reopened = Db::Open(&env_, "/db");
   EXPECT_FALSE(reopened.ok());
   EXPECT_TRUE(reopened.status().IsCorruption());
+}
+
+TEST_F(DbTest, UnknownManifestTagFailsOpen) {
+  {
+    auto db = OpenDb();
+    ASSERT_TRUE(db->Put("k", "v").ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  ASSERT_TRUE(
+      env_.WriteFile("/db/MANIFEST", "pstorm-manifest-v1\nl7 000001.sst\n")
+          .ok());
+  auto reopened = Db::Open(&env_, "/db");
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption());
+}
+
+TEST_F(DbTest, BadManifestNextFileValueFailsOpen) {
+  {
+    auto db = OpenDb();
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  ASSERT_TRUE(
+      env_.WriteFile("/db/MANIFEST", "pstorm-manifest-v1\nnext_file 12x\n")
+          .ok());
+  auto reopened = Db::Open(&env_, "/db");
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption());
+}
+
+TEST_F(DbTest, OrphanFromCrashedCompactionIsRemovedOnOpen) {
+  {
+    auto db = OpenDb();
+    ASSERT_TRUE(db->Put("k", "v").ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  // A compaction that crashed after writing its output but before the
+  // manifest switch leaves an unreferenced sstable (and possibly a staged
+  // .tmp) behind.
+  ASSERT_TRUE(env_.WriteFile("/db/000099.sst", "leftover bytes").ok());
+  ASSERT_TRUE(env_.WriteFile("/db/MANIFEST.tmp", "staged").ok());
+  auto reopened = Db::Open(&env_, "/db");
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->stats().orphans_removed, 2u);
+  EXPECT_FALSE(env_.FileExists("/db/000099.sst"));
+  EXPECT_FALSE(env_.FileExists("/db/MANIFEST.tmp"));
+  EXPECT_EQ((*reopened)->Get("k").value(), "v");
+}
+
+TEST_F(DbTest, QuarantinedFilesSurviveOrphanSweep) {
+  {
+    auto db = OpenDb();
+    ASSERT_TRUE(db->Put("k", "v").ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  ASSERT_TRUE(env_.WriteFile("/db/000042.sst.quarantine", "evidence").ok());
+  auto reopened = Db::Open(&env_, "/db");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(env_.FileExists("/db/000042.sst.quarantine"));
 }
 
 TEST(MergingIteratorTest, NewestSourceWins) {

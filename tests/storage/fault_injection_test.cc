@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "storage/db.h"
+#include "storage/env.h"
+
+namespace pstorm::storage {
+namespace {
+
+// ------------------------------------------------- FaultInjectionEnv unit
+
+TEST(FaultInjectionEnvTest, CountsMutationsNotReads) {
+  InMemoryEnv base;
+  FaultInjectionEnv fault(&base);
+  ASSERT_TRUE(fault.WriteFile("/a", "1").ok());
+  ASSERT_TRUE(fault.AppendFile("/a", "2").ok());
+  ASSERT_TRUE(fault.RenameFile("/a", "/b").ok());
+  ASSERT_TRUE(fault.DeleteFile("/b").ok());
+  EXPECT_EQ(fault.mutation_count(), 4u);
+
+  ASSERT_TRUE(fault.CreateDir("/d").ok());
+  ASSERT_TRUE(fault.WriteFile("/c", "x").ok());
+  (void)fault.ReadFile("/c");
+  (void)fault.FileExists("/c");
+  (void)fault.ListDir("/");
+  EXPECT_EQ(fault.mutation_count(), 5u);  // Only the WriteFile counted.
+}
+
+TEST(FaultInjectionEnvTest, CrashAtWriteKeepsOldContentsPlusTornTmp) {
+  InMemoryEnv base;
+  FaultInjectionEnv fault(&base);
+  ASSERT_TRUE(fault.WriteFile("/f", "old").ok());
+  fault.CrashAtMutation(1);
+  EXPECT_TRUE(fault.WriteFile("/f", "0123456789").IsIoError());
+  EXPECT_TRUE(fault.crashed());
+  // Atomicity contract: the target still holds the old bytes; the crash
+  // left only a torn staging file behind.
+  EXPECT_EQ(base.ReadFile("/f").value(), "old");
+  EXPECT_EQ(base.ReadFile("/f.tmp").value(), "01234");
+  // The process is down: every further mutation fails and applies nothing.
+  EXPECT_TRUE(fault.WriteFile("/g", "x").IsIoError());
+  EXPECT_TRUE(fault.DeleteFile("/f").IsIoError());
+  EXPECT_TRUE(fault.RenameFile("/f", "/h").IsIoError());
+  EXPECT_FALSE(base.FileExists("/g"));
+  EXPECT_EQ(base.ReadFile("/f").value(), "old");
+  // ...but reads keep working (the reopened process must see the disk).
+  EXPECT_EQ(fault.ReadFile("/f").value(), "old");
+}
+
+TEST(FaultInjectionEnvTest, CrashAtAppendLandsTornSuffix) {
+  InMemoryEnv base;
+  FaultInjectionEnv fault(&base);
+  ASSERT_TRUE(fault.AppendFile("/log", "complete").ok());
+  fault.CrashAtMutation(1);
+  EXPECT_TRUE(fault.AppendFile("/log", "torntorn").IsIoError());
+  EXPECT_EQ(base.ReadFile("/log").value(), "completetorn");
+}
+
+TEST(FaultInjectionEnvTest, ClearFaultsRestoresService) {
+  InMemoryEnv base;
+  FaultInjectionEnv fault(&base);
+  fault.CrashAtMutation(1);
+  EXPECT_TRUE(fault.WriteFile("/f", "x").IsIoError());
+  EXPECT_TRUE(fault.crashed());
+  fault.ClearFaults();
+  EXPECT_FALSE(fault.crashed());
+  EXPECT_EQ(fault.mutation_count(), 0u);
+  EXPECT_TRUE(fault.WriteFile("/f", "x").ok());
+  EXPECT_EQ(base.ReadFile("/f").value(), "x");
+}
+
+TEST(FaultInjectionEnvTest, ErrorProbabilityIsDeterministicPerSeed) {
+  auto failure_pattern = [](uint64_t seed) {
+    InMemoryEnv base;
+    FaultInjectionEnv fault(&base);
+    fault.SetErrorProbability(0.3, seed);
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      const std::string path = "/f" + std::to_string(i);
+      pattern += fault.WriteFile(path, "x").ok() ? '.' : 'E';
+      // A failed mutation applies nothing.
+      EXPECT_EQ(base.FileExists(path), pattern.back() == '.');
+    }
+    return pattern;
+  };
+  const std::string a = failure_pattern(17);
+  EXPECT_EQ(a, failure_pattern(17));
+  EXPECT_NE(a, failure_pattern(18));
+  EXPECT_NE(a.find('E'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST(FaultInjectionEnvTest, FlipByteBypassesFaultSchedule) {
+  InMemoryEnv base;
+  FaultInjectionEnv fault(&base);
+  ASSERT_TRUE(fault.WriteFile("/f", std::string("abc")).ok());
+  fault.CrashAtMutation(1);
+  EXPECT_TRUE(fault.WriteFile("/x", "x").IsIoError());
+  // Bit rot can be injected even on a "crashed" env — it models the disk,
+  // not the process.
+  ASSERT_TRUE(fault.FlipByte("/f", 1).ok());
+  EXPECT_EQ(base.ReadFile("/f").value()[1], static_cast<char>('b' ^ 0xff));
+  ASSERT_TRUE(fault.FlipByte("/f", 1).ok());
+  EXPECT_EQ(base.ReadFile("/f").value(), "abc");
+  EXPECT_TRUE(fault.FlipByte("/f", 99).IsInvalidArgument());
+}
+
+// ------------------------------------------------- crash-recovery harness
+
+DbOptions CrashyOptions() {
+  DbOptions options;
+  options.l0_compaction_trigger = 3;  // Compactions happen within the run.
+  return options;
+}
+
+/// One deterministic workload pass: a mix of puts and deletes with
+/// periodic flushes (which cascade into compactions via the low L0
+/// trigger). `model` tracks the acked state — the keys the caller was told
+/// are durable. On the first failed operation the op's key is dropped from
+/// the model (a failed op's effect is ambiguous: its WAL record may or may
+/// not have landed before the crash) and the pass stops, like a process
+/// dying mid-call. Returns true on a clean finish.
+bool RunWorkload(Db* db, uint64_t seed,
+                 std::map<std::string, std::string>* model) {
+  Rng rng(seed);
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "k" + std::to_string(rng.NextUint64(12));
+    const bool is_delete = rng.Bernoulli(0.15);
+    const std::string value = "v" + std::to_string(i);
+    const Status s = is_delete ? db->Delete(key) : db->Put(key, value);
+    if (!s.ok()) {
+      model->erase(key);
+      return false;
+    }
+    if (is_delete) {
+      model->erase(key);
+    } else {
+      (*model)[key] = value;
+    }
+    if (i % 10 == 9) {
+      if (!db->Flush().ok()) return false;
+    }
+  }
+  return true;
+}
+
+void VerifyAckedState(Db* db, const std::map<std::string, std::string>& model,
+                      const std::string& context) {
+  for (const auto& [key, value] : model) {
+    auto got = db->Get(key);
+    ASSERT_TRUE(got.ok()) << context << ": acked key " << key
+                          << " unreadable: " << got.status().ToString();
+    EXPECT_EQ(got.value(), value) << context << ": acked key " << key;
+  }
+}
+
+/// The acceptance harness: crash at *every* mutation boundary the workload
+/// crosses — every sstable write, WAL append, manifest write/rename, WAL
+/// truncate, and obsolete-file delete across Put/Delete/flush/compaction —
+/// then reboot and reopen. Every key acked before the crash must read back
+/// with its acked value.
+TEST(CrashRecoveryTest, EveryMutationBoundarySurvivesReopen) {
+  for (const uint64_t seed : {uint64_t{42}, uint64_t{0xC0FFEE}}) {
+    // Dry run to learn the workload's mutation count.
+    uint64_t total_mutations = 0;
+    {
+      InMemoryEnv base;
+      FaultInjectionEnv fault(&base);
+      auto db = Db::Open(&fault, "/db", CrashyOptions()).value();
+      fault.ClearFaults();  // Count workload mutations only.
+      std::map<std::string, std::string> model;
+      ASSERT_TRUE(RunWorkload(db.get(), seed, &model));
+      total_mutations = fault.mutation_count();
+      ASSERT_GT(total_mutations, 40u);  // Puts plus flush/compaction IO.
+    }
+
+    for (uint64_t crash_at = 1; crash_at <= total_mutations; ++crash_at) {
+      const std::string context = "seed=" + std::to_string(seed) +
+                                  " crash_at=" + std::to_string(crash_at);
+      InMemoryEnv base;
+      FaultInjectionEnv fault(&base);
+      std::map<std::string, std::string> model;
+      {
+        auto db = Db::Open(&fault, "/db", CrashyOptions()).value();
+        fault.CrashAtMutation(crash_at);
+        EXPECT_FALSE(RunWorkload(db.get(), seed, &model)) << context;
+        EXPECT_TRUE(fault.crashed()) << context;
+      }
+      // Reboot: faults clear, the surviving bytes are what they are.
+      fault.ClearFaults();
+      auto reopened = Db::Open(&fault, "/db", CrashyOptions());
+      ASSERT_TRUE(reopened.ok())
+          << context << ": " << reopened.status().ToString();
+      VerifyAckedState(reopened.value().get(), model, context);
+    }
+  }
+}
+
+/// Intermittent-error soak: every mutation fails with probability p, the
+/// workload keeps going past failures (no crash-stop), and the acked state
+/// must still be intact after a reopen.
+TEST(CrashRecoveryTest, AckedKeysSurviveIntermittentIoErrors) {
+  for (const uint64_t seed : {uint64_t{1}, uint64_t{2}, uint64_t{3}}) {
+    InMemoryEnv base;
+    FaultInjectionEnv fault(&base);
+    std::map<std::string, std::string> model;
+    size_t failures = 0;
+    {
+      auto db = Db::Open(&fault, "/db", CrashyOptions()).value();
+      fault.SetErrorProbability(0.08, seed * 1000 + 7);
+      Rng rng(seed);
+      for (int i = 0; i < 200; ++i) {
+        const std::string key = "k" + std::to_string(rng.NextUint64(25));
+        const bool is_delete = rng.Bernoulli(0.15);
+        const std::string value = "v" + std::to_string(i);
+        const Status s = is_delete ? db->Delete(key) : db->Put(key, value);
+        if (!s.ok()) {
+          // Ambiguous: the flush inside the call may have failed after the
+          // WAL append landed. Stop tracking this key.
+          model.erase(key);
+          ++failures;
+          continue;
+        }
+        if (is_delete) {
+          model.erase(key);
+        } else {
+          model[key] = value;
+        }
+        if (i % 25 == 24 && !db->Flush().ok()) ++failures;
+      }
+    }
+    ASSERT_GT(failures, 0u) << "seed " << seed << ": soak injected nothing";
+    fault.ClearFaults();
+    auto reopened = Db::Open(&fault, "/db", CrashyOptions());
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    VerifyAckedState(reopened.value().get(), model,
+                     "soak seed=" + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace pstorm::storage
