@@ -6,6 +6,7 @@
 
 #include "core/matcher.h"
 #include "core/profile_store.h"
+#include "core/pstorm.h"
 #include "jobs/benchmark_jobs.h"
 #include "jobs/datasets.h"
 #include "mrsim/simulator.h"
@@ -68,6 +69,33 @@ void BM_StorageDbScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_StorageDbScan)->Arg(10000);
+
+// The snapshot-isolated read path under contention: every benchmark
+// thread hammers Get against one shared Db. Readers pin an immutable
+// Version and search it lock-free, so the Threads(8)/Threads(1)
+// items-per-second ratio is the headline scaling number of the
+// concurrent-serving work (flat on a 1-core container; near-linear on
+// real CI hardware).
+void BM_DbGetParallel(benchmark::State& state) {
+  static storage::InMemoryEnv* env = nullptr;
+  static storage::Db* db = nullptr;
+  constexpr int kKeys = 10000;
+  if (state.thread_index() == 0 && db == nullptr) {
+    env = new storage::InMemoryEnv();
+    db = storage::Db::Open(env, "/bm-db-parallel").value().release();
+    for (int i = 0; i < kKeys; ++i) {
+      PSTORM_CHECK_OK(
+          db->Put("key" + std::to_string(i), std::string(128, 'v')));
+    }
+    PSTORM_CHECK_OK(db->CompactAll());
+  }
+  int i = state.thread_index() * 7919;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->Get("key" + std::to_string(i++ % kKeys)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DbGetParallel)->Threads(1)->Threads(8)->UseRealTime();
 
 // The WAL append is the new cost on every Put (one frame encode + one
 // appending write): this is the price of crash durability per mutation.
@@ -286,6 +314,51 @@ BENCHMARK_REGISTER_F(MatcherFixture, BM_MatcherTieBreak)
     ->Arg(54)
     ->Arg(216)
     ->Unit(benchmark::kMicrosecond);
+
+// ------------------------------------------------------------- end to end
+
+// Whole submissions through the reentrant PStorM::SubmitJob from N
+// threads at once against a pre-warmed store: sample run, matcher probe,
+// CBO, tuned run — the full serving path under contention. Matched
+// submissions leave the store untouched, so every thread exercises the
+// concurrent read path.
+void BM_ConcurrentSubmit(benchmark::State& state) {
+  static mrsim::Simulator* sim = nullptr;
+  static storage::InMemoryEnv* env = nullptr;
+  static core::PStorM* system = nullptr;
+  if (state.thread_index() == 0 && system == nullptr) {
+    sim = new mrsim::Simulator(mrsim::ThesisCluster());
+    env = new storage::InMemoryEnv();
+    core::PStormOptions options;
+    options.cbo.global_samples = 60;  // Keep one submission quick.
+    options.cbo.local_samples = 20;
+    options.cbo.refinement_rounds = 1;
+    system = core::PStorM::Create(sim, env, "/bm-submit", options)
+                 .value()
+                 .release();
+    const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+    auto cold = system->SubmitJob(jobs::WordCount(), data,
+                                  mrsim::Configuration{}, 1);
+    PSTORM_CHECK_OK(cold.status());
+    PSTORM_CHECK(cold->stored_new_profile);
+  }
+  const auto job = jobs::WordCount();
+  const auto data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  uint64_t seed = 100 + state.thread_index() * 1000003;
+  for (auto _ : state) {
+    auto outcome = system->SubmitJob(job, data, mrsim::Configuration{},
+                                     ++seed);
+    PSTORM_CHECK_OK(outcome.status());
+    PSTORM_CHECK(outcome->matched);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentSubmit)
+    ->Threads(1)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

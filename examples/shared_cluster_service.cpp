@@ -2,15 +2,21 @@
 // (thesis chapter 1: "PStorM can be deployed on the cluster of a cloud
 // provider offering Hadoop as a service").
 //
-// A mixed stream of jobs from different "tenants" hits the cluster over
-// time. Every submission goes through the PStorM workflow; the store
-// warms up, the match rate climbs, and the aggregate time saved versus
-// always running untuned is reported — including tenants whose jobs are
-// variants of other tenants' code.
+// Tenants do not queue politely: submissions arrive from many clients at
+// once. This driver models that — a short single-threaded warm-up stream
+// seeds the store, then M client threads each fire K submissions
+// concurrently at one PStorM instance. It doubles as a stress harness:
+// run it under ThreadSanitizer (PSTORM_SANITIZE=thread) or crank the
+// thread/submission counts via argv.
 //
 // Build & run:  cmake --build build && ./build/examples/shared_cluster_service
+//               ./build/examples/shared_cluster_service <threads> <per-thread>
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/strings.h"
@@ -20,7 +26,37 @@
 
 using namespace pstorm;
 
-int main() {
+namespace {
+
+struct Submission {
+  const char* tenant;
+  jobs::BenchmarkJob job;
+  const char* data_set;
+};
+
+std::vector<Submission> TenantStream() {
+  return {
+      {"search-team", jobs::InvertedIndex(), jobs::kRandomText1Gb},
+      {"nlp-team", jobs::BigramRelativeFrequency(), jobs::kRandomText1Gb},
+      {"bi-team", jobs::TpchJoin(), jobs::kTpch1Gb},
+      {"nlp-team", jobs::WordCooccurrencePairs(2), jobs::kRandomText1Gb},
+      {"analytics", jobs::WordCount(), jobs::kRandomText1Gb},
+      {"ml-team", jobs::ItemBasedCollaborativeFiltering(),
+       jobs::kMovieLens10M},
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int per_thread = argc > 2 ? std::atoi(argv[2]) : 3;
+  if (num_threads < 1 || per_thread < 1) {
+    std::fprintf(stderr, "usage: %s [threads >= 1] [submissions >= 1]\n",
+                 argv[0]);
+    return 2;
+  }
+
   const mrsim::Simulator simulator(mrsim::ThesisCluster());
   storage::InMemoryEnv env;
   core::PStormOptions options;
@@ -29,33 +65,16 @@ int main() {
   auto pstorm =
       core::PStorM::Create(&simulator, &env, "/service-store", options);
   if (!pstorm.ok()) return 1;
-  core::PStorM& service = **pstorm;
+  const core::PStorM& service = **pstorm;
 
-  struct Submission {
-    const char* tenant;
-    jobs::BenchmarkJob job;
-    const char* data_set;
-  };
-  const std::vector<Submission> stream = {
-      {"search-team", jobs::InvertedIndex(), jobs::kRandomText1Gb},
-      {"nlp-team", jobs::BigramRelativeFrequency(), jobs::kRandomText1Gb},
-      {"bi-team", jobs::TpchJoin(), jobs::kTpch1Gb},
-      {"search-team", jobs::InvertedIndex(), jobs::kRandomText1Gb},
-      {"nlp-team", jobs::WordCooccurrencePairs(2), jobs::kRandomText1Gb},
-      {"analytics", jobs::WordCount(), jobs::kRandomText1Gb},
-      {"bi-team", jobs::TpchJoin(), jobs::kTpch1Gb},
-      {"analytics", jobs::WordCount(), jobs::kRandomText1Gb},
-      {"nlp-team", jobs::WordCooccurrencePairs(2), jobs::kRandomText1Gb},
-      {"ml-team", jobs::ItemBasedCollaborativeFiltering(),
-       jobs::kMovieLens10M},
-  };
+  const std::vector<Submission> stream = TenantStream();
 
+  // Phase 1 — warm-up: each tenant's first submission runs cold and
+  // single-threaded, profiled, and lands in the store.
   std::printf("=== Shared-cluster tuning service ===\n\n");
-  std::printf("%-14s %-28s %-8s %-22s %s\n", "tenant", "job", "match?",
-              "profile source", "runtime");
-
-  double total_with_pstorm = 0, total_untuned = 0;
-  int matches = 0;
+  std::printf("--- warm-up (serial, cold submissions) ---\n");
+  std::printf("%-14s %-28s %-8s %s\n", "tenant", "job", "match?", "runtime");
+  double total_untuned = 0, total_with_pstorm = 0;
   uint64_t seed = 100;
   for (const Submission& s : stream) {
     const auto data = jobs::FindDataSet(s.data_set).value();
@@ -69,18 +88,62 @@ int main() {
     auto untuned = simulator.RunJob(s.job.spec, data, mrsim::Configuration{},
                                     {.seed = seed});
     if (!untuned.ok()) return 1;
-
     total_with_pstorm += outcome->runtime_s + outcome->sample_runtime_s;
     total_untuned += untuned->runtime_s;
-    matches += outcome->matched ? 1 : 0;
-    std::printf("%-14s %-28s %-8s %-22s %s\n", s.tenant,
-                s.job.spec.name.c_str(), outcome->matched ? "yes" : "no",
-                outcome->matched ? outcome->profile_source.c_str() : "-",
+    std::printf("%-14s %-28s %-8s %s\n", s.tenant, s.job.spec.name.c_str(),
+                outcome->matched ? "yes" : "no",
                 HumanDuration(outcome->runtime_s).c_str());
   }
 
-  std::printf("\nstore profiles: %zu   match rate: %d/%zu\n",
-              service.store().num_profiles(), matches, stream.size());
+  // Phase 2 — the rush hour: every client thread replays the tenant mix
+  // against the warmed store, all at once, through the same reentrant
+  // SubmitJob. Matched submissions don't mutate the store, so any
+  // interleaving must produce the same per-submission outcomes.
+  std::printf("\n--- concurrent phase: %d threads x %d submissions ---\n",
+              num_threads, per_thread);
+  std::atomic<int> matches{0};
+  std::atomic<int> failures{0};
+  std::atomic<long> tuned_ms{0};
+  std::atomic<long> untuned_ms{0};
+  std::mutex print_mu;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < num_threads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int k = 0; k < per_thread; ++k) {
+        const Submission& s = stream[(t + k) % stream.size()];
+        const auto data = jobs::FindDataSet(s.data_set).value();
+        const uint64_t sub_seed = 1000 + t * 97 + k;
+        auto outcome =
+            service.SubmitJob(s.job, data, mrsim::Configuration{}, sub_seed);
+        if (!outcome.ok()) {
+          std::lock_guard<std::mutex> lock(print_mu);
+          std::printf("client %d: submission failed: %s\n", t,
+                      outcome.status().ToString().c_str());
+          failures.fetch_add(1);
+          continue;
+        }
+        auto untuned = simulator.RunJob(s.job.spec, data,
+                                        mrsim::Configuration{},
+                                        {.seed = sub_seed});
+        if (untuned.ok()) {
+          tuned_ms.fetch_add(static_cast<long>(
+              1e3 * (outcome->runtime_s + outcome->sample_runtime_s)));
+          untuned_ms.fetch_add(static_cast<long>(1e3 * untuned->runtime_s));
+        }
+        if (outcome->matched) matches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  if (failures.load() != 0) return 1;
+
+  const int total = num_threads * per_thread;
+  total_with_pstorm += tuned_ms.load() / 1e3;
+  total_untuned += untuned_ms.load() / 1e3;
+  std::printf("concurrent submissions: %d   matched: %d/%d\n", total,
+              matches.load(), total);
+
+  std::printf("\nstore profiles: %zu\n", service.store().num_profiles());
   std::printf("cluster time, always untuned:  %s\n",
               HumanDuration(total_untuned).c_str());
   std::printf("cluster time, via PStorM:      %s (incl. sampling)\n",

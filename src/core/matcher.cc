@@ -43,8 +43,15 @@ Result<std::string> MultiStageMatcher::TieBreak(
   std::vector<Scored> scored;
   scored.reserve(candidates.size());
   for (const std::string& key : candidates) {
-    PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<const StoredEntry> entry,
-                            store_->GetEntryRef(key));
+    auto entry_or = store_->GetEntryRef(key);
+    if (entry_or.status().IsNotFound()) {
+      // A concurrent DeleteProfile removed this candidate between the
+      // scan that produced it and now; score the survivors.
+      continue;
+    }
+    PSTORM_RETURN_IF_ERROR(entry_or.status());
+    const std::shared_ptr<const StoredEntry> entry =
+        std::move(entry_or).value();
     Scored s;
     s.key = key;
     std::vector<std::string> stored_categorical =
@@ -71,6 +78,10 @@ Result<std::string> MultiStageMatcher::TieBreak(
     }
     scored.push_back(std::move(s));
   }
+  // Every candidate vanished mid-match: report "nothing to pick" via the
+  // empty-key sentinel (job keys are never empty) so the caller degrades
+  // to No Match instead of erroring.
+  if (scored.empty()) return std::string();
 
   // Exact static matches first; then the thesis's input-size rule; then
   // the closest dynamic behaviour for determinism.
@@ -140,6 +151,7 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
         result.job_key,
         TieBreak(side, jaccard_pass, categorical_probe, {},
                  probe.input_data_bytes));
+    if (result.job_key.empty()) return result;
     result.path = MatchPath::kFullPath;
     return result;
   }
@@ -205,6 +217,7 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
         result.job_key,
         TieBreak(side, final_set, categorical_probe, dynamic,
                  probe.input_data_bytes));
+    if (result.job_key.empty()) return result;
     result.path = MatchPath::kFullPath;
     return result;
   }
@@ -214,6 +227,7 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
         result.job_key,
         TieBreak(side, after_jaccard, categorical_probe, dynamic,
                  probe.input_data_bytes));
+    if (result.job_key.empty()) return result;
     result.path = MatchPath::kFullPath;
     return result;
   }
@@ -240,6 +254,7 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
   PSTORM_ASSIGN_OR_RETURN(
       result.job_key,
       TieBreak(side, refined, {}, dynamic, probe.input_data_bytes));
+  if (result.job_key.empty()) return result;
   result.path = MatchPath::kCostFactorFallback;
   return result;
 }
@@ -262,12 +277,18 @@ Result<MatchResult> MultiStageMatcher::Match(
   // Compose the returned profile: map half from the map match, reduce
   // half from the reduce match (§4.3). Map and reduce sub-profiles are
   // independent by MR's blocking execution, so the stitch is sound.
-  PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<const StoredEntry> map_entry,
-                          store_->GetEntryRef(result.map_source));
+  auto map_entry_or = store_->GetEntryRef(result.map_source);
+  if (map_entry_or.status().IsNotFound()) return result;  // deleted mid-match
+  PSTORM_RETURN_IF_ERROR(map_entry_or.status());
+  const std::shared_ptr<const StoredEntry> map_entry =
+      std::move(map_entry_or).value();
   result.profile = map_entry->profile;
   if (result.composite) {
-    PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<const StoredEntry> reduce_entry,
-                            store_->GetEntryRef(result.reduce_source));
+    auto reduce_entry_or = store_->GetEntryRef(result.reduce_source);
+    if (reduce_entry_or.status().IsNotFound()) return result;
+    PSTORM_RETURN_IF_ERROR(reduce_entry_or.status());
+    const std::shared_ptr<const StoredEntry> reduce_entry =
+        std::move(reduce_entry_or).value();
     result.profile.reduce_side = reduce_entry->profile.reduce_side;
     result.profile.job_name =
         map_entry->profile.job_name + "+" + reduce_entry->profile.job_name;

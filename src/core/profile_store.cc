@@ -255,7 +255,12 @@ Status ProfileStore::RecountProfiles() {
   return Status::OK();
 }
 
-void ProfileStore::Widen(const std::string& feature, double value) {
+ProfileStore::CacheShard& ProfileStore::ShardFor(
+    const std::string& job_key) const {
+  return entry_cache_[std::hash<std::string>{}(job_key) % kCacheShards];
+}
+
+void ProfileStore::WidenLocked(const std::string& feature, double value) {
   auto it = bounds_.find(feature);
   if (it == bounds_.end()) {
     bounds_[feature] = {value, value};
@@ -267,9 +272,12 @@ void ProfileStore::Widen(const std::string& feature, double value) {
 
 Status ProfileStore::SaveBounds() {
   hstore::PutOp put(kBoundsRow);
-  for (const auto& [feature, minmax] : bounds_) {
-    put.Add(kFamily, feature + ".min", EncodeDouble(minmax.first));
-    put.Add(kFamily, feature + ".max", EncodeDouble(minmax.second));
+  {
+    std::shared_lock<std::shared_mutex> lock(bounds_mu_);
+    for (const auto& [feature, minmax] : bounds_) {
+      put.Add(kFamily, feature + ".min", EncodeDouble(minmax.first));
+      put.Add(kFamily, feature + ".max", EncodeDouble(minmax.second));
+    }
   }
   return table_->Put(put);
 }
@@ -303,16 +311,28 @@ Status ProfileStore::PutProfile(
   if (job_key.find('/') != std::string::npos) {
     return Status::InvalidArgument("job key must not contain '/'");
   }
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   // Cache rule: a put invalidates exactly the decoded entry it replaces.
   {
-    std::lock_guard<std::mutex> lock(entry_cache_mu_);
-    entry_cache_.erase(job_key);
+    CacheShard& shard = ShardFor(job_key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.erase(job_key);
+    ++shard.epoch;
   }
   const bool existed = table_->Get(kPayloadPrefix + job_key).ok();
 
-  // Dynamic row: the numeric features the matcher filters on.
+  // Row publication order matters under concurrency: the matcher discovers
+  // candidates by scanning Dynamic rows and then fetches their Static and
+  // Payload rows, so the Dynamic row is written LAST. A concurrent matcher
+  // either does not see the in-flight profile at all, or sees it with all
+  // three rows already in place — never a dangling candidate.
+
+  // Dynamic row: the numeric features the matcher filters on. Built (and
+  // the bounds widened) first, published last.
+  hstore::PutOp dynamic_put(kDynamicPrefix + job_key);
   {
-    hstore::PutOp put(kDynamicPrefix + job_key);
+    hstore::PutOp& put = dynamic_put;
+    std::unique_lock<std::shared_mutex> bounds_lock(bounds_mu_);
     const auto add_side = [&](Side side, const std::vector<double>& dynamic,
                               const std::vector<double>& costs) {
       const auto& dyn_names = DynamicColumnNames(side);
@@ -321,20 +341,20 @@ Status ProfileStore::PutProfile(
       PSTORM_CHECK(costs.size() == cost_names.size());
       for (size_t i = 0; i < dynamic.size(); ++i) {
         put.Add(kFamily, dyn_names[i], EncodeDouble(dynamic[i]));
-        Widen(dyn_names[i], dynamic[i]);
+        WidenLocked(dyn_names[i], dynamic[i]);
       }
       for (size_t i = 0; i < costs.size(); ++i) {
         put.Add(kFamily, cost_names[i], EncodeDouble(costs[i]));
-        Widen(cost_names[i], costs[i]);
+        WidenLocked(cost_names[i], costs[i]);
       }
     };
     add_side(Side::kMap, profile.map_side.DynamicVector(),
              profile.map_side.CostVector());
     add_side(Side::kReduce, profile.reduce_side.DynamicVector(),
              profile.reduce_side.CostVector());
+    bounds_lock.unlock();
     put.Add(kFamily, kInputBytesColumn,
             EncodeDouble(profile.input_data_bytes));
-    PSTORM_RETURN_IF_ERROR(table_->Put(put));
   }
 
   // Static row: categorical features + CFGs.
@@ -371,11 +391,23 @@ Status ProfileStore::PutProfile(
     PSTORM_RETURN_IF_ERROR(table_->Put(put));
   }
 
+  // Publish: the Dynamic row makes the profile discoverable.
+  PSTORM_RETURN_IF_ERROR(table_->Put(dynamic_put));
+
   PSTORM_RETURN_IF_ERROR(SaveBounds());
   // Profiles are precious (a full profiled run each): persist eagerly so a
   // reopen never loses them to a buffered memtable.
   PSTORM_RETURN_IF_ERROR(table_->Flush());
-  if (!existed) ++num_profiles_;
+  // Second invalidation, now that the rows are written: a reader that was
+  // decoding mid-put may have stitched old and new rows together; the
+  // epoch bump keeps that hybrid out of the cache.
+  {
+    CacheShard& shard = ShardFor(job_key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.erase(job_key);
+    ++shard.epoch;
+  }
+  if (!existed) num_profiles_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -386,16 +418,23 @@ Result<StoredEntry> ProfileStore::GetEntry(const std::string& job_key) const {
 }
 
 size_t ProfileStore::entry_cache_size() const {
-  std::lock_guard<std::mutex> lock(entry_cache_mu_);
-  return entry_cache_.size();
+  size_t total = 0;
+  for (CacheShard& shard : entry_cache_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
 }
 
 Result<std::shared_ptr<const StoredEntry>> ProfileStore::GetEntryRef(
     const std::string& job_key) const {
+  CacheShard& shard = ShardFor(job_key);
+  uint64_t epoch_at_miss;
   {
-    std::lock_guard<std::mutex> lock(entry_cache_mu_);
-    auto it = entry_cache_.find(job_key);
-    if (it != entry_cache_.end()) return it->second;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(job_key);
+    if (it != shard.map.end()) return it->second;
+    epoch_at_miss = shard.epoch;
   }
 
   StoredEntry entry;
@@ -450,22 +489,38 @@ Result<std::shared_ptr<const StoredEntry>> ProfileStore::GetEntryRef(
 
   auto shared = std::make_shared<const StoredEntry>(std::move(entry));
   {
-    std::lock_guard<std::mutex> lock(entry_cache_mu_);
-    entry_cache_[job_key] = shared;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Only cache what no mutation invalidated while we were decoding; a
+    // racing reader's copy is still correct to *return* (it reflects some
+    // point-in-time state) but must not outlive the invalidation.
+    if (shard.epoch == epoch_at_miss) shard.map[job_key] = shared;
   }
   return shared;
 }
 
 Status ProfileStore::DeleteProfile(const std::string& job_key) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   {
-    std::lock_guard<std::mutex> lock(entry_cache_mu_);
-    entry_cache_.erase(job_key);
+    CacheShard& shard = ShardFor(job_key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.erase(job_key);
+    ++shard.epoch;
   }
   const bool existed = table_->Get(kPayloadPrefix + job_key).ok();
   PSTORM_RETURN_IF_ERROR(table_->DeleteRow(kDynamicPrefix + job_key));
   PSTORM_RETURN_IF_ERROR(table_->DeleteRow(kStaticPrefix + job_key));
   PSTORM_RETURN_IF_ERROR(table_->DeleteRow(kPayloadPrefix + job_key));
-  if (existed && num_profiles_ > 0) --num_profiles_;
+  // Second invalidation (see PutProfile): evict anything a concurrent
+  // reader cached from the rows that were just deleted.
+  {
+    CacheShard& shard = ShardFor(job_key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.erase(job_key);
+    ++shard.epoch;
+  }
+  if (existed && num_profiles_.load(std::memory_order_relaxed) > 0) {
+    num_profiles_.fetch_sub(1, std::memory_order_relaxed);
+  }
   return Status::OK();
 }
 
@@ -478,6 +533,7 @@ Result<std::vector<std::string>> ProfileStore::ListJobKeys() const {
 
 FeatureBounds ProfileStore::DynamicBounds(Side side) const {
   FeatureBounds out;
+  std::shared_lock<std::shared_mutex> lock(bounds_mu_);
   for (const std::string& name : DynamicColumnNames(side)) {
     auto it = bounds_.find(name);
     out.mins.push_back(it == bounds_.end() ? 0.0 : it->second.first);
@@ -488,6 +544,7 @@ FeatureBounds ProfileStore::DynamicBounds(Side side) const {
 
 FeatureBounds ProfileStore::CostBounds(Side side) const {
   FeatureBounds out;
+  std::shared_lock<std::shared_mutex> lock(bounds_mu_);
   for (const std::string& name : CostColumnNames(side)) {
     auto it = bounds_.find(name);
     out.mins.push_back(it == bounds_.end() ? 0.0 : it->second.first);

@@ -1,9 +1,12 @@
 #ifndef PSTORM_CORE_PROFILE_STORE_H_
 #define PSTORM_CORE_PROFILE_STORE_H_
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -51,6 +54,14 @@ struct FeatureBounds {
 ///   Meta/bounds    per-feature min/max for normalization
 ///
 /// One column family ("F") holds everything, with per-row column sets.
+///
+/// Thread-safety contract: all methods may be called concurrently from any
+/// number of threads. Reads go straight to the (thread-safe) table plus a
+/// sharded decoded-entry cache; mutations (PutProfile/DeleteProfile)
+/// additionally serialize on an internal write mutex so the multi-row
+/// writes of one profile are never interleaved with another's and the
+/// profile count stays exact. Normalization bounds are read under a shared
+/// lock and only ever widen.
 class ProfileStore {
  public:
   static Result<std::unique_ptr<ProfileStore>> Open(storage::Env* env,
@@ -84,7 +95,9 @@ class ProfileStore {
   /// All stored job keys, sorted.
   Result<std::vector<std::string>> ListJobKeys() const;
 
-  size_t num_profiles() const { return num_profiles_; }
+  size_t num_profiles() const {
+    return num_profiles_.load(std::memory_order_relaxed);
+  }
 
   /// Normalization bounds of the side's dynamic-feature vector.
   FeatureBounds DynamicBounds(Side side) const;
@@ -154,21 +167,45 @@ class ProfileStore {
       : table_(std::move(table)) {}
 
   Status LoadBounds();
+  /// Requires bounds_mu_ NOT held (takes it shared itself).
   Status SaveBounds();
-  void Widen(const std::string& feature, double value);
+  /// Requires bounds_mu_ held exclusively.
+  void WidenLocked(const std::string& feature, double value);
   Status RecountProfiles();
 
+  /// One stripe of the decoded-entry cache. The mutex guards the map and
+  /// epoch; the entries themselves are immutable shared values. The epoch
+  /// advances on every invalidation, so a reader that decoded its entry
+  /// before a concurrent mutation can tell its copy is stale and skip
+  /// caching it (coherence: the cache never outlives an invalidation).
+  struct CacheShard {
+    std::mutex mu;
+    uint64_t epoch = 0;
+    std::unordered_map<std::string, std::shared_ptr<const StoredEntry>> map;
+  };
+  CacheShard& ShardFor(const std::string& job_key) const;
+
   std::unique_ptr<hstore::HTable> table_;
+
+  /// Serializes mutations (PutProfile/DeleteProfile). Lock order:
+  /// write_mu_ → bounds_mu_ → a cache-shard mutex (readers take only the
+  /// latter two, each alone).
+  std::mutex write_mu_;
+
+  /// Guards bounds_: shared for the Bounds accessors and SaveBounds,
+  /// exclusive for WidenLocked (and the single-threaded open).
+  mutable std::shared_mutex bounds_mu_;
   /// feature name -> (min, max) observed.
   std::map<std::string, std::pair<double, double>> bounds_;
-  size_t num_profiles_ = 0;
-  /// Decoded-entry cache behind GetEntryRef. The mutex guards only the
-  /// map; the entries themselves are immutable shared values. Mutations
-  /// (PutProfile/DeleteProfile) erase the affected key — see the cache
-  /// rule on GetEntryRef.
-  mutable std::mutex entry_cache_mu_;
-  mutable std::unordered_map<std::string, std::shared_ptr<const StoredEntry>>
-      entry_cache_;
+
+  std::atomic<size_t> num_profiles_{0};
+
+  /// Decoded-entry cache behind GetEntryRef, sharded by job-key hash so
+  /// concurrent matcher probes of different keys don't contend. Mutations
+  /// erase the affected key from its shard — see the cache rule on
+  /// GetEntryRef.
+  static constexpr size_t kCacheShards = 16;
+  mutable std::array<CacheShard, kCacheShards> entry_cache_;
 };
 
 /// Column names of the side's dynamic features / cost factors, in vector

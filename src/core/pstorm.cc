@@ -28,86 +28,97 @@ Status PStorM::AddProfile(const std::string& job_key,
   return store_->PutProfile(job_key, profile, statics);
 }
 
-Result<PStorM::SubmissionOutcome> PStorM::SubmitJob(
-    const jobs::BenchmarkJob& job, const mrsim::DataSetSpec& data,
-    const mrsim::Configuration& submitted, uint64_t seed) {
-  SubmissionOutcome outcome;
-
+Status PStorM::SampleAndProbe(SubmissionContext& ctx) const {
   // 1. One sample map task with profiling on: PStorM's only overhead.
   PSTORM_ASSIGN_OR_RETURN(
-      profiler::ProfiledRun sample,
-      profiler_.ProfileOneTask(job.spec, data, submitted, seed));
-  outcome.sample_runtime_s = sample.run.runtime_s;
+      ctx.sample,
+      profiler_.ProfileOneTask(ctx.job.spec, ctx.data, ctx.submitted,
+                               ctx.seed));
+  ctx.outcome.sample_runtime_s = ctx.sample.run.runtime_s;
 
   // 2. Probe the store. A corrupt store must not fail the submission: a
   // wrong profile would mistune the job, but No Match Found merely costs
   // one profiled run (thesis §3) — so corruption degrades to the untuned
-  // fallback path below instead of propagating.
-  const staticanalysis::StaticFeatures statics =
-      staticanalysis::ExtractStaticFeatures(job.program);
+  // fallback path instead of propagating.
+  ctx.statics = staticanalysis::ExtractStaticFeatures(ctx.job.program);
   const JobFeatureVector probe =
-      BuildFeatureVector(sample.profile, statics);
+      BuildFeatureVector(ctx.sample.profile, ctx.statics);
   MultiStageMatcher matcher(store_.get(), options_.match);
-  MatchResult match;
   if (Result<MatchResult> matched = matcher.Match(probe); matched.ok()) {
-    match = std::move(matched).value();
+    ctx.match = std::move(matched).value();
   } else if (matched.status().IsCorruption()) {
     PSTORM_LOG(Warning) << "profile store corruption while matching; "
                         << "treating as No Match Found: "
                         << matched.status().ToString();
-    match = MatchResult{};
+    ctx.match = MatchResult{};
   } else {
     return matched.status();
   }
+  return Status::OK();
+}
 
-  if (match.found) {
-    // 3a. Tune with the returned profile; run with profiling off.
-    outcome.matched = true;
-    outcome.composite = match.composite;
-    outcome.profile_source = match.composite
-                                 ? match.map_source + "+" + match.reduce_source
-                                 : match.map_source;
-    optimizer::CostBasedOptimizer cbo(&engine_, options_.cbo);
-    PSTORM_ASSIGN_OR_RETURN(auto recommendation,
-                            cbo.Optimize(match.profile, data));
-    outcome.config_used = recommendation.config;
-    outcome.predicted_runtime_s = recommendation.predicted_runtime_s;
-    mrsim::RunOptions run_options;
-    run_options.seed = seed ^ 0x72756eULL;
-    PSTORM_ASSIGN_OR_RETURN(
-        mrsim::JobRunResult run,
-        simulator_->RunJob(job.spec, data, recommendation.config,
-                           run_options));
-    outcome.runtime_s = run.runtime_s;
-    return outcome;
-  }
+Status PStorM::RunTuned(SubmissionContext& ctx) const {
+  // 3a. Tune with the returned profile; run with profiling off.
+  ctx.outcome.matched = true;
+  ctx.outcome.composite = ctx.match.composite;
+  ctx.outcome.profile_source =
+      ctx.match.composite ? ctx.match.map_source + "+" + ctx.match.reduce_source
+                          : ctx.match.map_source;
+  optimizer::CostBasedOptimizer cbo(&engine_, options_.cbo);
+  PSTORM_ASSIGN_OR_RETURN(auto recommendation,
+                          cbo.Optimize(ctx.match.profile, ctx.data));
+  ctx.outcome.config_used = recommendation.config;
+  ctx.outcome.predicted_runtime_s = recommendation.predicted_runtime_s;
+  mrsim::RunOptions run_options;
+  run_options.seed = ctx.seed ^ 0x72756eULL;
+  PSTORM_ASSIGN_OR_RETURN(
+      mrsim::JobRunResult run,
+      simulator_->RunJob(ctx.job.spec, ctx.data, recommendation.config,
+                         run_options));
+  ctx.outcome.runtime_s = run.runtime_s;
+  return Status::OK();
+}
 
+Status PStorM::RunUntunedAndStore(SubmissionContext& ctx) const {
   // 3b. No Match Found: run with the submitted configuration, profiler
   // on, and keep the collected profile for the future.
   mrsim::RunOptions run_options;
   run_options.profiling_enabled = true;
-  run_options.seed = seed ^ 0x72756eULL;
+  run_options.seed = ctx.seed ^ 0x72756eULL;
   PSTORM_ASSIGN_OR_RETURN(
       mrsim::JobRunResult run,
-      simulator_->RunJob(job.spec, data, submitted, run_options));
-  outcome.config_used = submitted;
-  outcome.runtime_s = run.runtime_s;
-  const profiler::ExecutionProfile collected =
-      profiler::Profiler::ExtractProfile(run, job.spec.name, data, 1.0);
-  if (Status stored = store_->PutProfile(job.spec.name + "@" + data.name,
-                                         collected, statics);
+      simulator_->RunJob(ctx.job.spec, ctx.data, ctx.submitted, run_options));
+  ctx.outcome.config_used = ctx.submitted;
+  ctx.outcome.runtime_s = run.runtime_s;
+  const profiler::ExecutionProfile collected = profiler::Profiler::
+      ExtractProfile(run, ctx.job.spec.name, ctx.data, 1.0);
+  const std::string job_key = ctx.job.spec.name + "@" + ctx.data.name;
+  if (Status stored = store_->PutProfile(job_key, collected, ctx.statics);
       stored.ok()) {
-    outcome.stored_new_profile = true;
+    ctx.outcome.stored_new_profile = true;
   } else if (stored.IsCorruption()) {
     // The job itself ran fine; losing one profile to a sick store is the
     // cheaper outcome.
     PSTORM_LOG(Warning) << "profile store corruption while storing "
-                        << job.spec.name << "@" << data.name
-                        << "; profile dropped: " << stored.ToString();
+                        << job_key << "; profile dropped: "
+                        << stored.ToString();
   } else {
     return stored;
   }
-  return outcome;
+  return Status::OK();
+}
+
+Result<PStorM::SubmissionOutcome> PStorM::SubmitJob(
+    const jobs::BenchmarkJob& job, const mrsim::DataSetSpec& data,
+    const mrsim::Configuration& submitted, uint64_t seed) const {
+  SubmissionContext ctx{job, data, submitted, seed, {}, {}, {}, {}};
+  PSTORM_RETURN_IF_ERROR(SampleAndProbe(ctx));
+  if (ctx.match.found) {
+    PSTORM_RETURN_IF_ERROR(RunTuned(ctx));
+  } else {
+    PSTORM_RETURN_IF_ERROR(RunUntunedAndStore(ctx));
+  }
+  return std::move(ctx.outcome);
 }
 
 }  // namespace pstorm::core

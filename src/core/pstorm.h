@@ -29,6 +29,14 @@ struct PStormOptions {
 ///  * on No Match Found: run the job with the submitted configuration and
 ///    profiling on, and store the collected complete profile for future
 ///    submissions.
+///
+/// Thread-safety contract: SubmitJob is reentrant — any number of threads
+/// may submit jobs concurrently against one PStorM instance. Each call
+/// works on its own SubmissionContext (sample, probe, matcher, CBO); the
+/// only shared mutable state is the ProfileStore, which synchronizes
+/// internally. Matching runs against whatever profiles are visible when
+/// the probe's scans execute, exactly as in a shared-cluster deployment
+/// where submissions race.
 class PStorM {
  public:
   /// `simulator` and `env` must outlive the instance. `store_path` roots
@@ -58,11 +66,11 @@ class PStorM {
     bool stored_new_profile = false;
   };
 
-  /// Runs the full submission workflow.
+  /// Runs the full submission workflow. Safe to call concurrently.
   Result<SubmissionOutcome> SubmitJob(const jobs::BenchmarkJob& job,
                                       const mrsim::DataSetSpec& data,
                                       const mrsim::Configuration& submitted,
-                                      uint64_t seed);
+                                      uint64_t seed) const;
 
   /// Adds an existing complete profile (e.g. collected elsewhere).
   Status AddProfile(const std::string& job_key,
@@ -76,11 +84,29 @@ class PStorM {
   PStorM(const mrsim::Simulator* simulator,
          std::unique_ptr<ProfileStore> store, PStormOptions options);
 
+  /// Everything one submission touches, stack-allocated per SubmitJob
+  /// call so concurrent submissions share nothing mutable.
+  struct SubmissionContext {
+    const jobs::BenchmarkJob& job;
+    const mrsim::DataSetSpec& data;
+    const mrsim::Configuration& submitted;
+    const uint64_t seed;
+    staticanalysis::StaticFeatures statics;
+    profiler::ProfiledRun sample;
+    MatchResult match;
+    SubmissionOutcome outcome;
+  };
+
+  /// Workflow phases, each operating on the call's own context.
+  Status SampleAndProbe(SubmissionContext& ctx) const;
+  Status RunTuned(SubmissionContext& ctx) const;
+  Status RunUntunedAndStore(SubmissionContext& ctx) const;
+
   const mrsim::Simulator* simulator_;
   std::unique_ptr<ProfileStore> store_;
-  PStormOptions options_;
-  profiler::Profiler profiler_;
-  whatif::WhatIfEngine engine_;
+  const PStormOptions options_;
+  const profiler::Profiler profiler_;
+  const whatif::WhatIfEngine engine_;
 };
 
 }  // namespace pstorm::core

@@ -1,6 +1,7 @@
 #include "hstore/table.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/coding.h"
 #include "common/logging.h"
@@ -35,12 +36,18 @@ class Region {
   storage::Db* db() { return db_.get(); }
   const storage::Db* db() const { return db_.get(); }
 
+  /// The region's write stripe. Multi-cell row mutations hold it for the
+  /// whole batch; readers hold it only while creating their snapshot
+  /// iterator, so a row put is atomic as seen by any Get/Scan.
+  std::mutex& write_mu() const { return write_mu_; }
+
  private:
   Region() = default;
 
   std::string start_key_;
   uint64_t id_ = 0;
   std::unique_ptr<storage::Db> db_;
+  mutable std::mutex write_mu_;
 };
 
 }  // namespace internal
@@ -135,7 +142,10 @@ HTable::HTable(storage::Env* env, std::string root_path, TableSchema schema,
 
 HTable::~HTable() = default;
 
-size_t HTable::num_regions() const { return regions_.size(); }
+size_t HTable::num_regions() const {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
+  return regions_.size();
+}
 
 Result<std::unique_ptr<HTable>> HTable::Open(storage::Env* env,
                                              std::string root_path,
@@ -164,19 +174,19 @@ Result<std::unique_ptr<HTable>> HTable::Open(storage::Env* env,
             env, storage::JoinPath(table->root_path_, "region_0"), "",
             table->next_region_id_++, options.db_options));
     table->regions_.push_back(std::move(region));
-    PSTORM_RETURN_IF_ERROR(table->WriteTableMeta());
+    PSTORM_RETURN_IF_ERROR(table->WriteTableMetaLocked());
   }
   return table;
 }
 
-Status HTable::WriteTableMeta() {
+Status HTable::WriteTableMetaLocked() {
   std::string out(kTableMetaHeader);
   out += "\n";
   out += "name " + schema_.name + "\n";
   for (const std::string& family : schema_.families) {
     out += "family " + family + "\n";
   }
-  out += "clock " + std::to_string(logical_clock_) + "\n";
+  out += "clock " + std::to_string(logical_clock_.load()) + "\n";
   out += "next_region " + std::to_string(next_region_id_) + "\n";
   for (const auto& region : regions_) {
     out += "region " + std::to_string(region->id()) + " " +
@@ -270,21 +280,23 @@ Status HTable::LoadTableMeta() {
   // The meta's clock may be stale (it is only rewritten on region changes);
   // re-derive it from the newest stored timestamp so versions keep moving
   // forward after a reopen.
+  uint64_t clock = logical_clock_.load();
   for (const auto& region : regions_) {
     auto it = region->db()->NewIterator();
     for (it->SeekToFirst(); it->Valid(); it->Next()) {
       uint64_t timestamp;
       std::string_view value;
       if (DecodeCellValue(it->value(), &timestamp, &value)) {
-        logical_clock_ = std::max(logical_clock_, timestamp);
+        clock = std::max(clock, timestamp);
       }
     }
     PSTORM_RETURN_IF_ERROR(it->status());
   }
+  logical_clock_ = clock;
   return Status::OK();
 }
 
-internal::Region* HTable::RegionFor(std::string_view row) const {
+internal::Region* HTable::RegionForLocked(std::string_view row) const {
   PSTORM_CHECK(!regions_.empty());
   // Last region whose start_key <= row.
   auto it = std::upper_bound(
@@ -315,21 +327,39 @@ Status HTable::ValidateKeyParts(const PutOp& put) const {
 
 Status HTable::Put(const PutOp& put) {
   PSTORM_RETURN_IF_ERROR(ValidateKeyParts(put));
-  internal::Region* region = RegionFor(put.row());
-  const uint64_t timestamp = ++logical_clock_;
-  for (const Cell& cell : put.cells()) {
-    PSTORM_RETURN_IF_ERROR(region->db()->Put(
-        EncodeCellKey(put.row(), cell.family, cell.qualifier),
-        EncodeCellValue(timestamp, cell.value)));
+  bool over_split_threshold = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(table_mu_);
+    internal::Region* region = RegionForLocked(put.row());
+    const uint64_t timestamp = logical_clock_.fetch_add(1) + 1;
+    {
+      // Hold the region's write stripe across the whole batch so readers
+      // (who take the stripe only to create their snapshot iterator) see
+      // the row's cells all-or-nothing.
+      std::lock_guard<std::mutex> stripe(region->write_mu());
+      for (const Cell& cell : put.cells()) {
+        PSTORM_RETURN_IF_ERROR(region->db()->Put(
+            EncodeCellKey(put.row(), cell.family, cell.qualifier),
+            EncodeCellValue(timestamp, cell.value)));
+      }
+    }
+    over_split_threshold = region->db()->ApproximateSizeBytes() >=
+                           options_.region_split_bytes;
   }
-  return MaybeSplit(region);
+  if (over_split_threshold) return MaybeSplit(put.row());
+  return Status::OK();
 }
 
 Result<RowResult> HTable::Get(std::string_view row) const {
-  const internal::Region* region = RegionFor(row);
-  RowResult result{std::string(row)};
   const std::string prefix = std::string(row) + kSep;
-  auto it = region->db()->NewIterator();
+  std::unique_ptr<storage::Iterator> it;
+  {
+    std::shared_lock<std::shared_mutex> lock(table_mu_);
+    const internal::Region* region = RegionForLocked(row);
+    std::lock_guard<std::mutex> stripe(region->write_mu());
+    it = region->db()->NewIterator();
+  }
+  RowResult result{std::string(row)};
   for (it->Seek(prefix); it->Valid() && StartsWith(it->key(), prefix);
        it->Next()) {
     std::string_view r, family, qualifier;
@@ -350,8 +380,12 @@ Result<RowResult> HTable::Get(std::string_view row) const {
 }
 
 Status HTable::DeleteRow(std::string_view row) {
-  internal::Region* region = RegionFor(row);
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
+  internal::Region* region = RegionForLocked(row);
   const std::string prefix = std::string(row) + kSep;
+  // The stripe covers collect + delete, so the row disappears atomically
+  // as seen by concurrent snapshot readers.
+  std::lock_guard<std::mutex> stripe(region->write_mu());
   std::vector<std::string> keys;
   {
     auto it = region->db()->NewIterator();
@@ -368,9 +402,10 @@ Status HTable::DeleteRow(std::string_view row) {
 }
 
 storage::DbStats HTable::AggregatedDbStats() const {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
   storage::DbStats total;
   for (const auto& region : regions_) {
-    const storage::DbStats& s = region->db()->stats();
+    const storage::DbStats s = region->db()->stats();
     total.flushes += s.flushes;
     total.compactions += s.compactions;
     total.bytes_flushed += s.bytes_flushed;
@@ -386,20 +421,37 @@ storage::DbStats HTable::AggregatedDbStats() const {
 
 Result<std::vector<RowResult>> HTable::Scan(const ScanSpec& spec,
                                             ScanStats* stats) const {
-  ScanStats local_stats;
-  ScanStats* s = stats != nullptr ? stats : &local_stats;
-  *s = ScanStats{};
-  s->regions_recovered_empty = region_open_errors_.size();
+  // Work on a local accumulator and publish once at the end, so a caller
+  // handing the same ScanStats object to a reader thread never observes a
+  // half-updated struct from a completed scan.
+  ScanStats local;
+
+  // Pin a snapshot iterator per visited region while holding the table
+  // lock shared: a concurrent split (exclusive) can only run entirely
+  // before or entirely after this block, so the scan sees an atomic
+  // region layout; the iteration below then runs with no locks at all.
+  struct RegionScan {
+    std::unique_ptr<storage::Iterator> it;
+  };
+  std::vector<RegionScan> pinned;
+  {
+    std::shared_lock<std::shared_mutex> lock(table_mu_);
+    local.regions_recovered_empty = region_open_errors_.size();
+    for (const auto& region : regions_) {
+      // Skip regions entirely past the stop row.
+      if (!spec.stop_row.empty() && region->start_key() >= spec.stop_row) {
+        break;
+      }
+      std::lock_guard<std::mutex> stripe(region->write_mu());
+      pinned.push_back(RegionScan{region->db()->NewIterator()});
+    }
+  }
 
   std::vector<RowResult> out;
-  for (const auto& region : regions_) {
-    // Skip regions entirely past the stop row.
-    if (!spec.stop_row.empty() && region->start_key() >= spec.stop_row) {
-      break;
-    }
-    ++s->regions_visited;
+  for (RegionScan& scan : pinned) {
+    ++local.regions_visited;
 
-    auto it = region->db()->NewIterator();
+    storage::Iterator* it = scan.it.get();
     if (spec.start_row.empty()) {
       it->SeekToFirst();
     } else {
@@ -409,23 +461,23 @@ Result<std::vector<RowResult>> HTable::Scan(const ScanSpec& spec,
     RowResult current;
     auto finish_row = [&]() {
       if (current.empty()) return;
-      ++s->rows_scanned;
+      ++local.rows_scanned;
       const bool matches =
           spec.filter == nullptr || spec.filter->Matches(current);
       if (spec.server_side_filtering) {
         // Only matching rows cross the region boundary.
         if (matches) {
-          ++s->rows_transferred;
-          s->bytes_transferred += current.PayloadBytes();
-          ++s->rows_returned;
+          ++local.rows_transferred;
+          local.bytes_transferred += current.PayloadBytes();
+          ++local.rows_returned;
           out.push_back(std::move(current));
         }
       } else {
         // Everything is shipped to the client, which filters locally.
-        ++s->rows_transferred;
-        s->bytes_transferred += current.PayloadBytes();
+        ++local.rows_transferred;
+        local.bytes_transferred += current.PayloadBytes();
         if (matches) {
-          ++s->rows_returned;
+          ++local.rows_returned;
           out.push_back(std::move(current));
         }
       }
@@ -460,10 +512,12 @@ Result<std::vector<RowResult>> HTable::Scan(const ScanSpec& spec,
     PSTORM_RETURN_IF_ERROR(it->status());
     finish_row();
   }
+  if (stats != nullptr) *stats = local;
   return out;
 }
 
 Status HTable::Flush() {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
   for (const auto& region : regions_) {
     PSTORM_RETURN_IF_ERROR(region->db()->Flush());
   }
@@ -471,6 +525,7 @@ Status HTable::Flush() {
 }
 
 std::vector<std::string> HTable::MetaEntries() const {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
   std::vector<std::string> out;
   out.reserve(regions_.size());
   for (const auto& region : regions_) {
@@ -480,22 +535,30 @@ std::vector<std::string> HTable::MetaEntries() const {
   return out;
 }
 
-Status HTable::MaybeSplit(internal::Region* region) {
+Status HTable::MaybeSplit(std::string_view row) {
+  std::unique_lock<std::shared_mutex> lock(table_mu_);
+  // Re-find and re-check under the exclusive lock: another thread may
+  // have split this key range while we were acquiring it.
+  internal::Region* region = RegionForLocked(row);
   if (region->db()->ApproximateSizeBytes() < options_.region_split_bytes) {
     return Status::OK();
   }
+  // The exclusive table lock excludes every writer and every *new* scan;
+  // in-flight scans hold pinned snapshots and are unaffected by the data
+  // movement below.
+
   // Find the median distinct row to split at.
   std::vector<std::string> rows;
   {
     auto it = region->db()->NewIterator();
     std::string last_row;
     for (it->SeekToFirst(); it->Valid(); it->Next()) {
-      std::string_view row, family, qualifier;
-      if (!DecodeCellKey(it->key(), &row, &family, &qualifier)) {
+      std::string_view r, family, qualifier;
+      if (!DecodeCellKey(it->key(), &r, &family, &qualifier)) {
         return Status::Corruption("bad cell key");
       }
-      if (row != std::string_view(last_row)) {
-        last_row.assign(row);
+      if (r != std::string_view(last_row)) {
+        last_row.assign(r);
         rows.push_back(last_row);
       }
     }
@@ -537,7 +600,7 @@ Status HTable::MaybeSplit(internal::Region* region) {
         return key < r->start_key();
       });
   regions_.insert(pos, std::move(new_region));
-  return WriteTableMeta();
+  return WriteTableMetaLocked();
 }
 
 }  // namespace pstorm::hstore

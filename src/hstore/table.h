@@ -1,7 +1,9 @@
 #ifndef PSTORM_HSTORE_TABLE_H_
 #define PSTORM_HSTORE_TABLE_H_
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -59,6 +61,8 @@ struct ScanSpec {
 };
 
 /// Observed work for one scan; the pushdown ablation benchmark reads these.
+/// Scan accumulates into a local instance and assigns the caller's struct
+/// once at the end, so a completed Scan's stats are never torn.
 struct ScanStats {
   uint64_t regions_visited = 0;
   uint64_t rows_scanned = 0;
@@ -85,7 +89,16 @@ class Region;
 
 /// A range-partitioned, column-family table in the HBase data model,
 /// backed by one storage::Db per region. Region splits happen
-/// automatically as data grows. Not thread-safe.
+/// automatically as data grows.
+///
+/// Thread-safety contract: every method may be called from any number of
+/// threads concurrently. Reads (Get/Scan) pin per-region snapshot
+/// iterators and run without blocking writers; writes serialize per
+/// region (striped locking), so rows in different regions write in
+/// parallel. A region split takes the table lock exclusively only for the
+/// duration of the split itself; scans already in flight keep reading
+/// their pinned snapshots and are not blocked. Lock order: table lock →
+/// region stripe → the region Db's internal locks.
 class HTable {
  public:
   /// Creates or reopens the table rooted at `root_path` inside `env` (which
@@ -101,18 +114,21 @@ class HTable {
   HTable(const HTable&) = delete;
   HTable& operator=(const HTable&) = delete;
 
-  /// Writes all cells of `put` atomically-per-row. Fails if a cell names an
+  /// Writes all cells of `put` atomically-per-row: a concurrent Get or
+  /// Scan sees either none or all of them. Fails if a cell names an
   /// unknown column family, or if any key part contains a NUL byte.
   Status Put(const PutOp& put);
 
   /// All cells of `row`; NotFound when the row does not exist.
   Result<RowResult> Get(std::string_view row) const;
 
-  /// Deletes every cell of `row` (idempotent).
+  /// Deletes every cell of `row` (idempotent, atomic-per-row).
   Status DeleteRow(std::string_view row);
 
   /// Rows of [spec.start_row, spec.stop_row) passing the filter, in row
-  /// order. `stats` (optional) receives the work accounting.
+  /// order. `stats` (optional) receives the work accounting. The scan
+  /// observes a point-in-time snapshot of every visited region, taken
+  /// atomically with respect to region splits.
   Result<std::vector<RowResult>> Scan(const ScanSpec& spec,
                                       ScanStats* stats = nullptr) const;
 
@@ -128,7 +144,8 @@ class HTable {
 
   /// One human-readable diagnosis per region whose store failed to open
   /// and was quarantined + recovered empty (see Open). Scans also report
-  /// the count as ScanStats::regions_recovered_empty.
+  /// the count as ScanStats::regions_recovered_empty. Immutable after
+  /// Open.
   const std::vector<std::string>& region_open_errors() const {
     return region_open_errors_;
   }
@@ -142,17 +159,27 @@ class HTable {
          HTableOptions options);
 
   Status ValidateKeyParts(const PutOp& put) const;
-  internal::Region* RegionFor(std::string_view row) const;
-  Status MaybeSplit(internal::Region* region);
-  Status WriteTableMeta();
+  /// Requires table_mu_ held (shared suffices: the region list is stable).
+  internal::Region* RegionForLocked(std::string_view row) const;
+  /// Takes table_mu_ exclusively, re-finds the region covering `row`, and
+  /// splits it if it is (still) over the threshold.
+  Status MaybeSplit(std::string_view row);
+  /// Requires table_mu_ held exclusively (or Open-time single-threading).
+  Status WriteTableMetaLocked();
   Status LoadTableMeta();
 
   storage::Env* env_;
   std::string root_path_;
   TableSchema schema_;
   HTableOptions options_;
-  uint64_t logical_clock_ = 0;
-  uint64_t next_region_id_ = 0;
+  /// Cell-version clock; fetch_add gives each row-put a unique timestamp.
+  std::atomic<uint64_t> logical_clock_{0};
+
+  /// Guards the region list's *shape*. Shared: everything that looks up
+  /// or enumerates regions (Put/Get/Scan/Flush/stats). Exclusive: region
+  /// splits only.
+  mutable std::shared_mutex table_mu_;
+  uint64_t next_region_id_ = 0;  // Guarded by exclusive table_mu_ (+ Open).
   /// Sorted by start key; region i covers [start_i, start_{i+1}).
   std::vector<std::unique_ptr<internal::Region>> regions_;
   std::vector<std::string> region_open_errors_;

@@ -14,17 +14,47 @@ constexpr char kManifestName[] = "MANIFEST";
 constexpr char kManifestHeader[] = "pstorm-manifest-v1";
 constexpr char kWalName[] = "WAL";
 constexpr char kQuarantineSuffix[] = ".quarantine";
+
+/// Forwards to a wrapped iterator while pinning the snapshot it reads:
+/// the memtable copy and the Version (and through it every sstable
+/// handle). Keeps the iterator valid across concurrent flushes and
+/// compactions.
+class PinnedIterator final : public Iterator {
+ public:
+  PinnedIterator(std::unique_ptr<Iterator> base,
+                 std::shared_ptr<const Memtable> memtable,
+                 std::shared_ptr<const Version> version)
+      : base_(std::move(base)),
+        memtable_(std::move(memtable)),
+        version_(std::move(version)) {}
+
+  bool Valid() const override { return base_->Valid(); }
+  void SeekToFirst() override { base_->SeekToFirst(); }
+  void Seek(std::string_view target) override { base_->Seek(target); }
+  void Next() override { base_->Next(); }
+  std::string_view key() const override { return base_->key(); }
+  std::string_view value() const override { return base_->value(); }
+  EntryType type() const override { return base_->type(); }
+  Status status() const override { return base_->status(); }
+
+ private:
+  std::unique_ptr<Iterator> base_;
+  std::shared_ptr<const Memtable> memtable_;
+  std::shared_ptr<const Version> version_;
+};
+
 }  // namespace
 
 Result<std::unique_ptr<Db>> Db::Open(Env* env, std::string path,
                                      DbOptions options) {
   PSTORM_CHECK(env != nullptr);
   auto db = std::unique_ptr<Db>(new Db(env, std::move(path), options));
+  db->current_ = std::make_shared<const Version>();
   PSTORM_RETURN_IF_ERROR(env->CreateDir(db->path_));
   if (env->FileExists(JoinPath(db->path_, kManifestName))) {
     PSTORM_RETURN_IF_ERROR(db->LoadManifest());
   } else {
-    PSTORM_RETURN_IF_ERROR(db->WriteManifest());
+    PSTORM_RETURN_IF_ERROR(db->WriteManifestLocked(*db->current_));
   }
 
   // Recover acked-but-unflushed mutations. The log stays in place until
@@ -45,10 +75,10 @@ Result<std::unique_ptr<Db>> Db::Open(Env* env, std::string path,
   }
 
   PSTORM_RETURN_IF_ERROR(db->RemoveOrphans());
-  if (db->stats_.quarantined_files > 0) {
+  if (db->stats_.quarantined_files.load() > 0) {
     // Drop the quarantined tables from the manifest so the next open does
     // not trip over them again.
-    PSTORM_RETURN_IF_ERROR(db->WriteManifest());
+    PSTORM_RETURN_IF_ERROR(db->WriteManifestLocked(*db->current_));
   }
   return db;
 }
@@ -57,8 +87,8 @@ Status Db::RemoveOrphans() {
   PSTORM_ASSIGN_OR_RETURN(std::vector<std::string> names,
                           env_->ListDir(path_));
   std::vector<std::string> live = {kManifestName, kWalName};
-  for (const auto& [name, table] : l0_) live.push_back(name);
-  for (const auto& [name, table] : l1_) live.push_back(name);
+  for (const auto& handle : current_->l0) live.push_back(handle->name());
+  for (const auto& handle : current_->l1) live.push_back(handle->name());
   for (const std::string& name : names) {
     if (std::find(live.begin(), live.end(), name) != live.end()) continue;
     if (EndsWith(name, kQuarantineSuffix)) continue;  // Kept for forensics.
@@ -79,88 +109,113 @@ Status Db::RemoveOrphans() {
 
 Status Db::Put(std::string_view key, std::string_view value) {
   if (key.empty()) return Status::InvalidArgument("empty key");
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
   if (wal_ != nullptr) {
     // Log before memtable: a mutation is acked only once it would survive
     // a crash.
     PSTORM_RETURN_IF_ERROR(wal_->AppendPut(key, value));
     ++stats_.wal_appends;
   }
-  memtable_.Put(key, value);
-  return MaybeFlush();
+  {
+    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    memtable_.Put(key, value);
+  }
+  return MaybeFlushLocked();
 }
 
 Status Db::Delete(std::string_view key) {
   if (key.empty()) return Status::InvalidArgument("empty key");
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
   if (wal_ != nullptr) {
     PSTORM_RETURN_IF_ERROR(wal_->AppendDelete(key));
     ++stats_.wal_appends;
   }
-  memtable_.Delete(key);
-  return MaybeFlush();
+  {
+    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    memtable_.Delete(key);
+  }
+  return MaybeFlushLocked();
 }
 
-Status Db::MaybeFlush() {
+Status Db::MaybeFlushLocked() {
+  // Reading the memtable without state_mu_ is safe here: writer_mu_ is
+  // held, so no one else can be mutating it.
   if (memtable_.ApproximateBytes() >= options_.memtable_flush_bytes) {
-    return Flush();
+    return FlushLocked();
   }
   return Status::OK();
 }
 
+std::shared_ptr<const Version> Db::PinVersion() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return current_;
+}
+
 Result<std::string> Db::Get(std::string_view key) const {
-  if (auto entry = memtable_.Get(key); entry.has_value()) {
-    if (entry->type == EntryType::kTombstone) {
+  std::shared_ptr<const Version> version;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    if (auto entry = memtable_.Get(key); entry.has_value()) {
+      if (entry->type == EntryType::kTombstone) {
+        return Status::NotFound("deleted");
+      }
+      return entry->value;
+    }
+    version = current_;
+  }
+  // The sstable search runs lock-free on the pinned version.
+  PSTORM_ASSIGN_OR_RETURN(auto hit, version->Get(key));
+  if (hit.has_value()) {
+    if (hit->type == EntryType::kTombstone) {
       return Status::NotFound("deleted");
     }
-    return entry->value;
-  }
-  // Level 0, newest first.
-  for (const auto& [name, table] : l0_) {
-    PSTORM_ASSIGN_OR_RETURN(auto hit, table->Get(key));
-    if (hit.has_value()) {
-      if (hit->type == EntryType::kTombstone) {
-        return Status::NotFound("deleted");
-      }
-      return std::move(hit->value);
-    }
-  }
-  // Level 1: tables are key-disjoint and sorted; binary search the ranges.
-  auto it = std::lower_bound(
-      l1_.begin(), l1_.end(), key, [](const auto& entry, std::string_view k) {
-        return std::string_view(entry.second->largest_key()) < k;
-      });
-  if (it != l1_.end() && key >= it->second->smallest_key()) {
-    PSTORM_ASSIGN_OR_RETURN(auto hit, it->second->Get(key));
-    if (hit.has_value()) {
-      if (hit->type == EntryType::kTombstone) {
-        return Status::NotFound("deleted");
-      }
-      return std::move(hit->value);
-    }
+    return std::move(hit->value);
   }
   return Status::NotFound("no such key");
 }
 
-std::vector<std::unique_ptr<Iterator>> Db::AllChildren() const {
-  std::vector<std::unique_ptr<Iterator>> children;
-  children.push_back(memtable_.NewIterator());
-  for (const auto& [name, table] : l0_) {
-    children.push_back(table->NewIterator());
-  }
-  for (const auto& [name, table] : l1_) {
-    children.push_back(table->NewIterator());
-  }
-  return children;
+size_t Db::num_level0_tables() const { return PinVersion()->l0.size(); }
+
+size_t Db::num_level1_tables() const { return PinVersion()->l1.size(); }
+
+size_t Db::memtable_entries() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return memtable_.num_entries();
 }
 
 size_t Db::ApproximateSizeBytes() const {
-  size_t bytes = memtable_.ApproximateBytes();
-  for (const auto& [name, table] : l0_) bytes += table->size_bytes();
-  for (const auto& [name, table] : l1_) bytes += table->size_bytes();
-  return bytes;
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return memtable_.ApproximateBytes() + current_->TotalTableBytes();
+}
+
+DbStats Db::stats() const {
+  DbStats out;
+  out.flushes = stats_.flushes.load();
+  out.compactions = stats_.compactions.load();
+  out.bytes_flushed = stats_.bytes_flushed.load();
+  out.bytes_compacted = stats_.bytes_compacted.load();
+  out.wal_appends = stats_.wal_appends.load();
+  out.wal_records_replayed = stats_.wal_records_replayed.load();
+  out.wal_tail_truncated = stats_.wal_tail_truncated.load();
+  out.quarantined_files = stats_.quarantined_files.load();
+  out.orphans_removed = stats_.orphans_removed.load();
+  return out;
 }
 
 std::unique_ptr<Iterator> Db::NewIterator() const {
-  return NewLiveRecordIterator(NewMergingIterator(AllChildren()));
+  std::shared_ptr<const Memtable> memtable;
+  std::shared_ptr<const Version> version;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    memtable = std::make_shared<const Memtable>(memtable_);
+    version = current_;
+  }
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(memtable->NewIterator());
+  version->AppendIterators(&children);
+  return std::make_unique<PinnedIterator>(
+      NewLiveRecordIterator(NewMergingIterator(std::move(children))),
+      std::move(memtable), std::move(version));
 }
 
 std::string Db::NewFileName() {
@@ -171,6 +226,13 @@ std::string Db::NewFileName() {
 }
 
 Status Db::Flush() {
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  return FlushLocked();
+}
+
+Status Db::FlushLocked() {
+  // writer_mu_ is held: the memtable cannot be mutated underneath us, and
+  // concurrent readers only read it, so building the table needs no lock.
   if (memtable_.empty()) return Status::OK();
   TableBuilder builder(options_.table_options);
   auto iter = memtable_.NewIterator();
@@ -182,38 +244,50 @@ Status Db::Flush() {
   PSTORM_RETURN_IF_ERROR(env_->WriteFile(JoinPath(path_, name), contents));
   PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
                           Table::Open(contents));
-  l0_.insert(l0_.begin(), {name, std::move(table)});
-  memtable_ = Memtable();
+
+  auto next = std::make_shared<Version>();
+  next->l0.push_back(std::make_shared<TableHandle>(env_, path_, name,
+                                                   std::move(table)));
+  next->l0.insert(next->l0.end(), current_->l0.begin(), current_->l0.end());
+  next->l1 = current_->l1;
+  {
+    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    current_ = std::move(next);
+    memtable_ = Memtable();
+  }
   ++stats_.flushes;
   stats_.bytes_flushed += contents.size();
-  PSTORM_RETURN_IF_ERROR(WriteManifest());
+  PSTORM_RETURN_IF_ERROR(WriteManifestLocked(*current_));
   // The flushed records are durable in the sstable now; the log restarts
   // empty. Ordering matters: truncating before the manifest lands would
   // open a window where a crash loses the flushed-but-unreferenced data.
   if (wal_ != nullptr) {
     PSTORM_RETURN_IF_ERROR(wal_->Truncate());
   }
-  if (static_cast<int>(l0_.size()) >= options_.l0_compaction_trigger) {
-    return CompactAll();
+  if (static_cast<int>(current_->l0.size()) >=
+      options_.l0_compaction_trigger) {
+    return CompactAllLocked();
   }
   return Status::OK();
 }
 
 Status Db::CompactAll() {
-  PSTORM_RETURN_IF_ERROR(Flush());  // Fold any buffered writes in too.
-  if (l0_.empty() && l1_.size() <= 1) return Status::OK();
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  return CompactAllLocked();
+}
+
+Status Db::CompactAllLocked() {
+  PSTORM_RETURN_IF_ERROR(FlushLocked());  // Fold any buffered writes in too.
+  // current_ is stable while writer_mu_ is held; keep a pin for the merge.
+  const std::shared_ptr<const Version> base = current_;
+  if (base->l0.empty() && base->l1.size() <= 1) return Status::OK();
 
   // Merge every table; the memtable is empty after the flush above.
   std::vector<std::unique_ptr<Iterator>> children;
-  for (const auto& [name, table] : l0_) {
-    children.push_back(table->NewIterator());
-  }
-  for (const auto& [name, table] : l1_) {
-    children.push_back(table->NewIterator());
-  }
+  base->AppendIterators(&children);
   auto merged = NewMergingIterator(std::move(children));
 
-  std::vector<std::pair<std::string, std::shared_ptr<Table>>> new_l1;
+  auto next = std::make_shared<Version>();
   TableBuilder builder(options_.table_options);
   size_t built_bytes = 0;
   auto emit_table = [&]() -> Status {
@@ -223,7 +297,8 @@ Status Db::CompactAll() {
     PSTORM_RETURN_IF_ERROR(env_->WriteFile(JoinPath(path_, name), contents));
     PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
                             Table::Open(contents));
-    new_l1.emplace_back(name, std::move(table));
+    next->l1.push_back(std::make_shared<TableHandle>(env_, path_, name,
+                                                     std::move(table)));
     stats_.bytes_compacted += contents.size();
     built_bytes = 0;
     return Status::OK();
@@ -242,34 +317,26 @@ Status Db::CompactAll() {
   PSTORM_RETURN_IF_ERROR(merged->status());
   PSTORM_RETURN_IF_ERROR(emit_table());
 
-  std::vector<std::string> obsolete;
-  for (const auto& [name, table] : l0_) obsolete.push_back(name);
-  for (const auto& [name, table] : l1_) obsolete.push_back(name);
-
-  l0_.clear();
-  l1_ = std::move(new_l1);
-  ++stats_.compactions;
-  PSTORM_RETURN_IF_ERROR(WriteManifest());
-
-  for (const std::string& name : obsolete) {
-    // Best-effort: an orphaned file is wasted space, not corruption — the
-    // next Open's orphan sweep gets another chance at it.
-    const Status s = env_->DeleteFile(JoinPath(path_, name));
-    if (!s.ok()) {
-      PSTORM_LOG(Warning) << "db " << path_
-                          << ": leaving obsolete file " << name
-                          << " for the next open to sweep: " << s.ToString();
-    }
+  {
+    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    current_ = next;
   }
+  ++stats_.compactions;
+  PSTORM_RETURN_IF_ERROR(WriteManifestLocked(*next));
+
+  // The superseded files stay on disk while any reader still pins them;
+  // each is deleted when its last pinning Version is released (see
+  // TableHandle). With no readers that is right now, as `base` drops.
+  base->MarkAllObsolete();
   return Status::OK();
 }
 
-Status Db::WriteManifest() {
+Status Db::WriteManifestLocked(const Version& version) {
   std::string out(kManifestHeader);
   out += "\n";
   out += "next_file " + std::to_string(next_file_number_) + "\n";
-  for (const auto& [name, table] : l0_) out += "l0 " + name + "\n";
-  for (const auto& [name, table] : l1_) out += "l1 " + name + "\n";
+  for (const auto& handle : version.l0) out += "l0 " + handle->name() + "\n";
+  for (const auto& handle : version.l1) out += "l1 " + handle->name() + "\n";
   const std::string tmp = JoinPath(path_, std::string(kManifestName) + ".tmp");
   PSTORM_RETURN_IF_ERROR(env_->WriteFile(tmp, out));
   return env_->RenameFile(tmp, JoinPath(path_, kManifestName));
@@ -288,6 +355,7 @@ Status Db::LoadManifest() {
   if (lines.empty() || lines[0] != kManifestHeader) {
     return Status::Corruption("bad manifest header");
   }
+  auto loaded = std::make_shared<Version>();
   for (size_t i = 1; i < lines.size(); ++i) {
     if (lines[i].empty()) continue;
     const std::vector<std::string> parts = StrSplit(lines[i], ' ');
@@ -317,12 +385,14 @@ Status Db::LoadManifest() {
         ++stats_.quarantined_files;
         continue;
       }
-      auto& level = parts[0] == "l0" ? l0_ : l1_;
-      level.emplace_back(parts[1], std::move(table).value());
+      auto& level = parts[0] == "l0" ? loaded->l0 : loaded->l1;
+      level.push_back(std::make_shared<TableHandle>(
+          env_, path_, parts[1], std::move(table).value()));
     } else {
       return Status::Corruption("unknown manifest tag: " + parts[0]);
     }
   }
+  current_ = std::move(loaded);
   return Status::OK();
 }
 

@@ -1,7 +1,10 @@
 #ifndef PSTORM_STORAGE_DB_H_
 #define PSTORM_STORAGE_DB_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +15,7 @@
 #include "storage/iterator.h"
 #include "storage/memtable.h"
 #include "storage/sstable.h"
+#include "storage/version.h"
 #include "storage/wal.h"
 
 namespace pstorm::storage {
@@ -52,7 +56,22 @@ struct DbStats {
 /// A small embedded LSM key-value store: one memtable, a newest-first list
 /// of level-0 tables, and a level-1 run of key-disjoint tables. This is the
 /// storage engine underneath the hstore table layer (the repository's HBase
-/// stand-in). Not thread-safe; the profile store serializes access.
+/// stand-in).
+///
+/// Thread-safety contract (snapshot isolation, LevelDB-style):
+///  * Readers (`Get`, `NewIterator`, the size accessors) may run from any
+///    number of threads concurrently with each other and with writers.
+///    They take the state mutex shared just long enough to probe the
+///    memtable and pin the current Version (an immutable, refcounted
+///    {sstable list} snapshot — see storage/version.h), then search it
+///    lock-free.
+///  * Writers (`Put`, `Delete`, `Flush`, `CompactAll`) serialize on an
+///    internal writer mutex (WAL append order == memtable order ==
+///    manifest order) and publish new Versions under a brief exclusive
+///    lock of the state mutex.
+///  * Obsolete sstables are deleted only when the last Version pinning
+///    them is released, so an iterator keeps serving from compacted-away
+///    tables.
 class Db {
  public:
   /// Opens (or creates) a database rooted at `path` inside `env`, which
@@ -71,12 +90,16 @@ class Db {
   Status Put(std::string_view key, std::string_view value);
   Status Delete(std::string_view key);
 
-  /// NotFound if the key is absent or deleted.
+  /// NotFound if the key is absent or deleted. Safe to call concurrently
+  /// with writers; observes a point-in-time snapshot.
   Result<std::string> Get(std::string_view key) const;
 
   /// Iterates live records (no tombstones) over the whole database in key
-  /// order. The iterator must not outlive the Db and must be discarded
-  /// before any further writes.
+  /// order. The iterator observes a point-in-time snapshot: writes,
+  /// flushes, and compactions that happen after creation are invisible to
+  /// it, and it stays valid across them (it pins the tables it reads).
+  /// It must not outlive the Db. Creation copies the current memtable,
+  /// whose payload is bounded by DbOptions::memtable_flush_bytes.
   std::unique_ptr<Iterator> NewIterator() const;
 
   /// Persists the memtable as a level-0 table (no-op when empty). Runs a
@@ -86,19 +109,38 @@ class Db {
   /// Merges everything into a fresh level-1 run, dropping tombstones.
   Status CompactAll();
 
-  size_t num_level0_tables() const { return l0_.size(); }
-  size_t num_level1_tables() const { return l1_.size(); }
-  size_t memtable_entries() const { return memtable_.num_entries(); }
+  size_t num_level0_tables() const;
+  size_t num_level1_tables() const;
+  size_t memtable_entries() const;
   /// Rough resident payload: memtable bytes plus serialized table bytes.
   size_t ApproximateSizeBytes() const;
-  const DbStats& stats() const { return stats_; }
+  /// A consistent snapshot of the counters.
+  DbStats stats() const;
 
  private:
+  /// DbStats with every counter atomic, so writers on different threads
+  /// (and readers snapshotting) never race. stats() flattens it.
+  struct AtomicDbStats {
+    std::atomic<uint64_t> flushes{0};
+    std::atomic<uint64_t> compactions{0};
+    std::atomic<uint64_t> bytes_flushed{0};
+    std::atomic<uint64_t> bytes_compacted{0};
+    std::atomic<uint64_t> wal_appends{0};
+    std::atomic<uint64_t> wal_records_replayed{0};
+    std::atomic<uint64_t> wal_tail_truncated{0};
+    std::atomic<uint64_t> quarantined_files{0};
+    std::atomic<uint64_t> orphans_removed{0};
+  };
+
   Db(Env* env, std::string path, DbOptions options)
       : env_(env), path_(std::move(path)), options_(options) {}
 
-  Status MaybeFlush();
-  Status WriteManifest();
+  /// The *Locked variants require writer_mu_ held.
+  Status MaybeFlushLocked();
+  Status FlushLocked();
+  Status CompactAllLocked();
+  Status WriteManifestLocked(const Version& version);
+  /// Open-time only (single-threaded).
   Status LoadManifest();
   /// Deletes files in the db directory that are neither live (manifest,
   /// WAL, referenced tables) nor quarantined — the debris of a crashed
@@ -106,18 +148,28 @@ class Db {
   Status RemoveOrphans();
   Result<std::shared_ptr<Table>> LoadTable(const std::string& file_name);
   std::string NewFileName();
-  /// All sources newest-first (memtable, L0 newest-first, L1).
-  std::vector<std::unique_ptr<Iterator>> AllChildren() const;
+  /// Pins the current version (shared state lock).
+  std::shared_ptr<const Version> PinVersion() const;
 
   Env* env_;
   std::string path_;
   DbOptions options_;
   std::unique_ptr<WalWriter> wal_;
+
+  /// Serializes every mutation: WAL appends, memtable writes, flushes,
+  /// compactions, manifest writes, and file numbering. Lock order:
+  /// writer_mu_ before state_mu_ (never the reverse).
+  std::mutex writer_mu_;
+  uint64_t next_file_number_ = 1;  // Guarded by writer_mu_ (+ Open).
+
+  /// Guards the reader-visible state below. Readers hold it shared only
+  /// while probing the memtable and pinning current_; writers hold it
+  /// exclusive only while applying a memtable edit or swapping versions.
+  mutable std::shared_mutex state_mu_;
   Memtable memtable_;
-  std::vector<std::pair<std::string, std::shared_ptr<Table>>> l0_;
-  std::vector<std::pair<std::string, std::shared_ptr<Table>>> l1_;
-  uint64_t next_file_number_ = 1;
-  DbStats stats_;
+  std::shared_ptr<const Version> current_;
+
+  AtomicDbStats stats_;
 };
 
 }  // namespace pstorm::storage

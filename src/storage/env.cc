@@ -171,17 +171,20 @@ Result<std::vector<std::string>> PosixEnv::ListDir(
 // --------------------------------------------------------- FaultInjection
 
 void FaultInjectionEnv::CrashAtMutation(uint64_t n) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
   crash_at_ = n;
   mutations_ = 0;
   crashed_ = false;
 }
 
 void FaultInjectionEnv::SetErrorProbability(double p, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
   error_probability_ = p;
   rng_ = Rng(seed);
 }
 
 void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(fault_mu_);
   crash_at_ = 0;
   mutations_ = 0;
   crashed_ = false;
@@ -190,17 +193,20 @@ void FaultInjectionEnv::ClearFaults() {
 
 Status FaultInjectionEnv::CheckMutation(bool* torn) {
   *torn = false;
-  ++mutations_;
-  if (crashed_) return Status::IoError("simulated crash: process is down");
-  if (crash_at_ != 0 && mutations_ >= crash_at_) {
-    crashed_ = true;
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  const uint64_t n = mutations_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return Status::IoError("simulated crash: process is down");
+  }
+  if (crash_at_ != 0 && n >= crash_at_) {
+    crashed_.store(true, std::memory_order_relaxed);
     *torn = true;  // The crashing write lands partially.
     return Status::IoError("simulated crash at mutation " +
-                           std::to_string(mutations_));
+                           std::to_string(n));
   }
   if (error_probability_ > 0 && rng_.Bernoulli(error_probability_)) {
     return Status::IoError("injected IO error at mutation " +
-                           std::to_string(mutations_));
+                           std::to_string(n));
   }
   return Status::OK();
 }

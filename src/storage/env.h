@@ -1,6 +1,7 @@
 #ifndef PSTORM_STORAGE_ENV_H_
 #define PSTORM_STORAGE_ENV_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -94,7 +95,12 @@ class PosixEnv final : public Env {
 ///    probability p, applying nothing. Deterministic for a fixed seed.
 ///  * FlipByte(path, offset): bit-rot injection on the wrapped env.
 ///
-/// Not thread-safe (like Db); drive it from one thread.
+/// Thread-safe: the fault schedule advances under an internal mutex, so
+/// each mutation — from whichever thread — consumes exactly one sequence
+/// number and the decision for the Nth mutation is deterministic. (Which
+/// thread's operation is "the Nth" depends on arrival order, as it would
+/// in a real crash.) Schedule setters are meant for quiesced moments
+/// between test phases.
 class FaultInjectionEnv final : public Env {
  public:
   /// `target` must outlive this env.
@@ -111,8 +117,10 @@ class FaultInjectionEnv final : public Env {
 
   /// Mutating operations attempted since the last CrashAtMutation /
   /// ClearFaults (counting the crashed one).
-  uint64_t mutation_count() const { return mutations_; }
-  bool crashed() const { return crashed_; }
+  uint64_t mutation_count() const {
+    return mutations_.load(std::memory_order_relaxed);
+  }
+  bool crashed() const { return crashed_.load(std::memory_order_relaxed); }
 
   /// XORs the byte at `offset` of `path` with 0xff, bypassing fault
   /// schedules.
@@ -129,15 +137,20 @@ class FaultInjectionEnv final : public Env {
       const std::string& dir) const override;
 
  private:
-  /// Advances the fault schedule for one mutation. Returns OK when the
+  /// Advances the fault schedule for one mutation (one atomic step under
+  /// fault_mu_: sequence-number increment + rng draw). Returns OK when the
   /// operation should proceed normally; IoError when it must fail. Sets
   /// `*torn` when the operation should apply a partial effect first.
   Status CheckMutation(bool* torn);
 
   Env* target_;
-  uint64_t mutations_ = 0;
+  /// Guards the schedule (crash_at_, error_probability_, rng_) and makes
+  /// each CheckMutation an indivisible step. The counters are additionally
+  /// atomic so the accessors stay lock-free.
+  mutable std::mutex fault_mu_;
+  std::atomic<uint64_t> mutations_{0};
   uint64_t crash_at_ = 0;  // 0 = no crash scheduled.
-  bool crashed_ = false;
+  std::atomic<bool> crashed_{false};
   double error_probability_ = 0;
   Rng rng_{0};
 };

@@ -1,0 +1,57 @@
+#include "storage/version.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pstorm::storage {
+
+TableHandle::~TableHandle() {
+  if (!obsolete_.load(std::memory_order_acquire)) return;
+  const Status s = env_->DeleteFile(JoinPath(dir_, name_));
+  if (!s.ok()) {
+    PSTORM_LOG(Warning) << "db " << dir_ << ": leaving obsolete file "
+                        << name_
+                        << " for the next open to sweep: " << s.ToString();
+  }
+}
+
+Result<std::optional<Table::GetResult>> Version::Get(
+    std::string_view key) const {
+  // Level 0, newest first.
+  for (const auto& handle : l0) {
+    PSTORM_ASSIGN_OR_RETURN(auto hit, handle->table().Get(key));
+    if (hit.has_value()) return hit;
+  }
+  // Level 1: tables are key-disjoint and sorted; binary search the ranges.
+  auto it = std::lower_bound(
+      l1.begin(), l1.end(), key,
+      [](const std::shared_ptr<TableHandle>& handle, std::string_view k) {
+        return handle->table().largest_key() < k;
+      });
+  if (it != l1.end() && key >= (*it)->table().smallest_key()) {
+    PSTORM_ASSIGN_OR_RETURN(auto hit, (*it)->table().Get(key));
+    if (hit.has_value()) return hit;
+  }
+  return std::optional<Table::GetResult>();
+}
+
+void Version::AppendIterators(
+    std::vector<std::unique_ptr<Iterator>>* out) const {
+  for (const auto& handle : l0) out->push_back(handle->table().NewIterator());
+  for (const auto& handle : l1) out->push_back(handle->table().NewIterator());
+}
+
+size_t Version::TotalTableBytes() const {
+  size_t bytes = 0;
+  for (const auto& handle : l0) bytes += handle->table().size_bytes();
+  for (const auto& handle : l1) bytes += handle->table().size_bytes();
+  return bytes;
+}
+
+void Version::MarkAllObsolete() const {
+  for (const auto& handle : l0) handle->MarkObsolete();
+  for (const auto& handle : l1) handle->MarkObsolete();
+}
+
+}  // namespace pstorm::storage

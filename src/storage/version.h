@@ -1,0 +1,83 @@
+#ifndef PSTORM_STORAGE_VERSION_H_
+#define PSTORM_STORAGE_VERSION_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/env.h"
+#include "storage/iterator.h"
+#include "storage/sstable.h"
+
+namespace pstorm::storage {
+
+/// One live sstable file of a Db. Versions share handles by shared_ptr;
+/// when a compaction supersedes a file it marks the handle obsolete, and
+/// the file is deleted from the env only when the last Version pinning it
+/// is released — the refcounting that lets readers keep serving from a
+/// compacted-away table while it is still on "disk".
+class TableHandle {
+ public:
+  /// `env` must outlive the handle (the Db guarantees this for every
+  /// version it publishes; iterators must not outlive the Db).
+  TableHandle(Env* env, std::string dir, std::string name,
+              std::shared_ptr<Table> table)
+      : env_(env),
+        dir_(std::move(dir)),
+        name_(std::move(name)),
+        table_(std::move(table)) {}
+
+  TableHandle(const TableHandle&) = delete;
+  TableHandle& operator=(const TableHandle&) = delete;
+
+  /// Best-effort deletes the file if the handle was marked obsolete; a
+  /// failure leaves an orphan for the next Open's sweep.
+  ~TableHandle();
+
+  /// Called by the compaction that stopped referencing this file in the
+  /// manifest. Deletion happens at destruction, not here.
+  void MarkObsolete() { obsolete_.store(true, std::memory_order_release); }
+
+  const std::string& name() const { return name_; }
+  const Table& table() const { return *table_; }
+
+ private:
+  Env* env_;
+  std::string dir_;
+  std::string name_;
+  std::shared_ptr<Table> table_;
+  std::atomic<bool> obsolete_{false};
+};
+
+/// An immutable snapshot of a Db's on-disk state: the newest-first level-0
+/// list and the key-disjoint, sorted level-1 run. Readers pin a Version
+/// with a shared_ptr and search it without any lock; writers build a new
+/// Version and swap it in under the Db's state mutex. A Version is never
+/// mutated after publication.
+struct Version {
+  std::vector<std::shared_ptr<TableHandle>> l0;  // Newest first.
+  std::vector<std::shared_ptr<TableHandle>> l1;  // Sorted, key-disjoint.
+
+  /// Searches level 0 (newest first) then level 1 for `key`. Returns the
+  /// record (tombstone included) or nothing when no table holds the key.
+  Result<std::optional<Table::GetResult>> Get(std::string_view key) const;
+
+  /// Appends one iterator per table, newest-first (L0 order, then L1) —
+  /// the child order NewMergingIterator expects after the memtable.
+  void AppendIterators(std::vector<std::unique_ptr<Iterator>>* out) const;
+
+  /// Serialized bytes of every referenced table.
+  size_t TotalTableBytes() const;
+
+  /// Marks every referenced handle obsolete (compaction superseded them
+  /// all); files die when their last pinning version does.
+  void MarkAllObsolete() const;
+};
+
+}  // namespace pstorm::storage
+
+#endif  // PSTORM_STORAGE_VERSION_H_
