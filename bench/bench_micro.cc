@@ -4,12 +4,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 #include "core/matcher.h"
 #include "core/profile_store.h"
 #include "core/pstorm.h"
 #include "jobs/benchmark_jobs.h"
 #include "jobs/datasets.h"
 #include "mrsim/simulator.h"
+#include "obs/metrics.h"
 #include "optimizer/cbo.h"
 #include "profiler/profiler.h"
 #include "staticanalysis/cfg_matcher.h"
@@ -362,4 +367,27 @@ BENCHMARK(BM_ConcurrentSubmit)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), plus: when $PSTORM_METRICS_DUMP names a file, the
+// process-wide metrics accumulated across all benchmarks are written there
+// on exit. CI's smoke job runs a filtered benchmark pass and then asserts
+// known-hot counters are nonzero in that dump — a regression test for the
+// instrumentation itself (a refactor that silently stops incrementing a
+// counter shows up as a zero).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* path = std::getenv("PSTORM_METRICS_DUMP");
+      path != nullptr && path[0] != '\0') {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics dump to %s\n", path);
+      return 1;
+    }
+    const std::string dump = pstorm::obs::MetricsRegistry::Global().Dump();
+    std::fwrite(dump.data(), 1, dump.size(), f);
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -23,6 +23,8 @@
 #include "core/pstorm.h"
 #include "jobs/benchmark_jobs.h"
 #include "jobs/datasets.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace pstorm;
 
@@ -150,5 +152,21 @@ int main(int argc, char** argv) {
               HumanDuration(total_with_pstorm).c_str());
   std::printf("aggregate saving:              %.1f%%\n",
               100.0 * (1.0 - total_with_pstorm / total_untuned));
+
+  // Phase 3 — postmortem: replay one warm submission with a trace attached
+  // to show what one SubmitJob actually did, then dump the process-wide
+  // metrics the whole run accumulated.
+  {
+    const Submission& s = stream[0];
+    const auto data = jobs::FindDataSet(s.data_set).value();
+    obs::SubmissionTrace trace;
+    auto outcome = service.SubmitJob(s.job, data, mrsim::Configuration{},
+                                     ++seed, &trace);
+    if (!outcome.ok()) return 1;
+    std::printf("\n--- trace of one %s submission ---\n%s",
+                s.tenant, trace.ToString().c_str());
+  }
+  std::printf("\n--- end-of-run metrics dump ---\n%s",
+              obs::MetricsRegistry::Global().Dump().c_str());
   return 0;
 }

@@ -15,6 +15,7 @@ void RunningStat::Add(double x) {
     max_ = std::max(max_, x);
   }
   ++count_;
+  sum_ += x;
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
@@ -33,6 +34,7 @@ void RunningStat::Merge(const RunningStat& other) {
   mean_ += delta * n2 / n;
   m2_ += other.m2_ + delta * delta * n1 * n2 / n;
   count_ += other.count_;
+  sum_ += other.sum_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
 }

@@ -22,13 +22,17 @@ class RunningStat {
   double stddev() const;
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
-  double sum() const { return mean_ * static_cast<double>(count_); }
+  /// Exact accumulated sum, tracked directly: reconstructing it as
+  /// mean * count drifts under Welford rounding, which matters when the
+  /// value is exported as an authoritative metric total.
+  double sum() const { return sum_; }
   /// Coefficient of variation (stddev / |mean|); 0 for a zero mean.
   double cv() const;
 
  private:
   size_t count_ = 0;
   double mean_ = 0.0;
+  double sum_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;

@@ -77,15 +77,17 @@ std::string HumanDuration(double seconds) {
     std::snprintf(buf, sizeof(buf), "%.0f ms", seconds * 1000.0);
   } else if (seconds < 60.0) {
     std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
-  } else if (seconds < 3600.0) {
-    const int m = static_cast<int>(seconds / 60.0);
-    const int s = static_cast<int>(std::lround(seconds - m * 60.0));
-    std::snprintf(buf, sizeof(buf), "%dm %02ds", m, s);
   } else {
-    const int h = static_cast<int>(seconds / 3600.0);
-    const int m =
-        static_cast<int>(std::lround((seconds - h * 3600.0) / 60.0));
-    std::snprintf(buf, sizeof(buf), "%dh %02dm", h, m);
+    // Round *before* splitting into units, so 359.6 s carries into "6m 00s"
+    // instead of printing "5m 60s" (and 3599.6 s into "1h 00m").
+    const long total = std::lround(seconds);
+    if (total < 3600) {
+      std::snprintf(buf, sizeof(buf), "%ldm %02lds", total / 60, total % 60);
+    } else {
+      const long minutes = std::lround(seconds / 60.0);
+      std::snprintf(buf, sizeof(buf), "%ldh %02ldm", minutes / 60,
+                    minutes % 60);
+    }
   }
   return buf;
 }

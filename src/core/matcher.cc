@@ -1,14 +1,85 @@
 #include "core/matcher.h"
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <memory>
 #include <unordered_set>
 
 #include "common/logging.h"
 #include "common/statistics.h"
+#include "obs/metrics.h"
 
 namespace pstorm::core {
+
+namespace {
+
+/// Folds one scan's work into the submission's store accounting.
+void RecordScan(const hstore::ScanStats& s, obs::StoreOpsTrace* t) {
+  if (t == nullptr) return;
+  ++t->scans;
+  t->rows_scanned += s.rows_scanned;
+  t->rows_returned += s.rows_returned;
+  // A per-open state, not a per-scan delta: keep the max, not the sum.
+  if (s.regions_recovered_empty > t->regions_recovered_empty) {
+    t->regions_recovered_empty = s.regions_recovered_empty;
+  }
+}
+
+void RecordStage(obs::SideTrace* t, const char* name, uint64_t in,
+                 uint64_t out, std::string detail = {}) {
+  if (t == nullptr) return;
+  t->stages.push_back(obs::StageTrace{name, in, out, std::move(detail)});
+}
+
+std::string ThetaDetail(double theta) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "theta=%.3f", theta);
+  return buf;
+}
+
+const char* PathName(MatchPath path) {
+  switch (path) {
+    case MatchPath::kFullPath:
+      return "full";
+    case MatchPath::kCostFactorFallback:
+      return "cost_factor_fallback";
+    case MatchPath::kNoMatch:
+      break;
+  }
+  return "no_match";
+}
+
+/// Publishes the side outcome on every exit of MatchSide: the path name
+/// into the trace, and the outcome tally into the global registry (an
+/// error return counts as no-match — that is exactly what the layer above
+/// degrades it to).
+struct SideOutcomeOnExit {
+  const SideMatch* result;
+  obs::SideTrace* trace;
+  ~SideOutcomeOnExit() {
+    if (trace != nullptr) trace->path = PathName(result->path);
+    static obs::Counter& full = obs::MetricsRegistry::Global().GetCounter(
+        "pstorm_matcher_side_full_path_total");
+    static obs::Counter& fallback = obs::MetricsRegistry::Global().GetCounter(
+        "pstorm_matcher_side_fallback_total");
+    static obs::Counter& no_match = obs::MetricsRegistry::Global().GetCounter(
+        "pstorm_matcher_side_no_match_total");
+    switch (result->path) {
+      case MatchPath::kFullPath:
+        full.Increment();
+        break;
+      case MatchPath::kCostFactorFallback:
+        fallback.Increment();
+        break;
+      case MatchPath::kNoMatch:
+        no_match.Increment();
+        break;
+    }
+  }
+};
+
+}  // namespace
 
 MultiStageMatcher::MultiStageMatcher(const ProfileStore* store,
                                      MatchOptions options)
@@ -28,8 +99,12 @@ double MultiStageMatcher::ThetaEuclidean(size_t dims) const {
 Result<std::string> MultiStageMatcher::TieBreak(
     Side side, const std::vector<std::string>& candidates,
     const std::vector<std::string>& categorical,
-    const std::vector<double>& dynamic, double probe_input_bytes) const {
+    const std::vector<double>& dynamic, double probe_input_bytes,
+    obs::SideTrace* side_trace, obs::StoreOpsTrace* store_trace) const {
   PSTORM_CHECK(!candidates.empty());
+  if (side_trace != nullptr) {
+    side_trace->tie_break_candidates = candidates.size();
+  }
   const FeatureBounds bounds = store_->DynamicBounds(side);
   const std::vector<double> probe_normalized =
       dynamic.empty() ? std::vector<double>() : bounds.Normalize(dynamic);
@@ -43,10 +118,17 @@ Result<std::string> MultiStageMatcher::TieBreak(
   std::vector<Scored> scored;
   scored.reserve(candidates.size());
   for (const std::string& key : candidates) {
-    auto entry_or = store_->GetEntryRef(key);
+    bool cache_hit = false;
+    auto entry_or = store_->GetEntryRef(key, &cache_hit);
+    if (store_trace != nullptr) {
+      ++store_trace->entry_gets;
+      ++(cache_hit ? store_trace->entry_cache_hits
+                   : store_trace->entry_cache_misses);
+    }
     if (entry_or.status().IsNotFound()) {
       // A concurrent DeleteProfile removed this candidate between the
       // scan that produced it and now; score the survivors.
+      if (side_trace != nullptr) ++side_trace->tie_break_vanished;
       continue;
     }
     PSTORM_RETURN_IF_ERROR(entry_or.status());
@@ -98,11 +180,19 @@ Result<std::string> MultiStageMatcher::TieBreak(
       }
     }
   }
+  if (side_trace != nullptr) {
+    side_trace->winner_job_key = best->key;
+    side_trace->winner_score = best->jaccard;
+  }
   return best->key;
 }
 
 Result<SideMatch> MultiStageMatcher::MatchSide(
-    Side side, const JobFeatureVector& probe) const {
+    Side side, const JobFeatureVector& probe, obs::SideTrace* side_trace,
+    obs::StoreOpsTrace* store_trace) const {
+  if (side_trace != nullptr) {
+    side_trace->side = side == Side::kMap ? "map" : "reduce";
+  }
   const std::vector<double>& dynamic =
       side == Side::kMap ? probe.map_dynamic : probe.reduce_dynamic;
   const std::vector<double>& costs =
@@ -113,6 +203,8 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
       side == Side::kMap ? probe.map_cfg : probe.reduce_cfg;
 
   SideMatch result;
+  SideOutcomeOnExit outcome_guard{&result, side_trace};
+  hstore::ScanStats sstats;
 
   // Categorical probe, with the §7.2.1 user-parameter extension appended
   // when enabled (the stored side gains the matching column).
@@ -129,28 +221,40 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
     // no dynamic filter, no cost fallback.
     PSTORM_ASSIGN_OR_RETURN(candidates, store_->ListJobKeys());
     result.after_dynamic = candidates.size();
+    RecordStage(side_trace, "list_all", candidates.size(), candidates.size(),
+                "static-only mode");
     if (candidates.empty()) return result;
-    PSTORM_ASSIGN_OR_RETURN(std::vector<std::string> cfg_pass,
-                            store_->CfgMatchScan(side, cfg, candidates));
+    const size_t cfg_in = candidates.size();
+    PSTORM_ASSIGN_OR_RETURN(
+        std::vector<std::string> cfg_pass,
+        store_->CfgMatchScan(side, cfg, candidates, &sstats));
+    RecordScan(sstats, store_trace);
     result.after_cfg = cfg_pass.size();
+    RecordStage(side_trace, "cfg", cfg_in, cfg_pass.size());
     if (options_.use_call_graph && !cfg_pass.empty()) {
-      PSTORM_ASSIGN_OR_RETURN(cfg_pass,
-                              store_->CallSetScan(side, calls, cfg_pass));
+      const size_t calls_in = cfg_pass.size();
+      PSTORM_ASSIGN_OR_RETURN(
+          cfg_pass, store_->CallSetScan(side, calls, cfg_pass, &sstats));
+      RecordScan(sstats, store_trace);
+      RecordStage(side_trace, "call_set", calls_in, cfg_pass.size());
     }
     std::vector<std::string> jaccard_pass;
     if (!cfg_pass.empty()) {
       PSTORM_ASSIGN_OR_RETURN(
           jaccard_pass,
           store_->JaccardScan(side, categorical_probe,
-                              options_.theta_jaccard, cfg_pass, nullptr,
+                              options_.theta_jaccard, cfg_pass, &sstats,
                               /*include_user_params=*/true));
+      RecordScan(sstats, store_trace);
     }
     result.after_jaccard = jaccard_pass.size();
+    RecordStage(side_trace, "jaccard", cfg_pass.size(), jaccard_pass.size(),
+                ThetaDetail(options_.theta_jaccard));
     if (jaccard_pass.empty()) return result;
     PSTORM_ASSIGN_OR_RETURN(
         result.job_key,
         TieBreak(side, jaccard_pass, categorical_probe, {},
-                 probe.input_data_bytes));
+                 probe.input_data_bytes, side_trace, store_trace));
     if (result.job_key.empty()) return result;
     result.path = MatchPath::kFullPath;
     return result;
@@ -158,12 +262,16 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
 
   if (!options_.static_filters_first) {
     // ---- Stage 1: dynamic features (Figure 4.4 order). ----
+    const double theta = ThetaEuclidean(dynamic.size());
     PSTORM_ASSIGN_OR_RETURN(
         candidates,
-        store_->DynamicEuclideanScan(side, dynamic,
-                                     ThetaEuclidean(dynamic.size()),
-                                     options_.server_side_filtering));
+        store_->DynamicEuclideanScan(side, dynamic, theta,
+                                     options_.server_side_filtering,
+                                     &sstats));
+    RecordScan(sstats, store_trace);
     result.after_dynamic = candidates.size();
+    RecordStage(side_trace, "dynamic", store_->num_profiles(),
+                candidates.size(), ThetaDetail(theta));
     // An empty set after the *first* filter is a hard failure: nothing in
     // the store behaves like this job.
     if (candidates.empty()) return result;
@@ -171,20 +279,28 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
     // Ablation: start from everything; the static filters run first.
     PSTORM_ASSIGN_OR_RETURN(candidates, store_->ListJobKeys());
     result.after_dynamic = candidates.size();
+    RecordStage(side_trace, "list_all", candidates.size(), candidates.size(),
+                "static-filters-first ablation");
     if (candidates.empty()) return result;
   }
 
   const std::vector<std::string> dynamic_survivors = candidates;
 
   // ---- Stage 2: conservative CFG match. ----
-  PSTORM_ASSIGN_OR_RETURN(std::vector<std::string> after_cfg,
-                          store_->CfgMatchScan(side, cfg, candidates));
+  PSTORM_ASSIGN_OR_RETURN(
+      std::vector<std::string> after_cfg,
+      store_->CfgMatchScan(side, cfg, candidates, &sstats));
+  RecordScan(sstats, store_trace);
   result.after_cfg = after_cfg.size();
+  RecordStage(side_trace, "cfg", candidates.size(), after_cfg.size());
 
   // ---- Stage 2.5 (§7.2.2 extension): conservative call-set match. ----
   if (options_.use_call_graph && !after_cfg.empty()) {
-    PSTORM_ASSIGN_OR_RETURN(after_cfg,
-                            store_->CallSetScan(side, calls, after_cfg));
+    const size_t calls_in = after_cfg.size();
+    PSTORM_ASSIGN_OR_RETURN(
+        after_cfg, store_->CallSetScan(side, calls, after_cfg, &sstats));
+    RecordScan(sstats, store_trace);
+    RecordStage(side_trace, "call_set", calls_in, after_cfg.size());
   }
 
   // ---- Stage 3: Jaccard over categorical features. ----
@@ -193,30 +309,37 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
     PSTORM_ASSIGN_OR_RETURN(
         after_jaccard,
         store_->JaccardScan(side, categorical_probe, options_.theta_jaccard,
-                            after_cfg, nullptr,
+                            after_cfg, &sstats,
                             options_.include_user_parameters));
+    RecordScan(sstats, store_trace);
   }
   result.after_jaccard = after_jaccard.size();
+  RecordStage(side_trace, "jaccard", after_cfg.size(), after_jaccard.size(),
+              ThetaDetail(options_.theta_jaccard));
 
   if (options_.static_filters_first) {
     // Ablation order: dynamic filter runs last, over the static survivors.
     if (after_jaccard.empty()) return result;
     std::vector<std::string> final_set;
+    const double theta = ThetaEuclidean(dynamic.size());
     PSTORM_ASSIGN_OR_RETURN(
         std::vector<std::string> dynamic_pass,
-        store_->DynamicEuclideanScan(side, dynamic,
-                                     ThetaEuclidean(dynamic.size()),
-                                     options_.server_side_filtering));
+        store_->DynamicEuclideanScan(side, dynamic, theta,
+                                     options_.server_side_filtering,
+                                     &sstats));
+    RecordScan(sstats, store_trace);
     const std::unordered_set<std::string> dynamic_pass_set(
         dynamic_pass.begin(), dynamic_pass.end());
     for (const std::string& key : after_jaccard) {
       if (dynamic_pass_set.count(key) > 0) final_set.push_back(key);
     }
+    RecordStage(side_trace, "dynamic", after_jaccard.size(),
+                final_set.size(), ThetaDetail(theta));
     if (final_set.empty()) return result;
     PSTORM_ASSIGN_OR_RETURN(
         result.job_key,
         TieBreak(side, final_set, categorical_probe, dynamic,
-                 probe.input_data_bytes));
+                 probe.input_data_bytes, side_trace, store_trace));
     if (result.job_key.empty()) return result;
     result.path = MatchPath::kFullPath;
     return result;
@@ -226,7 +349,7 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
     PSTORM_ASSIGN_OR_RETURN(
         result.job_key,
         TieBreak(side, after_jaccard, categorical_probe, dynamic,
-                 probe.input_data_bytes));
+                 probe.input_data_bytes, side_trace, store_trace));
     if (result.job_key.empty()) return result;
     result.path = MatchPath::kFullPath;
     return result;
@@ -236,10 +359,12 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
   // Alternative filter — Euclidean distance over the cost factors of the
   // dynamic survivors (§4.3).
   if (!options_.use_cost_factor_fallback) return result;
+  const double cost_theta = ThetaEuclidean(costs.size());
   PSTORM_ASSIGN_OR_RETURN(
       std::vector<std::string> fallback,
-      store_->CostEuclideanScan(side, costs, ThetaEuclidean(costs.size()),
-                                options_.server_side_filtering));
+      store_->CostEuclideanScan(side, costs, cost_theta,
+                                options_.server_side_filtering, &sstats));
+  RecordScan(sstats, store_trace);
   // Intersect with the dynamic survivors: the fallback refines C', it
   // does not resurrect profiles the dynamic filter rejected.
   const std::unordered_set<std::string> survivor_set(
@@ -248,23 +373,49 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
   for (const std::string& key : fallback) {
     if (survivor_set.count(key) > 0) refined.push_back(key);
   }
+  RecordStage(side_trace, "cost_factor_fallback", dynamic_survivors.size(),
+              refined.size(), ThetaDetail(cost_theta));
   if (refined.empty()) return result;
   // Fallback tie-break: static features already failed, so only input
   // size and dynamic closeness apply.
   PSTORM_ASSIGN_OR_RETURN(
       result.job_key,
-      TieBreak(side, refined, {}, dynamic, probe.input_data_bytes));
+      TieBreak(side, refined, {}, dynamic, probe.input_data_bytes,
+               side_trace, store_trace));
   if (result.job_key.empty()) return result;
   result.path = MatchPath::kCostFactorFallback;
   return result;
 }
 
 Result<MatchResult> MultiStageMatcher::Match(
-    const JobFeatureVector& probe) const {
+    const JobFeatureVector& probe, obs::SubmissionTrace* trace) const {
+  static obs::Histogram& match_micros =
+      obs::MetricsRegistry::Global().GetHistogram("pstorm_match_micros");
+  obs::ScopedTimer match_timer(&match_micros);
+
+  obs::SideTrace* map_trace = trace != nullptr ? &trace->map_side : nullptr;
+  obs::SideTrace* reduce_trace =
+      trace != nullptr ? &trace->reduce_side : nullptr;
+  obs::StoreOpsTrace* store_trace = trace != nullptr ? &trace->store : nullptr;
+
+  auto get_entry_traced = [&](const std::string& key) {
+    bool cache_hit = false;
+    auto entry_or = store_->GetEntryRef(key, &cache_hit);
+    if (store_trace != nullptr) {
+      ++store_trace->entry_gets;
+      ++(cache_hit ? store_trace->entry_cache_hits
+                   : store_trace->entry_cache_misses);
+    }
+    return entry_or;
+  };
+
   MatchResult result;
-  PSTORM_ASSIGN_OR_RETURN(result.map_side, MatchSide(Side::kMap, probe));
+  PSTORM_ASSIGN_OR_RETURN(result.map_side,
+                          MatchSide(Side::kMap, probe, map_trace,
+                                    store_trace));
   PSTORM_ASSIGN_OR_RETURN(result.reduce_side,
-                          MatchSide(Side::kReduce, probe));
+                          MatchSide(Side::kReduce, probe, reduce_trace,
+                                    store_trace));
   if (result.map_side.path == MatchPath::kNoMatch ||
       result.reduce_side.path == MatchPath::kNoMatch) {
     return result;  // found == false: No Match Found.
@@ -277,14 +428,14 @@ Result<MatchResult> MultiStageMatcher::Match(
   // Compose the returned profile: map half from the map match, reduce
   // half from the reduce match (§4.3). Map and reduce sub-profiles are
   // independent by MR's blocking execution, so the stitch is sound.
-  auto map_entry_or = store_->GetEntryRef(result.map_source);
+  auto map_entry_or = get_entry_traced(result.map_source);
   if (map_entry_or.status().IsNotFound()) return result;  // deleted mid-match
   PSTORM_RETURN_IF_ERROR(map_entry_or.status());
   const std::shared_ptr<const StoredEntry> map_entry =
       std::move(map_entry_or).value();
   result.profile = map_entry->profile;
   if (result.composite) {
-    auto reduce_entry_or = store_->GetEntryRef(result.reduce_source);
+    auto reduce_entry_or = get_entry_traced(result.reduce_source);
     if (reduce_entry_or.status().IsNotFound()) return result;
     PSTORM_RETURN_IF_ERROR(reduce_entry_or.status());
     const std::shared_ptr<const StoredEntry> reduce_entry =
@@ -294,6 +445,13 @@ Result<MatchResult> MultiStageMatcher::Match(
         map_entry->profile.job_name + "+" + reduce_entry->profile.job_name;
   }
   result.found = true;
+  if (trace != nullptr) {
+    trace->matched = true;
+    trace->composite = result.composite;
+    trace->profile_source =
+        result.composite ? result.map_source + "+" + result.reduce_source
+                         : result.map_source;
+  }
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "core/feature_vector.h"
 #include "core/profile_store.h"
+#include "obs/trace.h"
 
 namespace pstorm::core {
 
@@ -89,11 +90,18 @@ class MultiStageMatcher {
 
   /// Runs the workflow for `probe`. `found == false` (with OK status)
   /// means No Match Found — the caller then runs the job with profiling
-  /// on and stores the collected profile.
-  Result<MatchResult> Match(const JobFeatureVector& probe) const;
+  /// on and stores the collected profile. `trace` (optional) receives the
+  /// per-stage funnel, tie-break path, and store-op accounting of both
+  /// sides.
+  Result<MatchResult> Match(const JobFeatureVector& probe,
+                            obs::SubmissionTrace* trace = nullptr) const;
 
-  /// One side's workflow, exposed for tests and benches.
-  Result<SideMatch> MatchSide(Side side, const JobFeatureVector& probe) const;
+  /// One side's workflow, exposed for tests and benches. `side_trace` and
+  /// `store_trace` (optional, independent) receive the stage funnel and
+  /// the store-op accounting.
+  Result<SideMatch> MatchSide(Side side, const JobFeatureVector& probe,
+                              obs::SideTrace* side_trace = nullptr,
+                              obs::StoreOpsTrace* store_trace = nullptr) const;
 
   /// The Figure 4.4 tie-break with one refinement: when several candidates
   /// survive every filter, prefer those with the highest Jaccard score
@@ -106,7 +114,9 @@ class MultiStageMatcher {
                                const std::vector<std::string>& candidates,
                                const std::vector<std::string>& categorical,
                                const std::vector<double>& dynamic,
-                               double probe_input_bytes) const;
+                               double probe_input_bytes,
+                               obs::SideTrace* side_trace = nullptr,
+                               obs::StoreOpsTrace* store_trace = nullptr) const;
 
  private:
   double ThetaEuclidean(size_t dims) const;

@@ -8,11 +8,23 @@
 #include "common/logging.h"
 #include "common/statistics.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 #include "staticanalysis/cfg_matcher.h"
 
 namespace pstorm::core {
 
 namespace {
+
+obs::Counter& EntryCacheHits() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_store_entry_cache_hits_total");
+  return c;
+}
+obs::Counter& EntryCacheMisses() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_store_entry_cache_misses_total");
+  return c;
+}
 
 constexpr char kFamily[] = "F";
 constexpr char kDynamicPrefix[] = "Dynamic/";
@@ -237,12 +249,20 @@ Result<std::unique_ptr<ProfileStore>> ProfileStore::Open(storage::Env* env,
     PSTORM_LOG(Warning) << "profile store: resetting corrupt normalization "
                         << "bounds: " << s.ToString();
     store->bounds_.clear();
+    ++store->recovery_stats_.bounds_resets;
+    obs::MetricsRegistry::Global()
+        .GetCounter("pstorm_store_bounds_resets_total")
+        .Increment();
   }
   if (Status s = store->RecountProfiles(); !s.ok()) {
     if (!s.IsCorruption()) return s;
     PSTORM_LOG(Warning) << "profile store: profile count unavailable under "
                         << "corruption: " << s.ToString();
     store->num_profiles_ = 0;
+    ++store->recovery_stats_.count_resets;
+    obs::MetricsRegistry::Global()
+        .GetCounter("pstorm_store_count_resets_total")
+        .Increment();
   }
   return store;
 }
@@ -408,6 +428,9 @@ Status ProfileStore::PutProfile(
     ++shard.epoch;
   }
   if (!existed) num_profiles_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter& puts = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_store_put_profiles_total");
+  puts.Increment();
   return Status::OK();
 }
 
@@ -427,15 +450,21 @@ size_t ProfileStore::entry_cache_size() const {
 }
 
 Result<std::shared_ptr<const StoredEntry>> ProfileStore::GetEntryRef(
-    const std::string& job_key) const {
+    const std::string& job_key, bool* cache_hit) const {
+  if (cache_hit != nullptr) *cache_hit = false;
   CacheShard& shard = ShardFor(job_key);
   uint64_t epoch_at_miss;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(job_key);
-    if (it != shard.map.end()) return it->second;
+    if (it != shard.map.end()) {
+      EntryCacheHits().Increment();
+      if (cache_hit != nullptr) *cache_hit = true;
+      return it->second;
+    }
     epoch_at_miss = shard.epoch;
   }
+  EntryCacheMisses().Increment();
 
   StoredEntry entry;
   entry.job_key = job_key;

@@ -82,8 +82,10 @@ class ProfileStore {
   /// The returned entry is immutable and stays valid after invalidation.
   /// Cache rule: an entry is invalidated by the PutProfile or
   /// DeleteProfile of its own job key, and by nothing else.
+  /// `cache_hit` (optional) reports whether the decoded-entry cache served
+  /// the request; corrupt or missing rows leave it false.
   Result<std::shared_ptr<const StoredEntry>> GetEntryRef(
-      const std::string& job_key) const;
+      const std::string& job_key, bool* cache_hit = nullptr) const;
 
   /// Decoded entries currently cached (tests/diagnostics).
   size_t entry_cache_size() const;
@@ -162,6 +164,18 @@ class ProfileStore {
     return table_->region_open_errors();
   }
 
+  /// Metadata degradations Open performed on this store (each is also
+  /// counted in the global metrics registry). Like region_open_errors,
+  /// immutable after Open.
+  struct RecoveryStats {
+    /// Corrupt Meta/bounds row reset to empty (bounds re-widen from puts).
+    uint64_t bounds_resets = 0;
+    /// Profile count unavailable under corruption, reset to 0 until the
+    /// next successful recount.
+    uint64_t count_resets = 0;
+  };
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
  private:
   explicit ProfileStore(std::unique_ptr<hstore::HTable> table)
       : table_(std::move(table)) {}
@@ -199,6 +213,8 @@ class ProfileStore {
   std::map<std::string, std::pair<double, double>> bounds_;
 
   std::atomic<size_t> num_profiles_{0};
+
+  RecoveryStats recovery_stats_;  // Written only during Open.
 
   /// Decoded-entry cache behind GetEntryRef, sharded by job-key hash so
   /// concurrent matcher probes of different keys don't contend. Mutations

@@ -1,8 +1,37 @@
 #include "core/pstorm.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace pstorm::core {
+
+namespace {
+
+obs::Counter& Submissions() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("pstorm_submissions_total");
+  return c;
+}
+
+obs::Counter& SubmissionsMatched() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_submissions_matched_total");
+  return c;
+}
+
+obs::Counter& SubmissionsComposite() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_submissions_composite_total");
+  return c;
+}
+
+obs::Counter& SubmissionsNoMatch() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_submissions_no_match_total");
+  return c;
+}
+
+}  // namespace
 
 PStorM::PStorM(const mrsim::Simulator* simulator,
                std::unique_ptr<ProfileStore> store, PStormOptions options)
@@ -30,21 +59,26 @@ Status PStorM::AddProfile(const std::string& job_key,
 
 Status PStorM::SampleAndProbe(SubmissionContext& ctx) const {
   // 1. One sample map task with profiling on: PStorM's only overhead.
-  PSTORM_ASSIGN_OR_RETURN(
-      ctx.sample,
-      profiler_.ProfileOneTask(ctx.job.spec, ctx.data, ctx.submitted,
-                               ctx.seed));
+  {
+    obs::Span span(ctx.trace, "sample");
+    PSTORM_ASSIGN_OR_RETURN(
+        ctx.sample,
+        profiler_.ProfileOneTask(ctx.job.spec, ctx.data, ctx.submitted,
+                                 ctx.seed));
+  }
   ctx.outcome.sample_runtime_s = ctx.sample.run.runtime_s;
 
   // 2. Probe the store. A corrupt store must not fail the submission: a
   // wrong profile would mistune the job, but No Match Found merely costs
   // one profiled run (thesis §3) — so corruption degrades to the untuned
   // fallback path instead of propagating.
+  obs::Span span(ctx.trace, "match");
   ctx.statics = staticanalysis::ExtractStaticFeatures(ctx.job.program);
   const JobFeatureVector probe =
       BuildFeatureVector(ctx.sample.profile, ctx.statics);
   MultiStageMatcher matcher(store_.get(), options_.match);
-  if (Result<MatchResult> matched = matcher.Match(probe); matched.ok()) {
+  if (Result<MatchResult> matched = matcher.Match(probe, ctx.trace);
+      matched.ok()) {
     ctx.match = std::move(matched).value();
   } else if (matched.status().IsCorruption()) {
     PSTORM_LOG(Warning) << "profile store corruption while matching; "
@@ -65,12 +99,19 @@ Status PStorM::RunTuned(SubmissionContext& ctx) const {
       ctx.match.composite ? ctx.match.map_source + "+" + ctx.match.reduce_source
                           : ctx.match.map_source;
   optimizer::CostBasedOptimizer cbo(&engine_, options_.cbo);
-  PSTORM_ASSIGN_OR_RETURN(auto recommendation,
-                          cbo.Optimize(ctx.match.profile, ctx.data));
+  optimizer::CostBasedOptimizer::Recommendation recommendation;
+  {
+    obs::Span span(ctx.trace, "cbo_optimize");
+    PSTORM_ASSIGN_OR_RETURN(
+        recommendation,
+        cbo.Optimize(ctx.match.profile, ctx.data,
+                     ctx.trace != nullptr ? &ctx.trace->cbo : nullptr));
+  }
   ctx.outcome.config_used = recommendation.config;
   ctx.outcome.predicted_runtime_s = recommendation.predicted_runtime_s;
   mrsim::RunOptions run_options;
   run_options.seed = ctx.seed ^ 0x72756eULL;
+  obs::Span span(ctx.trace, "run_tuned");
   PSTORM_ASSIGN_OR_RETURN(
       mrsim::JobRunResult run,
       simulator_->RunJob(ctx.job.spec, ctx.data, recommendation.config,
@@ -82,6 +123,7 @@ Status PStorM::RunTuned(SubmissionContext& ctx) const {
 Status PStorM::RunUntunedAndStore(SubmissionContext& ctx) const {
   // 3b. No Match Found: run with the submitted configuration, profiler
   // on, and keep the collected profile for the future.
+  obs::Span span(ctx.trace, "run_untuned_and_store");
   mrsim::RunOptions run_options;
   run_options.profiling_enabled = true;
   run_options.seed = ctx.seed ^ 0x72756eULL;
@@ -96,6 +138,7 @@ Status PStorM::RunUntunedAndStore(SubmissionContext& ctx) const {
   if (Status stored = store_->PutProfile(job_key, collected, ctx.statics);
       stored.ok()) {
     ctx.outcome.stored_new_profile = true;
+    if (ctx.trace != nullptr) ++ctx.trace->store.profiles_put;
   } else if (stored.IsCorruption()) {
     // The job itself ran fine; losing one profile to a sick store is the
     // cheaper outcome.
@@ -110,12 +153,23 @@ Status PStorM::RunUntunedAndStore(SubmissionContext& ctx) const {
 
 Result<PStorM::SubmissionOutcome> PStorM::SubmitJob(
     const jobs::BenchmarkJob& job, const mrsim::DataSetSpec& data,
-    const mrsim::Configuration& submitted, uint64_t seed) const {
-  SubmissionContext ctx{job, data, submitted, seed, {}, {}, {}, {}};
+    const mrsim::Configuration& submitted, uint64_t seed,
+    obs::SubmissionTrace* trace) const {
+  static obs::Histogram& submit_micros =
+      obs::MetricsRegistry::Global().GetHistogram("pstorm_submit_micros");
+  obs::ScopedTimer submit_timer(&submit_micros);
+  Submissions().Increment();
+  SubmissionContext ctx{job, data, submitted, seed, {}, {}, {}, {}, trace};
+  if (trace != nullptr) {
+    trace->job_key = job.spec.name + "@" + data.name;
+  }
   PSTORM_RETURN_IF_ERROR(SampleAndProbe(ctx));
   if (ctx.match.found) {
+    SubmissionsMatched().Increment();
+    if (ctx.match.composite) SubmissionsComposite().Increment();
     PSTORM_RETURN_IF_ERROR(RunTuned(ctx));
   } else {
+    SubmissionsNoMatch().Increment();
     PSTORM_RETURN_IF_ERROR(RunUntunedAndStore(ctx));
   }
   return std::move(ctx.outcome);

@@ -67,10 +67,15 @@ class PStorM {
   };
 
   /// Runs the full submission workflow. Safe to call concurrently.
+  /// `trace` (optional) receives the submission's full story: the matcher
+  /// stage funnel for both sides, store-op accounting, CBO search effort,
+  /// and a phase timeline. Each concurrent call must pass its own trace.
   Result<SubmissionOutcome> SubmitJob(const jobs::BenchmarkJob& job,
                                       const mrsim::DataSetSpec& data,
                                       const mrsim::Configuration& submitted,
-                                      uint64_t seed) const;
+                                      uint64_t seed,
+                                      obs::SubmissionTrace* trace = nullptr)
+      const;
 
   /// Adds an existing complete profile (e.g. collected elsewhere).
   Status AddProfile(const std::string& job_key,
@@ -95,6 +100,7 @@ class PStorM {
     profiler::ProfiledRun sample;
     MatchResult match;
     SubmissionOutcome outcome;
+    obs::SubmissionTrace* trace = nullptr;  // may be null
   };
 
   /// Workflow phases, each operating on the call's own context.

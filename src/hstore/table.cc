@@ -6,6 +6,7 @@
 #include "common/coding.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace pstorm::hstore {
 
@@ -258,6 +259,9 @@ Status HTable::LoadTableMeta() {
           }
         }
         region_open_errors_.push_back(diagnosis);
+        obs::MetricsRegistry::Global()
+            .GetCounter("pstorm_hstore_regions_recovered_total")
+            .Increment();
         region = internal::Region::Open(env_, region_path,
                                         std::move(start_key), id,
                                         options_.db_options);
@@ -421,10 +425,31 @@ storage::DbStats HTable::AggregatedDbStats() const {
 
 Result<std::vector<RowResult>> HTable::Scan(const ScanSpec& spec,
                                             ScanStats* stats) const {
-  // Work on a local accumulator and publish once at the end, so a caller
+  // Work on a local accumulator and publish once on exit, so a caller
   // handing the same ScanStats object to a reader thread never observes a
-  // half-updated struct from a completed scan.
+  // half-updated struct from a completed scan. Publishing is RAII because
+  // the corruption early-returns below must still report the work done (and
+  // regions_recovered_empty) up to the failure point — a scan that dies on a
+  // bad cell used to leave the caller's stats untouched.
   ScanStats local;
+  struct PublishOnExit {
+    ScanStats* out;
+    const ScanStats* local;
+    ~PublishOnExit() {
+      if (out != nullptr) *out = *local;
+      static obs::Counter& scans = obs::MetricsRegistry::Global().GetCounter(
+          "pstorm_hstore_scans_total");
+      static obs::Counter& rows_scanned =
+          obs::MetricsRegistry::Global().GetCounter(
+              "pstorm_hstore_rows_scanned_total");
+      static obs::Counter& rows_returned =
+          obs::MetricsRegistry::Global().GetCounter(
+              "pstorm_hstore_rows_returned_total");
+      scans.Increment();
+      rows_scanned.Add(local->rows_scanned);
+      rows_returned.Add(local->rows_returned);
+    }
+  } publish{stats, &local};
 
   // Pin a snapshot iterator per visited region while holding the table
   // lock shared: a concurrent split (exclusive) can only run entirely
@@ -512,7 +537,6 @@ Result<std::vector<RowResult>> HTable::Scan(const ScanSpec& spec,
     PSTORM_RETURN_IF_ERROR(it->status());
     finish_row();
   }
-  if (stats != nullptr) *stats = local;
   return out;
 }
 
@@ -600,6 +624,9 @@ Status HTable::MaybeSplit(std::string_view row) {
         return key < r->start_key();
       });
   regions_.insert(pos, std::move(new_region));
+  obs::MetricsRegistry::Global()
+      .GetCounter("pstorm_hstore_region_splits_total")
+      .Increment();
   return WriteTableMetaLocked();
 }
 

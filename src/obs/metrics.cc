@@ -1,0 +1,117 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace pstorm {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_enabled{true};
+}  // namespace internal
+
+std::pair<uint64_t, uint64_t> Histogram::BucketRange(int idx) {
+  if (idx <= 0) return {0, 0};
+  const uint64_t lo = uint64_t{1} << (idx - 1);
+  const uint64_t hi =
+      idx >= 64 ? ~uint64_t{0} : (uint64_t{1} << idx) - 1;
+  return {lo, hi};
+}
+
+std::pair<uint64_t, uint64_t> Histogram::QuantileBounds(double p) const {
+  uint64_t counts[kBuckets];
+  uint64_t n = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    n += counts[i];
+  }
+  if (n == 0) return {0, 0};
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+
+  // Mirror pstorm::Percentile's rank convention: the exact value is an
+  // interpolation between the floor(rank)-th and ceil(rank)-th samples, so
+  // those two samples' buckets bracket it.
+  const double rank = p / 100.0 * static_cast<double>(n - 1);
+  const auto lo_idx = static_cast<uint64_t>(std::floor(rank));
+  const auto hi_idx = static_cast<uint64_t>(std::ceil(rank));
+
+  auto bucket_of = [&counts](uint64_t sample_idx) {
+    uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      cum += counts[i];
+      if (sample_idx < cum) return i;
+    }
+    return kBuckets - 1;
+  };
+  return {BucketRange(bucket_of(lo_idx)).first,
+          BucketRange(bucket_of(hi_idx)).second};
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>(name);
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>(name);
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(name);
+  return *slot;
+}
+
+std::string MetricsRegistry::Dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << counter->Value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << gauge->Value() << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out << "# TYPE " << name << " histogram\n";
+    uint64_t cum = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const uint64_t c = hist->BucketCount(i);
+      if (c == 0) continue;  // only populated buckets get a line
+      cum += c;
+      out << name << "_bucket{le=\"" << Histogram::BucketRange(i).second
+          << "\"} " << cum << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << cum << "\n";
+    out << name << "_sum " << hist->Sum() << "\n";
+    out << name << "_count " << hist->Count() << "\n";
+  }
+  return out.str();
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+void MetricsRegistry::SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace pstorm

@@ -1,0 +1,235 @@
+#ifndef PSTORM_OBS_METRICS_H_
+#define PSTORM_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace pstorm {
+namespace obs {
+
+// When the build compiles observability out (-DPSTORM_OBS_DISABLED), every
+// mutation below folds to a constant branch the optimizer deletes; the types
+// and the registry keep existing so call sites never need #ifdefs.
+#ifdef PSTORM_OBS_DISABLED
+inline constexpr bool kCompiledOut = true;
+#else
+inline constexpr bool kCompiledOut = false;
+#endif
+
+namespace internal {
+
+extern std::atomic<bool> g_enabled;
+
+inline bool Enabled() {
+  if constexpr (kCompiledOut) return false;
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Dense per-thread shard index. Threads beyond kShards wrap around, which
+/// only costs contention, never correctness.
+inline uint32_t ThisThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  static thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace internal
+
+/// Monotonic counter sharded across cache lines so concurrent writers on the
+/// hot path never bounce the same line. Reads sum the shards and are
+/// approximate only in the sense of racing with in-flight increments; every
+/// increment is eventually visible exactly once.
+class Counter {
+ public:
+  static constexpr uint32_t kShards = 16;
+  static_assert((kShards & (kShards - 1)) == 0, "kShards must be a power of 2");
+
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta) {
+    if (!internal::Enabled()) return;
+    shards_[internal::ThisThreadShard() & (kShards - 1)].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+
+  std::string name_;
+  Shard shards_[kShards];
+};
+
+/// Last-writer-wins instantaneous value (e.g. live region count).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) {
+    if (!internal::Enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if (!internal::Enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket base-2 exponential histogram for nonnegative integer samples
+/// (latencies in microseconds, sizes in bytes). Bucket 0 holds exactly {0};
+/// bucket k >= 1 holds [2^(k-1), 2^k - 1], so any uint64 sample lands in one
+/// of the 65 buckets via std::bit_width. Recording is one relaxed fetch_add
+/// per sample; there is no lock anywhere.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t v) {
+    if (!internal::Enabled()) return;
+    buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const {
+    uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(int idx) const {
+    return buckets_[idx].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive value range covered by bucket `idx`.
+  static std::pair<uint64_t, uint64_t> BucketRange(int idx);
+
+  /// Bounds within which the exact p-th percentile (as computed by
+  /// pstorm::Percentile over the same samples, rank = p/100*(n-1) with
+  /// linear interpolation) is guaranteed to lie. The lower bound is the
+  /// bucket floor of the floor(rank)-th sample, the upper bound the bucket
+  /// ceiling of the ceil(rank)-th sample. Returns {0, 0} when empty.
+  std::pair<uint64_t, uint64_t> QuantileBounds(double p) const;
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Process-wide registry. Get*() interns by name and returns a reference that
+/// stays valid for the life of the process (instruments are never destroyed,
+/// only zeroed), so hot paths cache it in a function-local static.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Prometheus-style text exposition, instruments sorted by name.
+  std::string Dump() const;
+
+  /// Zeroes every instrument without invalidating references.
+  void ResetForTest();
+
+  /// Runtime kill switch. Disabled recording is a single relaxed load and a
+  /// predictable branch; Dump() keeps working and reports whatever was
+  /// recorded while enabled. Defaults to enabled (unless compiled out).
+  static void SetEnabled(bool enabled);
+  static bool Enabled() { return internal::Enabled(); }
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Records the wall time of a scope into a histogram (microseconds) and/or a
+/// caller-provided seconds slot. Either sink may be null.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist, double* out_seconds = nullptr)
+      : hist_(hist),
+        out_seconds_(out_seconds),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~ScopedTimer() {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    if (hist_ != nullptr) {
+      hist_->Record(static_cast<uint64_t>(seconds * 1e6));
+    }
+    if (out_seconds_ != nullptr) *out_seconds_ = seconds;
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  double* out_seconds_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace pstorm
+
+#endif  // PSTORM_OBS_METRICS_H_

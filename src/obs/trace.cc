@@ -1,0 +1,82 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pstorm {
+namespace obs {
+
+namespace {
+
+std::string Seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  return buf;
+}
+
+void AppendSide(std::ostringstream& out, const SideTrace& side) {
+  out << "  " << side.side << " side: path=" << side.path << "\n";
+  for (const StageTrace& stage : side.stages) {
+    out << "    " << stage.name << ": " << stage.candidates_in << " -> "
+        << stage.candidates_out;
+    if (!stage.detail.empty()) out << " (" << stage.detail << ")";
+    out << "\n";
+  }
+  if (side.tie_break_candidates > 0) {
+    out << "    tie-break: " << side.tie_break_candidates << " candidates";
+    if (side.tie_break_vanished > 0) {
+      out << ", " << side.tie_break_vanished << " vanished mid-match";
+    }
+    if (!side.winner_job_key.empty()) {
+      out << ", winner=" << side.winner_job_key << " score="
+          << side.winner_score;
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace
+
+std::string SubmissionTrace::ToString() const {
+  std::ostringstream out;
+  out << "submission " << job_key << ": "
+      << (matched ? (composite ? "matched (composite)" : "matched")
+                  : "no match");
+  if (!profile_source.empty()) out << " source=" << profile_source;
+  out << "\n";
+  AppendSide(out, map_side);
+  AppendSide(out, reduce_side);
+  out << "  store: scans=" << store.scans << " rows_scanned="
+      << store.rows_scanned << " rows_returned=" << store.rows_returned
+      << " entry_gets=" << store.entry_gets << " cache_hits="
+      << store.entry_cache_hits << " cache_misses="
+      << store.entry_cache_misses;
+  if (store.regions_recovered_empty > 0) {
+    out << " regions_recovered_empty=" << store.regions_recovered_empty;
+  }
+  if (store.profiles_put > 0) out << " profiles_put=" << store.profiles_put;
+  out << "\n";
+  if (!cbo.rounds.empty() || cbo.candidates_evaluated > 0) {
+    out << "  cbo: evaluated=" << cbo.candidates_evaluated
+        << " map_cache_hits=" << cbo.map_cache_hits << "/"
+        << cbo.map_cache_lookups << " wall=" << Seconds(cbo.seconds) << "\n";
+    for (const CboRoundTrace& round : cbo.rounds) {
+      out << "    " << round.phase << ": evaluated="
+          << round.candidates_evaluated << " best="
+          << Seconds(round.best_predicted_s) << " wall="
+          << Seconds(round.seconds) << " cum_map_cache_hits="
+          << round.map_cache_hits << "\n";
+    }
+  }
+  if (!timeline.empty()) {
+    out << "  timeline:";
+    for (const SpanRecord& span : timeline) {
+      out << " " << span.name << "=" << Seconds(span.seconds);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace pstorm

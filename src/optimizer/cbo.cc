@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "whatif/map_outcome_cache.h"
 
 namespace pstorm::optimizer {
@@ -29,8 +31,12 @@ CostBasedOptimizer::CostBasedOptimizer(const whatif::WhatIfEngine* engine,
 }
 
 Result<CostBasedOptimizer::Recommendation> CostBasedOptimizer::Optimize(
-    const profiler::ExecutionProfile& profile,
-    const mrsim::DataSetSpec& data) const {
+    const profiler::ExecutionProfile& profile, const mrsim::DataSetSpec& data,
+    obs::CboTrace* trace) const {
+  static obs::Histogram& optimize_micros =
+      obs::MetricsRegistry::Global().GetHistogram("pstorm_cbo_optimize_micros");
+  obs::ScopedTimer optimize_timer(&optimize_micros,
+                                  trace != nullptr ? &trace->seconds : nullptr);
   const mrsim::ClusterSpec& cluster = engine_->cluster();
   const double max_sort_mb =
       std::max(32.0, cluster.task_heap_mb - options_.heap_margin_mb);
@@ -108,28 +114,40 @@ Result<CostBasedOptimizer::Recommendation> CostBasedOptimizer::Optimize(
   // candidate order with a strict '<' — ties keep the earlier index — so
   // the result is bit-identical to the sequential generate-then-evaluate
   // loop for any thread count.
-  auto evaluate_batch = [&](const std::vector<mrsim::Configuration>& batch) {
-    std::vector<double> runtimes(batch.size(),
-                                 std::numeric_limits<double>::infinity());
-    std::vector<char> feasible(batch.size(), 0);
-    common::ParallelFor(
-        pool, 0, batch.size(),
-        [&](size_t i) {
-          const mrsim::Configuration& c = batch[i];
-          if (!c.Validate().ok()) return;
-          auto prediction = engine_->Predict(profile, data, c, &map_cache);
-          if (!prediction.ok()) return;
-          runtimes[i] = prediction->runtime_s;
-          feasible[i] = 1;
-        },
-        num_threads);
-    for (size_t i = 0; i < batch.size(); ++i) {
-      if (!feasible[i]) continue;
-      ++evaluated;
-      if (runtimes[i] < best.predicted_runtime_s) {
-        best.predicted_runtime_s = runtimes[i];
-        best.config = batch[i];
+  auto evaluate_batch = [&](const std::vector<mrsim::Configuration>& batch,
+                            const char* phase) {
+    obs::CboRoundTrace round_trace;
+    round_trace.phase = phase;
+    {
+      obs::ScopedTimer round_timer(nullptr, &round_trace.seconds);
+      std::vector<double> runtimes(batch.size(),
+                                   std::numeric_limits<double>::infinity());
+      std::vector<char> feasible(batch.size(), 0);
+      common::ParallelFor(
+          pool, 0, batch.size(),
+          [&](size_t i) {
+            const mrsim::Configuration& c = batch[i];
+            if (!c.Validate().ok()) return;
+            auto prediction = engine_->Predict(profile, data, c, &map_cache);
+            if (!prediction.ok()) return;
+            runtimes[i] = prediction->runtime_s;
+            feasible[i] = 1;
+          },
+          num_threads);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (!feasible[i]) continue;
+        ++evaluated;
+        ++round_trace.candidates_evaluated;
+        if (runtimes[i] < best.predicted_runtime_s) {
+          best.predicted_runtime_s = runtimes[i];
+          best.config = batch[i];
+        }
       }
+    }
+    if (trace != nullptr) {
+      round_trace.map_cache_hits = map_cache.hits();
+      round_trace.best_predicted_s = best.predicted_runtime_s;
+      trace->rounds.push_back(std::move(round_trace));
     }
   };
 
@@ -150,7 +168,7 @@ Result<CostBasedOptimizer::Recommendation> CostBasedOptimizer::Optimize(
     for (int i = 0; i < options_.global_samples; ++i) {
       batch.push_back(random_candidate());
     }
-    evaluate_batch(batch);
+    evaluate_batch(batch, "seed+global");
   }
 
   // Local refinement around the incumbent (recursive random search). A
@@ -164,7 +182,19 @@ Result<CostBasedOptimizer::Recommendation> CostBasedOptimizer::Optimize(
     for (int i = 0; i < options_.local_samples; ++i) {
       batch.push_back(perturb(incumbent));
     }
-    evaluate_batch(batch);
+    char phase[24];
+    std::snprintf(phase, sizeof(phase), "refine %d", round + 1);
+    evaluate_batch(batch, phase);
+  }
+
+  static obs::Counter& candidates_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "pstorm_cbo_candidates_evaluated_total");
+  candidates_counter.Add(static_cast<uint64_t>(evaluated));
+  if (trace != nullptr) {
+    trace->candidates_evaluated = static_cast<uint64_t>(evaluated);
+    trace->map_cache_hits = map_cache.hits();
+    trace->map_cache_lookups = map_cache.lookups();
   }
 
   if (!std::isfinite(best.predicted_runtime_s)) {

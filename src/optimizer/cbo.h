@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "mrsim/configuration.h"
 #include "mrsim/dataset.h"
+#include "obs/trace.h"
 #include "profiler/profile.h"
 #include "whatif/whatif_engine.h"
 
@@ -49,9 +50,12 @@ class CostBasedOptimizer {
   };
 
   /// Finds a near-optimal configuration for the job described by
-  /// `profile` on `data`.
+  /// `profile` on `data`. `trace` (optional) receives the search-effort
+  /// accounting: candidates evaluated, MapOutcomeCache hit ratio, and wall
+  /// time per round.
   Result<Recommendation> Optimize(const profiler::ExecutionProfile& profile,
-                                  const mrsim::DataSetSpec& data) const;
+                                  const mrsim::DataSetSpec& data,
+                                  obs::CboTrace* trace = nullptr) const;
 
  private:
   const whatif::WhatIfEngine* engine_;

@@ -5,11 +5,68 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 #include "storage/merging_iterator.h"
 
 namespace pstorm::storage {
 
 namespace {
+
+// Process-global mirrors of the per-Db AtomicDbStats, summed across every Db
+// in the process for the metrics dump. The per-Db stats stay authoritative
+// (tests and callers read those); these exist so one Dump() shows storage
+// effort without walking the live Db set.
+obs::Counter& WalAppends() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("pstorm_db_wal_appends_total");
+  return c;
+}
+obs::Counter& WalRecordsReplayed() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_db_wal_records_replayed_total");
+  return c;
+}
+obs::Counter& WalTailTruncations() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_db_wal_tail_truncations_total");
+  return c;
+}
+obs::Counter& Flushes() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("pstorm_db_flushes_total");
+  return c;
+}
+obs::Counter& BytesFlushed() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_db_bytes_flushed_total");
+  return c;
+}
+obs::Counter& Compactions() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("pstorm_db_compactions_total");
+  return c;
+}
+obs::Counter& BytesCompacted() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_db_bytes_compacted_total");
+  return c;
+}
+obs::Counter& QuarantinedFiles() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_db_quarantined_files_total");
+  return c;
+}
+obs::Counter& OrphansRemoved() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_db_orphans_removed_total");
+  return c;
+}
+obs::Counter& VersionPins() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("pstorm_db_version_pins_total");
+  return c;
+}
+
 constexpr char kManifestName[] = "MANIFEST";
 constexpr char kManifestHeader[] = "pstorm-manifest-v1";
 constexpr char kWalName[] = "WAL";
@@ -65,6 +122,8 @@ Result<std::unique_ptr<Db>> Db::Open(Env* env, std::string path,
                           ReplayWal(*env, wal_path, &db->memtable_));
   db->stats_.wal_records_replayed = replay.records_applied;
   db->stats_.wal_tail_truncated = replay.truncated_tail ? 1 : 0;
+  WalRecordsReplayed().Add(replay.records_applied);
+  if (replay.truncated_tail) WalTailTruncations().Increment();
   if (replay.truncated_tail) {
     PSTORM_LOG(Warning) << "db " << db->path_ << ": WAL tail torn after "
                         << replay.records_applied
@@ -97,6 +156,7 @@ Status Db::RemoveOrphans() {
     const Status s = env_->DeleteFile(JoinPath(path_, name));
     if (s.ok()) {
       ++stats_.orphans_removed;
+      OrphansRemoved().Increment();
       PSTORM_LOG(Info) << "db " << path_ << ": removed orphaned file "
                        << name;
     } else {
@@ -115,6 +175,7 @@ Status Db::Put(std::string_view key, std::string_view value) {
     // a crash.
     PSTORM_RETURN_IF_ERROR(wal_->AppendPut(key, value));
     ++stats_.wal_appends;
+    WalAppends().Increment();
   }
   {
     std::unique_lock<std::shared_mutex> state_lock(state_mu_);
@@ -129,6 +190,7 @@ Status Db::Delete(std::string_view key) {
   if (wal_ != nullptr) {
     PSTORM_RETURN_IF_ERROR(wal_->AppendDelete(key));
     ++stats_.wal_appends;
+    WalAppends().Increment();
   }
   {
     std::unique_lock<std::shared_mutex> state_lock(state_mu_);
@@ -147,6 +209,7 @@ Status Db::MaybeFlushLocked() {
 }
 
 std::shared_ptr<const Version> Db::PinVersion() const {
+  VersionPins().Increment();
   std::shared_lock<std::shared_mutex> lock(state_mu_);
   return current_;
 }
@@ -257,6 +320,8 @@ Status Db::FlushLocked() {
   }
   ++stats_.flushes;
   stats_.bytes_flushed += contents.size();
+  Flushes().Increment();
+  BytesFlushed().Add(contents.size());
   PSTORM_RETURN_IF_ERROR(WriteManifestLocked(*current_));
   // The flushed records are durable in the sstable now; the log restarts
   // empty. Ordering matters: truncating before the manifest lands would
@@ -300,6 +365,7 @@ Status Db::CompactAllLocked() {
     next->l1.push_back(std::make_shared<TableHandle>(env_, path_, name,
                                                      std::move(table)));
     stats_.bytes_compacted += contents.size();
+    BytesCompacted().Add(contents.size());
     built_bytes = 0;
     return Status::OK();
   };
@@ -322,6 +388,7 @@ Status Db::CompactAllLocked() {
     current_ = next;
   }
   ++stats_.compactions;
+  Compactions().Increment();
   PSTORM_RETURN_IF_ERROR(WriteManifestLocked(*next));
 
   // The superseded files stay on disk while any reader still pins them;
@@ -383,6 +450,7 @@ Status Db::LoadManifest() {
                               << parts[1] << " failed: " << rename.ToString();
         }
         ++stats_.quarantined_files;
+        QuarantinedFiles().Increment();
         continue;
       }
       auto& level = parts[0] == "l0" ? loaded->l0 : loaded->l1;

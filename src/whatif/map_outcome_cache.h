@@ -1,7 +1,9 @@
 #ifndef PSTORM_WHATIF_MAP_OUTCOME_CACHE_H_
 #define PSTORM_WHATIF_MAP_OUTCOME_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -60,9 +62,12 @@ struct MapModelEntry {
 class MapOutcomeCache {
  public:
   std::shared_ptr<const MapModelEntry> Lookup(const MapModelKey& key) const {
+    lookups_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
-    return it == entries_.end() ? nullptr : it->second;
+    if (it == entries_.end()) return nullptr;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
   }
 
   void Insert(const MapModelKey& key,
@@ -76,7 +81,16 @@ class MapOutcomeCache {
     return entries_.size();
   }
 
+  /// Lifetime hit accounting (racy-exact under concurrency: relaxed
+  /// atomics, so totals are exact once the threads join).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+
  private:
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> lookups_{0};
   mutable std::mutex mu_;
   std::unordered_map<MapModelKey, std::shared_ptr<const MapModelEntry>,
                      MapModelKeyHash>

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "mrsim/simulator.h"
+#include "obs/metrics.h"
 
 namespace pstorm::whatif {
 
@@ -67,9 +68,23 @@ Result<Prediction> WhatIfEngine::Predict(
   // The whole map half — task model plus wave schedule — is a pure
   // function of the map-relevant configuration subset, so a sweep over
   // candidates can memoize it.
+  static obs::Counter& predictions = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_whatif_predictions_total");
+  static obs::Counter& map_cache_hits =
+      obs::MetricsRegistry::Global().GetCounter(
+          "pstorm_whatif_map_cache_hits_total");
+  static obs::Counter& map_cache_misses =
+      obs::MetricsRegistry::Global().GetCounter(
+          "pstorm_whatif_map_cache_misses_total");
+  predictions.Increment();
   std::shared_ptr<const MapModelEntry> map_entry;
   const MapModelKey map_key = MapRelevantSubset(config);
   if (map_cache != nullptr) map_entry = map_cache->Lookup(map_key);
+  if (map_entry != nullptr) {
+    map_cache_hits.Increment();
+  } else {
+    map_cache_misses.Increment();
+  }
   if (map_entry == nullptr) {
     auto fresh = std::make_shared<MapModelEntry>();
     fresh->outcome = mrsim::ModelMapTask(map_params, config);

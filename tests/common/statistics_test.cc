@@ -65,6 +65,42 @@ TEST(RunningStatTest, MergeWithEmpty) {
   EXPECT_EQ(empty.mean(), 2.0);
 }
 
+TEST(RunningStatTest, SumIsExactNotReconstructed) {
+  // Regression: sum() used to return mean * count, which drifts from the
+  // true sum under Welford rounding (here by 1 ulp at 1e9 — enough to make
+  // exported metric totals disagree with a direct accumulation).
+  RunningStat s;
+  double direct = 0.0;
+  for (double v : {1e9, 0.1, 0.1, 0.1}) {
+    s.Add(v);
+    direct += v;
+  }
+  EXPECT_EQ(s.sum(), direct);
+
+  RunningStat tenths;
+  double tenths_direct = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    tenths.Add(0.1);
+    tenths_direct += 0.1;
+  }
+  EXPECT_EQ(tenths.sum(), tenths_direct);
+}
+
+TEST(RunningStatTest, MergePreservesExactSum) {
+  RunningStat a, b;
+  double direct_a = 0.0, direct_b = 0.0;
+  for (double v : {1e9, 0.1}) {
+    a.Add(v);
+    direct_a += v;
+  }
+  for (double v : {0.1, 0.1, 7.25}) {
+    b.Add(v);
+    direct_b += v;
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.sum(), direct_a + direct_b);
+}
+
 TEST(RunningStatTest, CoefficientOfVariation) {
   RunningStat s;
   s.Add(10.0);

@@ -47,6 +47,17 @@ TEST(HumanDurationTest, PicksUnits) {
   EXPECT_EQ(HumanDuration(2 * 3600 + 13 * 60), "2h 13m");
 }
 
+TEST(HumanDurationTest, RoundingCarriesIntoNextUnit) {
+  // Regression: lround-ing the remainder used to yield "5m 60s" / "1h 60m"
+  // when the fractional part rounded up to a full minute or hour.
+  EXPECT_EQ(HumanDuration(359.6), "6m 00s");
+  EXPECT_EQ(HumanDuration(3599.0 + 0.6), "1h 00m");
+  EXPECT_EQ(HumanDuration(7170.0), "2h 00m");  // 119.5 min rounds up
+  EXPECT_EQ(HumanDuration(7169.0), "1h 59m");
+  EXPECT_EQ(HumanDuration(60.0), "1m 00s");
+  EXPECT_EQ(HumanDuration(119.6), "2m 00s");
+}
+
 TEST(FormatDoubleTest, FixedDigits) {
   EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(FormatDouble(2.0, 0), "2");

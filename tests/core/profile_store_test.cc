@@ -120,6 +120,43 @@ TEST_F(ProfileStoreTest, BoundsWidenWithProfilesAndSurviveReopen) {
   EXPECT_GT(bounds.maxs[0], 2.0);
 }
 
+TEST_F(ProfileStoreTest, CorruptMetadataRecoveryIsCounted) {
+  const StoredEntry wc = MakeEntry(jobs::WordCount(), jobs::kRandomText1Gb);
+  {
+    auto store = OpenStore("/ps-corrupt");
+    ASSERT_TRUE(store->PutProfile(wc.job_key, wc.profile, wc.statics).ok());
+    EXPECT_EQ(store->recovery_stats().bounds_resets, 0u);
+    EXPECT_EQ(store->recovery_stats().count_resets, 0u);
+  }
+  // Corrupt the normalization-bounds row with a column LoadBounds cannot
+  // parse.
+  {
+    hstore::TableSchema schema;
+    schema.name = "Jobs";
+    schema.families = {"F"};
+    auto table = hstore::HTable::Open(&env_, "/ps-corrupt", schema);
+    ASSERT_TRUE(table.ok()) << table.status();
+    hstore::PutOp put("Meta/bounds");
+    put.Add("F", "neither-min-nor-max", "1.0");
+    ASSERT_TRUE((*table)->Put(put).ok());
+    ASSERT_TRUE((*table)->Flush().ok());
+  }
+  // And plant a raw bad cell key so the profile recount's full scan dies.
+  {
+    auto db = storage::Db::Open(&env_, "/ps-corrupt/region_0",
+                                storage::DbOptions{});
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE((*db)->Put("zzz-raw-bad-cell-key", "x").ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+  }
+  // The reopen degrades (empty bounds, zero count) instead of failing, and
+  // each reset is counted rather than being visible only in the log.
+  auto store = OpenStore("/ps-corrupt");
+  EXPECT_EQ(store->recovery_stats().bounds_resets, 1u);
+  EXPECT_EQ(store->recovery_stats().count_resets, 1u);
+  EXPECT_EQ(store->num_profiles(), 0u);
+}
+
 TEST_F(ProfileStoreTest, DynamicEuclideanScanFiltersByDistance) {
   auto store = OpenStore();
   const StoredEntry wc = MakeEntry(jobs::WordCount(), jobs::kRandomText1Gb);

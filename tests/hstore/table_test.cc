@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/random.h"
+#include "storage/db.h"
 
 namespace pstorm::hstore {
 namespace {
@@ -357,6 +358,44 @@ TEST_F(HTableTest, CorruptRegionRecoversEmptyAndIsReported) {
     }
   }
   EXPECT_TRUE(quarantined);
+}
+
+TEST_F(HTableTest, ScanPublishesStatsOnMidScanCorruption) {
+  {
+    auto table = OpenTable();
+    for (int i = 0; i < 10; ++i) {
+      char row[16];
+      std::snprintf(row, sizeof(row), "Row%02d", i);
+      PutOp put(row);
+      put.Add("Features", "q", "v");
+      ASSERT_TRUE(table->Put(put).ok());
+    }
+    ASSERT_TRUE(table->Flush().ok());
+  }
+  // Plant a raw key with no family/qualifier separators directly in the
+  // region's Db; it sorts after every real cell, so the scan dies on it
+  // after doing real work.
+  {
+    auto db = storage::Db::Open(&env_, "/tables/jobs/region_0",
+                                storage::DbOptions{});
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE((*db)->Put("zzz-bad-cell-key", "x").ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+  }
+
+  auto table = OpenTable();
+  ScanStats stats;
+  stats.rows_scanned = 999999;  // Sentinel: the failed scan must overwrite.
+  stats.regions_visited = 999999;
+  auto rows = table->Scan(ScanSpec{}, &stats);
+  ASSERT_TRUE(rows.status().IsCorruption()) << rows.status();
+  // The corruption early-return still publishes the work done up to the
+  // bad cell (it used to leave the caller's struct untouched): Row00..Row08
+  // completed; Row09 was still open when the scan hit the bad key.
+  EXPECT_EQ(stats.regions_visited, 1u);
+  EXPECT_EQ(stats.rows_scanned, 9u);
+  EXPECT_EQ(stats.rows_returned, 9u);
+  EXPECT_EQ(stats.regions_recovered_empty, 0u);
 }
 
 TEST_F(HTableTest, HealthyReopenReportsNoRecoveredRegions) {
