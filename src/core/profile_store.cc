@@ -230,13 +230,14 @@ std::vector<double> FeatureBounds::Normalize(
   return out;
 }
 
-Result<std::unique_ptr<ProfileStore>> ProfileStore::Open(storage::Env* env,
-                                                         std::string path) {
+Result<std::unique_ptr<ProfileStore>> ProfileStore::Open(
+    storage::Env* env, std::string path, hstore::HTableOptions options) {
   hstore::TableSchema schema;
   schema.name = "Jobs";
   schema.families = {kFamily};
   PSTORM_ASSIGN_OR_RETURN(
-      auto table, hstore::HTable::Open(env, std::move(path), schema));
+      auto table,
+      hstore::HTable::Open(env, std::move(path), schema, options));
   auto store = std::unique_ptr<ProfileStore>(
       new ProfileStore(std::move(table)));
   // Corrupt metadata degrades to an empty-looking store instead of failing

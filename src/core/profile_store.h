@@ -64,8 +64,15 @@ struct FeatureBounds {
 /// lock and only ever widen.
 class ProfileStore {
  public:
-  static Result<std::unique_ptr<ProfileStore>> Open(storage::Env* env,
-                                                    std::string path);
+  /// `options` configures the backing table — notably
+  /// DbOptions::maintenance_pool, which moves region flushes/compactions
+  /// off the PutProfile path onto a background scheduler.
+  static Result<std::unique_ptr<ProfileStore>> Open(
+      storage::Env* env, std::string path, hstore::HTableOptions options = {});
+
+  /// Quiesces the backing table's background maintenance (no-op without a
+  /// maintenance pool); returns the first latched background error.
+  Status WaitForIdle() const { return table_->WaitForIdle(); }
 
   /// Inserts or replaces the profile of `job_key` and updates the
   /// normalization bounds.

@@ -45,8 +45,9 @@ Result<std::unique_ptr<PStorM>> PStorM::Create(
     const mrsim::Simulator* simulator, storage::Env* env,
     std::string store_path, PStormOptions options) {
   PSTORM_CHECK(simulator != nullptr);
-  PSTORM_ASSIGN_OR_RETURN(auto store,
-                          ProfileStore::Open(env, std::move(store_path)));
+  PSTORM_ASSIGN_OR_RETURN(
+      auto store,
+      ProfileStore::Open(env, std::move(store_path), options.store));
   return std::unique_ptr<PStorM>(
       new PStorM(simulator, std::move(store), options));
 }

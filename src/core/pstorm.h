@@ -17,6 +17,10 @@ namespace pstorm::core {
 struct PStormOptions {
   MatchOptions match;
   optimizer::CostBasedOptimizer::Options cbo;
+  /// Passed through to the profile store's backing table. Set
+  /// store.db_options.maintenance_pool to move region flushes/compactions
+  /// off the SubmitJob path onto the background scheduler.
+  hstore::HTableOptions store;
 };
 
 /// The PStorM system facade (thesis chapter 3): given a submitted MR job,

@@ -419,8 +419,21 @@ storage::DbStats HTable::AggregatedDbStats() const {
     total.wal_tail_truncated += s.wal_tail_truncated;
     total.quarantined_files += s.quarantined_files;
     total.orphans_removed += s.orphans_removed;
+    total.write_slowdowns += s.write_slowdowns;
+    total.write_stalls += s.write_stalls;
+    total.stall_micros += s.stall_micros;
   }
   return total;
+}
+
+Status HTable::WaitForIdle() const {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
+  Status first_error = Status::OK();
+  for (const auto& region : regions_) {
+    const Status s = region->db()->WaitForIdle();
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
 }
 
 Result<std::vector<RowResult>> HTable::Scan(const ScanSpec& spec,

@@ -1,7 +1,9 @@
 #include "storage/db.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -66,23 +68,63 @@ obs::Counter& VersionPins() {
       obs::MetricsRegistry::Global().GetCounter("pstorm_db_version_pins_total");
   return c;
 }
+obs::Counter& WriteSlowdowns() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_db_write_slowdowns_total");
+  return c;
+}
+obs::Counter& WriteStalls() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_db_write_stalls_total");
+  return c;
+}
+/// Background tasks queued or running across every Db in the process.
+obs::Gauge& MaintQueueDepth() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "pstorm_db_maintenance_queue_depth");
+  return g;
+}
+/// Wall time a writer spent delayed (soft gate) or blocked (hard gate).
+obs::Histogram& WriteStallMicrosHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "pstorm_db_write_stall_micros");
+  return h;
+}
+/// Serialized bytes written by one background flush or compaction job.
+obs::Histogram& MaintJobBytes() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "pstorm_db_maintenance_job_bytes");
+  return h;
+}
 
 constexpr char kManifestName[] = "MANIFEST";
 constexpr char kManifestHeader[] = "pstorm-manifest-v1";
 constexpr char kWalName[] = "WAL";
+/// The rotated log holding exactly the immutable memtable's records while a
+/// background flush is in flight; deleted once the flush's manifest lands.
+constexpr char kWalImmName[] = "WAL.imm";
 constexpr char kQuarantineSuffix[] = ".quarantine";
 
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
 /// Forwards to a wrapped iterator while pinning the snapshot it reads:
-/// the memtable copy and the Version (and through it every sstable
+/// the memtable copies and the Version (and through it every sstable
 /// handle). Keeps the iterator valid across concurrent flushes and
 /// compactions.
 class PinnedIterator final : public Iterator {
  public:
   PinnedIterator(std::unique_ptr<Iterator> base,
                  std::shared_ptr<const Memtable> memtable,
+                 std::shared_ptr<const Memtable> imm,
                  std::shared_ptr<const Version> version)
       : base_(std::move(base)),
         memtable_(std::move(memtable)),
+        imm_(std::move(imm)),
         version_(std::move(version)) {}
 
   bool Valid() const override { return base_->Valid(); }
@@ -97,6 +139,7 @@ class PinnedIterator final : public Iterator {
  private:
   std::unique_ptr<Iterator> base_;
   std::shared_ptr<const Memtable> memtable_;
+  std::shared_ptr<const Memtable> imm_;
   std::shared_ptr<const Version> version_;
 };
 
@@ -111,23 +154,52 @@ Result<std::unique_ptr<Db>> Db::Open(Env* env, std::string path,
   if (env->FileExists(JoinPath(db->path_, kManifestName))) {
     PSTORM_RETURN_IF_ERROR(db->LoadManifest());
   } else {
-    PSTORM_RETURN_IF_ERROR(db->WriteManifestLocked(*db->current_));
+    PSTORM_RETURN_IF_ERROR(db->WriteManifest(*db->current_));
   }
 
-  // Recover acked-but-unflushed mutations. The log stays in place until
-  // the next flush truncates it, so a crash during recovery just replays
-  // again (replay is idempotent: last write per key wins either way).
+  // Recover acked-but-unflushed mutations. If the process died while a
+  // background flush had the log rotated aside, the rotated log holds the
+  // older records: replay it first so the active log's records win, exactly
+  // as they did in memtable order before the crash. The logs stay in place
+  // until consolidated or truncated below, so a crash during recovery just
+  // replays again (replay is idempotent: last write per key wins).
   const std::string wal_path = JoinPath(db->path_, kWalName);
+  const std::string wal_imm_path = JoinPath(db->path_, kWalImmName);
+  const bool had_rotated_wal = env->FileExists(wal_imm_path);
+  uint64_t records_replayed = 0;
+  bool tail_truncated = false;
+  if (had_rotated_wal) {
+    PSTORM_ASSIGN_OR_RETURN(WalReplayResult imm_replay,
+                            ReplayWal(*env, wal_imm_path, &db->memtable_));
+    records_replayed += imm_replay.records_applied;
+    tail_truncated |= imm_replay.truncated_tail;
+  }
   PSTORM_ASSIGN_OR_RETURN(WalReplayResult replay,
                           ReplayWal(*env, wal_path, &db->memtable_));
-  db->stats_.wal_records_replayed = replay.records_applied;
-  db->stats_.wal_tail_truncated = replay.truncated_tail ? 1 : 0;
-  WalRecordsReplayed().Add(replay.records_applied);
-  if (replay.truncated_tail) WalTailTruncations().Increment();
-  if (replay.truncated_tail) {
+  records_replayed += replay.records_applied;
+  tail_truncated |= replay.truncated_tail;
+  db->stats_.wal_records_replayed = records_replayed;
+  db->stats_.wal_tail_truncated = tail_truncated ? 1 : 0;
+  WalRecordsReplayed().Add(records_replayed);
+  if (tail_truncated) {
+    WalTailTruncations().Increment();
     PSTORM_LOG(Warning) << "db " << db->path_ << ": WAL tail torn after "
-                        << replay.records_applied
+                        << records_replayed
                         << " records; dropping the damaged suffix";
+  }
+  if (had_rotated_wal) {
+    // Consolidate the two logs into one active log covering the recovered
+    // memtable, then drop the rotated one. Every step is crash-safe: the
+    // rewrite is atomic (tmp+rename), and dying before the delete just
+    // means the next open replays the rotated log redundantly.
+    std::string consolidated;
+    auto iter = db->memtable_.NewIterator();
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      consolidated +=
+          EncodeWalRecord(iter->type(), iter->key(), iter->value());
+    }
+    PSTORM_RETURN_IF_ERROR(env->WriteFile(wal_path, consolidated));
+    PSTORM_RETURN_IF_ERROR(env->DeleteFile(wal_imm_path));
   }
   if (options.wal_enabled) {
     db->wal_ = std::make_unique<WalWriter>(env, wal_path);
@@ -137,15 +209,25 @@ Result<std::unique_ptr<Db>> Db::Open(Env* env, std::string path,
   if (db->stats_.quarantined_files.load() > 0) {
     // Drop the quarantined tables from the manifest so the next open does
     // not trip over them again.
-    PSTORM_RETURN_IF_ERROR(db->WriteManifestLocked(*db->current_));
+    PSTORM_RETURN_IF_ERROR(db->WriteManifest(*db->current_));
   }
   return db;
+}
+
+Db::~Db() {
+  if (!background_mode()) return;
+  std::unique_lock<std::mutex> maint_lock(maint_mu_);
+  shutting_down_ = true;
+  maint_cv_.notify_all();
+  // The task captures a raw `this`: it must fully drain before members are
+  // torn down. Clearing bg_scheduled_ is its final touch of the Db.
+  maint_cv_.wait(maint_lock, [this] { return !bg_scheduled_; });
 }
 
 Status Db::RemoveOrphans() {
   PSTORM_ASSIGN_OR_RETURN(std::vector<std::string> names,
                           env_->ListDir(path_));
-  std::vector<std::string> live = {kManifestName, kWalName};
+  std::vector<std::string> live = {kManifestName, kWalName, kWalImmName};
   for (const auto& handle : current_->l0) live.push_back(handle->name());
   for (const auto& handle : current_->l1) live.push_back(handle->name());
   for (const std::string& name : names) {
@@ -170,6 +252,9 @@ Status Db::RemoveOrphans() {
 Status Db::Put(std::string_view key, std::string_view value) {
   if (key.empty()) return Status::InvalidArgument("empty key");
   std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  if (background_mode()) {
+    PSTORM_RETURN_IF_ERROR(MaybeThrottleLocked());
+  }
   if (wal_ != nullptr) {
     // Log before memtable: a mutation is acked only once it would survive
     // a crash.
@@ -187,6 +272,9 @@ Status Db::Put(std::string_view key, std::string_view value) {
 Status Db::Delete(std::string_view key) {
   if (key.empty()) return Status::InvalidArgument("empty key");
   std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  if (background_mode()) {
+    PSTORM_RETURN_IF_ERROR(MaybeThrottleLocked());
+  }
   if (wal_ != nullptr) {
     PSTORM_RETURN_IF_ERROR(wal_->AppendDelete(key));
     ++stats_.wal_appends;
@@ -202,11 +290,243 @@ Status Db::Delete(std::string_view key) {
 Status Db::MaybeFlushLocked() {
   // Reading the memtable without state_mu_ is safe here: writer_mu_ is
   // held, so no one else can be mutating it.
-  if (memtable_.ApproximateBytes() >= options_.memtable_flush_bytes) {
-    return FlushLocked();
+  if (memtable_.ApproximateBytes() < options_.memtable_flush_bytes) {
+    return Status::OK();
+  }
+  if (background_mode()) {
+    // The write itself is done; just move the full memtable aside and let
+    // the scheduler persist it.
+    return ScheduleMemtableSwapLocked();
+  }
+  return FlushLocked();
+}
+
+// --- Background scheduler -------------------------------------------------
+
+size_t Db::L0Count() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return current_->l0.size();
+}
+
+bool Db::HasImm() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return imm_ != nullptr;
+}
+
+Status Db::MaybeThrottleLocked() {
+  const int stop = options_.l0_stop_threshold;
+  const int slowdown = options_.l0_slowdown_threshold;
+  std::unique_lock<std::mutex> maint_lock(maint_mu_);
+  if (!bg_error_.ok()) return bg_error_;
+  if (stop > 0 && static_cast<int>(L0Count()) >= stop) {
+    // Hard gate: level 0 is so far behind that admitting more flushes
+    // would only dig the hole deeper. Demand a compaction (even below the
+    // cascade trigger) and block until it brings L0 back under the line.
+    ++stats_.write_stalls;
+    WriteStalls().Increment();
+    compact_requested_ = true;
+    ScheduleMaintenanceLocked();
+    const auto start = std::chrono::steady_clock::now();
+    maint_cv_.wait(maint_lock, [&] {
+      return !bg_error_.ok() || shutting_down_ ||
+             static_cast<int>(L0Count()) < stop;
+    });
+    const uint64_t micros = ElapsedMicros(start);
+    stats_.stall_micros += micros;
+    WriteStallMicrosHist().Record(micros);
+    if (!bg_error_.ok()) return bg_error_;
+    return Status::OK();
+  }
+  if (slowdown > 0 && static_cast<int>(L0Count()) >= slowdown) {
+    // Soft gate: cede a little time per write so compaction gains ground
+    // instead of escalating straight to a full stop.
+    ++stats_.write_slowdowns;
+    WriteSlowdowns().Increment();
+    maint_lock.unlock();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(kSlowdownDelayMicros));
+    stats_.stall_micros += kSlowdownDelayMicros;
+    WriteStallMicrosHist().Record(kSlowdownDelayMicros);
   }
   return Status::OK();
 }
+
+Status Db::ScheduleMemtableSwapLocked() {
+  if (memtable_.empty()) return Status::OK();
+  std::unique_lock<std::mutex> maint_lock(maint_mu_);
+  if (!bg_error_.ok()) return bg_error_;
+  if (HasImm()) {
+    // Only one memtable can be in flight; wait for the scheduler to drain
+    // the previous one. This is the memtable-full stall.
+    ++stats_.write_stalls;
+    WriteStalls().Increment();
+    ScheduleMaintenanceLocked();
+    const auto start = std::chrono::steady_clock::now();
+    maint_cv_.wait(maint_lock,
+                   [&] { return !bg_error_.ok() || !HasImm(); });
+    const uint64_t micros = ElapsedMicros(start);
+    stats_.stall_micros += micros;
+    WriteStallMicrosHist().Record(micros);
+    if (!bg_error_.ok()) return bg_error_;
+  }
+  // Rotate the log: the records of the memtable being swapped move aside
+  // with it, and the active log restarts empty for the fresh memtable. The
+  // rotated log is deleted only after the flush's manifest lands, so every
+  // acked record stays recoverable throughout.
+  if (wal_ != nullptr && env_->FileExists(JoinPath(path_, kWalName))) {
+    PSTORM_RETURN_IF_ERROR(env_->RenameFile(JoinPath(path_, kWalName),
+                                            JoinPath(path_, kWalImmName)));
+  }
+  {
+    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    imm_ = std::make_shared<const Memtable>(std::move(memtable_));
+    memtable_ = Memtable();
+  }
+  ScheduleMaintenanceLocked();
+  return Status::OK();
+}
+
+void Db::SetScheduledLocked(bool scheduled) {
+  if (bg_scheduled_ == scheduled) return;
+  bg_scheduled_ = scheduled;
+  MaintQueueDepth().Add(scheduled ? 1 : -1);
+}
+
+void Db::ScheduleMaintenanceLocked() {
+  if (bg_scheduled_ || shutting_down_ || !bg_error_.ok()) return;
+  SetScheduledLocked(true);
+  options_.maintenance_pool->Schedule([this] { BackgroundWork(); });
+}
+
+void Db::BackgroundWork() {
+  while (true) {
+    bool want_compact = false;
+    {
+      std::lock_guard<std::mutex> maint_lock(maint_mu_);
+      if (shutting_down_) {
+        SetScheduledLocked(false);
+        maint_cv_.notify_all();
+        return;
+      }
+      // Read-and-clear: a request arriving mid-compaction schedules
+      // another pass on the next loop iteration.
+      want_compact = compact_requested_;
+      compact_requested_ = false;
+    }
+
+    Status s = Status::OK();
+    if (HasImm()) {
+      s = DoBackgroundFlush();
+    }
+    if (s.ok() &&
+        (want_compact || static_cast<int>(L0Count()) >=
+                             options_.l0_compaction_trigger)) {
+      s = DoBackgroundCompaction();
+    }
+
+    std::lock_guard<std::mutex> maint_lock(maint_mu_);
+    if (!s.ok()) {
+      // Latch the first failure: writers and WaitForIdle report it from
+      // now on, and no further background work is admitted. Reopening the
+      // Db recovers from the WAL + manifest.
+      PSTORM_LOG(Warning) << "db " << path_
+                          << ": background maintenance failed: "
+                          << s.ToString();
+      if (bg_error_.ok()) bg_error_ = s;
+      SetScheduledLocked(false);
+      maint_cv_.notify_all();
+      return;
+    }
+    // More work may have arrived while this job ran (the check happens
+    // under maint_mu_, so a writer either saw bg_scheduled_ still true or
+    // will be seen here).
+    const bool more = !shutting_down_ &&
+                      (HasImm() || compact_requested_ ||
+                       static_cast<int>(L0Count()) >=
+                           options_.l0_compaction_trigger);
+    if (more) {
+      maint_cv_.notify_all();
+      continue;
+    }
+    SetScheduledLocked(false);
+    maint_cv_.notify_all();
+    return;
+  }
+}
+
+Status Db::DoBackgroundFlush() {
+  // Only this (single) background task clears imm_, so the snapshot stays
+  // the flush source even after the lock drops; immutability makes the
+  // read below lock-free.
+  std::shared_ptr<const Memtable> imm;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    imm = imm_;
+  }
+  if (imm == nullptr) return Status::OK();
+
+  size_t bytes = 0;
+  PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<TableHandle> handle,
+                          BuildTableFromMemtable(*imm, &bytes));
+  auto base = PinVersion();
+  auto next = std::make_shared<Version>();
+  next->l0.push_back(std::move(handle));
+  next->l0.insert(next->l0.end(), base->l0.begin(), base->l0.end());
+  next->l1 = base->l1;
+  PSTORM_RETURN_IF_ERROR(WriteManifest(*next));
+  // The flushed records are durable and referenced; the rotated log that
+  // carried them is dead weight. Deleting it before publishing keeps the
+  // invariant that an existing WAL.imm always shadows a pending imm_.
+  const std::string imm_wal = JoinPath(path_, kWalImmName);
+  if (env_->FileExists(imm_wal)) {
+    PSTORM_RETURN_IF_ERROR(env_->DeleteFile(imm_wal));
+  }
+  {
+    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    current_ = std::move(next);
+    imm_.reset();
+  }
+  ++stats_.flushes;
+  stats_.bytes_flushed += bytes;
+  Flushes().Increment();
+  BytesFlushed().Add(bytes);
+  MaintJobBytes().Record(bytes);
+  return Status::OK();
+}
+
+Status Db::DoBackgroundCompaction() {
+  // The single background task is the only mutator of current_ in
+  // background mode, so `base` cannot be superseded mid-merge.
+  auto base = PinVersion();
+  if (base->l0.empty() && base->l1.size() <= 1) return Status::OK();
+  size_t bytes = 0;
+  PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<Version> next,
+                          BuildCompactedVersion(*base, &bytes));
+  PSTORM_RETURN_IF_ERROR(WriteManifest(*next));
+  {
+    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    current_ = next;
+  }
+  ++stats_.compactions;
+  Compactions().Increment();
+  MaintJobBytes().Record(bytes);
+  // The superseded files stay on disk while any reader still pins them;
+  // each is deleted when its last pinning Version is released (see
+  // TableHandle).
+  base->MarkAllObsolete();
+  return Status::OK();
+}
+
+Status Db::WaitForIdle() const {
+  if (!background_mode()) return Status::OK();
+  std::unique_lock<std::mutex> maint_lock(maint_mu_);
+  maint_cv_.wait(maint_lock, [this] {
+    return !bg_scheduled_ && (!bg_error_.ok() || !HasImm());
+  });
+  return bg_error_;
+}
+
+// --- Shared flush/compaction mechanics ------------------------------------
 
 std::shared_ptr<const Version> Db::PinVersion() const {
   VersionPins().Increment();
@@ -223,6 +543,14 @@ Result<std::string> Db::Get(std::string_view key) const {
         return Status::NotFound("deleted");
       }
       return entry->value;
+    }
+    if (imm_ != nullptr) {
+      if (auto entry = imm_->Get(key); entry.has_value()) {
+        if (entry->type == EntryType::kTombstone) {
+          return Status::NotFound("deleted");
+        }
+        return entry->value;
+      }
     }
     version = current_;
   }
@@ -248,7 +576,9 @@ size_t Db::memtable_entries() const {
 
 size_t Db::ApproximateSizeBytes() const {
   std::shared_lock<std::shared_mutex> lock(state_mu_);
-  return memtable_.ApproximateBytes() + current_->TotalTableBytes();
+  return memtable_.ApproximateBytes() +
+         (imm_ != nullptr ? imm_->ApproximateBytes() : 0) +
+         current_->TotalTableBytes();
 }
 
 DbStats Db::stats() const {
@@ -262,23 +592,31 @@ DbStats Db::stats() const {
   out.wal_tail_truncated = stats_.wal_tail_truncated.load();
   out.quarantined_files = stats_.quarantined_files.load();
   out.orphans_removed = stats_.orphans_removed.load();
+  out.write_slowdowns = stats_.write_slowdowns.load();
+  out.write_stalls = stats_.write_stalls.load();
+  out.stall_micros = stats_.stall_micros.load();
   return out;
 }
 
 std::unique_ptr<Iterator> Db::NewIterator() const {
   std::shared_ptr<const Memtable> memtable;
+  std::shared_ptr<const Memtable> imm;
   std::shared_ptr<const Version> version;
   {
     std::shared_lock<std::shared_mutex> lock(state_mu_);
     memtable = std::make_shared<const Memtable>(memtable_);
+    imm = imm_;
     version = current_;
   }
+  // Newest source first: the merging iterator resolves duplicate keys in
+  // child order (memtable shadows imm shadows tables).
   std::vector<std::unique_ptr<Iterator>> children;
   children.push_back(memtable->NewIterator());
+  if (imm != nullptr) children.push_back(imm->NewIterator());
   version->AppendIterators(&children);
   return std::make_unique<PinnedIterator>(
       NewLiveRecordIterator(NewMergingIterator(std::move(children))),
-      std::move(memtable), std::move(version));
+      std::move(memtable), std::move(imm), std::move(version));
 }
 
 std::string Db::NewFileName() {
@@ -288,17 +626,10 @@ std::string Db::NewFileName() {
   return buf;
 }
 
-Status Db::Flush() {
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
-  return FlushLocked();
-}
-
-Status Db::FlushLocked() {
-  // writer_mu_ is held: the memtable cannot be mutated underneath us, and
-  // concurrent readers only read it, so building the table needs no lock.
-  if (memtable_.empty()) return Status::OK();
+Result<std::shared_ptr<TableHandle>> Db::BuildTableFromMemtable(
+    const Memtable& memtable, size_t* bytes) {
   TableBuilder builder(options_.table_options);
-  auto iter = memtable_.NewIterator();
+  auto iter = memtable.NewIterator();
   for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
     builder.Add(iter->key(), iter->value(), iter->type());
   }
@@ -307,10 +638,33 @@ Status Db::FlushLocked() {
   PSTORM_RETURN_IF_ERROR(env_->WriteFile(JoinPath(path_, name), contents));
   PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
                           Table::Open(contents));
+  *bytes = contents.size();
+  return std::make_shared<TableHandle>(env_, path_, name, std::move(table));
+}
 
+Status Db::Flush() {
+  if (background_mode()) {
+    {
+      std::lock_guard<std::mutex> writer_lock(writer_mu_);
+      PSTORM_RETURN_IF_ERROR(ScheduleMemtableSwapLocked());
+    }
+    // Preserve the synchronous contract callers (hstore splits, tests)
+    // rely on: when Flush returns, the data is in tables.
+    return WaitForIdle();
+  }
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  return FlushLocked();
+}
+
+Status Db::FlushLocked() {
+  // writer_mu_ is held: the memtable cannot be mutated underneath us, and
+  // concurrent readers only read it, so building the table needs no lock.
+  if (memtable_.empty()) return Status::OK();
+  size_t bytes = 0;
+  PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<TableHandle> handle,
+                          BuildTableFromMemtable(memtable_, &bytes));
   auto next = std::make_shared<Version>();
-  next->l0.push_back(std::make_shared<TableHandle>(env_, path_, name,
-                                                   std::move(table)));
+  next->l0.push_back(std::move(handle));
   next->l0.insert(next->l0.end(), current_->l0.begin(), current_->l0.end());
   next->l1 = current_->l1;
   {
@@ -319,10 +673,10 @@ Status Db::FlushLocked() {
     memtable_ = Memtable();
   }
   ++stats_.flushes;
-  stats_.bytes_flushed += contents.size();
+  stats_.bytes_flushed += bytes;
   Flushes().Increment();
-  BytesFlushed().Add(contents.size());
-  PSTORM_RETURN_IF_ERROR(WriteManifestLocked(*current_));
+  BytesFlushed().Add(bytes);
+  PSTORM_RETURN_IF_ERROR(WriteManifest(*current_));
   // The flushed records are durable in the sstable now; the log restarts
   // empty. Ordering matters: truncating before the manifest lands would
   // open a window where a crash loses the flushed-but-unreferenced data.
@@ -337,6 +691,16 @@ Status Db::FlushLocked() {
 }
 
 Status Db::CompactAll() {
+  if (background_mode()) {
+    {
+      std::lock_guard<std::mutex> writer_lock(writer_mu_);
+      PSTORM_RETURN_IF_ERROR(ScheduleMemtableSwapLocked());
+      std::lock_guard<std::mutex> maint_lock(maint_mu_);
+      compact_requested_ = true;
+      ScheduleMaintenanceLocked();
+    }
+    return WaitForIdle();
+  }
   std::lock_guard<std::mutex> writer_lock(writer_mu_);
   return CompactAllLocked();
 }
@@ -346,15 +710,38 @@ Status Db::CompactAllLocked() {
   // current_ is stable while writer_mu_ is held; keep a pin for the merge.
   const std::shared_ptr<const Version> base = current_;
   if (base->l0.empty() && base->l1.size() <= 1) return Status::OK();
+  size_t bytes = 0;
+  PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<Version> next,
+                          BuildCompactedVersion(*base, &bytes));
+  {
+    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    current_ = next;
+  }
+  ++stats_.compactions;
+  Compactions().Increment();
+  PSTORM_RETURN_IF_ERROR(WriteManifest(*next));
 
-  // Merge every table; the memtable is empty after the flush above.
+  // The superseded files stay on disk while any reader still pins them;
+  // each is deleted when its last pinning Version is released (see
+  // TableHandle). With no readers that is right now, as `base` drops.
+  base->MarkAllObsolete();
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Version>> Db::BuildCompactedVersion(
+    const Version& base, size_t* bytes) {
+  // Merge every table. Any memtable contents are strictly newer than the
+  // tables and stay out of the merge, so dropping a tombstone here cannot
+  // resurrect anything: the merge covers every record the tombstone could
+  // ever have shadowed.
   std::vector<std::unique_ptr<Iterator>> children;
-  base->AppendIterators(&children);
+  base.AppendIterators(&children);
   auto merged = NewMergingIterator(std::move(children));
 
   auto next = std::make_shared<Version>();
   TableBuilder builder(options_.table_options);
   size_t built_bytes = 0;
+  size_t total_bytes = 0;
   auto emit_table = [&]() -> Status {
     if (builder.num_entries() == 0) return Status::OK();
     const std::string contents = builder.Finish();
@@ -366,6 +753,7 @@ Status Db::CompactAllLocked() {
                                                      std::move(table)));
     stats_.bytes_compacted += contents.size();
     BytesCompacted().Add(contents.size());
+    total_bytes += contents.size();
     built_bytes = 0;
     return Status::OK();
   };
@@ -382,26 +770,14 @@ Status Db::CompactAllLocked() {
   }
   PSTORM_RETURN_IF_ERROR(merged->status());
   PSTORM_RETURN_IF_ERROR(emit_table());
-
-  {
-    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
-    current_ = next;
-  }
-  ++stats_.compactions;
-  Compactions().Increment();
-  PSTORM_RETURN_IF_ERROR(WriteManifestLocked(*next));
-
-  // The superseded files stay on disk while any reader still pins them;
-  // each is deleted when its last pinning Version is released (see
-  // TableHandle). With no readers that is right now, as `base` drops.
-  base->MarkAllObsolete();
-  return Status::OK();
+  *bytes = total_bytes;
+  return next;
 }
 
-Status Db::WriteManifestLocked(const Version& version) {
+Status Db::WriteManifest(const Version& version) {
   std::string out(kManifestHeader);
   out += "\n";
-  out += "next_file " + std::to_string(next_file_number_) + "\n";
+  out += "next_file " + std::to_string(next_file_number_.load()) + "\n";
   for (const auto& handle : version.l0) out += "l0 " + handle->name() + "\n";
   for (const auto& handle : version.l1) out += "l1 " + handle->name() + "\n";
   const std::string tmp = JoinPath(path_, std::string(kManifestName) + ".tmp");

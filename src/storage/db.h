@@ -2,6 +2,7 @@
 #define PSTORM_STORAGE_DB_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -11,6 +12,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "storage/env.h"
 #include "storage/iterator.h"
 #include "storage/memtable.h"
@@ -31,6 +33,20 @@ struct DbOptions {
   /// acked write survives a crash without waiting for a flush. Off buys
   /// write throughput at the cost of losing the unflushed memtable.
   bool wal_enabled = true;
+  /// When set, flushes and compactions run as tasks on this pool instead of
+  /// inline on the writer thread: Put/Delete only append to the WAL and the
+  /// memtable, swap a full memtable aside, and schedule background work.
+  /// When null (the default) all maintenance runs inline under the writer
+  /// mutex — the deterministic single-thread mode the unit tests rely on.
+  /// The pool must outlive the Db.
+  common::ThreadPool* maintenance_pool = nullptr;
+  /// Admission control, background mode only (LevelDB-style). At or above
+  /// `l0_slowdown_threshold` level-0 tables each write is delayed by
+  /// kSlowdownDelayMicros so compaction can gain ground; at or above
+  /// `l0_stop_threshold` writers block until the backlog drops below the
+  /// stop threshold. 0 disables the respective gate.
+  int l0_slowdown_threshold = 8;
+  int l0_stop_threshold = 12;
   TableBuilder::Options table_options;
 };
 
@@ -51,6 +67,13 @@ struct DbStats {
   /// Unreferenced leftovers (crashed flush/compaction debris) deleted by
   /// Open.
   uint64_t orphans_removed = 0;
+  /// Writes delayed by the soft admission-control gate (background mode).
+  uint64_t write_slowdowns = 0;
+  /// Writes blocked by the hard gate (L0 backlog or a full immutable
+  /// memtable) until background maintenance caught up.
+  uint64_t write_stalls = 0;
+  /// Total wall time writers spent delayed or blocked, in microseconds.
+  uint64_t stall_micros = 0;
 };
 
 /// A small embedded LSM key-value store: one memtable, a newest-first list
@@ -62,27 +85,46 @@ struct DbStats {
 ///  * Readers (`Get`, `NewIterator`, the size accessors) may run from any
 ///    number of threads concurrently with each other and with writers.
 ///    They take the state mutex shared just long enough to probe the
-///    memtable and pin the current Version (an immutable, refcounted
-///    {sstable list} snapshot — see storage/version.h), then search it
-///    lock-free.
+///    memtable (and the immutable memtable awaiting flush, background mode)
+///    and pin the current Version (an immutable, refcounted {sstable list}
+///    snapshot — see storage/version.h), then search it lock-free.
 ///  * Writers (`Put`, `Delete`, `Flush`, `CompactAll`) serialize on an
 ///    internal writer mutex (WAL append order == memtable order ==
-///    manifest order) and publish new Versions under a brief exclusive
+///    manifest order) and publish memtable edits under a brief exclusive
 ///    lock of the state mutex.
+///  * With `DbOptions::maintenance_pool` set, flushes and compactions run
+///    on the pool: a write blocks only on the memtable append, the WAL
+///    append, or an explicit admission-control stall. At most one
+///    background task runs per Db at a time, so flush/compaction/manifest
+///    writes never race each other; `WaitForIdle()` is the quiescing
+///    barrier. A failed background job latches its status — subsequent
+///    writes return it — and reopening recovers from the WAL.
 ///  * Obsolete sstables are deleted only when the last Version pinning
 ///    them is released, so an iterator keeps serving from compacted-away
 ///    tables.
+///
+/// Lock order: writer_mu_ -> maint_mu_ -> state_mu_ (never the reverse).
 class Db {
  public:
+  /// Soft-gate delay applied per write while level 0 is over the slowdown
+  /// threshold (background mode).
+  static constexpr int kSlowdownDelayMicros = 1000;
+
   /// Opens (or creates) a database rooted at `path` inside `env`, which
   /// must outlive the Db. Recovery sequence: load the manifest
   /// (quarantining any unreadable sstable instead of failing the open),
-  /// replay the write-ahead log into the memtable (stopping cleanly at a
-  /// torn tail), then sweep files the manifest no longer references.
-  /// A corrupt manifest itself still fails the open — the layer above
-  /// (hstore) decides whether to sacrifice the region.
+  /// replay the write-ahead logs into the memtable — first the rotated
+  /// log of a flush that was in flight when the process died, then the
+  /// active log, both stopping cleanly at a torn tail — then sweep files
+  /// the manifest no longer references. A corrupt manifest itself still
+  /// fails the open — the layer above (hstore) decides whether to
+  /// sacrifice the region.
   static Result<std::unique_ptr<Db>> Open(Env* env, std::string path,
                                           DbOptions options = {});
+
+  /// Blocks until in-flight background work finishes (no new work is
+  /// started); buffered writes may stay in the memtable/WAL unflushed.
+  ~Db();
 
   Db(const Db&) = delete;
   Db& operator=(const Db&) = delete;
@@ -102,17 +144,27 @@ class Db {
   /// whose payload is bounded by DbOptions::memtable_flush_bytes.
   std::unique_ptr<Iterator> NewIterator() const;
 
-  /// Persists the memtable as a level-0 table (no-op when empty). Runs a
-  /// compaction if level 0 is over the trigger.
+  /// Persists the memtable as a level-0 table (no-op when empty). Inline
+  /// mode runs a compaction if level 0 is over the trigger; background
+  /// mode schedules the flush and waits for the scheduler to go idle.
   Status Flush();
 
   /// Merges everything into a fresh level-1 run, dropping tombstones.
+  /// Background mode schedules the work and waits for idle.
   Status CompactAll();
+
+  /// Blocks until no background maintenance is scheduled or running and no
+  /// immutable memtable awaits flush, then returns the latched status of
+  /// the last failed background job (OK when none failed). Inline mode
+  /// returns immediately. The quiescing barrier for tests, benchmarks, and
+  /// the hstore layer.
+  Status WaitForIdle() const;
 
   size_t num_level0_tables() const;
   size_t num_level1_tables() const;
   size_t memtable_entries() const;
-  /// Rough resident payload: memtable bytes plus serialized table bytes.
+  /// Rough resident payload: memtable (+ immutable memtable) bytes plus
+  /// serialized table bytes.
   size_t ApproximateSizeBytes() const;
   /// A consistent snapshot of the counters.
   DbStats stats() const;
@@ -130,20 +182,73 @@ class Db {
     std::atomic<uint64_t> wal_tail_truncated{0};
     std::atomic<uint64_t> quarantined_files{0};
     std::atomic<uint64_t> orphans_removed{0};
+    std::atomic<uint64_t> write_slowdowns{0};
+    std::atomic<uint64_t> write_stalls{0};
+    std::atomic<uint64_t> stall_micros{0};
   };
 
   Db(Env* env, std::string path, DbOptions options)
       : env_(env), path_(std::move(path)), options_(options) {}
 
-  /// The *Locked variants require writer_mu_ held.
+  bool background_mode() const {
+    return options_.maintenance_pool != nullptr;
+  }
+
+  /// The *Locked variants require writer_mu_ held (inline mode).
   Status MaybeFlushLocked();
   Status FlushLocked();
   Status CompactAllLocked();
-  Status WriteManifestLocked(const Version& version);
+
+  // --- Background scheduler (background mode only). ---
+  /// Admission control, called with writer_mu_ held before the WAL append:
+  /// returns the latched background error, sleeps kSlowdownDelayMicros at
+  /// the soft gate, and blocks at the hard gate until compaction catches
+  /// up.
+  Status MaybeThrottleLocked();
+  /// Moves the full memtable aside as the immutable memtable (waiting for
+  /// a still-pending one to flush first), rotates the WAL, and schedules a
+  /// background flush. Requires writer_mu_ held. No-op when the memtable
+  /// is empty.
+  Status ScheduleMemtableSwapLocked();
+  /// Requires maint_mu_ held. Queues BackgroundWork on the pool unless one
+  /// is already queued/running, the Db is shutting down, or a background
+  /// error is latched.
+  void ScheduleMaintenanceLocked();
+  /// Flips bg_scheduled_ and keeps the global queue-depth gauge balanced.
+  /// Requires maint_mu_ held.
+  void SetScheduledLocked(bool scheduled);
+  /// The pool task: drains work (flush the immutable memtable, then
+  /// compact if requested or level 0 is over the trigger) until none is
+  /// left, notifying stalled writers after every job.
+  void BackgroundWork();
+  Status DoBackgroundFlush();
+  Status DoBackgroundCompaction();
+  /// Current level-0 table count (takes state_mu_ shared; safe under
+  /// maint_mu_ per the lock order).
+  size_t L0Count() const;
+  /// Whether an immutable memtable awaits flush (takes state_mu_ shared).
+  bool HasImm() const;
+
+  /// Serializes `memtable` into a new level-0 sstable file and returns a
+  /// handle to it; `*bytes` gets the serialized size. The caller must
+  /// guarantee the memtable is not mutated meanwhile (writer_mu_ held, or
+  /// an immutable memtable).
+  Result<std::shared_ptr<TableHandle>> BuildTableFromMemtable(
+      const Memtable& memtable, size_t* bytes);
+  /// Merges every table of `base` into a fresh level-1 run (tombstones
+  /// dropped), writing the new files; `*bytes` gets the total written.
+  /// Does not publish or write the manifest — callers do.
+  Result<std::shared_ptr<Version>> BuildCompactedVersion(const Version& base,
+                                                         size_t* bytes);
+
+  /// Writes `version` to the manifest. Serialized by writer_mu_ in inline
+  /// mode and by the single background task in background mode (plus the
+  /// single-threaded Open).
+  Status WriteManifest(const Version& version);
   /// Open-time only (single-threaded).
   Status LoadManifest();
   /// Deletes files in the db directory that are neither live (manifest,
-  /// WAL, referenced tables) nor quarantined — the debris of a crashed
+  /// WALs, referenced tables) nor quarantined — the debris of a crashed
   /// flush or compaction.
   Status RemoveOrphans();
   Result<std::shared_ptr<Table>> LoadTable(const std::string& file_name);
@@ -156,17 +261,30 @@ class Db {
   DbOptions options_;
   std::unique_ptr<WalWriter> wal_;
 
-  /// Serializes every mutation: WAL appends, memtable writes, flushes,
-  /// compactions, manifest writes, and file numbering. Lock order:
-  /// writer_mu_ before state_mu_ (never the reverse).
+  /// Serializes every mutation entry point: WAL appends, memtable writes,
+  /// memtable swaps, and (inline mode) flushes/compactions/manifest
+  /// writes.
   std::mutex writer_mu_;
-  uint64_t next_file_number_ = 1;  // Guarded by writer_mu_ (+ Open).
+  /// Atomic so the background task can name files without writer_mu_.
+  std::atomic<uint64_t> next_file_number_{1};
+
+  /// Guards the background scheduler state below; maint_cv_ is notified
+  /// after every completed background job, on errors, and at shutdown.
+  mutable std::mutex maint_mu_;
+  mutable std::condition_variable maint_cv_;
+  bool bg_scheduled_ = false;      // A BackgroundWork task is queued/running.
+  bool compact_requested_ = false; // An explicit CompactAll is pending.
+  bool shutting_down_ = false;     // Set by ~Db: finish the job, stop.
+  Status bg_error_;                // First background failure, latched.
 
   /// Guards the reader-visible state below. Readers hold it shared only
-  /// while probing the memtable and pinning current_; writers hold it
-  /// exclusive only while applying a memtable edit or swapping versions.
+  /// while probing the memtables and pinning current_; writers hold it
+  /// exclusive only while applying a memtable edit or swapping state.
   mutable std::shared_mutex state_mu_;
   Memtable memtable_;
+  /// Background mode: the swapped-aside memtable the scheduler is
+  /// flushing. Immutable once published, so the flush reads it lock-free.
+  std::shared_ptr<const Memtable> imm_;
   std::shared_ptr<const Version> current_;
 
   AtomicDbStats stats_;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "hstore/table.h"
 #include "storage/env.h"
 
@@ -201,6 +202,60 @@ TEST_F(HTableConcurrencyTest, ScanPinnedBeforeSplitKeepsItsSnapshot) {
   ASSERT_EQ(rows->size(), 30u);
   for (const RowResult& row : rows.value()) {
     EXPECT_EQ(*row.GetValue("F", "v"), "before");
+  }
+}
+
+TEST_F(HTableConcurrencyTest, SplitsRaceBackgroundMaintenanceAndScans) {
+  // Region Dbs run their flushes/compactions on a shared pool while other
+  // threads write (forcing splits, whose CompactAll quiesces the source
+  // region) and scan. Exercises the table_mu_ → region stripe → Db lock
+  // order against the new maintenance path.
+  common::ThreadPool pool(2);
+  HTableOptions options = SplittyOptions();
+  options.db_options.maintenance_pool = &pool;
+  options.db_options.l0_compaction_trigger = 3;
+  auto table = OpenTable(options);
+
+  constexpr int kRows = 150;
+  std::atomic<bool> done{false};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> scanners;
+  for (int t = 0; t < 2; ++t) {
+    scanners.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        auto rows = table->Scan(ScanSpec{});
+        if (!rows.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = t; i < kRows; i += 3) {
+        PutOp put(RowKey(i));
+        put.Add("F", "v", std::string(60, static_cast<char>('a' + t)));
+        if (!table->Put(put).ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : scanners) t.join();
+  ASSERT_EQ(errors.load(), 0);
+
+  ASSERT_TRUE(table->WaitForIdle().ok());
+  ASSERT_GT(table->num_regions(), 1u);  // The volume forced splits.
+  auto rows = table->Scan(ScanSpec{});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), static_cast<size_t>(kRows));
+  for (int i = 0; i < kRows; ++i) {
+    auto row = table->Get(RowKey(i));
+    ASSERT_TRUE(row.ok()) << RowKey(i);
+    EXPECT_EQ(*row->GetValue("F", "v"),
+              std::string(60, static_cast<char>('a' + (i % 3))));
   }
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "storage/db.h"
 #include "storage/env.h"
 
@@ -190,6 +191,62 @@ TEST(CrashRecoveryTest, EveryMutationBoundarySurvivesReopen) {
         EXPECT_TRUE(fault.crashed()) << context;
       }
       // Reboot: faults clear, the surviving bytes are what they are.
+      fault.ClearFaults();
+      auto reopened = Db::Open(&fault, "/db", CrashyOptions());
+      ASSERT_TRUE(reopened.ok())
+          << context << ": " << reopened.status().ToString();
+      VerifyAckedState(reopened.value().get(), model, context);
+    }
+  }
+}
+
+/// The same crash-at-every-mutation-boundary harness, with flushes and
+/// compactions running on the background scheduler. The crash can now land
+/// between a maintenance schedule and its table write, between the table
+/// write and the manifest publish, between the publish and the rotated-WAL
+/// delete, or during an obsolete-file delete — each leaves different
+/// debris (orphaned sstables, a stale WAL.imm, both logs at once), and a
+/// reopen must recover every acked key from all of them.
+///
+/// Unlike the inline harness, the mutation interleaving is not identical
+/// across runs (the background task races the writer for the fault
+/// schedule), so the crash point is not asserted to fire: a run where the
+/// schedule lands past the workload's mutations simply finishes clean,
+/// and the reopen check holds either way.
+TEST(CrashRecoveryTest, BackgroundMaintenanceSurvivesCrashAtEveryBoundary) {
+  common::ThreadPool pool(1);
+  DbOptions options = CrashyOptions();
+  options.maintenance_pool = &pool;
+  for (const uint64_t seed : {uint64_t{42}, uint64_t{0xC0FFEE}}) {
+    // Dry run to learn (approximately) how many mutations the workload
+    // crosses, including the background jobs' writes.
+    uint64_t total_mutations = 0;
+    {
+      InMemoryEnv base;
+      FaultInjectionEnv fault(&base);
+      auto db = Db::Open(&fault, "/db", options).value();
+      fault.ClearFaults();  // Count workload mutations only.
+      std::map<std::string, std::string> model;
+      ASSERT_TRUE(RunWorkload(db.get(), seed, &model));
+      ASSERT_TRUE(db->WaitForIdle().ok());
+      total_mutations = fault.mutation_count();
+      ASSERT_GT(total_mutations, 40u);  // Puts plus flush/compaction IO.
+    }
+
+    for (uint64_t crash_at = 1; crash_at <= total_mutations; ++crash_at) {
+      const std::string context = "bg seed=" + std::to_string(seed) +
+                                  " crash_at=" + std::to_string(crash_at);
+      InMemoryEnv base;
+      FaultInjectionEnv fault(&base);
+      std::map<std::string, std::string> model;
+      {
+        auto db = Db::Open(&fault, "/db", options).value();
+        fault.CrashAtMutation(crash_at);
+        (void)RunWorkload(db.get(), seed, &model);
+        // ~Db drains the background task, crashed or not.
+      }
+      // Reboot: faults clear, the surviving bytes are what they are. The
+      // reopen runs inline — recovery must not depend on a pool.
       fault.ClearFaults();
       auto reopened = Db::Open(&fault, "/db", CrashyOptions());
       ASSERT_TRUE(reopened.ok())

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--tolerance PCT]
+                              [--metric real_time|cpu_time]
+
+Both files are google-benchmark JSON reports produced with aggregates, e.g.
+
+    bench_micro --benchmark_repetitions=5 \
+                --benchmark_report_aggregates_only=true \
+                --benchmark_out=current.json --benchmark_out_format=json
+
+Only the per-benchmark *median* aggregates are compared (means are too
+noisy on shared CI runners). A benchmark regresses when its current median
+is more than --tolerance percent slower than the baseline median; it is
+reported (but never fails the check) when it is that much faster, which
+means the committed baseline is stale and should be refreshed.
+
+Benchmarks present on only one side are reported and skipped: a freshly
+added benchmark has no baseline until someone refreshes it, and a deleted
+one should be cleaned from the baseline eventually, but neither should
+break an unrelated PR.
+
+To refresh the baseline, rerun the command above on the CI runner class
+and commit the output as bench/baseline.json (see README "Refreshing the
+bench baseline").
+
+Exit status: 0 when no benchmark regressed, 1 otherwise, 2 on bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_medians(path, metric):
+    """Returns {benchmark name: median metric value} for one report."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    medians = {}
+    for bench in report.get("benchmarks", []):
+        # Aggregate rows carry e.g. "BM_Foo/8_median"; plain rows (a run
+        # without --benchmark_repetitions) have no aggregate_name, and the
+        # single measurement serves as its own median.
+        name = bench.get("run_name", bench.get("name", ""))
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") != "median":
+                continue
+        if not name or metric not in bench:
+            continue
+        medians[name] = float(bench[metric])
+    if not medians:
+        sys.exit(f"error: no usable benchmark entries in {path}")
+    return medians
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=25.0,
+        help="allowed slowdown of the median, in percent (default 25)",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=("real_time", "cpu_time"),
+        default="cpu_time",
+        help="which per-iteration time to compare (default cpu_time: it is "
+        "far less sensitive to noisy-neighbour CI runners)",
+    )
+    parser.add_argument(
+        "--normalize-by",
+        metavar="BENCHMARK",
+        help="divide every median by this benchmark's median from the same "
+        "report before comparing. A runner class uniformly faster or slower "
+        "than the baseline machine then cancels out, and only *relative* "
+        "shifts between benchmarks count as regressions. The reference "
+        "benchmark itself trivially compares equal.",
+    )
+    args = parser.parse_args()
+    if args.tolerance <= 0:
+        parser.error("--tolerance must be positive")
+
+    baseline = load_medians(args.baseline, args.metric)
+    current = load_medians(args.current, args.metric)
+
+    if args.normalize_by:
+        for side, medians in (("baseline", baseline), ("current", current)):
+            ref = medians.get(args.normalize_by)
+            if ref is None or ref <= 0:
+                sys.exit(
+                    f"error: --normalize-by benchmark {args.normalize_by!r} "
+                    f"is missing or non-positive in the {side} report"
+                )
+            for name in medians:
+                medians[name] /= ref
+        print(f"medians normalized by {args.normalize_by}")
+
+    regressions = []
+    improvements = []
+    width = max(map(len, baseline | current))
+    print(f"comparing {args.metric} medians, tolerance ±{args.tolerance:g}%")
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"  {name:<{width}}  MISSING from current run (skipped)")
+            continue
+        base, cur = baseline[name], current[name]
+        if base <= 0:
+            print(f"  {name:<{width}}  non-positive baseline (skipped)")
+            continue
+        delta_pct = (cur - base) / base * 100.0
+        verdict = "ok"
+        if delta_pct > args.tolerance:
+            verdict = "REGRESSION"
+            regressions.append((name, delta_pct))
+        elif delta_pct < -args.tolerance:
+            verdict = "faster (baseline stale?)"
+            improvements.append((name, delta_pct))
+        print(
+            f"  {name:<{width}}  base {base:12.1f}  cur {cur:12.1f}"
+            f"  {delta_pct:+7.1f}%  {verdict}"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name:<{width}}  NEW (no baseline; refresh to cover it)")
+
+    if improvements:
+        print(
+            f"\n{len(improvements)} benchmark(s) ran >"
+            f"{args.tolerance:g}% faster than the baseline — consider "
+            "refreshing bench/baseline.json so future regressions are "
+            "measured from the improved numbers."
+        )
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed:")
+        for name, delta_pct in regressions:
+            print(f"  {name}: {delta_pct:+.1f}%")
+        return 1
+    print("\nOK: no benchmark regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
