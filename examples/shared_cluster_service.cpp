@@ -166,6 +166,25 @@ int main(int argc, char** argv) {
     std::printf("\n--- trace of one %s submission ---\n%s",
                 s.tenant, trace.ToString().c_str());
   }
+  // The block cache sits under every profile read the service just
+  // served; its hit rate is the one-number summary of how much of the
+  // read path ran from decoded memory instead of decompressing sstable
+  // blocks again.
+  {
+    const uint64_t cache_hits =
+        obs::MetricsRegistry::Global()
+            .GetCounter("pstorm_block_cache_hits_total")
+            .Value();
+    const uint64_t cache_misses =
+        obs::MetricsRegistry::Global()
+            .GetCounter("pstorm_block_cache_misses_total")
+            .Value();
+    const uint64_t lookups = cache_hits + cache_misses;
+    std::printf("\nblock cache: %llu hits / %llu lookups (%.1f%% hit rate)\n",
+                static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(lookups),
+                lookups == 0 ? 0.0 : 100.0 * cache_hits / lookups);
+  }
   std::printf("\n--- end-of-run metrics dump ---\n%s",
               obs::MetricsRegistry::Global().Dump().c_str());
   return 0;

@@ -159,6 +159,14 @@ Result<std::unique_ptr<HTable>> HTable::Open(storage::Env* env,
   if (schema.families.empty()) {
     return Status::InvalidArgument("table needs at least one column family");
   }
+  // One block cache for every region of the table (created now and for any
+  // later split): regions would otherwise each carve out a private budget,
+  // and a hot row set spanning a split would be cached twice.
+  if (options.db_options.block_cache == nullptr &&
+      options.db_options.block_cache_bytes > 0) {
+    options.db_options.block_cache = std::make_shared<storage::BlockCache>(
+        options.db_options.block_cache_bytes);
+  }
   auto table = std::unique_ptr<HTable>(
       new HTable(env, std::move(root_path), std::move(schema), options));
   PSTORM_RETURN_IF_ERROR(env->CreateDir(table->root_path_));
@@ -361,7 +369,11 @@ Result<RowResult> HTable::Get(std::string_view row) const {
     std::shared_lock<std::shared_mutex> lock(table_mu_);
     const internal::Region* region = RegionForLocked(row);
     std::lock_guard<std::mutex> stripe(region->write_mu());
-    it = region->db()->NewIterator();
+    // The prefix is row + separator — exactly the shape the sstables'
+    // prefix bloom filters index — so tables without this row are skipped
+    // outright. The StartsWith bound below keeps the scan inside the
+    // range where the pruned merge is coherent.
+    it = region->db()->NewPrefixIterator(prefix);
   }
   RowResult result{std::string(row)};
   for (it->Seek(prefix); it->Valid() && StartsWith(it->key(), prefix);
@@ -392,7 +404,7 @@ Status HTable::DeleteRow(std::string_view row) {
   std::lock_guard<std::mutex> stripe(region->write_mu());
   std::vector<std::string> keys;
   {
-    auto it = region->db()->NewIterator();
+    auto it = region->db()->NewPrefixIterator(prefix);
     for (it->Seek(prefix); it->Valid() && StartsWith(it->key(), prefix);
          it->Next()) {
       keys.emplace_back(it->key());
@@ -415,6 +427,7 @@ storage::DbStats HTable::AggregatedDbStats() const {
     total.bytes_flushed += s.bytes_flushed;
     total.bytes_compacted += s.bytes_compacted;
     total.wal_appends += s.wal_appends;
+    total.wal_syncs += s.wal_syncs;
     total.wal_records_replayed += s.wal_records_replayed;
     total.wal_tail_truncated += s.wal_tail_truncated;
     total.quarantined_files += s.quarantined_files;

@@ -1,0 +1,198 @@
+#include "storage/block_cache.h"
+
+#include <atomic>
+
+#include "common/hash.h"
+#include "obs/metrics.h"
+
+namespace pstorm::storage {
+
+namespace {
+
+obs::Counter& HitsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_block_cache_hits_total");
+  return c;
+}
+
+obs::Counter& MissesCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_block_cache_misses_total");
+  return c;
+}
+
+obs::Counter& EvictionsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_block_cache_evictions_total");
+  return c;
+}
+
+obs::Gauge& BytesGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "pstorm_block_cache_bytes");
+  return g;
+}
+
+struct Key {
+  uint64_t file_id;
+  uint64_t offset;
+  bool operator==(const Key& o) const {
+    return file_id == o.file_id && offset == o.offset;
+  }
+};
+
+struct KeyHash {
+  size_t operator()(const Key& k) const {
+    return static_cast<size_t>(Mix64(k.file_id * 0x9e3779b97f4a7c15ull ^
+                                     Mix64(k.offset)));
+  }
+};
+
+}  // namespace
+
+/// One LRU node. prev/next form an intrusive list through a sentinel whose
+/// prev is the LRU tail (eviction victim) and next the MRU front.
+struct BlockCache::Entry {
+  uint64_t file_id = 0;
+  uint64_t offset = 0;
+  std::shared_ptr<const Block> block;
+  size_t charge = 0;
+  Entry* prev = nullptr;
+  Entry* next = nullptr;
+};
+
+struct BlockCache::Shard {
+  std::mutex mu;
+  std::unordered_map<Key, Entry*, KeyHash> index;
+  Entry lru;  // Sentinel.
+  size_t bytes_used = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t inserts = 0;
+
+  Shard() { lru.prev = lru.next = &lru; }
+
+  ~Shard() {
+    Entry* e = lru.next;
+    while (e != &lru) {
+      Entry* next = e->next;
+      delete e;
+      e = next;
+    }
+  }
+
+  static void Unlink(Entry* e) {
+    e->prev->next = e->next;
+    e->next->prev = e->prev;
+  }
+
+  void PushFront(Entry* e) {
+    e->next = lru.next;
+    e->prev = &lru;
+    lru.next->prev = e;
+    lru.next = e;
+  }
+};
+
+BlockCache::BlockCache(size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes),
+      shard_capacity_bytes_(capacity_bytes / kNumShards),
+      shards_(new Shard[kNumShards]) {}
+
+BlockCache::~BlockCache() {
+  BytesGauge().Add(-static_cast<int64_t>(GetStats().bytes_used));
+}
+
+BlockCache::Shard* BlockCache::ShardFor(uint64_t file_id, uint64_t offset) {
+  const size_t h = KeyHash{}(Key{file_id, offset});
+  return &shards_[h % kNumShards];
+}
+
+std::shared_ptr<const Block> BlockCache::Lookup(uint64_t file_id,
+                                                uint64_t offset) {
+  Shard* shard = ShardFor(file_id, offset);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->index.find(Key{file_id, offset});
+  if (it == shard->index.end()) {
+    ++shard->misses;
+    MissesCounter().Increment();
+    return nullptr;
+  }
+  Entry* e = it->second;
+  Shard::Unlink(e);
+  shard->PushFront(e);
+  ++shard->hits;
+  HitsCounter().Increment();
+  return e->block;
+}
+
+void BlockCache::Insert(uint64_t file_id, uint64_t offset,
+                        std::shared_ptr<const Block> block, size_t charge) {
+  Shard* shard = ShardFor(file_id, offset);
+  int64_t bytes_delta = 0;
+  uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const Key key{file_id, offset};
+    auto it = shard->index.find(key);
+    if (it != shard->index.end()) {
+      Entry* old = it->second;
+      Shard::Unlink(old);
+      shard->bytes_used -= old->charge;
+      bytes_delta -= static_cast<int64_t>(old->charge);
+      shard->index.erase(it);
+      delete old;
+    }
+    Entry* e = new Entry;
+    e->file_id = file_id;
+    e->offset = offset;
+    e->block = std::move(block);
+    e->charge = charge;
+    shard->PushFront(e);
+    shard->index.emplace(key, e);
+    shard->bytes_used += charge;
+    bytes_delta += static_cast<int64_t>(charge);
+    ++shard->inserts;
+    while (shard->bytes_used > shard_capacity_bytes_ &&
+           shard->lru.prev != &shard->lru) {
+      Entry* victim = shard->lru.prev;
+      Shard::Unlink(victim);
+      shard->index.erase(Key{victim->file_id, victim->offset});
+      shard->bytes_used -= victim->charge;
+      bytes_delta -= static_cast<int64_t>(victim->charge);
+      ++shard->evictions;
+      ++evicted;
+      delete victim;
+    }
+  }
+  BytesGauge().Add(bytes_delta);
+  if (evicted > 0) EvictionsCounter().Add(evicted);
+}
+
+BlockCache::Stats BlockCache::GetStats() const {
+  Stats stats;
+  for (int i = 0; i < kNumShards; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.inserts += shard.inserts;
+    stats.bytes_used += shard.bytes_used;
+  }
+  return stats;
+}
+
+double BlockCache::HitRate() const {
+  const Stats stats = GetStats();
+  const uint64_t total = stats.hits + stats.misses;
+  return total == 0 ? 0.0 : static_cast<double>(stats.hits) / total;
+}
+
+uint64_t BlockCache::NewFileId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace pstorm::storage

@@ -1,0 +1,75 @@
+#ifndef PSTORM_STORAGE_BLOCK_CACHE_H_
+#define PSTORM_STORAGE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "storage/block.h"
+
+namespace pstorm::storage {
+
+/// Process-shared LRU cache of decoded data blocks, sharded 16 ways so
+/// concurrent readers rarely touch the same mutex. Entries are keyed on
+/// (file_id, block_offset) — file ids come from NewFileId() and are never
+/// reused within a process, so a recycled table file name can never alias a
+/// stale entry. Charging is by *decoded* block bytes: that is what actually
+/// sits in memory, and it is what a hit saves the reader from re-inflating.
+///
+/// Lookup returns a shared_ptr, so an entry evicted while a reader still
+/// holds it stays alive until the last reader drops it; eviction only stops
+/// the cache from charging for it.
+class BlockCache {
+ public:
+  /// `capacity_bytes` is the total decoded-byte budget across all shards.
+  /// A zero capacity still constructs a working cache that caches nothing.
+  explicit BlockCache(size_t capacity_bytes);
+  ~BlockCache();
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// The cached block, or nullptr on miss. A hit moves the entry to the
+  /// front of its shard's LRU list.
+  std::shared_ptr<const Block> Lookup(uint64_t file_id, uint64_t offset);
+
+  /// Inserts (or replaces) the entry and evicts from the shard's LRU tail
+  /// until the shard is back under its share of the capacity.
+  void Insert(uint64_t file_id, uint64_t offset,
+              std::shared_ptr<const Block> block, size_t charge);
+
+  /// Approximate point-in-time totals; counters race only with in-flight
+  /// operations.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t inserts = 0;
+    size_t bytes_used = 0;
+  };
+  Stats GetStats() const;
+
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  double HitRate() const;
+
+  /// Process-unique id for a newly opened table file; never returns the same
+  /// value twice.
+  static uint64_t NewFileId();
+
+  static constexpr int kNumShards = 16;
+
+ private:
+  struct Entry;
+  struct Shard;
+
+  Shard* ShardFor(uint64_t file_id, uint64_t offset);
+
+  const size_t capacity_bytes_;
+  const size_t shard_capacity_bytes_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace pstorm::storage
+
+#endif  // PSTORM_STORAGE_BLOCK_CACHE_H_

@@ -1,0 +1,193 @@
+#include "storage/codec.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace pstorm::storage {
+
+namespace {
+
+/// Compressed-stream layout of the kLz codec (LZ4-style):
+///
+///   varint64 raw_size
+///   sequence*    token byte: high nibble literal_len, low nibble
+///                match_len - 4; a nibble of 15 is extended by 255-run
+///                bytes. Then the literal bytes, then (except in the final,
+///                literals-only sequence) a fixed16 little-endian offset
+///                (1..65535) back into the already-decoded output.
+///
+/// The stream always ends with a literals-only sequence (possibly empty),
+/// exactly like LZ4 block format.
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 13;
+constexpr uint32_t kNoPos = 0xffffffffu;
+/// Upper bound on a decoded block; anything bigger is malformed input, not
+/// a real block (tables are bounded by the compactor's target file size).
+constexpr uint64_t kMaxRawSize = 1ull << 30;
+
+uint32_t Load32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint32_t Hash32(uint32_t v) { return (v * 2654435761u) >> (32 - kHashBits); }
+
+void PutRunLength(std::string* out, size_t v) {
+  while (v >= 255) {
+    out->push_back(static_cast<char>(255));
+    v -= 255;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetRunLength(std::string_view* input, size_t* len) {
+  while (true) {
+    if (input->empty()) return false;
+    const uint8_t b = static_cast<uint8_t>(input->front());
+    input->remove_prefix(1);
+    *len += b;
+    if (b != 255) return true;
+    if (*len > kMaxRawSize) return false;
+  }
+}
+
+void EmitSequence(std::string* out, std::string_view literals,
+                  size_t match_len, size_t offset) {
+  const size_t ll = literals.size();
+  const size_t ml = match_len - kMinMatch;
+  const uint8_t token = static_cast<uint8_t>(
+      (ll < 15 ? ll : 15) << 4 | (ml < 15 ? ml : 15));
+  out->push_back(static_cast<char>(token));
+  if (ll >= 15) PutRunLength(out, ll - 15);
+  out->append(literals.data(), literals.size());
+  out->push_back(static_cast<char>(offset & 0xff));
+  out->push_back(static_cast<char>(offset >> 8));
+  if (ml >= 15) PutRunLength(out, ml - 15);
+}
+
+void EmitFinalLiterals(std::string* out, std::string_view literals) {
+  const size_t ll = literals.size();
+  out->push_back(static_cast<char>((ll < 15 ? ll : 15) << 4));
+  if (ll >= 15) PutRunLength(out, ll - 15);
+  out->append(literals.data(), literals.size());
+}
+
+class NoneCodec final : public Codec {
+ public:
+  CodecType type() const override { return CodecType::kNone; }
+  std::string_view name() const override { return "none"; }
+  void Compress(std::string_view input, std::string* output) const override {
+    output->assign(input.data(), input.size());
+  }
+  bool Decompress(std::string_view input,
+                  std::string* output) const override {
+    output->assign(input.data(), input.size());
+    return true;
+  }
+};
+
+class LzCodec final : public Codec {
+ public:
+  CodecType type() const override { return CodecType::kLz; }
+  std::string_view name() const override { return "lz"; }
+
+  void Compress(std::string_view input, std::string* output) const override {
+    output->clear();
+    PutVarint64(output, input.size());
+    const size_t n = input.size();
+    if (n < kMinMatch + 1) {
+      EmitFinalLiterals(output, input);
+      return;
+    }
+    std::vector<uint32_t> table(1u << kHashBits, kNoPos);
+    const char* data = input.data();
+    size_t pos = 0;
+    size_t literal_start = 0;
+    // Grows the skip stride on long matchless stretches so incompressible
+    // input costs ~O(n/step) probes instead of one per byte (LZ4's
+    // acceleration trick).
+    size_t misses = 0;
+    while (pos + kMinMatch <= n) {
+      const uint32_t h = Hash32(Load32(data + pos));
+      const size_t cand = table[h];
+      table[h] = static_cast<uint32_t>(pos);
+      if (cand != kNoPos && pos - cand <= kMaxOffset &&
+          Load32(data + cand) == Load32(data + pos)) {
+        size_t len = kMinMatch;
+        while (pos + len < n && data[cand + len] == data[pos + len]) ++len;
+        EmitSequence(output,
+                     input.substr(literal_start, pos - literal_start), len,
+                     pos - cand);
+        pos += len;
+        literal_start = pos;
+        misses = 0;
+      } else {
+        ++misses;
+        pos += 1 + (misses >> 6);
+      }
+    }
+    EmitFinalLiterals(output, input.substr(literal_start));
+  }
+
+  bool Decompress(std::string_view input,
+                  std::string* output) const override {
+    std::string_view p = input;
+    uint64_t raw_size = 0;
+    if (!GetVarint64(&p, &raw_size) || raw_size > kMaxRawSize) return false;
+    output->clear();
+    output->reserve(raw_size);
+    while (!p.empty()) {
+      const uint8_t token = static_cast<uint8_t>(p.front());
+      p.remove_prefix(1);
+      size_t literal_len = token >> 4;
+      if (literal_len == 15 && !GetRunLength(&p, &literal_len)) return false;
+      if (p.size() < literal_len ||
+          output->size() + literal_len > raw_size) {
+        return false;
+      }
+      output->append(p.data(), literal_len);
+      p.remove_prefix(literal_len);
+      if (p.empty()) break;  // Final, literals-only sequence.
+      if (p.size() < 2) return false;
+      const size_t offset = static_cast<uint8_t>(p[0]) |
+                            static_cast<size_t>(static_cast<uint8_t>(p[1]))
+                                << 8;
+      p.remove_prefix(2);
+      size_t match_len = token & 0xf;
+      if (match_len == 15 && !GetRunLength(&p, &match_len)) return false;
+      match_len += kMinMatch;
+      if (offset == 0 || offset > output->size() ||
+          output->size() + match_len > raw_size) {
+        return false;
+      }
+      // Byte-at-a-time so overlapping matches (offset < match_len, the RLE
+      // case) replicate the freshly written bytes, as the format intends.
+      size_t src = output->size() - offset;
+      for (size_t i = 0; i < match_len; ++i, ++src) {
+        output->push_back((*output)[src]);
+      }
+    }
+    return output->size() == raw_size;
+  }
+};
+
+}  // namespace
+
+const Codec* GetCodec(CodecType type) {
+  static const NoneCodec none;
+  static const LzCodec lz;
+  switch (type) {
+    case CodecType::kNone:
+      return &none;
+    case CodecType::kLz:
+      return &lz;
+  }
+  return nullptr;
+}
+
+}  // namespace pstorm::storage

@@ -1,0 +1,49 @@
+#ifndef PSTORM_STORAGE_CODEC_H_
+#define PSTORM_STORAGE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pstorm::storage {
+
+/// On-disk compression scheme of one sstable data block. The numeric value
+/// is the 1-byte per-block tag written after the block payload in format-v2
+/// tables, so existing values must never be renumbered.
+enum class CodecType : uint8_t {
+  kNone = 0,
+  /// LZ77 with an LZ4-style token stream (greedy hash-chain matcher,
+  /// 64 KiB window), implemented in-repo so the storage engine stays
+  /// dependency-free. Decompression is strict: any malformed input fails
+  /// instead of reading or writing out of bounds.
+  kLz = 1,
+};
+
+/// A pluggable per-block compressor. Implementations are stateless and
+/// thread-safe; the registry instances returned by GetCodec live for the
+/// whole process.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual CodecType type() const = 0;
+  virtual std::string_view name() const = 0;
+
+  /// Compresses `input` into `*output` (replacing its contents). May
+  /// produce output larger than the input on incompressible data — the
+  /// sstable builder falls back to kNone in that case.
+  virtual void Compress(std::string_view input, std::string* output) const = 0;
+
+  /// Decompresses into `*output` (replacing its contents). Returns false on
+  /// malformed or truncated input; `*output` is unspecified then.
+  virtual bool Decompress(std::string_view input,
+                          std::string* output) const = 0;
+};
+
+/// The process-wide codec instance for `type`, or nullptr for an unknown
+/// tag value (the reader turns that into Corruption).
+const Codec* GetCodec(CodecType type);
+
+}  // namespace pstorm::storage
+
+#endif  // PSTORM_STORAGE_CODEC_H_

@@ -23,6 +23,12 @@ obs::Counter& WalAppends() {
       obs::MetricsRegistry::Global().GetCounter("pstorm_db_wal_appends_total");
   return c;
 }
+/// Physical log IOs; group commit makes this lag pstorm_db_wal_appends_total.
+obs::Counter& WalSyncs() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("pstorm_db_wal_syncs_total");
+  return c;
+}
 obs::Counter& WalRecordsReplayed() {
   static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
       "pstorm_db_wal_records_replayed_total");
@@ -149,6 +155,12 @@ Result<std::unique_ptr<Db>> Db::Open(Env* env, std::string path,
                                      DbOptions options) {
   PSTORM_CHECK(env != nullptr);
   auto db = std::unique_ptr<Db>(new Db(env, std::move(path), options));
+  // The cache must exist before LoadManifest opens any table.
+  if (options.block_cache != nullptr) {
+    db->block_cache_ = options.block_cache;
+  } else if (options.block_cache_bytes > 0) {
+    db->block_cache_ = std::make_shared<BlockCache>(options.block_cache_bytes);
+  }
   db->current_ = std::make_shared<const Version>();
   PSTORM_RETURN_IF_ERROR(env->CreateDir(db->path_));
   if (env->FileExists(JoinPath(db->path_, kManifestName))) {
@@ -251,40 +263,94 @@ Status Db::RemoveOrphans() {
 
 Status Db::Put(std::string_view key, std::string_view value) {
   if (key.empty()) return Status::InvalidArgument("empty key");
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
-  if (background_mode()) {
-    PSTORM_RETURN_IF_ERROR(MaybeThrottleLocked());
-  }
-  if (wal_ != nullptr) {
-    // Log before memtable: a mutation is acked only once it would survive
-    // a crash.
-    PSTORM_RETURN_IF_ERROR(wal_->AppendPut(key, value));
-    ++stats_.wal_appends;
-    WalAppends().Increment();
-  }
-  {
-    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
-    memtable_.Put(key, value);
-  }
-  return MaybeFlushLocked();
+  return WriteImpl(EntryType::kValue, key, value);
 }
 
 Status Db::Delete(std::string_view key) {
   if (key.empty()) return Status::InvalidArgument("empty key");
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  return WriteImpl(EntryType::kTombstone, key, {});
+}
+
+Status Db::WriteImpl(EntryType type, std::string_view key,
+                     std::string_view value) {
+  Writer w;
+  w.type = type;
+  w.key = key;
+  w.value = value;
+
+  std::unique_lock<std::mutex> writer_lock(writer_mu_);
+  writers_.push_back(&w);
+  writers_cv_.wait(writer_lock, [&] {
+    return w.done || (!batch_in_flight_ && writers_.front() == &w);
+  });
+  if (w.done) return w.status;  // A leader committed this write for us.
+
+  // Leader. Admission control runs once per batch: writers that queued up
+  // behind a throttled leader have already paid the delay by waiting.
   if (background_mode()) {
-    PSTORM_RETURN_IF_ERROR(MaybeThrottleLocked());
+    const Status throttle = MaybeThrottleLocked();
+    if (!throttle.ok()) {
+      // Fail only this write; the next front writer retries admission
+      // itself.
+      writers_.pop_front();
+      writers_cv_.notify_all();
+      return throttle;
+    }
   }
+
+  // Everything queued right now rides in this batch. Writers arriving
+  // during the WAL IO below queue behind it for the next leader.
+  const size_t batch_size = writers_.size();
+  Status s;
   if (wal_ != nullptr) {
-    PSTORM_RETURN_IF_ERROR(wal_->AppendDelete(key));
-    ++stats_.wal_appends;
-    WalAppends().Increment();
+    // Log before memtable: a mutation is acked only once it would survive
+    // a crash. The whole batch goes down in one append — one fsync on a
+    // real filesystem — which is the point of the group commit.
+    std::string records;
+    for (size_t i = 0; i < batch_size; ++i) {
+      const Writer* writer = writers_[i];
+      records += EncodeWalRecord(writer->type, writer->key, writer->value);
+    }
+    batch_in_flight_ = true;
+    writer_lock.unlock();
+    s = wal_->AppendBatch(records);
+    writer_lock.lock();
+    batch_in_flight_ = false;
+    if (s.ok()) {
+      stats_.wal_appends += batch_size;
+      ++stats_.wal_syncs;
+      WalAppends().Add(batch_size);
+      WalSyncs().Increment();
+    }
   }
-  {
+  if (s.ok()) {
     std::unique_lock<std::shared_mutex> state_lock(state_mu_);
-    memtable_.Delete(key);
+    for (size_t i = 0; i < batch_size; ++i) {
+      const Writer* writer = writers_[i];
+      if (writer->type == EntryType::kValue) {
+        memtable_.Put(writer->key, writer->value);
+      } else {
+        memtable_.Delete(writer->key);
+      }
+    }
   }
+  for (size_t i = 0; i < batch_size; ++i) {
+    Writer* writer = writers_.front();
+    writers_.pop_front();
+    if (writer != &w) {
+      writer->status = s;
+      writer->done = true;
+    }
+  }
+  writers_cv_.notify_all();
+  if (!s.ok()) return s;
   return MaybeFlushLocked();
+}
+
+std::unique_lock<std::mutex> Db::LockWriterForMaintenance() {
+  std::unique_lock<std::mutex> lock(writer_mu_);
+  writers_cv_.wait(lock, [this] { return !batch_in_flight_; });
+  return lock;
 }
 
 Status Db::MaybeFlushLocked() {
@@ -588,6 +654,7 @@ DbStats Db::stats() const {
   out.bytes_flushed = stats_.bytes_flushed.load();
   out.bytes_compacted = stats_.bytes_compacted.load();
   out.wal_appends = stats_.wal_appends.load();
+  out.wal_syncs = stats_.wal_syncs.load();
   out.wal_records_replayed = stats_.wal_records_replayed.load();
   out.wal_tail_truncated = stats_.wal_tail_truncated.load();
   out.quarantined_files = stats_.quarantined_files.load();
@@ -619,6 +686,29 @@ std::unique_ptr<Iterator> Db::NewIterator() const {
       std::move(memtable), std::move(imm), std::move(version));
 }
 
+std::unique_ptr<Iterator> Db::NewPrefixIterator(
+    std::string_view prefix) const {
+  std::shared_ptr<const Memtable> memtable;
+  std::shared_ptr<const Memtable> imm;
+  std::shared_ptr<const Version> version;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    memtable = std::make_shared<const Memtable>(memtable_);
+    imm = imm_;
+    version = current_;
+  }
+  // Same merge as NewIterator, minus every table whose prefix bloom filter
+  // rejects the prefix — the win this iterator exists for. The memtables
+  // always participate (no filter covers them).
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(memtable->NewIterator());
+  if (imm != nullptr) children.push_back(imm->NewIterator());
+  version->AppendIteratorsForPrefix(prefix, &children);
+  return std::make_unique<PinnedIterator>(
+      NewLiveRecordIterator(NewMergingIterator(std::move(children))),
+      std::move(memtable), std::move(imm), std::move(version));
+}
+
 std::string Db::NewFileName() {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%06llu.sst",
@@ -637,7 +727,7 @@ Result<std::shared_ptr<TableHandle>> Db::BuildTableFromMemtable(
   const std::string name = NewFileName();
   PSTORM_RETURN_IF_ERROR(env_->WriteFile(JoinPath(path_, name), contents));
   PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
-                          Table::Open(contents));
+                          Table::Open(contents, block_cache_));
   *bytes = contents.size();
   return std::make_shared<TableHandle>(env_, path_, name, std::move(table));
 }
@@ -645,14 +735,14 @@ Result<std::shared_ptr<TableHandle>> Db::BuildTableFromMemtable(
 Status Db::Flush() {
   if (background_mode()) {
     {
-      std::lock_guard<std::mutex> writer_lock(writer_mu_);
+      std::unique_lock<std::mutex> writer_lock = LockWriterForMaintenance();
       PSTORM_RETURN_IF_ERROR(ScheduleMemtableSwapLocked());
     }
     // Preserve the synchronous contract callers (hstore splits, tests)
     // rely on: when Flush returns, the data is in tables.
     return WaitForIdle();
   }
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  std::unique_lock<std::mutex> writer_lock = LockWriterForMaintenance();
   return FlushLocked();
 }
 
@@ -693,7 +783,7 @@ Status Db::FlushLocked() {
 Status Db::CompactAll() {
   if (background_mode()) {
     {
-      std::lock_guard<std::mutex> writer_lock(writer_mu_);
+      std::unique_lock<std::mutex> writer_lock = LockWriterForMaintenance();
       PSTORM_RETURN_IF_ERROR(ScheduleMemtableSwapLocked());
       std::lock_guard<std::mutex> maint_lock(maint_mu_);
       compact_requested_ = true;
@@ -701,7 +791,7 @@ Status Db::CompactAll() {
     }
     return WaitForIdle();
   }
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  std::unique_lock<std::mutex> writer_lock = LockWriterForMaintenance();
   return CompactAllLocked();
 }
 
@@ -748,7 +838,7 @@ Result<std::shared_ptr<Version>> Db::BuildCompactedVersion(
     const std::string name = NewFileName();
     PSTORM_RETURN_IF_ERROR(env_->WriteFile(JoinPath(path_, name), contents));
     PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
-                            Table::Open(contents));
+                            Table::Open(contents, block_cache_));
     next->l1.push_back(std::make_shared<TableHandle>(env_, path_, name,
                                                      std::move(table)));
     stats_.bytes_compacted += contents.size();
@@ -788,7 +878,7 @@ Status Db::WriteManifest(const Version& version) {
 Result<std::shared_ptr<Table>> Db::LoadTable(const std::string& file_name) {
   PSTORM_ASSIGN_OR_RETURN(std::string contents,
                           env_->ReadFile(JoinPath(path_, file_name)));
-  return Table::Open(std::move(contents));
+  return Table::Open(std::move(contents), block_cache_);
 }
 
 Status Db::LoadManifest() {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -47,6 +48,16 @@ struct DbOptions {
   /// stop threshold. 0 disables the respective gate.
   int l0_slowdown_threshold = 8;
   int l0_stop_threshold = 12;
+  /// Decoded-block budget of the block cache every sstable read consults
+  /// before re-inflating a block. 0 disables caching. Ignored when
+  /// `block_cache` is set.
+  size_t block_cache_bytes = 4 << 20;
+  /// Share one cache across Dbs (hstore gives all regions of a table the
+  /// same one). When null, Open creates a private cache of
+  /// `block_cache_bytes` (unless that is 0).
+  std::shared_ptr<BlockCache> block_cache;
+  /// Per-table format knobs, including the per-block compression codec
+  /// (`table_options.codec`) and the prefix-bloom delimiter.
   TableBuilder::Options table_options;
 };
 
@@ -58,6 +69,10 @@ struct DbStats {
   uint64_t bytes_compacted = 0;
   /// Mutations appended to the write-ahead log.
   uint64_t wal_appends = 0;
+  /// Physical log writes (env appends, i.e. fsyncs on a real filesystem).
+  /// Group commit makes this less than wal_appends under concurrent
+  /// writers: one IO covers a whole batch.
+  uint64_t wal_syncs = 0;
   /// Records recovered from the log by the last Open.
   uint64_t wal_records_replayed = 0;
   /// 1 when that replay stopped at a torn/corrupt tail record.
@@ -91,7 +106,11 @@ struct DbStats {
 ///  * Writers (`Put`, `Delete`, `Flush`, `CompactAll`) serialize on an
 ///    internal writer mutex (WAL append order == memtable order ==
 ///    manifest order) and publish memtable edits under a brief exclusive
-///    lock of the state mutex.
+///    lock of the state mutex. Concurrent Put/Delete calls group-commit:
+///    each enqueues itself, the front writer becomes the leader, drains
+///    the queue into one WAL append (releasing the writer mutex for the
+///    IO), applies the batch to the memtable in queue order, and wakes the
+///    followers with their status.
 ///  * With `DbOptions::maintenance_pool` set, flushes and compactions run
 ///    on the pool: a write blocks only on the memtable append, the WAL
 ///    append, or an explicit admission-control stall. At most one
@@ -144,6 +163,15 @@ class Db {
   /// whose payload is bounded by DbOptions::memtable_flush_bytes.
   std::unique_ptr<Iterator> NewIterator() const;
 
+  /// Like NewIterator, but for scans over keys starting with `prefix`:
+  /// sstables whose prefix bloom filter proves they hold no such key are
+  /// skipped entirely. The remaining sources still merge in full key
+  /// order, so the iterator is only coherent *within* the prefix range —
+  /// callers must stop consuming once keys no longer start with `prefix`
+  /// (as hstore's row scans do); entries beyond it may be stale or
+  /// missing because a skipped table could have shadowed them.
+  std::unique_ptr<Iterator> NewPrefixIterator(std::string_view prefix) const;
+
   /// Persists the memtable as a level-0 table (no-op when empty). Inline
   /// mode runs a compaction if level 0 is over the trigger; background
   /// mode schedules the flush and waits for the scheduler to go idle.
@@ -163,6 +191,11 @@ class Db {
   size_t num_level0_tables() const;
   size_t num_level1_tables() const;
   size_t memtable_entries() const;
+  /// The block cache this Db's tables read through; null when caching is
+  /// disabled. Possibly shared with other Dbs (see DbOptions::block_cache).
+  const std::shared_ptr<BlockCache>& block_cache() const {
+    return block_cache_;
+  }
   /// Rough resident payload: memtable (+ immutable memtable) bytes plus
   /// serialized table bytes.
   size_t ApproximateSizeBytes() const;
@@ -178,6 +211,7 @@ class Db {
     std::atomic<uint64_t> bytes_flushed{0};
     std::atomic<uint64_t> bytes_compacted{0};
     std::atomic<uint64_t> wal_appends{0};
+    std::atomic<uint64_t> wal_syncs{0};
     std::atomic<uint64_t> wal_records_replayed{0};
     std::atomic<uint64_t> wal_tail_truncated{0};
     std::atomic<uint64_t> quarantined_files{0};
@@ -193,6 +227,29 @@ class Db {
   bool background_mode() const {
     return options_.maintenance_pool != nullptr;
   }
+
+  /// One queued mutation in the group-commit protocol. Lives on its
+  /// writer's stack; the string_views stay valid because that thread
+  /// blocks until `done`.
+  struct Writer {
+    EntryType type;
+    std::string_view key;
+    std::string_view value;
+    Status status;
+    bool done = false;
+  };
+
+  /// The group-commit write path shared by Put and Delete: enqueue, wait
+  /// to become leader (or for a leader to finish the write), batch every
+  /// queued mutation into one WAL append, apply to the memtable in queue
+  /// order.
+  Status WriteImpl(EntryType type, std::string_view key,
+                   std::string_view value);
+
+  /// Acquires writer_mu_ for Flush/CompactAll, waiting out any batch whose
+  /// WAL append is in flight with the mutex released — the memtable and
+  /// log must not be touched until that batch has been applied.
+  std::unique_lock<std::mutex> LockWriterForMaintenance();
 
   /// The *Locked variants require writer_mu_ held (inline mode).
   Status MaybeFlushLocked();
@@ -260,11 +317,20 @@ class Db {
   std::string path_;
   DbOptions options_;
   std::unique_ptr<WalWriter> wal_;
+  std::shared_ptr<BlockCache> block_cache_;
 
   /// Serializes every mutation entry point: WAL appends, memtable writes,
   /// memtable swaps, and (inline mode) flushes/compactions/manifest
   /// writes.
   std::mutex writer_mu_;
+  /// Group-commit state, guarded by writer_mu_. The front writer is the
+  /// leader; batch_in_flight_ is true while it has writer_mu_ released for
+  /// the batch WAL append — Flush/CompactAll must wait it out before
+  /// touching the memtable or truncating the log, or an acked-but-unapplied
+  /// batch could be lost.
+  std::deque<Writer*> writers_;
+  std::condition_variable writers_cv_;
+  bool batch_in_flight_ = false;
   /// Atomic so the background task can name files without writer_mu_.
   std::atomic<uint64_t> next_file_number_{1};
 

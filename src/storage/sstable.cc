@@ -7,15 +7,30 @@
 namespace pstorm::storage {
 
 namespace {
-constexpr uint64_t kTableMagic = 0x7073746f726d5354ULL;  // "pstormST"
-constexpr size_t kFooterSize = 6 * 8;
+constexpr uint64_t kTableMagicV1 = 0x7073746f726d5354ULL;  // "pstormST"
+constexpr uint64_t kTableMagicV2 = 0x7073746f726d5332ULL;  // "pstormS2"
+constexpr size_t kFooterSizeV1 = 6 * 8;
+constexpr size_t kFooterSizeV2 = 7 * 8;
+
+/// The prefix-bloom unit of one key: everything up to and including the
+/// first delimiter byte, or the whole key when it has none. hstore probes
+/// with `row + kSep`, which is exactly the extraction of every cell key of
+/// that row.
+std::string_view KeyPrefix(std::string_view key, char delimiter) {
+  const size_t pos = key.find(delimiter);
+  return pos == std::string_view::npos ? key : key.substr(0, pos + 1);
+}
 }  // namespace
 
 TableBuilder::TableBuilder(TableBuilder::Options options)
     : options_(options),
       data_block_(options.restart_interval),
       index_block_(options.restart_interval),
-      bloom_(options.bloom_bits_per_key) {}
+      bloom_(options.bloom_bits_per_key),
+      prefix_bloom_(options.bloom_bits_per_key) {
+  PSTORM_CHECK(options.format_version == 1 || options.format_version == 2)
+      << "unsupported sstable format version " << options.format_version;
+}
 
 void TableBuilder::Add(std::string_view key, std::string_view value,
                        EntryType type) {
@@ -23,6 +38,15 @@ void TableBuilder::Add(std::string_view key, std::string_view value,
       << "keys must be added in strictly increasing order";
   data_block_.Add(key, value, type);
   bloom_.AddKey(key);
+  if (options_.format_version >= 2) {
+    const std::string_view prefix = KeyPrefix(key, options_.prefix_delimiter);
+    // Sorted input means equal prefixes arrive consecutively, so comparing
+    // against the previous one dedupes completely.
+    if (num_entries_ == 0 || prefix != std::string_view(last_prefix_)) {
+      prefix_bloom_.AddKey(prefix);
+      last_prefix_.assign(prefix.data(), prefix.size());
+    }
+  }
   last_key_.assign(key.data(), key.size());
   ++num_entries_;
   if (data_block_.CurrentSizeEstimate() >= options_.block_size_bytes) {
@@ -34,10 +58,26 @@ void TableBuilder::FlushDataBlock() {
   if (data_block_.empty()) return;
   const uint64_t offset = file_.size();
   const std::string block = data_block_.Finish();
-  file_ += block;
+  if (options_.format_version >= 2) {
+    CodecType tag = CodecType::kNone;
+    if (options_.codec != CodecType::kNone) {
+      const Codec* codec = GetCodec(options_.codec);
+      PSTORM_CHECK(codec != nullptr);
+      std::string compressed;
+      codec->Compress(block, &compressed);
+      if (compressed.size() < block.size()) {
+        file_ += compressed;
+        tag = options_.codec;
+      }
+    }
+    if (tag == CodecType::kNone) file_ += block;
+    file_.push_back(static_cast<char>(tag));
+  } else {
+    file_ += block;
+  }
   std::string handle;
   PutFixed64(&handle, offset);
-  PutFixed64(&handle, block.size());
+  PutFixed64(&handle, file_.size() - offset);
   index_block_.Add(last_key_, handle, EntryType::kValue);
 }
 
@@ -45,8 +85,14 @@ std::string TableBuilder::Finish() {
   FlushDataBlock();
 
   const uint64_t filter_offset = file_.size();
-  const std::string filter = bloom_.Finish();
-  file_ += filter;
+  if (options_.format_version >= 2) {
+    PutLengthPrefixed(&file_, bloom_.Finish());
+    PutLengthPrefixed(&file_, prefix_bloom_.Finish());
+    file_.push_back(options_.prefix_delimiter);
+  } else {
+    file_ += bloom_.Finish();
+  }
+  const uint64_t filter_size = file_.size() - filter_offset;
 
   const uint64_t index_offset = file_.size();
   const std::string index = index_block_.Finish();
@@ -54,33 +100,63 @@ std::string TableBuilder::Finish() {
 
   const uint64_t content_hash = Fnv1a64(file_);
   PutFixed64(&file_, filter_offset);
-  PutFixed64(&file_, filter.size());
+  PutFixed64(&file_, filter_size);
   PutFixed64(&file_, index_offset);
   PutFixed64(&file_, index.size());
-  PutFixed64(&file_, content_hash);
-  PutFixed64(&file_, kTableMagic);
+  if (options_.format_version >= 2) {
+    PutFixed64(&file_, static_cast<uint64_t>(options_.format_version));
+    PutFixed64(&file_, content_hash);
+    PutFixed64(&file_, kTableMagicV2);
+  } else {
+    PutFixed64(&file_, content_hash);
+    PutFixed64(&file_, kTableMagicV1);
+  }
 
   std::string out = std::move(file_);
   file_.clear();
   last_key_.clear();
+  last_prefix_.clear();
   num_entries_ = 0;
   return out;
 }
 
-Result<std::shared_ptr<Table>> Table::Open(std::string contents) {
-  if (contents.size() < kFooterSize) {
+Result<std::shared_ptr<Table>> Table::Open(std::string contents,
+                                           std::shared_ptr<BlockCache> cache) {
+  if (contents.size() < 8) {
     return Status::Corruption("table too small for footer");
   }
-  const char* footer = contents.data() + contents.size() - kFooterSize;
+  const uint64_t magic = DecodeFixed64(contents.data() + contents.size() - 8);
+  int format_version;
+  size_t footer_size;
+  if (magic == kTableMagicV1) {
+    format_version = 1;
+    footer_size = kFooterSizeV1;
+  } else if (magic == kTableMagicV2) {
+    format_version = 2;
+    footer_size = kFooterSizeV2;
+  } else {
+    return Status::Corruption("bad table magic");
+  }
+  if (contents.size() < footer_size) {
+    return Status::Corruption("table too small for footer");
+  }
+  const char* footer = contents.data() + contents.size() - footer_size;
   const uint64_t filter_offset = DecodeFixed64(footer);
   const uint64_t filter_size = DecodeFixed64(footer + 8);
   const uint64_t index_offset = DecodeFixed64(footer + 16);
   const uint64_t index_size = DecodeFixed64(footer + 24);
-  const uint64_t content_hash = DecodeFixed64(footer + 32);
-  const uint64_t magic = DecodeFixed64(footer + 40);
-  if (magic != kTableMagic) return Status::Corruption("bad table magic");
+  uint64_t content_hash;
+  if (format_version >= 2) {
+    const uint64_t stored_version = DecodeFixed64(footer + 32);
+    if (stored_version != 2) {
+      return Status::Corruption("unsupported table format version");
+    }
+    content_hash = DecodeFixed64(footer + 40);
+  } else {
+    content_hash = DecodeFixed64(footer + 32);
+  }
 
-  const size_t body = contents.size() - kFooterSize;
+  const size_t body = contents.size() - footer_size;
   if (filter_offset + filter_size > body || index_offset + index_size > body ||
       index_offset != filter_offset + filter_size) {
     return Status::Corruption("bad table footer offsets");
@@ -91,8 +167,25 @@ Result<std::shared_ptr<Table>> Table::Open(std::string contents) {
 
   auto table = std::shared_ptr<Table>(new Table());
   table->contents_ = std::move(contents);
-  table->filter_ =
-      std::string_view(table->contents_.data() + filter_offset, filter_size);
+  table->format_version_ = format_version;
+  table->file_id_ = BlockCache::NewFileId();
+  table->cache_ = std::move(cache);
+  const std::string_view filter_area(table->contents_.data() + filter_offset,
+                                     filter_size);
+  if (format_version >= 2) {
+    std::string_view rest = filter_area;
+    std::string_view whole_key_filter;
+    std::string_view prefix_filter;
+    if (!GetLengthPrefixed(&rest, &whole_key_filter) ||
+        !GetLengthPrefixed(&rest, &prefix_filter) || rest.size() != 1) {
+      return Status::Corruption("bad filter area");
+    }
+    table->filter_ = whole_key_filter;
+    table->prefix_filter_ = prefix_filter;
+    table->prefix_delimiter_ = rest.front();
+  } else {
+    table->filter_ = filter_area;
+  }
   table->index_ = Block::Parse(
       table->contents_.substr(index_offset, index_size));
   if (table->index_ == nullptr) {
@@ -111,7 +204,7 @@ Result<std::shared_ptr<Table>> Table::Open(std::string contents) {
     std::string_view handle = index_iter->value();
     if (handle.size() != 16) return Status::Corruption("bad index handle");
     PSTORM_ASSIGN_OR_RETURN(
-        std::shared_ptr<Block> first,
+        std::shared_ptr<const Block> first,
         table->ReadBlock(DecodeFixed64(handle.data()),
                          DecodeFixed64(handle.data() + 8)));
     auto block_iter = first->NewIterator();
@@ -121,14 +214,39 @@ Result<std::shared_ptr<Table>> Table::Open(std::string contents) {
   return table;
 }
 
-Result<std::shared_ptr<Block>> Table::ReadBlock(uint64_t offset,
-                                                uint64_t size) const {
+Result<std::shared_ptr<const Block>> Table::ReadBlock(uint64_t offset,
+                                                      uint64_t size) const {
+  if (cache_ != nullptr) {
+    if (std::shared_ptr<const Block> hit = cache_->Lookup(file_id_, offset)) {
+      return hit;
+    }
+  }
   if (offset + size > contents_.size()) {
     return Status::Corruption("block handle out of range");
   }
-  std::unique_ptr<Block> block = Block::Parse(contents_.substr(offset, size));
+  std::string decoded;
+  if (format_version_ >= 2) {
+    if (size < 1) return Status::Corruption("empty block handle");
+    const CodecType tag = static_cast<CodecType>(
+        static_cast<uint8_t>(contents_[offset + size - 1]));
+    const std::string_view payload(contents_.data() + offset, size - 1);
+    const Codec* codec = GetCodec(tag);
+    if (codec == nullptr) {
+      return Status::Corruption("unknown block codec tag");
+    }
+    if (!codec->Decompress(payload, &decoded)) {
+      return Status::Corruption("corrupt compressed block");
+    }
+  } else {
+    decoded = contents_.substr(offset, size);
+  }
+  std::unique_ptr<Block> block = Block::Parse(std::move(decoded));
   if (block == nullptr) return Status::Corruption("unparseable data block");
-  return std::shared_ptr<Block>(std::move(block));
+  std::shared_ptr<const Block> shared(std::move(block));
+  if (cache_ != nullptr) {
+    cache_->Insert(file_id_, offset, shared, shared->size_bytes());
+  }
+  return shared;
 }
 
 Result<std::optional<Table::GetResult>> Table::Get(
@@ -144,7 +262,7 @@ Result<std::optional<Table::GetResult>> Table::Get(
   std::string_view handle = index_iter->value();
   if (handle.size() != 16) return Status::Corruption("bad index handle");
   PSTORM_ASSIGN_OR_RETURN(
-      std::shared_ptr<Block> block,
+      std::shared_ptr<const Block> block,
       ReadBlock(DecodeFixed64(handle.data()), DecodeFixed64(handle.data() + 8)));
   auto iter = block->NewIterator();
   iter->Seek(key);
@@ -152,6 +270,17 @@ Result<std::optional<Table::GetResult>> Table::Get(
   if (!iter->Valid() || iter->key() != key) return std::optional<GetResult>();
   return std::optional<GetResult>(
       GetResult{std::string(iter->value()), iter->type()});
+}
+
+bool Table::MayContainPrefix(std::string_view prefix) const {
+  if (prefix_filter_.empty()) return true;  // v1, or a table with no keys.
+  // Only prefixes of the extraction shape — exactly one delimiter, at the
+  // end — can be probed; anything else must conservatively pass.
+  if (prefix.empty() || prefix.back() != prefix_delimiter_ ||
+      prefix.find(prefix_delimiter_) != prefix.size() - 1) {
+    return true;
+  }
+  return BloomFilterMayContain(prefix_filter_, prefix);
 }
 
 namespace {
@@ -241,7 +370,7 @@ class TableIterator final : public Iterator {
 
   const Table* table_;
   std::unique_ptr<Iterator> index_iter_;
-  std::shared_ptr<Block> block_;
+  std::shared_ptr<const Block> block_;
   std::unique_ptr<Iterator> block_iter_;
   Status status_;
 };

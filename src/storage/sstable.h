@@ -9,20 +9,31 @@
 
 #include "common/result.h"
 #include "storage/block.h"
+#include "storage/block_cache.h"
 #include "storage/bloom.h"
+#include "storage/codec.h"
 #include "storage/iterator.h"
 
 namespace pstorm::storage {
 
-/// Serialized-table layout:
+/// Serialized-table layout, format v2 (the default):
 ///
-///   data block*
-///   filter block      one bloom filter over every key in the table
+///   data block*       block payload (compressed per the tag, or raw) then
+///                     a 1-byte CodecType tag
+///   filter area       varint32-length-prefixed whole-key bloom filter,
+///                     varint32-length-prefixed prefix bloom filter,
+///                     1 byte prefix delimiter
 ///   index block       entry per data block: key = last key in the block,
-///                     value = fixed64 offset, fixed64 size
+///                     value = fixed64 offset, fixed64 size (both spanning
+///                     payload + tag); never compressed
 ///   footer            fixed64 filter_offset, fixed64 filter_size,
 ///                     fixed64 index_offset, fixed64 index_size,
-///                     fixed64 content_hash, fixed64 magic
+///                     fixed64 format_version, fixed64 content_hash,
+///                     fixed64 magic ("pstormS2")
+///
+/// Format v1 ("pstormST" magic, still fully readable and writable via
+/// Options::format_version) stores raw data blocks, a bare whole-key filter
+/// and a 48-byte footer without the version field.
 ///
 /// `content_hash` covers everything before the footer and lets the reader
 /// reject corrupted files.
@@ -32,6 +43,16 @@ class TableBuilder {
     size_t block_size_bytes = 4096;
     int restart_interval = 16;
     int bloom_bits_per_key = 10;
+    /// 2 writes the current format; 1 writes the legacy layout bit-for-bit
+    /// (used by the backward-compat tests and readable forever).
+    int format_version = 2;
+    /// Per-block compression (v2 only). Blocks that do not shrink are
+    /// stored raw with a kNone tag, so incompressible data costs 1 byte.
+    CodecType codec = CodecType::kLz;
+    /// Keys are split at their first occurrence of this byte (inclusive)
+    /// to feed the prefix bloom filter; matches hstore's cell-key separator
+    /// so `row + '\0'` Get prefixes probe it directly.
+    char prefix_delimiter = '\0';
   };
 
   TableBuilder() : TableBuilder(Options{}) {}
@@ -52,17 +73,23 @@ class TableBuilder {
   BlockBuilder data_block_;
   BlockBuilder index_block_;
   BloomFilterBuilder bloom_;
+  BloomFilterBuilder prefix_bloom_;
+  std::string last_prefix_;
   std::string file_;
   std::string last_key_;
   size_t num_entries_ = 0;
 };
 
-/// Immutable reader over one serialized table. The whole table lives in
-/// memory (tables are bounded by the compactor's target file size).
+/// Immutable reader over one serialized table. The whole (possibly
+/// compressed) table lives in memory; decoded data blocks are materialized
+/// on demand and, when a BlockCache is attached, served from and inserted
+/// into it keyed on this table's process-unique file id.
 class Table {
  public:
-  /// Validates the footer and content hash.
-  static Result<std::shared_ptr<Table>> Open(std::string contents);
+  /// Validates the footer and content hash. Accepts both format versions.
+  /// `cache` may be nullptr for uncached operation.
+  static Result<std::shared_ptr<Table>> Open(
+      std::string contents, std::shared_ptr<BlockCache> cache = nullptr);
 
   /// The value for `key`, the tombstone, or nothing.
   struct GetResult {
@@ -74,22 +101,35 @@ class Table {
   /// Iterates every record in the table in key order (tombstones included).
   std::unique_ptr<Iterator> NewIterator() const;
 
+  /// False only when the table provably holds no key starting with
+  /// `prefix`. Usable solely for prefixes of the extraction shape — ending
+  /// in, and containing exactly one, prefix delimiter; anything else (and
+  /// any v1 table) conservatively returns true.
+  bool MayContainPrefix(std::string_view prefix) const;
+
   std::string_view smallest_key() const { return smallest_key_; }
   std::string_view largest_key() const { return largest_key_; }
   size_t num_data_blocks() const { return num_data_blocks_; }
   size_t size_bytes() const { return contents_.size(); }
+  int format_version() const { return format_version_; }
+  uint64_t file_id() const { return file_id_; }
 
   /// Layout accessors for the iterator implementation; not part of the
   /// intended client API.
   const Block& index() const { return *index_; }
-  Result<std::shared_ptr<Block>> ReadBlock(uint64_t offset,
-                                           uint64_t size) const;
+  Result<std::shared_ptr<const Block>> ReadBlock(uint64_t offset,
+                                                 uint64_t size) const;
 
  private:
   Table() = default;
 
   std::string contents_;
-  std::string_view filter_;            // Points into contents_.
+  std::string_view filter_;         // Points into contents_.
+  std::string_view prefix_filter_;  // Points into contents_; empty on v1.
+  char prefix_delimiter_ = '\0';
+  int format_version_ = 1;
+  uint64_t file_id_ = 0;
+  std::shared_ptr<BlockCache> cache_;
   std::unique_ptr<Block> index_;
   std::string smallest_key_;
   std::string largest_key_;

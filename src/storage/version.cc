@@ -42,6 +42,21 @@ void Version::AppendIterators(
   for (const auto& handle : l1) out->push_back(handle->table().NewIterator());
 }
 
+void Version::AppendIteratorsForPrefix(
+    std::string_view prefix,
+    std::vector<std::unique_ptr<Iterator>>* out) const {
+  for (const auto& handle : l0) {
+    if (handle->table().MayContainPrefix(prefix)) {
+      out->push_back(handle->table().NewIterator());
+    }
+  }
+  for (const auto& handle : l1) {
+    if (handle->table().MayContainPrefix(prefix)) {
+      out->push_back(handle->table().NewIterator());
+    }
+  }
+}
+
 size_t Version::TotalTableBytes() const {
   size_t bytes = 0;
   for (const auto& handle : l0) bytes += handle->table().size_bytes();

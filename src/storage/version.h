@@ -70,6 +70,13 @@ struct Version {
   /// the child order NewMergingIterator expects after the memtable.
   void AppendIterators(std::vector<std::unique_ptr<Iterator>>* out) const;
 
+  /// Like AppendIterators, but skips every table whose prefix bloom filter
+  /// proves it holds no key starting with `prefix` (see
+  /// Table::MayContainPrefix for which prefixes are probeable).
+  void AppendIteratorsForPrefix(
+      std::string_view prefix,
+      std::vector<std::unique_ptr<Iterator>>* out) const;
+
   /// Serialized bytes of every referenced table.
   size_t TotalTableBytes() const;
 

@@ -51,6 +51,14 @@ class WalWriter {
     return Append(EntryType::kTombstone, key, {});
   }
 
+  /// Appends a pre-encoded run of records (each framed by EncodeWalRecord,
+  /// concatenated) in a single env append — the group-commit fast path: one
+  /// IO, and thus one fsync on a real filesystem, for a whole batch of
+  /// writers.
+  Status AppendBatch(std::string_view records) {
+    return env_->AppendFile(path_, std::string(records));
+  }
+
   /// Empties the log after a flush has persisted its records.
   Status Truncate() { return env_->WriteFile(path_, ""); }
 

@@ -1,0 +1,165 @@
+#include "storage/block_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "storage/block.h"
+
+namespace pstorm::storage {
+namespace {
+
+/// A parsed block whose serialized size is predictable enough for charge
+/// assertions.
+std::shared_ptr<const Block> MakeBlock(const std::string& key,
+                                       const std::string& value) {
+  BlockBuilder builder;
+  builder.Add(key, value, EntryType::kValue);
+  auto block = Block::Parse(builder.Finish());
+  EXPECT_NE(block, nullptr);
+  return std::shared_ptr<const Block>(std::move(block));
+}
+
+TEST(BlockCacheTest, FileIdsAreProcessUnique) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(BlockCache::NewFileId()).second);
+  }
+}
+
+TEST(BlockCacheTest, LookupMissThenHit) {
+  BlockCache cache(1 << 20);
+  const uint64_t file = BlockCache::NewFileId();
+  EXPECT_EQ(cache.Lookup(file, 0), nullptr);
+  auto block = MakeBlock("k", "v");
+  cache.Insert(file, 0, block, block->size_bytes());
+  auto hit = cache.Lookup(file, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), block.get());
+
+  const BlockCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.bytes_used, block->size_bytes());
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
+}
+
+TEST(BlockCacheTest, DistinctKeysDoNotAlias) {
+  BlockCache cache(1 << 20);
+  const uint64_t file_a = BlockCache::NewFileId();
+  const uint64_t file_b = BlockCache::NewFileId();
+  cache.Insert(file_a, 0, MakeBlock("a", "1"), 10);
+  cache.Insert(file_b, 0, MakeBlock("b", "2"), 10);
+  cache.Insert(file_a, 4096, MakeBlock("c", "3"), 10);
+  EXPECT_NE(cache.Lookup(file_a, 0), nullptr);
+  EXPECT_NE(cache.Lookup(file_b, 0), nullptr);
+  EXPECT_NE(cache.Lookup(file_a, 4096), nullptr);
+  EXPECT_EQ(cache.Lookup(file_b, 4096), nullptr);
+}
+
+TEST(BlockCacheTest, ReinsertReplacesAndRechargesEntry) {
+  BlockCache cache(1 << 20);
+  const uint64_t file = BlockCache::NewFileId();
+  cache.Insert(file, 0, MakeBlock("k", "old"), 100);
+  EXPECT_EQ(cache.GetStats().bytes_used, 100u);
+  auto fresh = MakeBlock("k", "new");
+  cache.Insert(file, 0, fresh, 250);
+  EXPECT_EQ(cache.GetStats().bytes_used, 250u);
+  EXPECT_EQ(cache.Lookup(file, 0).get(), fresh.get());
+}
+
+TEST(BlockCacheTest, OversizedInsertEvictsImmediately) {
+  // Each shard's budget is capacity/16. An entry charged above a whole
+  // shard's budget can never fit: Insert admits it and the eviction loop
+  // immediately removes it (it is its own shard's LRU tail).
+  BlockCache cache(16 * 300);  // 300 bytes per shard.
+  const uint64_t file = BlockCache::NewFileId();
+  cache.Insert(file, 0, MakeBlock("a", "1"), 400);
+  const BlockCache::Stats after_oversize = cache.GetStats();
+  // The oversized entry was evicted on insert (it alone exceeds the shard
+  // budget), leaving the cache empty but having counted the eviction.
+  EXPECT_EQ(after_oversize.evictions, 1u);
+  EXPECT_EQ(after_oversize.bytes_used, 0u);
+  EXPECT_EQ(cache.Lookup(file, 0), nullptr);
+}
+
+/// The shard hash is private, so discover co-sharded offsets empirically:
+/// in a throwaway cache whose shards hold one 60-byte entry but not two,
+/// inserting both offsets evicts iff they hash to the same shard.
+bool SharesShard(uint64_t file, uint64_t a, uint64_t b) {
+  BlockCache probe(16 * 100);
+  probe.Insert(file, a, MakeBlock("k", "v"), 60);
+  probe.Insert(file, b, MakeBlock("k", "v"), 60);
+  return probe.GetStats().evictions > 0;
+}
+
+TEST(BlockCacheTest, LruOrderRespectsAccessRecency) {
+  const uint64_t file = BlockCache::NewFileId();
+  // Find two offsets co-sharded with offset 0 so all three compete for
+  // one shard's budget.
+  std::vector<uint64_t> mates;
+  for (uint64_t offset = 64; offset < 1 << 20 && mates.size() < 2;
+       offset += 64) {
+    if (SharesShard(file, 0, offset)) mates.push_back(offset);
+  }
+  ASSERT_EQ(mates.size(), 2u) << "no co-sharded offsets within 16K probes";
+
+  // Shard budget 100; three 40-byte entries overflow, two fit.
+  BlockCache cache(16 * 100);
+  cache.Insert(file, 0, MakeBlock("k", "v"), 40);
+  cache.Insert(file, mates[0], MakeBlock("k", "v"), 40);
+  // Touch offset 0: mates[0] is now the shard's LRU entry.
+  ASSERT_NE(cache.Lookup(file, 0), nullptr);
+  cache.Insert(file, mates[1], MakeBlock("k", "v"), 40);
+  // The untouched middle entry was evicted, not the recently used one.
+  EXPECT_NE(cache.Lookup(file, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(file, mates[0]), nullptr);
+  EXPECT_NE(cache.Lookup(file, mates[1]), nullptr);
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+}
+
+TEST(BlockCacheTest, EvictedEntryStaysAliveWhileHeld) {
+  BlockCache cache(16 * 100);
+  const uint64_t file = BlockCache::NewFileId();
+  auto block = MakeBlock("pinned", "entry");
+  cache.Insert(file, 0, block, 60);
+  std::shared_ptr<const Block> held = cache.Lookup(file, 0);
+  ASSERT_NE(held, nullptr);
+  // Force the entry out by overflowing every shard.
+  for (uint64_t offset = 64; offset < 64 * 200; offset += 64) {
+    cache.Insert(file, offset, MakeBlock("f", "g"), 60);
+  }
+  EXPECT_EQ(cache.Lookup(file, 0), nullptr) << "entry should be evicted";
+  // The held pointer still reads valid data.
+  auto it = held->NewIterator();
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "pinned");
+  EXPECT_EQ(it->value(), "entry");
+}
+
+TEST(BlockCacheTest, ZeroCapacityCachesNothingButStaysSafe) {
+  BlockCache cache(0);
+  const uint64_t file = BlockCache::NewFileId();
+  cache.Insert(file, 0, MakeBlock("k", "v"), 10);
+  EXPECT_EQ(cache.Lookup(file, 0), nullptr);
+  EXPECT_EQ(cache.GetStats().bytes_used, 0u);
+}
+
+TEST(BlockCacheTest, ChargeAccountingSumsAcrossShards) {
+  BlockCache cache(1 << 20);
+  const uint64_t file = BlockCache::NewFileId();
+  size_t expected = 0;
+  for (uint64_t offset = 0; offset < 64 * 64; offset += 64) {
+    cache.Insert(file, offset, MakeBlock("k", "v"), 64);
+    expected += 64;
+  }
+  EXPECT_EQ(cache.GetStats().bytes_used, expected);
+  EXPECT_EQ(cache.GetStats().inserts, 64u);
+}
+
+}  // namespace
+}  // namespace pstorm::storage

@@ -20,7 +20,10 @@ means the committed baseline is stale and should be refreshed.
 Benchmarks present on only one side are reported and skipped: a freshly
 added benchmark has no baseline until someone refreshes it, and a deleted
 one should be cleaned from the baseline eventually, but neither should
-break an unrelated PR.
+break an unrelated PR. The exception is --require NAME (repeatable):
+benchmarks the gate must actually gate on. A required name missing from
+either report fails the check, so a filter typo or a renamed benchmark
+cannot silently drop coverage.
 
 To refresh the baseline, rerun the command above on the CI runner class
 and commit the output as bench/baseline.json (see README "Refreshing the
@@ -86,12 +89,33 @@ def main():
         "shifts between benchmarks count as regressions. The reference "
         "benchmark itself trivially compares equal.",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="BENCHMARK",
+        help="benchmark name that must be present in both reports; missing "
+        "required benchmarks fail the check instead of being skipped. "
+        "Repeatable.",
+    )
     args = parser.parse_args()
     if args.tolerance <= 0:
         parser.error("--tolerance must be positive")
 
     baseline = load_medians(args.baseline, args.metric)
     current = load_medians(args.current, args.metric)
+
+    missing_required = [
+        (name, side)
+        for name in args.require
+        for side, medians in (("baseline", baseline), ("current", current))
+        if name not in medians
+    ]
+    if missing_required:
+        for name, side in missing_required:
+            print(f"required benchmark {name!r} missing from the {side} report")
+        print(f"\nFAIL: {len(missing_required)} required benchmark(s) missing")
+        return 1
 
     if args.normalize_by:
         for side, medians in (("baseline", baseline), ("current", current)):
