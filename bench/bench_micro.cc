@@ -24,6 +24,7 @@
 #include "staticanalysis/cfg_matcher.h"
 #include "storage/block_cache.h"
 #include "storage/db.h"
+#include "storage/replication.h"
 #include "storage/wal.h"
 #include "whatif/whatif_engine.h"
 
@@ -306,6 +307,76 @@ void BM_DbReopenAfterCrash(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_DbReopenAfterCrash)->Arg(1000)->Arg(10000);
+
+// Steady-state WAL shipping: the per-record cost of moving a committed
+// batch from the primary's log onto a warm follower (fetch + CRC verify +
+// sequence check + replicated apply). This is the tax a standby adds per
+// committed write in async mode.
+void BM_WalShip(benchmark::State& state) {
+  storage::InMemoryEnv env;
+  storage::DbOptions primary_options;
+  primary_options.memtable_flush_bytes = 64u << 20;
+  auto primary =
+      storage::Db::Open(&env, "/bm-primary", primary_options).value();
+  storage::ReplicaSession::Options options;
+  options.follower_db.memtable_flush_bytes = 64u << 20;
+  auto session =
+      storage::ReplicaSession::Open(primary.get(), &env, "/bm-follower",
+                                    options)
+          .value();
+  int i = 0;
+  int rounds = 0;
+  const std::string value(128, 'v');
+  constexpr int kBatch = 64;
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (++rounds % 16 == 0) {
+      // Keep the primary's log short so each fetch reads the delta, not an
+      // ever-growing file. Flushing before the round's puts only truncates
+      // records the follower already has, so shipping stays incremental —
+      // no checkpoint demand.
+      PSTORM_CHECK_OK(primary->Flush());
+    }
+    for (int j = 0; j < kBatch; ++j) {
+      PSTORM_CHECK_OK(primary->Put("key" + std::to_string(i++ % 4096), value));
+    }
+    state.ResumeTiming();
+    PSTORM_CHECK_OK(session->CatchUp());
+  }
+  PSTORM_CHECK(session->lag() == 0);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_WalShip);
+
+// Cold-standby bootstrap: a brand-new follower joining a primary with
+// range(0) committed records and catching all the way up (checkpoint or
+// WAL replay, then delta shipping). This bounds the recovery-time side of
+// failover: how fast a replacement standby becomes promotable.
+void BM_ReplicaCatchup(benchmark::State& state) {
+  storage::InMemoryEnv env;
+  const int n = static_cast<int>(state.range(0));
+  storage::DbOptions options;
+  options.memtable_flush_bytes = 64u << 20;  // Keep the history in the WAL.
+  auto primary = storage::Db::Open(&env, "/bm-primary", options).value();
+  for (int i = 0; i < n; ++i) {
+    PSTORM_CHECK_OK(primary->Put("key" + std::to_string(i), std::string(128, 'v')));
+  }
+  storage::ReplicaSession::Options session_options;
+  session_options.follower_db.memtable_flush_bytes = 64u << 20;
+  int round = 0;
+  for (auto _ : state) {
+    // A fresh follower directory per round: each open pays the full join.
+    auto session = storage::ReplicaSession::Open(
+        primary.get(), &env, "/bm-follower-" + std::to_string(round++),
+        session_options);
+    PSTORM_CHECK_OK(session.status());
+    PSTORM_CHECK_OK((*session)->CatchUp());
+    PSTORM_CHECK((*session)->lag() == 0);
+    benchmark::DoNotOptimize(session);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ReplicaCatchup)->Arg(1000)->Arg(10000);
 
 // ----------------------------------------------------------- static analysis
 

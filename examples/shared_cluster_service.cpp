@@ -21,6 +21,7 @@
 
 #include "common/strings.h"
 #include "core/pstorm.h"
+#include "hstore/table_replica.h"
 #include "jobs/benchmark_jobs.h"
 #include "jobs/datasets.h"
 #include "obs/metrics.h"
@@ -70,6 +71,19 @@ int main(int argc, char** argv) {
   const core::PStorM& service = **pstorm;
 
   const std::vector<Submission> stream = TenantStream();
+
+  // A warm standby on its own "disk" tails the service's profile store:
+  // if the primary store dies, the tuning history fails over instead of
+  // being recollected one profiled run at a time (see the README failover
+  // runbook).
+  storage::InMemoryEnv standby_env;
+  auto standby = hstore::HTableReplica::Open(
+      (*pstorm)->store().table(), &standby_env, "/standby-store");
+  if (!standby.ok()) {
+    std::fprintf(stderr, "standby open failed: %s\n",
+                 standby.status().ToString().c_str());
+    return 1;
+  }
 
   // Phase 1 — warm-up: each tenant's first submission runs cold and
   // single-threaded, profiled, and lands in the store.
@@ -144,6 +158,22 @@ int main(int argc, char** argv) {
   total_untuned += untuned_ms.load() / 1e3;
   std::printf("concurrent submissions: %d   matched: %d/%d\n", total,
               matches.load(), total);
+
+  // How far behind did the standby end up, and what moved over the wire?
+  // (Matched submissions don't write, so the lag is whatever the warm-up
+  // stores left; one sync drains it.)
+  {
+    const unsigned long long live_lag = (*standby)->lag();
+    if (!(*standby)->Sync().ok()) return 1;
+    const storage::ReplicationStats repl = (*standby)->stats();
+    std::printf(
+        "standby replica: lag %llu -> %llu records after sync; "
+        "%llu records / %llu batches shipped, %llu checkpoint bootstraps\n",
+        live_lag, static_cast<unsigned long long>((*standby)->lag()),
+        static_cast<unsigned long long>(repl.shipped_records),
+        static_cast<unsigned long long>(repl.shipped_batches),
+        static_cast<unsigned long long>(repl.checkpoint_ships));
+  }
 
   std::printf("\nstore profiles: %zu\n", service.store().num_profiles());
   std::printf("cluster time, always untuned:  %s\n",

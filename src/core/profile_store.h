@@ -158,6 +158,11 @@ class ProfileStore {
   /// The .META.-style region catalog entries of the backing table.
   std::vector<std::string> MetaEntries() const { return table_->MetaEntries(); }
 
+  /// The backing table, for wiring an hstore::HTableReplica to this store
+  /// (the replica ships the table's WAL; the store stays oblivious).
+  /// Owned by the store; valid for the store's lifetime.
+  hstore::HTable* table() const { return table_.get(); }
+
   /// Storage counters summed over the backing table's regions. After a
   /// reopen over damaged files this is where quarantined-sstable and
   /// WAL-recovery counts surface (the observability half of the graceful-

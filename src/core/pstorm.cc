@@ -146,6 +146,12 @@ Status PStorM::RunUntunedAndStore(SubmissionContext& ctx) const {
     PSTORM_LOG(Warning) << "profile store corruption while storing "
                         << job_key << "; profile dropped: "
                         << stored.ToString();
+  } else if (stored.code() == StatusCode::kFailedPrecondition) {
+    // Read-only replica store: jobs submitted against a warm standby are
+    // still matched and tuned from the replicated profiles; only the
+    // write-back is skipped (it belongs on the primary).
+    PSTORM_LOG(Info) << "profile store is read-only; profile for "
+                     << job_key << " not stored: " << stored.ToString();
   } else {
     return stored;
   }

@@ -167,6 +167,9 @@ Result<std::unique_ptr<HTable>> HTable::Open(storage::Env* env,
     options.db_options.block_cache = std::make_shared<storage::BlockCache>(
         options.db_options.block_cache_bytes);
   }
+  // A read-only open must not create regions or rewrite the meta; forcing
+  // read_only_replica fences every region Db at the storage layer too.
+  if (options.read_only) options.db_options.read_only_replica = true;
   auto table = std::unique_ptr<HTable>(
       new HTable(env, std::move(root_path), std::move(schema), options));
   PSTORM_RETURN_IF_ERROR(env->CreateDir(table->root_path_));
@@ -175,6 +178,10 @@ Result<std::unique_ptr<HTable>> HTable::Open(storage::Env* env,
       storage::JoinPath(table->root_path_, kTableMetaName);
   if (env->FileExists(meta_path)) {
     PSTORM_RETURN_IF_ERROR(table->LoadTableMeta());
+  } else if (options.read_only) {
+    return Status::FailedPrecondition(
+        "read-only open of a table that does not exist: " +
+        table->root_path_);
   } else {
     // Fresh table: one region covering the whole key space.
     PSTORM_ASSIGN_OR_RETURN(
@@ -188,7 +195,7 @@ Result<std::unique_ptr<HTable>> HTable::Open(storage::Env* env,
   return table;
 }
 
-Status HTable::WriteTableMetaLocked() {
+std::string HTable::SerializeTableMetaLocked() const {
   std::string out(kTableMetaHeader);
   out += "\n";
   out += "name " + schema_.name + "\n";
@@ -201,6 +208,11 @@ Status HTable::WriteTableMetaLocked() {
     out += "region " + std::to_string(region->id()) + " " +
            HexEncode(region->start_key()) + "\n";
   }
+  return out;
+}
+
+Status HTable::WriteTableMetaLocked() {
+  const std::string out = SerializeTableMetaLocked();
   const std::string tmp =
       storage::JoinPath(root_path_, std::string(kTableMetaName) + ".tmp");
   PSTORM_RETURN_IF_ERROR(env_->WriteFile(tmp, out));
@@ -338,6 +350,10 @@ Status HTable::ValidateKeyParts(const PutOp& put) const {
 }
 
 Status HTable::Put(const PutOp& put) {
+  if (options_.read_only) {
+    return Status::FailedPrecondition(
+        "htable is a read-only replica; writes go to the primary");
+  }
   PSTORM_RETURN_IF_ERROR(ValidateKeyParts(put));
   bool over_split_threshold = false;
   {
@@ -396,6 +412,10 @@ Result<RowResult> HTable::Get(std::string_view row) const {
 }
 
 Status HTable::DeleteRow(std::string_view row) {
+  if (options_.read_only) {
+    return Status::FailedPrecondition(
+        "htable is a read-only replica; writes go to the primary");
+  }
   std::shared_lock<std::shared_mutex> lock(table_mu_);
   internal::Region* region = RegionForLocked(row);
   const std::string prefix = std::string(row) + kSep;
@@ -435,8 +455,30 @@ storage::DbStats HTable::AggregatedDbStats() const {
     total.write_slowdowns += s.write_slowdowns;
     total.write_stalls += s.write_stalls;
     total.stall_micros += s.stall_micros;
+    total.bg_retries += s.bg_retries;
+    total.replicated_batches += s.replicated_batches;
+    total.replicated_records += s.replicated_records;
+    total.fence_rejections += s.fence_rejections;
+    total.checkpoints_created += s.checkpoints_created;
+    total.last_sequence += s.last_sequence;
+    total.flushed_sequence += s.flushed_sequence;
+    // Epoch is a per-region fence, not additive; surface the highest one.
+    total.epoch = std::max(total.epoch, s.epoch);
+    total.is_replica = total.is_replica != 0 || s.is_replica != 0 ? 1 : 0;
   }
   return total;
+}
+
+HTable::ReplicationSnapshot HTable::GetReplicationSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
+  ReplicationSnapshot snap;
+  snap.table_meta = SerializeTableMetaLocked();
+  snap.regions.reserve(regions_.size());
+  for (const auto& region : regions_) {
+    snap.regions.push_back(ReplicationSnapshot::RegionRef{
+        "region_" + std::to_string(region->id()), region->db()});
+  }
+  return snap;
 }
 
 Status HTable::WaitForIdle() const {
@@ -586,6 +628,7 @@ std::vector<std::string> HTable::MetaEntries() const {
 }
 
 Status HTable::MaybeSplit(std::string_view row) {
+  if (options_.read_only) return Status::OK();
   std::unique_lock<std::shared_mutex> lock(table_mu_);
   // Re-find and re-check under the exclusive lock: another thread may
   // have split this key range while we were acquiring it.

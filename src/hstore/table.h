@@ -80,6 +80,13 @@ struct ScanStats {
 struct HTableOptions {
   /// Approximate per-region payload size that triggers a region split.
   size_t region_split_bytes = 8u << 20;
+  /// Open every region as a read-only replica: Put/DeleteRow return
+  /// FailedPrecondition, region splits never run, and the underlying Dbs
+  /// are fenced (db_options.read_only_replica is forced on). This is how a
+  /// warm standby serves reads while an HTableReplica tails the primary —
+  /// and how a promoted follower is inspected before taking writes.
+  /// Opening a table that does not exist yet in read-only mode fails.
+  bool read_only = false;
   storage::DbOptions db_options;
 };
 
@@ -157,8 +164,27 @@ class HTable {
   }
 
   /// Per-region storage counters summed over the whole table — the
-  /// quarantined-file and WAL-recovery counts roll up here.
+  /// quarantined-file, WAL-recovery, and replication counts roll up here
+  /// (epoch is the max across regions; is_replica is set when any region
+  /// is a replica).
   storage::DbStats AggregatedDbStats() const;
+
+  /// Point-in-time view of the table for a replication session: the
+  /// serialized TABLEMETA bytes plus one (region directory name, Db*) pair
+  /// per region, in start-key order. Taken under the table lock, so the
+  /// meta bytes and the region list are mutually consistent. The Db
+  /// pointers stay valid for the table's lifetime (splits only ever add
+  /// regions), but the list itself goes stale as soon as a split lands —
+  /// replication re-snapshots every sync round.
+  struct ReplicationSnapshot {
+    std::string table_meta;
+    struct RegionRef {
+      std::string dir_name;  // "region_<id>", relative to the table root.
+      storage::Db* db;
+    };
+    std::vector<RegionRef> regions;
+  };
+  ReplicationSnapshot GetReplicationSnapshot() const;
 
  private:
   HTable(storage::Env* env, std::string root_path, TableSchema schema,
@@ -170,6 +196,9 @@ class HTable {
   /// Takes table_mu_ exclusively, re-finds the region covering `row`, and
   /// splits it if it is (still) over the threshold.
   Status MaybeSplit(std::string_view row);
+  /// Requires table_mu_ held (shared suffices — only reads the region
+  /// list and the clock).
+  std::string SerializeTableMetaLocked() const;
   /// Requires table_mu_ held exclusively (or Open-time single-threading).
   Status WriteTableMetaLocked();
   Status LoadTableMeta();

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/coding.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
@@ -82,6 +83,33 @@ obs::Counter& WriteSlowdowns() {
 obs::Counter& WriteStalls() {
   static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
       "pstorm_db_write_stalls_total");
+  return c;
+}
+/// Background flush/compaction attempts retried after a transient failure.
+obs::Counter& BgRetries() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("pstorm_bg_retries_total");
+  return c;
+}
+/// Writes/batches rejected by epoch fencing or replica read-only mode.
+obs::Counter& FenceRejections() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_db_fence_rejections_total");
+  return c;
+}
+obs::Counter& ReplicatedBatches() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_db_replicated_batches_total");
+  return c;
+}
+obs::Counter& ReplicatedRecords() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_db_replicated_records_total");
+  return c;
+}
+obs::Counter& CheckpointsCreated() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_db_checkpoints_total");
   return c;
 }
 /// Background tasks queued or running across every Db in the process.
@@ -163,10 +191,11 @@ Result<std::unique_ptr<Db>> Db::Open(Env* env, std::string path,
   }
   db->current_ = std::make_shared<const Version>();
   PSTORM_RETURN_IF_ERROR(env->CreateDir(db->path_));
+  db->replica_.store(options.read_only_replica, std::memory_order_release);
   if (env->FileExists(JoinPath(db->path_, kManifestName))) {
     PSTORM_RETURN_IF_ERROR(db->LoadManifest());
   } else {
-    PSTORM_RETURN_IF_ERROR(db->WriteManifest(*db->current_));
+    PSTORM_RETURN_IF_ERROR(db->WriteManifest(*db->current_, 0));
   }
 
   // Recover acked-but-unflushed mutations. If the process died while a
@@ -179,17 +208,25 @@ Result<std::unique_ptr<Db>> Db::Open(Env* env, std::string path,
   const std::string wal_imm_path = JoinPath(db->path_, kWalImmName);
   const bool had_rotated_wal = env->FileExists(wal_imm_path);
   uint64_t records_replayed = 0;
+  uint64_t replayed_last_sequence = 0;
   bool tail_truncated = false;
   if (had_rotated_wal) {
     PSTORM_ASSIGN_OR_RETURN(WalReplayResult imm_replay,
                             ReplayWal(*env, wal_imm_path, &db->memtable_));
     records_replayed += imm_replay.records_applied;
+    replayed_last_sequence =
+        std::max(replayed_last_sequence, imm_replay.last_sequence);
     tail_truncated |= imm_replay.truncated_tail;
   }
   PSTORM_ASSIGN_OR_RETURN(WalReplayResult replay,
                           ReplayWal(*env, wal_path, &db->memtable_));
   records_replayed += replay.records_applied;
+  replayed_last_sequence =
+      std::max(replayed_last_sequence, replay.last_sequence);
   tail_truncated |= replay.truncated_tail;
+  db->last_sequence_.store(
+      std::max(db->flushed_sequence_.load(), replayed_last_sequence),
+      std::memory_order_release);
   db->stats_.wal_records_replayed = records_replayed;
   db->stats_.wal_tail_truncated = tail_truncated ? 1 : 0;
   WalRecordsReplayed().Add(records_replayed);
@@ -199,19 +236,28 @@ Result<std::unique_ptr<Db>> Db::Open(Env* env, std::string path,
                         << records_replayed
                         << " records; dropping the damaged suffix";
   }
-  if (had_rotated_wal) {
-    // Consolidate the two logs into one active log covering the recovered
-    // memtable, then drop the rotated one. Every step is crash-safe: the
-    // rewrite is atomic (tmp+rename), and dying before the delete just
-    // means the next open replays the rotated log redundantly.
+  if (had_rotated_wal || tail_truncated) {
+    // Rewrite the active log as the byte-identical concatenation of the
+    // intact framed prefixes (rotated log first — its records are older),
+    // then drop the rotated one. This both consolidates a mid-flush crash
+    // into a single log and amputates a torn tail: leaving the tear in
+    // place would let later appends land *behind* garbage, where replay
+    // can never reach them. Every step is crash-safe: the rewrite is
+    // atomic (tmp+rename), and dying before the delete just means the
+    // next open replays the rotated log redundantly (idempotent).
     std::string consolidated;
-    auto iter = db->memtable_.NewIterator();
-    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
-      consolidated +=
-          EncodeWalRecord(iter->type(), iter->key(), iter->value());
+    if (had_rotated_wal) {
+      PSTORM_ASSIGN_OR_RETURN(WalSegment imm_segment,
+                              ReadWalSegment(*env, wal_imm_path, 0));
+      consolidated += imm_segment.raw;
     }
+    PSTORM_ASSIGN_OR_RETURN(WalSegment wal_segment,
+                            ReadWalSegment(*env, wal_path, 0));
+    consolidated += wal_segment.raw;
     PSTORM_RETURN_IF_ERROR(env->WriteFile(wal_path, consolidated));
-    PSTORM_RETURN_IF_ERROR(env->DeleteFile(wal_imm_path));
+    if (had_rotated_wal) {
+      PSTORM_RETURN_IF_ERROR(env->DeleteFile(wal_imm_path));
+    }
   }
   if (options.wal_enabled) {
     db->wal_ = std::make_unique<WalWriter>(env, wal_path);
@@ -221,7 +267,8 @@ Result<std::unique_ptr<Db>> Db::Open(Env* env, std::string path,
   if (db->stats_.quarantined_files.load() > 0) {
     // Drop the quarantined tables from the manifest so the next open does
     // not trip over them again.
-    PSTORM_RETURN_IF_ERROR(db->WriteManifest(*db->current_));
+    PSTORM_RETURN_IF_ERROR(
+        db->WriteManifest(*db->current_, db->flushed_sequence_.load()));
   }
   return db;
 }
@@ -279,6 +326,14 @@ Status Db::WriteImpl(EntryType type, std::string_view key,
   w.value = value;
 
   std::unique_lock<std::mutex> writer_lock(writer_mu_);
+  if (replica_.load(std::memory_order_relaxed)) {
+    // Replica fence: a standby only mutates through ApplyReplicated. This
+    // is also what a deposed primary's clients see after failover.
+    ++stats_.fence_rejections;
+    FenceRejections().Increment();
+    return Status::FailedPrecondition(
+        "db is a read-only replica; writes go to the primary");
+  }
   writers_.push_back(&w);
   writers_cv_.wait(writer_lock, [&] {
     return w.done || (!batch_in_flight_ && writers_.front() == &w);
@@ -301,19 +356,41 @@ Status Db::WriteImpl(EntryType type, std::string_view key,
   // Everything queued right now rides in this batch. Writers arriving
   // during the WAL IO below queue behind it for the next leader.
   const size_t batch_size = writers_.size();
+  // The leader stamps commit sequences: base+1 .. base+batch_size, in
+  // queue order. Only the (serialized) leader advances last_sequence_, and
+  // only after the batch is durable — a failed append reuses the range,
+  // which is safe because nothing durable carries those sequences.
+  const uint64_t base_sequence =
+      last_sequence_.load(std::memory_order_relaxed);
   Status s;
+  Status ship;
   if (wal_ != nullptr) {
     // Log before memtable: a mutation is acked only once it would survive
     // a crash. The whole batch goes down in one append — one fsync on a
     // real filesystem — which is the point of the group commit.
-    std::string records;
+    WalSegment batch;
     for (size_t i = 0; i < batch_size; ++i) {
       const Writer* writer = writers_[i];
-      records += EncodeWalRecord(writer->type, writer->key, writer->value);
+      const uint64_t sequence = base_sequence + 1 + i;
+      const std::string frame =
+          EncodeWalRecord(sequence, writer->type, writer->key, writer->value);
+      batch.records.push_back(WalRecordRef{sequence,
+                                           DecodeFixed32(frame.data() + 4),
+                                           batch.raw.size(), frame.size()});
+      batch.raw += frame;
     }
+    // Copied under the lock; SetCommitListener waits out in-flight batches,
+    // so the pointee outlives this call even though the lock drops.
+    CommitListener* const listener = commit_listener_;
+    const uint64_t commit_epoch = epoch_.load(std::memory_order_relaxed);
     batch_in_flight_ = true;
     writer_lock.unlock();
-    s = wal_->AppendBatch(records);
+    s = wal_->AppendBatch(batch.raw);
+    if (s.ok() && listener != nullptr) {
+      // Sync replication hook. The batch is locally durable either way; a
+      // ship failure is reported to the writers (see CommitListener docs).
+      ship = listener->OnCommit(commit_epoch, batch);
+    }
     writer_lock.lock();
     batch_in_flight_ = false;
     if (s.ok()) {
@@ -324,15 +401,22 @@ Status Db::WriteImpl(EntryType type, std::string_view key,
     }
   }
   if (s.ok()) {
-    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
-    for (size_t i = 0; i < batch_size; ++i) {
-      const Writer* writer = writers_[i];
-      if (writer->type == EntryType::kValue) {
-        memtable_.Put(writer->key, writer->value);
-      } else {
-        memtable_.Delete(writer->key);
+    {
+      std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+      for (size_t i = 0; i < batch_size; ++i) {
+        const Writer* writer = writers_[i];
+        if (writer->type == EntryType::kValue) {
+          memtable_.Put(writer->key, writer->value);
+        } else {
+          memtable_.Delete(writer->key);
+        }
       }
     }
+    last_sequence_.store(base_sequence + batch_size,
+                         std::memory_order_release);
+    // Locally committed but possibly not replicated: surface the ship
+    // error to every writer in the batch.
+    if (!ship.ok()) s = ship;
   }
   for (size_t i = 0; i < batch_size; ++i) {
     Writer* writer = writers_.front();
@@ -443,6 +527,11 @@ Status Db::ScheduleMemtableSwapLocked() {
     PSTORM_RETURN_IF_ERROR(env_->RenameFile(JoinPath(path_, kWalName),
                                             JoinPath(path_, kWalImmName)));
   }
+  // Everything in the memtable being swapped is covered by last_sequence_
+  // (writer_mu_ is held, no batch in flight): that is the watermark the
+  // flush's manifest will persist as `last_seq`.
+  imm_last_sequence_.store(last_sequence_.load(std::memory_order_acquire),
+                           std::memory_order_release);
   {
     std::unique_lock<std::shared_mutex> state_lock(state_mu_);
     imm_ = std::make_shared<const Memtable>(std::move(memtable_));
@@ -482,12 +571,13 @@ void Db::BackgroundWork() {
 
     Status s = Status::OK();
     if (HasImm()) {
-      s = DoBackgroundFlush();
+      s = RunWithBgRetries("flush", [this] { return DoBackgroundFlush(); });
     }
     if (s.ok() &&
         (want_compact || static_cast<int>(L0Count()) >=
                              options_.l0_compaction_trigger)) {
-      s = DoBackgroundCompaction();
+      s = RunWithBgRetries("compaction",
+                           [this] { return DoBackgroundCompaction(); });
     }
 
     std::lock_guard<std::mutex> maint_lock(maint_mu_);
@@ -520,6 +610,39 @@ void Db::BackgroundWork() {
   }
 }
 
+Status Db::RunWithBgRetries(const char* what,
+                            const std::function<Status()>& job) {
+  Status s = job();
+  uint64_t backoff = options_.bg_retry_backoff_micros;
+  for (int attempt = 0; !s.ok() && attempt < options_.bg_failure_retries;
+       ++attempt) {
+    const uint64_t capped =
+        std::min(backoff, options_.bg_retry_backoff_max_micros);
+    // Half the window fixed + half jittered, so colliding Dbs desynchronize
+    // without ever retrying immediately.
+    const uint64_t sleep_micros =
+        capped / 2 + bg_rng_.NextUint64(capped / 2 + 1);
+    {
+      std::unique_lock<std::mutex> maint_lock(maint_mu_);
+      if (shutting_down_) return s;
+      ++stats_.bg_retries;
+      BgRetries().Increment();
+      PSTORM_LOG(Warning) << "db " << path_ << ": background " << what
+                          << " failed (" << s.ToString() << "); retry "
+                          << (attempt + 1) << "/"
+                          << options_.bg_failure_retries << " in "
+                          << sleep_micros << "us";
+      // Interruptible backoff: shutdown must not wait out the full sleep.
+      maint_cv_.wait_for(maint_lock, std::chrono::microseconds(sleep_micros),
+                         [this] { return shutting_down_; });
+      if (shutting_down_) return s;
+    }
+    backoff = std::min(backoff * 2, options_.bg_retry_backoff_max_micros);
+    s = job();
+  }
+  return s;
+}
+
 Status Db::DoBackgroundFlush() {
   // Only this (single) background task clears imm_, so the snapshot stays
   // the flush source even after the lock drops; immutability makes the
@@ -539,7 +662,13 @@ Status Db::DoBackgroundFlush() {
   next->l0.push_back(std::move(handle));
   next->l0.insert(next->l0.end(), base->l0.begin(), base->l0.end());
   next->l1 = base->l1;
-  PSTORM_RETURN_IF_ERROR(WriteManifest(*next));
+  // The manifest records the swap-time watermark: every sequence up to it
+  // is durable in `next`'s sstables. flushed_sequence_ advances only after
+  // the manifest referencing those tables has landed.
+  const uint64_t durable_sequence =
+      imm_last_sequence_.load(std::memory_order_acquire);
+  PSTORM_RETURN_IF_ERROR(WriteManifest(*next, durable_sequence));
+  flushed_sequence_.store(durable_sequence, std::memory_order_release);
   // The flushed records are durable and referenced; the rotated log that
   // carried them is dead weight. Deleting it before publishing keeps the
   // invariant that an existing WAL.imm always shadows a pending imm_.
@@ -568,7 +697,9 @@ Status Db::DoBackgroundCompaction() {
   size_t bytes = 0;
   PSTORM_ASSIGN_OR_RETURN(std::shared_ptr<Version> next,
                           BuildCompactedVersion(*base, &bytes));
-  PSTORM_RETURN_IF_ERROR(WriteManifest(*next));
+  // Compaction rewrites tables without absorbing new records, so the
+  // durability watermark is unchanged.
+  PSTORM_RETURN_IF_ERROR(WriteManifest(*next, flushed_sequence_.load()));
   {
     std::unique_lock<std::shared_mutex> state_lock(state_mu_);
     current_ = next;
@@ -662,6 +793,15 @@ DbStats Db::stats() const {
   out.write_slowdowns = stats_.write_slowdowns.load();
   out.write_stalls = stats_.write_stalls.load();
   out.stall_micros = stats_.stall_micros.load();
+  out.bg_retries = stats_.bg_retries.load();
+  out.replicated_batches = stats_.replicated_batches.load();
+  out.replicated_records = stats_.replicated_records.load();
+  out.fence_rejections = stats_.fence_rejections.load();
+  out.checkpoints_created = stats_.checkpoints_created.load();
+  out.epoch = epoch_.load(std::memory_order_acquire);
+  out.last_sequence = last_sequence_.load(std::memory_order_acquire);
+  out.flushed_sequence = flushed_sequence_.load(std::memory_order_acquire);
+  out.is_replica = replica_.load(std::memory_order_acquire) ? 1 : 0;
   return out;
 }
 
@@ -766,7 +906,12 @@ Status Db::FlushLocked() {
   stats_.bytes_flushed += bytes;
   Flushes().Increment();
   BytesFlushed().Add(bytes);
-  PSTORM_RETURN_IF_ERROR(WriteManifest(*current_));
+  // writer_mu_ is held with no batch in flight, so last_sequence_ covers
+  // exactly what the table just absorbed.
+  const uint64_t durable_sequence =
+      last_sequence_.load(std::memory_order_acquire);
+  PSTORM_RETURN_IF_ERROR(WriteManifest(*current_, durable_sequence));
+  flushed_sequence_.store(durable_sequence, std::memory_order_release);
   // The flushed records are durable in the sstable now; the log restarts
   // empty. Ordering matters: truncating before the manifest lands would
   // open a window where a crash loses the flushed-but-unreferenced data.
@@ -809,7 +954,7 @@ Status Db::CompactAllLocked() {
   }
   ++stats_.compactions;
   Compactions().Increment();
-  PSTORM_RETURN_IF_ERROR(WriteManifest(*next));
+  PSTORM_RETURN_IF_ERROR(WriteManifest(*next, flushed_sequence_.load()));
 
   // The superseded files stay on disk while any reader still pins them;
   // each is deleted when its last pinning Version is released (see
@@ -864,10 +1009,14 @@ Result<std::shared_ptr<Version>> Db::BuildCompactedVersion(
   return next;
 }
 
-Status Db::WriteManifest(const Version& version) {
+Status Db::WriteManifest(const Version& version, uint64_t flushed_seq) {
   std::string out(kManifestHeader);
   out += "\n";
   out += "next_file " + std::to_string(next_file_number_.load()) + "\n";
+  out += "last_seq " + std::to_string(flushed_seq) + "\n";
+  // The fenced epoch record: a manifest carrying epoch E rejects shipped
+  // batches from any primary announcing an epoch < E after reopen.
+  out += "epoch " + std::to_string(epoch_.load()) + "\n";
   for (const auto& handle : version.l0) out += "l0 " + handle->name() + "\n";
   for (const auto& handle : version.l1) out += "l1 " + handle->name() + "\n";
   const std::string tmp = JoinPath(path_, std::string(kManifestName) + ".tmp");
@@ -893,11 +1042,21 @@ Status Db::LoadManifest() {
     if (lines[i].empty()) continue;
     const std::vector<std::string> parts = StrSplit(lines[i], ' ');
     if (parts.size() != 2) return Status::Corruption("bad manifest line");
-    if (parts[0] == "next_file") {
+    if (parts[0] == "next_file" || parts[0] == "last_seq" ||
+        parts[0] == "epoch") {
       char* end = nullptr;
-      next_file_number_ = std::strtoull(parts[1].c_str(), &end, 10);
+      const uint64_t value = std::strtoull(parts[1].c_str(), &end, 10);
       if (end == parts[1].c_str() || *end != '\0') {
-        return Status::Corruption("bad next_file value");
+        return Status::Corruption("bad " + parts[0] + " value");
+      }
+      if (parts[0] == "next_file") {
+        next_file_number_ = value;
+      } else if (parts[0] == "last_seq") {
+        flushed_sequence_.store(value, std::memory_order_release);
+      } else {
+        // A pre-replication manifest has no epoch line; the member default
+        // (epoch 1) covers it.
+        epoch_.store(value, std::memory_order_release);
       }
     } else if (parts[0] == "l0" || parts[0] == "l1") {
       Result<std::shared_ptr<Table>> table = LoadTable(parts[1]);
@@ -927,6 +1086,287 @@ Status Db::LoadManifest() {
     }
   }
   current_ = std::move(loaded);
+  return Status::OK();
+}
+
+// --- Replication ----------------------------------------------------------
+
+Result<Db::ShipBatch> Db::FetchWalSince(uint64_t from_sequence) {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "WAL disabled: nothing to ship; replication requires wal_enabled");
+  }
+  std::unique_lock<std::mutex> writer_lock = LockWriterForMaintenance();
+  ShipBatch out;
+  out.epoch = epoch_.load(std::memory_order_acquire);
+
+  const std::string wal_path = JoinPath(path_, kWalName);
+  const std::string imm_path = JoinPath(path_, kWalImmName);
+  // writer_mu_ keeps new appends out, but a background flush can still
+  // truncate/delete a log mid-read; detect that by re-checking the
+  // durability watermark and retrying.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const uint64_t flushed_before =
+        flushed_sequence_.load(std::memory_order_acquire);
+    if (from_sequence <= flushed_before) {
+      // The log no longer reaches back that far — a flush truncated the
+      // records away. The follower must bootstrap from a checkpoint.
+      out.need_checkpoint = true;
+      out.segment = WalSegment();
+      return out;
+    }
+    WalSegment merged;
+    PSTORM_ASSIGN_OR_RETURN(WalSegment imm_segment,
+                            ReadWalSegment(*env_, imm_path, from_sequence));
+    PSTORM_ASSIGN_OR_RETURN(WalSegment wal_segment,
+                            ReadWalSegment(*env_, wal_path, from_sequence));
+    AppendWalSegment(&merged, imm_segment);
+    AppendWalSegment(&merged, wal_segment);
+    if (flushed_sequence_.load(std::memory_order_acquire) !=
+        flushed_before) {
+      continue;  // A flush landed mid-read; the segment may be torn.
+    }
+    // Contiguity paranoia: the follower applies strictly sequential
+    // records, so hand it either a gap-free run starting exactly at
+    // from_sequence or a checkpoint order.
+    bool contiguous = merged.empty() ||
+                      merged.first_sequence() == from_sequence;
+    for (size_t i = 1; contiguous && i < merged.records.size(); ++i) {
+      contiguous =
+          merged.records[i].sequence == merged.records[i - 1].sequence + 1;
+    }
+    if (!contiguous) {
+      out.need_checkpoint = true;
+      out.segment = WalSegment();
+      return out;
+    }
+    out.segment = std::move(merged);
+    return out;
+  }
+  // Flushes kept landing between reads; the checkpoint path is always safe.
+  out.need_checkpoint = true;
+  out.segment = WalSegment();
+  return out;
+}
+
+Result<DbCheckpoint> Db::Checkpoint() {
+  // Quiesce: writer lock keeps mutations out, WaitForIdle drains the
+  // background task (and surfaces its latched error instead of
+  // snapshotting a wedged Db). After it, imm_ is empty and current_ /
+  // flushed_sequence_ are stable.
+  std::unique_lock<std::mutex> writer_lock = LockWriterForMaintenance();
+  PSTORM_RETURN_IF_ERROR(WaitForIdle());
+
+  DbCheckpoint checkpoint;
+  checkpoint.epoch = epoch_.load(std::memory_order_acquire);
+  checkpoint.flushed_sequence =
+      flushed_sequence_.load(std::memory_order_acquire);
+  checkpoint.last_sequence = last_sequence_.load(std::memory_order_acquire);
+  checkpoint.next_file_number = next_file_number_.load();
+
+  const std::shared_ptr<const Version> version = PinVersion();
+  auto copy_level = [&](const std::vector<std::shared_ptr<TableHandle>>& in,
+                        std::vector<DbCheckpoint::TableFile>* out) -> Status {
+    for (const auto& handle : in) {
+      PSTORM_ASSIGN_OR_RETURN(std::string contents,
+                              env_->ReadFile(JoinPath(path_, handle->name())));
+      out->push_back(DbCheckpoint::TableFile{handle->name(),
+                                             std::move(contents)});
+    }
+    return Status::OK();
+  };
+  PSTORM_RETURN_IF_ERROR(copy_level(version->l0, &checkpoint.l0));
+  PSTORM_RETURN_IF_ERROR(copy_level(version->l1, &checkpoint.l1));
+
+  if (wal_ != nullptr) {
+    WalSegment tail;
+    // Idle means WAL.imm is gone, but read it defensively anyway — extra
+    // records below the flushed watermark are filtered out either way.
+    PSTORM_ASSIGN_OR_RETURN(
+        WalSegment imm_segment,
+        ReadWalSegment(*env_, JoinPath(path_, kWalImmName),
+                       checkpoint.flushed_sequence + 1));
+    PSTORM_ASSIGN_OR_RETURN(
+        WalSegment wal_segment,
+        ReadWalSegment(*env_, JoinPath(path_, kWalName),
+                       checkpoint.flushed_sequence + 1));
+    AppendWalSegment(&tail, imm_segment);
+    AppendWalSegment(&tail, wal_segment);
+    checkpoint.wal_tail = std::move(tail.raw);
+  }
+  ++stats_.checkpoints_created;
+  CheckpointsCreated().Increment();
+  return checkpoint;
+}
+
+Status Db::InstallCheckpoint(Env* env, const std::string& path,
+                             const DbCheckpoint& checkpoint) {
+  PSTORM_CHECK(env != nullptr);
+  PSTORM_RETURN_IF_ERROR(env->CreateDir(path));
+  // Tear down the previous incarnation in crash-safe order: logs first,
+  // manifest last. A crash after the WAL deletes but before the manifest's
+  // leaves the old *flushed prefix* — consistent, just stale; a crash
+  // after the manifest delete leaves a clean empty Db (the old sstables
+  // become unreferenced orphans). Deleting the manifest first would leave
+  // a WAL-only directory whose records replay onto the wrong base.
+  for (const char* name : {kWalName, kWalImmName, kManifestName}) {
+    const std::string file = JoinPath(path, name);
+    if (env->FileExists(file)) {
+      PSTORM_RETURN_IF_ERROR(env->DeleteFile(file));
+    }
+  }
+  // Epoch-prefixed table names cannot collide with the previous
+  // incarnation's files (swept as orphans at the next open) or with
+  // NewFileName()-produced ones after the follower reopens.
+  auto shipped_name = [&checkpoint](const std::string& name) {
+    return "r" + std::to_string(checkpoint.epoch) + "-" + name;
+  };
+  std::string manifest(kManifestHeader);
+  manifest += "\n";
+  manifest +=
+      "next_file " + std::to_string(checkpoint.next_file_number) + "\n";
+  manifest +=
+      "last_seq " + std::to_string(checkpoint.flushed_sequence) + "\n";
+  manifest += "epoch " + std::to_string(checkpoint.epoch) + "\n";
+  for (const auto& table : checkpoint.l0) {
+    PSTORM_RETURN_IF_ERROR(env->WriteFile(
+        JoinPath(path, shipped_name(table.name)), table.contents));
+    manifest += "l0 " + shipped_name(table.name) + "\n";
+  }
+  for (const auto& table : checkpoint.l1) {
+    PSTORM_RETURN_IF_ERROR(env->WriteFile(
+        JoinPath(path, shipped_name(table.name)), table.contents));
+    manifest += "l1 " + shipped_name(table.name) + "\n";
+  }
+  const std::string tmp = JoinPath(path, std::string(kManifestName) + ".tmp");
+  PSTORM_RETURN_IF_ERROR(env->WriteFile(tmp, manifest));
+  PSTORM_RETURN_IF_ERROR(env->RenameFile(tmp, JoinPath(path, kManifestName)));
+  // The WAL tail lands last: until here a crash leaves the flushed prefix,
+  // and a torn tail append is amputated by replay + consolidation at open.
+  if (!checkpoint.wal_tail.empty()) {
+    PSTORM_RETURN_IF_ERROR(
+        env->AppendFile(JoinPath(path, kWalName), checkpoint.wal_tail));
+  }
+  return Status::OK();
+}
+
+Status Db::AdoptEpochLocked(uint64_t new_epoch) {
+  // Quiesce the background task: it is the only other manifest writer, and
+  // the fence must not be overwritten by a concurrent flush's manifest
+  // carrying the old epoch.
+  PSTORM_RETURN_IF_ERROR(WaitForIdle());
+  const std::shared_ptr<const Version> version = PinVersion();
+  const uint64_t old_epoch = epoch_.load(std::memory_order_acquire);
+  epoch_.store(new_epoch, std::memory_order_release);
+  const Status persisted =
+      WriteManifest(*version, flushed_sequence_.load());
+  if (!persisted.ok()) {
+    epoch_.store(old_epoch, std::memory_order_release);
+    return persisted;
+  }
+  PSTORM_LOG(Info) << "db " << path_ << ": adopted epoch " << new_epoch
+                   << " (was " << old_epoch << ")";
+  return Status::OK();
+}
+
+Status Db::ApplyReplicated(uint64_t primary_epoch, const WalSegment& segment) {
+  std::unique_lock<std::mutex> writer_lock = LockWriterForMaintenance();
+  if (!replica_.load(std::memory_order_acquire)) {
+    // This Db was promoted (or never was a replica): the sender is a
+    // deposed primary, or confused. Fence it.
+    ++stats_.fence_rejections;
+    FenceRejections().Increment();
+    return Status::FailedPrecondition(
+        "not a replica: shipped batch fenced (target epoch " +
+        std::to_string(epoch_.load()) + ")");
+  }
+  if (primary_epoch < epoch_.load(std::memory_order_acquire)) {
+    ++stats_.fence_rejections;
+    FenceRejections().Increment();
+    return Status::FailedPrecondition(
+        "stale epoch " + std::to_string(primary_epoch) + " < " +
+        std::to_string(epoch_.load()) + ": shipped batch fenced");
+  }
+  if (primary_epoch > epoch_.load(std::memory_order_acquire)) {
+    // Persist the fence *before* applying any record of the new epoch: a
+    // crash right after must still reject the old primary on reopen.
+    PSTORM_RETURN_IF_ERROR(AdoptEpochLocked(primary_epoch));
+  }
+  if (segment.raw.empty()) return Status::OK();  // Heartbeat / pure fencing.
+
+  if (background_mode()) {
+    PSTORM_RETURN_IF_ERROR(MaybeThrottleLocked());
+  }
+  PSTORM_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                          DecodeWalRecords(segment.raw));
+  const uint64_t expected =
+      last_sequence_.load(std::memory_order_acquire) + 1;
+  if (records.front().sequence != expected) {
+    return Status::InvalidArgument(
+        "replication gap: batch starts at " +
+        std::to_string(records.front().sequence) + ", expected " +
+        std::to_string(expected));
+  }
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i].sequence != records[i - 1].sequence + 1) {
+      return Status::InvalidArgument("non-contiguous shipped batch");
+    }
+  }
+  if (wal_ != nullptr) {
+    // Byte-identical append: the replica's log carries the primary's exact
+    // frames (sequences and checksums included), which is what makes
+    // divergence detectable and a promoted replica's log shippable onward.
+    PSTORM_RETURN_IF_ERROR(wal_->AppendBatch(segment.raw));
+    stats_.wal_appends += records.size();
+    ++stats_.wal_syncs;
+    WalAppends().Add(records.size());
+    WalSyncs().Increment();
+  }
+  {
+    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    for (const WalRecord& record : records) {
+      if (record.type == EntryType::kValue) {
+        memtable_.Put(record.key, record.value);
+      } else {
+        memtable_.Delete(record.key);
+      }
+    }
+  }
+  last_sequence_.store(records.back().sequence, std::memory_order_release);
+  ++stats_.replicated_batches;
+  stats_.replicated_records += records.size();
+  ReplicatedBatches().Increment();
+  ReplicatedRecords().Add(records.size());
+  return MaybeFlushLocked();
+}
+
+Status Db::PromoteToPrimary() {
+  std::unique_lock<std::mutex> writer_lock = LockWriterForMaintenance();
+  if (!replica_.load(std::memory_order_acquire)) return Status::OK();
+  PSTORM_RETURN_IF_ERROR(WaitForIdle());
+  const std::shared_ptr<const Version> version = PinVersion();
+  const uint64_t old_epoch = epoch_.load(std::memory_order_acquire);
+  epoch_.store(old_epoch + 1, std::memory_order_release);
+  // The promotion *is* the manifest write: only once the bumped epoch is
+  // durable may this Db accept writes, or a crash could resurrect it as a
+  // replica that already diverged from the old primary.
+  const Status persisted =
+      WriteManifest(*version, flushed_sequence_.load());
+  if (!persisted.ok()) {
+    epoch_.store(old_epoch, std::memory_order_release);
+    return persisted;  // Still a replica at the old epoch; retry is safe.
+  }
+  replica_.store(false, std::memory_order_release);
+  PSTORM_LOG(Info) << "db " << path_ << ": promoted to primary at epoch "
+                   << (old_epoch + 1);
+  return Status::OK();
+}
+
+Status Db::SetCommitListener(CommitListener* listener) {
+  // LockWriterForMaintenance waits out any in-flight batch, including its
+  // OnCommit call: after return the old listener is never invoked again.
+  std::unique_lock<std::mutex> writer_lock = LockWriterForMaintenance();
+  commit_listener_ = listener;
   return Status::OK();
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -11,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -59,6 +61,20 @@ struct DbOptions {
   /// Per-table format knobs, including the per-block compression codec
   /// (`table_options.codec`) and the prefix-bloom delimiter.
   TableBuilder::Options table_options;
+  /// Open the Db as a read-only replica: client Put/Delete are rejected
+  /// with FailedPrecondition, and mutations arrive only through
+  /// ApplyReplicated — the WAL-shipping path (storage/replication.h).
+  /// Reads stay fully available (snapshot-isolated, as always).
+  /// PromoteToPrimary() flips the Db writable and bumps the fencing epoch.
+  bool read_only_replica = false;
+  /// Background-maintenance retry policy: a failed flush or compaction is
+  /// retried this many times — with jittered exponential backoff starting
+  /// at `bg_retry_backoff_micros`, capped at `bg_retry_backoff_max_micros`
+  /// — before the error latches into bg_error_ and wedges the Db until
+  /// reopen. 0 restores latch-on-first-failure.
+  int bg_failure_retries = 3;
+  uint64_t bg_retry_backoff_micros = 500;
+  uint64_t bg_retry_backoff_max_micros = 50000;
 };
 
 /// Counters exposed for observability and the micro-benchmarks.
@@ -89,6 +105,25 @@ struct DbStats {
   uint64_t write_stalls = 0;
   /// Total wall time writers spent delayed or blocked, in microseconds.
   uint64_t stall_micros = 0;
+  /// Background flush/compaction attempts retried after a transient Env
+  /// failure (see DbOptions::bg_failure_retries).
+  uint64_t bg_retries = 0;
+  /// Replication batches accepted through ApplyReplicated.
+  uint64_t replicated_batches = 0;
+  /// Individual records applied through ApplyReplicated.
+  uint64_t replicated_records = 0;
+  /// Writes/batches rejected by epoch fencing or replica read-only mode.
+  uint64_t fence_rejections = 0;
+  /// Consistent snapshots produced by Checkpoint().
+  uint64_t checkpoints_created = 0;
+  /// Current fencing epoch (monotonic, persisted in the manifest).
+  uint64_t epoch = 0;
+  /// Highest committed sequence number (WAL + memtable).
+  uint64_t last_sequence = 0;
+  /// Highest sequence number durable in sstables (manifest `last_seq`).
+  uint64_t flushed_sequence = 0;
+  /// 1 when the Db is a read-only replica, 0 when primary.
+  uint64_t is_replica = 0;
 };
 
 /// A small embedded LSM key-value store: one memtable, a newest-first list
@@ -122,9 +157,46 @@ struct DbStats {
 ///    them is released, so an iterator keeps serving from compacted-away
 ///    tables.
 ///
+/// A consistent point-in-time image of a Db — the bootstrap payload the
+/// replication layer ships to a fresh or diverged follower: every live
+/// sstable (by content), the manifest fields needed to rebuild it, and the
+/// intact WAL tail covering sequences past the flushed prefix.
+struct DbCheckpoint {
+  uint64_t epoch = 0;
+  /// Sequence durable in the shipped sstables.
+  uint64_t flushed_sequence = 0;
+  /// Highest sequence in the checkpoint overall (sstables + wal_tail).
+  uint64_t last_sequence = 0;
+  uint64_t next_file_number = 0;
+  struct TableFile {
+    std::string name;
+    std::string contents;
+  };
+  std::vector<TableFile> l0;  // Newest first, matching manifest order.
+  std::vector<TableFile> l1;
+  /// Framed WAL records for sequences > flushed_sequence, verbatim.
+  std::string wal_tail;
+};
+
 /// Lock order: writer_mu_ -> maint_mu_ -> state_mu_ (never the reverse).
 class Db {
  public:
+  /// Observes every committed write batch, synchronously, from the
+  /// committing (group-commit leader) thread — the hook sync replication
+  /// uses to ship a batch before the writer is acked. Called once the
+  /// batch is durable in the local WAL, with writer_mu_ *released* but the
+  /// batch still logically in flight (it is applied to the memtable and
+  /// last_sequence advanced right after, regardless of the listener's
+  /// verdict): the callback must not call back into this Db's write or
+  /// maintenance API (Put, Flush, FetchWalSince, ...) or it deadlocks. A
+  /// non-OK return is propagated to every writer in the batch — the
+  /// records remain locally durable; see DESIGN.md §11 on this ambiguity
+  /// window.
+  class CommitListener {
+   public:
+    virtual ~CommitListener() = default;
+    virtual Status OnCommit(uint64_t epoch, const WalSegment& batch) = 0;
+  };
   /// Soft-gate delay applied per write while level 0 is over the slowdown
   /// threshold (background mode).
   static constexpr int kSlowdownDelayMicros = 1000;
@@ -202,6 +274,61 @@ class Db {
   /// A consistent snapshot of the counters.
   DbStats stats() const;
 
+  // --- Replication (see storage/replication.h for the shipping layer). ---
+
+  /// Every intact WAL record with sequence >= `from_sequence`, in order,
+  /// rotated log (WAL.imm) first then the active log — the shipper's pull
+  /// primitive. `need_checkpoint` is set (with an empty segment) when the
+  /// log no longer reaches back to `from_sequence` because a flush
+  /// truncated it; the follower must bootstrap from Checkpoint() instead.
+  /// FailedPrecondition when the WAL is disabled.
+  struct ShipBatch {
+    uint64_t epoch = 0;
+    bool need_checkpoint = false;
+    WalSegment segment;
+  };
+  Result<ShipBatch> FetchWalSince(uint64_t from_sequence);
+
+  /// A consistent snapshot for follower bootstrap: quiesces background
+  /// work, pins the current Version, and copies every live sstable plus
+  /// the WAL tail past the flushed prefix. Surfaces any latched background
+  /// error rather than snapshotting a wedged Db.
+  Result<DbCheckpoint> Checkpoint();
+
+  /// Materializes `checkpoint` as a fresh Db directory at `path` (crash
+  /// safe: any interrupted install is either a consistent flushed prefix
+  /// or re-bootstrappable). The target Db must be closed.
+  static Status InstallCheckpoint(Env* env, const std::string& path,
+                                  const DbCheckpoint& checkpoint);
+
+  /// Applies a shipped batch on a replica: verifies framing + CRC, rejects
+  /// stale epochs and non-replica targets with FailedPrecondition (fence),
+  /// adopts (persists) a newer epoch before applying its records, requires
+  /// exact sequence contiguity (first == last_sequence()+1, else
+  /// InvalidArgument — the applier re-fetches), appends the frames
+  /// byte-identical to the local WAL, and applies them to the memtable.
+  Status ApplyReplicated(uint64_t primary_epoch, const WalSegment& segment);
+
+  /// Fences the old primary and makes this Db writable: persists epoch+1
+  /// in the manifest, then drops replica mode. Idempotent on a primary.
+  /// On failure the Db stays a replica at its old epoch (safe to retry).
+  Status PromoteToPrimary();
+
+  /// Registers (or, with nullptr, removes) the commit hook. Waits out any
+  /// in-flight batch, so after return the old listener is never called
+  /// again and the new one sees every subsequent batch. One listener at a
+  /// time.
+  Status SetCommitListener(CommitListener* listener);
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  uint64_t last_sequence() const {
+    return last_sequence_.load(std::memory_order_acquire);
+  }
+  uint64_t flushed_sequence() const {
+    return flushed_sequence_.load(std::memory_order_acquire);
+  }
+  bool is_replica() const { return replica_.load(std::memory_order_acquire); }
+
  private:
   /// DbStats with every counter atomic, so writers on different threads
   /// (and readers snapshotting) never race. stats() flattens it.
@@ -219,6 +346,11 @@ class Db {
     std::atomic<uint64_t> write_slowdowns{0};
     std::atomic<uint64_t> write_stalls{0};
     std::atomic<uint64_t> stall_micros{0};
+    std::atomic<uint64_t> bg_retries{0};
+    std::atomic<uint64_t> replicated_batches{0};
+    std::atomic<uint64_t> replicated_records{0};
+    std::atomic<uint64_t> fence_rejections{0};
+    std::atomic<uint64_t> checkpoints_created{0};
   };
 
   Db(Env* env, std::string path, DbOptions options)
@@ -278,6 +410,11 @@ class Db {
   /// compact if requested or level 0 is over the trigger) until none is
   /// left, notifying stalled writers after every job.
   void BackgroundWork();
+  /// Runs `job`, retrying up to DbOptions::bg_failure_retries times with
+  /// jittered capped exponential backoff (shutdown-responsive sleeps on
+  /// maint_cv_) before returning the last error — the transient-Env-error
+  /// shield in front of the bg_error_ latch.
+  Status RunWithBgRetries(const char* what, const std::function<Status()>& job);
   Status DoBackgroundFlush();
   Status DoBackgroundCompaction();
   /// Current level-0 table count (takes state_mu_ shared; safe under
@@ -298,10 +435,16 @@ class Db {
   Result<std::shared_ptr<Version>> BuildCompactedVersion(const Version& base,
                                                          size_t* bytes);
 
-  /// Writes `version` to the manifest. Serialized by writer_mu_ in inline
-  /// mode and by the single background task in background mode (plus the
-  /// single-threaded Open).
-  Status WriteManifest(const Version& version);
+  /// Writes `version` plus the durability watermark (`last_seq` tag) and
+  /// the current fencing epoch to the manifest. Serialized by writer_mu_ in
+  /// inline mode and by the single background task in background mode (plus
+  /// the single-threaded Open). Callers must only pass a `flushed_seq`
+  /// actually durable in `version`'s sstables.
+  Status WriteManifest(const Version& version, uint64_t flushed_seq);
+  /// Persists and adopts a higher epoch announced by the current primary
+  /// (replica side; writer_mu_ held via `lock`). Quiesces background work
+  /// so the manifest write cannot race a flush's.
+  Status AdoptEpochLocked(uint64_t new_epoch);
   /// Open-time only (single-threaded).
   Status LoadManifest();
   /// Deletes files in the db directory that are neither live (manifest,
@@ -333,6 +476,27 @@ class Db {
   bool batch_in_flight_ = false;
   /// Atomic so the background task can name files without writer_mu_.
   std::atomic<uint64_t> next_file_number_{1};
+  /// Highest committed sequence number; advanced only by the group-commit
+  /// leader (under the in-flight window) and by ApplyReplicated, both
+  /// serialized through writer_mu_. Atomic so readers/shippers can load it
+  /// without the lock.
+  std::atomic<uint64_t> last_sequence_{0};
+  /// Highest sequence durable in sstables (== manifest `last_seq`).
+  /// Written only after the manifest recording it has been persisted.
+  std::atomic<uint64_t> flushed_sequence_{0};
+  /// last_sequence_ captured when the memtable was swapped aside — the
+  /// watermark the background flush's manifest write records.
+  std::atomic<uint64_t> imm_last_sequence_{0};
+  /// Fencing epoch; changes only under writer_mu_ with background work
+  /// quiesced (promote / epoch adoption), after the manifest persisting it
+  /// succeeded.
+  std::atomic<uint64_t> epoch_{1};
+  /// True while in replica mode (client writes fenced).
+  std::atomic<bool> replica_{false};
+  /// Guarded by writer_mu_; the leader copies it to a local before
+  /// releasing the mutex for the batch IO, and SetCommitListener waits out
+  /// in-flight batches, so the pointee outlives every call.
+  CommitListener* commit_listener_ = nullptr;
 
   /// Guards the background scheduler state below; maint_cv_ is notified
   /// after every completed background job, on errors, and at shutdown.
@@ -342,6 +506,10 @@ class Db {
   bool compact_requested_ = false; // An explicit CompactAll is pending.
   bool shutting_down_ = false;     // Set by ~Db: finish the job, stop.
   Status bg_error_;                // First background failure, latched.
+  /// Backoff jitter for RunWithBgRetries. Touched only from the (single)
+  /// background task — or from the writer thread in inline mode, where
+  /// maintenance is serialized by writer_mu_ — so no extra lock.
+  Rng bg_rng_{0x9e3779b97f4a7c15ull};
 
   /// Guards the reader-visible state below. Readers hold it shared only
   /// while probing the memtables and pinning current_; writers hold it

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -17,13 +18,17 @@ namespace pstorm::storage {
 /// servers get from their WAL, thesis §5.1). Every Put/Delete is appended
 /// here before it touches the memtable, so an acked mutation survives a
 /// process kill; the log is truncated once a flush has made its contents
-/// durable in an sstable.
+/// durable in an sstable. The same framed records are the unit of
+/// WAL-shipping replication (storage/replication.h): a follower applies
+/// byte-identical frames, so primary and replica logs stay comparable
+/// record-for-record.
 ///
 /// On-log record framing (all little-endian, via common/coding):
 ///
 ///   fixed32 payload_length
 ///   fixed32 checksum          low 32 bits of Fnv1a64(payload)
 ///   payload:
+///     varint64 sequence       monotonic per-Db, assigned at commit; never 0
 ///     byte     type           0 = value (Put), 1 = tombstone (Delete)
 ///     varint32 key_length,   key bytes
 ///     varint32 value_length, value bytes (empty for tombstones)
@@ -32,10 +37,68 @@ namespace pstorm::storage {
 /// is not corruption: replay applies every intact prefix record and stops
 /// cleanly at the first bad one.
 
-/// Serializes one mutation as a framed log record (exposed for tests and
-/// the BM_WalAppend micro-benchmark).
-std::string EncodeWalRecord(EntryType type, std::string_view key,
-                            std::string_view value);
+/// Serializes one mutation as a framed log record (exposed for tests, the
+/// replication layer, and the BM_WalAppend micro-benchmark).
+std::string EncodeWalRecord(uint64_t sequence, EntryType type,
+                            std::string_view key, std::string_view value);
+
+/// One decoded log record; `key`/`value` view the buffer they were decoded
+/// from.
+struct WalRecord {
+  uint64_t sequence = 0;
+  EntryType type = EntryType::kValue;
+  std::string_view key;
+  std::string_view value;
+};
+
+/// Location and identity of one framed record inside a WalSegment's `raw`
+/// bytes. The checksum is the frame's payload checksum — the same 32 bits
+/// the wire carries — which is what replication compares to detect a
+/// divergent re-ship of an already-applied sequence number.
+struct WalRecordRef {
+  uint64_t sequence = 0;
+  uint32_t checksum = 0;
+  size_t offset = 0;  // Byte offset of the frame within `raw`.
+  size_t size = 0;    // Whole frame size, header included.
+};
+
+/// A run of intact, CRC-verified, contiguous log frames — the unit the
+/// replication shipper moves. `raw` holds the frames byte-identical to the
+/// source log, so appending it to another log preserves sequences and
+/// checksums exactly.
+struct WalSegment {
+  std::string raw;
+  std::vector<WalRecordRef> records;
+  /// True when the scan stopped at a torn or checksum-mismatched frame.
+  bool truncated_tail = false;
+
+  bool empty() const { return records.empty(); }
+  uint64_t first_sequence() const {
+    return records.empty() ? 0 : records.front().sequence;
+  }
+  uint64_t last_sequence() const {
+    return records.empty() ? 0 : records.back().sequence;
+  }
+};
+
+/// Scans the intact framed prefix of the log at `path` and returns the
+/// frames whose sequence is >= `from_sequence` (pass 0 for all), verbatim.
+/// A missing file is an empty segment. Damaged tails set truncated_tail
+/// instead of failing, mirroring ReplayWal.
+Result<WalSegment> ReadWalSegment(const Env& env, const std::string& path,
+                                  uint64_t from_sequence);
+
+/// Decodes every frame of `raw` (which must be fully intact — e.g. a
+/// WalSegment's bytes); Corruption on a torn or malformed frame. The
+/// returned records view `raw`.
+Result<std::vector<WalRecord>> DecodeWalRecords(std::string_view raw);
+
+/// The sub-segment of `segment` whose records have sequence >=
+/// `from_sequence` (records are sequence-ordered, so this is a suffix).
+WalSegment SliceWalSegment(const WalSegment& segment, uint64_t from_sequence);
+
+/// Appends `src`'s frames (and refs, offset-adjusted) onto `dst`.
+void AppendWalSegment(WalSegment* dst, const WalSegment& src);
 
 /// Appends mutations to the log file at `path` through `env` (which must
 /// outlive the writer).
@@ -44,12 +107,16 @@ class WalWriter {
   WalWriter(Env* env, std::string path)
       : env_(env), path_(std::move(path)) {}
 
+  /// Convenience single-record appends (tests, benchmarks): each record is
+  /// stamped with the writer's own next sequence number. The Db assigns
+  /// sequences itself and goes through AppendBatch instead.
   Status AppendPut(std::string_view key, std::string_view value) {
     return Append(EntryType::kValue, key, value);
   }
   Status AppendDelete(std::string_view key) {
     return Append(EntryType::kTombstone, key, {});
   }
+  void set_next_sequence(uint64_t sequence) { next_sequence_ = sequence; }
 
   /// Appends a pre-encoded run of records (each framed by EncodeWalRecord,
   /// concatenated) in a single env append — the group-commit fast path: one
@@ -69,11 +136,15 @@ class WalWriter {
 
   Env* env_;
   std::string path_;
+  uint64_t next_sequence_ = 1;
 };
 
 /// Outcome of replaying a log into a memtable.
 struct WalReplayResult {
   uint64_t records_applied = 0;
+  /// Highest sequence number among the applied records (0 when none) —
+  /// recovery seeds the Db's commit sequence from this.
+  uint64_t last_sequence = 0;
   /// True when replay stopped at a torn or checksum-mismatched tail record
   /// (the expected signature of a crash mid-append); the intact prefix has
   /// still been applied.

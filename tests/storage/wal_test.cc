@@ -62,7 +62,8 @@ TEST(WalTest, TornTailIsDroppedCleanly) {
   // Cut the last record short anywhere inside it: the intact prefix must
   // still replay, for every cut length.
   const std::string full = log.value();
-  const std::string first = EncodeWalRecord(EntryType::kValue, "intact", "v");
+  const std::string first =
+      EncodeWalRecord(1, EntryType::kValue, "intact", "v");
   for (size_t cut = first.size() + 1; cut < full.size(); ++cut) {
     ASSERT_TRUE(env.WriteFile("/wal", full.substr(0, cut)).ok());
     Memtable memtable;
