@@ -17,10 +17,14 @@
 #include "core/pstorm.h"
 #include "jobs/benchmark_jobs.h"
 #include "jobs/datasets.h"
+#include "mrsim/cluster.h"
 #include "mrsim/simulator.h"
 #include "obs/metrics.h"
 #include "optimizer/cbo.h"
 #include "profiler/profiler.h"
+#include "rpc/client.h"
+#include "rpc/server.h"
+#include "rpc/shard_router.h"
 #include "staticanalysis/cfg_matcher.h"
 #include "storage/block_cache.h"
 #include "storage/db.h"
@@ -599,6 +603,78 @@ BENCHMARK(BM_ConcurrentSubmit)
     ->Threads(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// -------------------------------------------------------------------- rpc
+
+// One live server (epoll reactor + workers) per process, shared across
+// both RPC benchmarks; the client speaks real TCP over loopback. Echo is
+// the wire floor — framing, checksum, reactor hop, worker hop, response
+// flush — with no PStorM work behind it.
+struct RpcBenchServer {
+  mrsim::Simulator simulator{mrsim::ThesisCluster()};
+  storage::InMemoryEnv env;
+  std::unique_ptr<rpc::ShardRouter> router;
+  std::unique_ptr<rpc::Server> server;
+
+  RpcBenchServer() {
+    router = rpc::ShardRouter::Create(&simulator, &env, "/bm-rpc", {})
+                 .value();
+    server = rpc::Server::Start(router.get()).value();
+    // Warm word-count so BM_RpcSubmitJob measures matched serving, the
+    // same path BM_ConcurrentSubmit measures in-process.
+    auto client = rpc::Client::Connect("127.0.0.1", server->port()).value();
+    rpc::SubmitJobRequest request;
+    request.tenant = "bench";
+    request.job_name = "word-count";
+    request.data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+    request.seed = 1;
+    auto cold = client->SubmitJob(request);
+    PSTORM_CHECK_OK(cold.status());
+    PSTORM_CHECK(cold->stored_new_profile);
+  }
+
+  static RpcBenchServer& Get() {
+    static RpcBenchServer instance;
+    return instance;
+  }
+};
+
+void BM_RpcEcho(benchmark::State& state) {
+  RpcBenchServer& shared = RpcBenchServer::Get();
+  auto client =
+      rpc::Client::Connect("127.0.0.1", shared.server->port()).value();
+  const std::string payload(128, 'x');
+  for (auto _ : state) {
+    auto echoed = client->Echo(payload);
+    PSTORM_CHECK_OK(echoed.status());
+    benchmark::DoNotOptimize(echoed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RpcEcho)->Unit(benchmark::kMicrosecond);
+
+// A full matched submission over the wire: BM_ConcurrentSubmit plus the
+// serialization round trip and the reactor/worker handoff. The spread
+// between this and BM_ConcurrentSubmit/threads:1 is the RPC tax.
+void BM_RpcSubmitJob(benchmark::State& state) {
+  RpcBenchServer& shared = RpcBenchServer::Get();
+  auto client =
+      rpc::Client::Connect("127.0.0.1", shared.server->port()).value();
+  rpc::SubmitJobRequest request;
+  request.tenant = "bench";
+  request.job_name = "word-count";
+  request.data = jobs::FindDataSet(jobs::kRandomText1Gb).value();
+  uint64_t seed = 100 + state.thread_index() * 1000003;
+  for (auto _ : state) {
+    request.seed = ++seed;
+    auto outcome = client->SubmitJob(request);
+    PSTORM_CHECK_OK(outcome.status());
+    PSTORM_CHECK(outcome->matched);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RpcSubmitJob)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

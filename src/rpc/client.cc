@@ -1,0 +1,151 @@
+#include "rpc/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pstorm::rpc {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                size_t max_frame_bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("connect " + host + ":" + std::to_string(port) +
+                           ": " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd, max_frame_bytes));
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Status Client::SendRaw(const std::string& frame) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  const char* p = frame.data();
+  size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("send: " + std::string(std::strerror(errno)));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<ResponseFrame> Client::ReadResponse() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  while (true) {
+    ParsedMessage msg;
+    const FrameParseResult result =
+        ParseFrame(read_buf_, max_frame_bytes_, &msg);
+    if (result == FrameParseResult::kOk) {
+      read_buf_.erase(0, msg.frame_size);
+      if (msg.kind != MessageKind::kResponse) {
+        return Status::Corruption("server sent a request frame");
+      }
+      return std::move(msg.response);
+    }
+    if (result == FrameParseResult::kBad) {
+      return Status::Corruption("bad frame from server: " + msg.error);
+    }
+    char buf[64 << 10];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      read_buf_.append(buf, n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::IoError("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError("read: " + std::string(std::strerror(errno)));
+  }
+}
+
+Result<ResponseFrame> Client::Call(Method method, std::string body) {
+  RequestFrame request;
+  request.request_id = next_request_id_++;
+  request.method = method;
+  request.body = std::move(body);
+  PSTORM_RETURN_IF_ERROR(SendRaw(EncodeRequestFrame(request)));
+  // One call in flight at a time, so the next response is ours; a mismatch
+  // means the stream lost sync.
+  PSTORM_ASSIGN_OR_RETURN(ResponseFrame response, ReadResponse());
+  if (response.request_id != request.request_id) {
+    return Status::Corruption("response id " +
+                              std::to_string(response.request_id) +
+                              " does not match request id " +
+                              std::to_string(request.request_id));
+  }
+  return response;
+}
+
+Result<std::string> Client::Echo(const std::string& payload) {
+  PSTORM_ASSIGN_OR_RETURN(ResponseFrame response,
+                          Call(Method::kEcho, payload));
+  PSTORM_RETURN_IF_ERROR(ResponseStatus(response));
+  return std::move(response.body);
+}
+
+Result<SubmitJobResponse> Client::SubmitJob(const SubmitJobRequest& request) {
+  PSTORM_ASSIGN_OR_RETURN(
+      ResponseFrame response,
+      Call(Method::kSubmitJob, EncodeSubmitJobRequest(request)));
+  PSTORM_RETURN_IF_ERROR(ResponseStatus(response));
+  return DecodeSubmitJobResponse(response.body);
+}
+
+Status Client::PutProfile(const PutProfileRequest& request) {
+  PSTORM_ASSIGN_OR_RETURN(
+      ResponseFrame response,
+      Call(Method::kPutProfile, EncodePutProfileRequest(request)));
+  return ResponseStatus(response);
+}
+
+Result<GetStatsResponse> Client::GetStats() {
+  PSTORM_ASSIGN_OR_RETURN(ResponseFrame response,
+                          Call(Method::kGetStats, std::string()));
+  PSTORM_RETURN_IF_ERROR(ResponseStatus(response));
+  return DecodeGetStatsResponse(response.body);
+}
+
+Result<std::string> Client::Dump() {
+  PSTORM_ASSIGN_OR_RETURN(ResponseFrame response,
+                          Call(Method::kDump, std::string()));
+  PSTORM_RETURN_IF_ERROR(ResponseStatus(response));
+  return std::move(response.body);
+}
+
+}  // namespace pstorm::rpc

@@ -1,0 +1,64 @@
+#ifndef PSTORM_RPC_CLIENT_H_
+#define PSTORM_RPC_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rpc/wire.h"
+
+namespace pstorm::rpc {
+
+/// Blocking client for one pstorm_server connection. One request is in
+/// flight at a time; a call writes the request frame and reads frames
+/// until its response arrives. NOT thread-safe — the intended shape is one
+/// Client per thread, each on its own connection (connections are cheap;
+/// the server multiplexes them on one reactor).
+///
+/// Every method surfaces the Status the server put on the wire, so
+/// kResourceExhausted from admission control arrives here as a retryable
+/// Status, exactly as the in-process API would report it.
+class Client {
+ public:
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port,
+      size_t max_frame_bytes = kDefaultMaxFrameBytes);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Result<std::string> Echo(const std::string& payload);
+  Result<SubmitJobResponse> SubmitJob(const SubmitJobRequest& request);
+  Status PutProfile(const PutProfileRequest& request);
+  Result<GetStatsResponse> GetStats();
+  /// The server's Prometheus-style metrics dump.
+  Result<std::string> Dump();
+
+  /// Fire-and-forget raw frame write (no response read). Test hook for
+  /// pipelining many requests before draining any responses.
+  Status SendRaw(const std::string& frame);
+  /// Reads the next response frame (pairs with SendRaw).
+  Result<ResponseFrame> ReadResponse();
+
+  void Close();
+
+ private:
+  explicit Client(int fd, size_t max_frame_bytes)
+      : fd_(fd), max_frame_bytes_(max_frame_bytes) {}
+
+  /// One full round trip: frame the request, write it, read frames until
+  /// the matching response.
+  Result<ResponseFrame> Call(Method method, std::string body);
+
+  int fd_ = -1;
+  size_t max_frame_bytes_;
+  uint64_t next_request_id_ = 1;
+  std::string read_buf_;
+};
+
+}  // namespace pstorm::rpc
+
+#endif  // PSTORM_RPC_CLIENT_H_

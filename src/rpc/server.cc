@@ -1,0 +1,442 @@
+#include "rpc/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace pstorm::rpc {
+namespace {
+
+obs::Counter& RequestsTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_rpc_requests_total");
+  return c;
+}
+obs::Counter& BackpressureRejections() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_rpc_backpressure_rejections_total");
+  return c;
+}
+obs::Counter& BadFrames() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_rpc_bad_frames_total");
+  return c;
+}
+obs::Counter& ConnectionsTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_rpc_connections_total");
+  return c;
+}
+obs::Histogram& BatchSizeHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "pstorm_rpc_batch_size");
+  return h;
+}
+
+// Sentinel epoll ids for the two non-connection fds; connection ids start
+// at 1 and only grow, so neither can collide.
+constexpr uint64_t kListenId = 0;
+constexpr uint64_t kWakeId = ~0ull;
+
+}  // namespace
+
+Server::Server(ShardRouter* router, ServerOptions options)
+    : router_(router), options_(std::move(options)) {}
+
+Result<std::unique_ptr<Server>> Server::Start(ShardRouter* router,
+                                              ServerOptions options) {
+  auto server =
+      std::unique_ptr<Server>(new Server(router, std::move(options)));
+  PSTORM_RETURN_IF_ERROR(server->Bind());
+  server->workers_ = std::make_unique<common::ThreadPool>(
+      server->options_.num_workers > 0 ? server->options_.num_workers : 1);
+  server->reactor_ = std::thread([raw = server.get()] { raw->ReactorLoop(); });
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Bind() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Status::IoError("socket: " + std::string(
+                                                 std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IoError("bind " + options_.bind_address + ":" +
+                           std::to_string(options_.port) + ": " +
+                           std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return Status::IoError("listen: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Status::IoError("getsockname: " +
+                           std::string(std::strerror(errno)));
+  }
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::IoError("epoll_create1: " +
+                           std::string(std::strerror(errno)));
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    return Status::IoError("eventfd: " + std::string(std::strerror(errno)));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  return Status::OK();
+}
+
+void Server::Stop() {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  Wakeup();
+  if (reactor_.joinable()) reactor_.join();
+  // The reactor is gone; draining the pool may still produce completions
+  // and eventfd kicks, so those stay valid until the workers are joined.
+  workers_.reset();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  wake_fd_ = epoll_fd_ = -1;
+}
+
+void Server::Wakeup() {
+  const uint64_t one = 1;
+  // A full eventfd counter (impossible here) or EINTR just means the
+  // reactor is already awake.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::ReactorLoop() {
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      PSTORM_LOG(Error) << "rpc reactor epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == kWakeId) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        DrainCompletions();
+      } else if (id == kListenId) {
+        HandleAccept();
+      } else {
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          CloseConnection(id);
+          continue;
+        }
+        if (events[i].events & EPOLLIN) HandleReadable(id);
+        if ((events[i].events & EPOLLOUT) && conns_.count(id) != 0) {
+          FlushWrites(id);
+        }
+      }
+    }
+  }
+  for (auto& [id, conn] : conns_) ::close(conn.fd);
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::HandleAccept() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or a transient accept error: epoll will re-arm.
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const uint64_t id = next_conn_id_++;
+    Connection& conn = conns_[id];
+    conn.fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    ConnectionsTotal().Increment();
+  }
+}
+
+void Server::HandleReadable(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& conn = it->second;
+  char buf[64 << 10];
+  while (true) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      // A connection that has earned its farewell-and-close keeps its
+      // socket drained but nothing it says is parsed anymore.
+      if (!conn.close_after_flush) conn.read_buf.append(buf, n);
+      continue;
+    }
+    if (n == 0) {
+      CloseConnection(conn_id);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(conn_id);
+    return;
+  }
+  if (!ParseAndAdmit(conn_id)) return;
+  auto again = conns_.find(conn_id);
+  if (again == conns_.end()) return;
+  if (!again->second.worker_active && !again->second.pending.empty()) {
+    DispatchBatch(conn_id);
+  }
+  FlushWrites(conn_id);
+}
+
+bool Server::ParseAndAdmit(uint64_t conn_id) {
+  Connection& conn = conns_.at(conn_id);
+  while (!conn.close_after_flush) {
+    ParsedMessage msg;
+    const FrameParseResult result =
+        ParseFrame(conn.read_buf, options_.max_frame_bytes, &msg);
+    if (result == FrameParseResult::kNeedMore) break;
+    if (result == FrameParseResult::kBad) {
+      BadFrames().Increment();
+      if (!msg.respond_before_close) {
+        // The stream itself is untrustworthy; no response could be framed
+        // against it meaningfully.
+        CloseConnection(conn_id);
+        return false;
+      }
+      QueueResponse(conn, ErrorResponse(msg.bad_request_id,
+                                        Status::InvalidArgument(msg.error)));
+      conn.close_after_flush = true;
+      break;
+    }
+    conn.read_buf.erase(0, msg.frame_size);
+    if (msg.kind != MessageKind::kRequest) {
+      QueueResponse(conn,
+                    ErrorResponse(msg.response.request_id,
+                                  Status::InvalidArgument(
+                                      "server expects request frames")));
+      conn.close_after_flush = true;
+      break;
+    }
+    // Admission control at the network edge: beyond either bound the
+    // request is answered kResourceExhausted *now* — bounded memory, and
+    // the client learns to back off — rather than queued indefinitely.
+    // Rejections are matched to their request by id, so they may overtake
+    // responses of earlier accepted requests.
+    if (inflight_ >= options_.max_inflight_requests ||
+        conn.pending.size() >= options_.max_pending_per_connection) {
+      backpressure_rejections_.fetch_add(1, std::memory_order_relaxed);
+      BackpressureRejections().Increment();
+      QueueResponse(
+          conn,
+          ErrorResponse(msg.request.request_id,
+                        Status::ResourceExhausted(
+                            inflight_ >= options_.max_inflight_requests
+                                ? "server at max in-flight requests"
+                                : "connection at max pending requests")));
+      continue;
+    }
+    ++inflight_;
+    conn.pending.push_back(std::move(msg.request));
+  }
+  return true;
+}
+
+void Server::DispatchBatch(uint64_t conn_id) {
+  Connection& conn = conns_.at(conn_id);
+  std::vector<RequestFrame> batch;
+  batch.reserve(conn.pending.size());
+  while (!conn.pending.empty()) {
+    batch.push_back(std::move(conn.pending.front()));
+    conn.pending.pop_front();
+  }
+  conn.worker_active = true;
+  BatchSizeHist().Record(batch.size());
+  workers_->Schedule([this, conn_id, batch = std::move(batch)]() mutable {
+    ProcessBatch(conn_id, std::move(batch));
+  });
+}
+
+void Server::ProcessBatch(uint64_t conn_id,
+                          std::vector<RequestFrame> batch) {
+  Completion completion;
+  completion.conn_id = conn_id;
+  completion.num_requests = batch.size();
+  for (const RequestFrame& request : batch) {
+    // Even while stopping, every request must flow into the completion so
+    // the reactor's in-flight accounting stays exact; the bytes are simply
+    // never flushed once the sockets are gone.
+    completion.bytes.append(EncodeResponseFrame(HandleRequest(request)));
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    RequestsTotal().Increment();
+  }
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.push_back(std::move(completion));
+  }
+  Wakeup();
+}
+
+ResponseFrame Server::HandleRequest(const RequestFrame& request) {
+  ResponseFrame response;
+  response.request_id = request.request_id;
+  switch (request.method) {
+    case Method::kEcho:
+      response.body = request.body;
+      return response;
+    case Method::kSubmitJob: {
+      Result<SubmitJobRequest> decoded = DecodeSubmitJobRequest(request.body);
+      if (!decoded.ok()) {
+        return ErrorResponse(request.request_id, decoded.status());
+      }
+      Result<SubmitJobResponse> outcome = router_->SubmitJob(*decoded);
+      if (!outcome.ok()) {
+        return ErrorResponse(request.request_id, outcome.status());
+      }
+      response.body = EncodeSubmitJobResponse(*outcome);
+      return response;
+    }
+    case Method::kPutProfile: {
+      Result<PutProfileRequest> decoded =
+          DecodePutProfileRequest(request.body);
+      if (!decoded.ok()) {
+        return ErrorResponse(request.request_id, decoded.status());
+      }
+      if (Status status = router_->PutProfile(*decoded); !status.ok()) {
+        return ErrorResponse(request.request_id, status);
+      }
+      return response;
+    }
+    case Method::kGetStats: {
+      GetStatsResponse stats = router_->Stats();
+      stats.requests_served =
+          requests_served_.load(std::memory_order_relaxed);
+      stats.backpressure_rejections =
+          backpressure_rejections_.load(std::memory_order_relaxed);
+      response.body = EncodeGetStatsResponse(stats);
+      return response;
+    }
+    case Method::kDump:
+      response.body = obs::MetricsRegistry::Global().Dump();
+      return response;
+  }
+  return ErrorResponse(request.request_id,
+                       Status::Unimplemented("unknown method"));
+}
+
+void Server::QueueResponse(Connection& conn, const ResponseFrame& response) {
+  conn.write_buf.append(EncodeResponseFrame(response));
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    inflight_ -= completion.num_requests;
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;  // Closed while the batch ran.
+    Connection& conn = it->second;
+    conn.worker_active = false;
+    conn.write_buf.append(completion.bytes);
+    if (conn.write_buf.size() > options_.max_write_buffer_bytes) {
+      // The peer stopped reading; disconnecting beats buffering forever.
+      CloseConnection(completion.conn_id);
+      continue;
+    }
+    if (!conn.pending.empty()) DispatchBatch(completion.conn_id);
+    FlushWrites(completion.conn_id);
+  }
+}
+
+void Server::FlushWrites(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& conn = it->second;
+  while (!conn.write_buf.empty()) {
+    const ssize_t n = ::send(conn.fd, conn.write_buf.data(),
+                             conn.write_buf.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.write_buf.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.wants_write) {
+        conn.wants_write = true;
+        UpdateEpoll(conn_id, conn);
+      }
+      return;
+    }
+    CloseConnection(conn_id);
+    return;
+  }
+  if (conn.wants_write) {
+    conn.wants_write = false;
+    UpdateEpoll(conn_id, conn);
+  }
+  if (conn.close_after_flush) CloseConnection(conn_id);
+}
+
+void Server::UpdateEpoll(uint64_t conn_id, Connection& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (conn.wants_write ? EPOLLOUT : 0u);
+  ev.data.u64 = conn_id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void Server::CloseConnection(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  // Pending (dispatched-to-nobody) requests die with the connection; their
+  // in-flight slots must be released. Requests already in a worker batch
+  // release theirs when the completion arrives and finds the id gone.
+  inflight_ -= it->second.pending.size();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+  ::close(it->second.fd);
+  conns_.erase(it);
+}
+
+}  // namespace pstorm::rpc

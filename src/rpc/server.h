@@ -1,0 +1,159 @@
+#ifndef PSTORM_RPC_SERVER_H_
+#define PSTORM_RPC_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "rpc/shard_router.h"
+#include "rpc/wire.h"
+
+namespace pstorm::rpc {
+
+struct ServerOptions {
+  /// Loopback by default: pstorm_server has no authentication layer, so
+  /// binding a public interface is an explicit decision.
+  std::string bind_address = "127.0.0.1";
+  /// 0 = kernel-assigned; read the bound port back with port().
+  uint16_t port = 0;
+  /// Worker threads decoding bodies and running submissions. The reactor
+  /// thread is separate and never blocks on PStorM.
+  size_t num_workers = 4;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Global admission bound: requests accepted (parsed and queued or
+  /// running) across all connections. Beyond it the server answers
+  /// kResourceExhausted immediately instead of buffering without bound —
+  /// the network edge of the PR-5 slowdown/stall admission ladder.
+  size_t max_inflight_requests = 64;
+  /// Per-connection bound on parsed requests waiting for a worker. One
+  /// pipelining client saturates at this depth and gets backpressure
+  /// instead of starving every other connection.
+  size_t max_pending_per_connection = 16;
+  /// Ceiling on one connection's unflushed response bytes; a peer that
+  /// stops reading gets disconnected rather than buffered indefinitely.
+  size_t max_write_buffer_bytes = 8u << 20;
+};
+
+/// Binary-framed RPC server over TCP: one epoll reactor thread owns every
+/// socket; a small worker pool runs the PStorM work. Requests parsed off a
+/// connection are batched — the reactor hands a worker everything pending
+/// on that connection at once, and at most one worker task per connection
+/// runs at a time, so responses go back in request order and submissions
+/// from one stream never race each other (submissions from different
+/// connections do, exactly like concurrent in-process SubmitJob calls).
+///
+/// Workers never touch sockets: they get request values in, and hand
+/// encoded response bytes back through a completion queue the reactor
+/// drains on an eventfd wakeup. All socket state stays single-threaded on
+/// the reactor, which is what makes the shutdown path and the
+/// malformed-frame handling easy to reason about.
+class Server {
+ public:
+  /// Binds, listens, and starts the reactor + workers. `router` must
+  /// outlive the server.
+  static Result<std::unique_ptr<Server>> Start(ShardRouter* router,
+                                               ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Stops accepting, closes every connection, and joins the reactor and
+  /// workers. In-flight worker batches finish (their responses are
+  /// dropped). Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  uint64_t backpressure_rejections() const {
+    return backpressure_rejections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string read_buf;
+    std::string write_buf;
+    /// Parsed requests waiting for a worker (bounded by
+    /// max_pending_per_connection).
+    std::deque<RequestFrame> pending;
+    /// A worker batch for this connection is in flight; the reactor will
+    /// dispatch the next batch when its completion arrives.
+    bool worker_active = false;
+    /// Close once write_buf drains (set after a fatal protocol error's
+    /// farewell response is queued).
+    bool close_after_flush = false;
+    bool wants_write = false;  // EPOLLOUT currently armed.
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string bytes;     // Encoded response frames, in order.
+    size_t num_requests = 0;  // For the global in-flight accounting.
+  };
+
+  Server(ShardRouter* router, ServerOptions options);
+
+  Status Bind();
+  void ReactorLoop();
+  void HandleAccept();
+  void HandleReadable(uint64_t conn_id);
+  void DrainCompletions();
+  /// Parses every complete frame in the connection's read buffer,
+  /// admitting, rejecting, or fatally erroring. Returns false when the
+  /// connection was closed.
+  bool ParseAndAdmit(uint64_t conn_id);
+  void DispatchBatch(uint64_t conn_id);
+  /// Runs on a worker: executes the batch, enqueues the completion, and
+  /// kicks the eventfd.
+  void ProcessBatch(uint64_t conn_id, std::vector<RequestFrame> batch);
+  ResponseFrame HandleRequest(const RequestFrame& request);
+  void QueueResponse(Connection& conn, const ResponseFrame& response);
+  void FlushWrites(uint64_t conn_id);
+  void UpdateEpoll(uint64_t conn_id, Connection& conn);
+  void CloseConnection(uint64_t conn_id);
+  void Wakeup();
+
+  ShardRouter* const router_;
+  const ServerOptions options_;
+  uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: workers → reactor, Stop() → reactor.
+
+  std::thread reactor_;
+  std::unique_ptr<common::ThreadPool> workers_;
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  // Guarded by stop_mu_.
+  std::mutex stop_mu_;
+
+  /// Reactor-only state: connections keyed by an id that, unlike an fd,
+  /// is never reused (a worker completion must not land on a newer
+  /// connection that recycled the fd).
+  std::map<uint64_t, Connection> conns_;
+  uint64_t next_conn_id_ = 1;
+  size_t inflight_ = 0;  // Reactor-only: accepted, not yet completed.
+
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> backpressure_rejections_{0};
+};
+
+}  // namespace pstorm::rpc
+
+#endif  // PSTORM_RPC_SERVER_H_

@@ -1,0 +1,191 @@
+#include "rpc/shard_router.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+#include "common/hash.h"
+#include "jobs/benchmark_jobs.h"
+#include "obs/metrics.h"
+#include "profiler/profile.h"
+#include "storage/env.h"
+
+namespace pstorm::rpc {
+namespace {
+
+obs::Counter& QuotaRejections() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_rpc_quota_rejections_total");
+  return c;
+}
+obs::Counter& SubmissionsRouted() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_rpc_submissions_routed_total");
+  return c;
+}
+
+/// Resolves a catalogue job name to its BenchmarkJob. The parameterized
+/// jobs take their user parameter from `param` (0 = the job's default);
+/// everything else must match a Table 6.1 name exactly.
+Result<jobs::BenchmarkJob> ResolveJob(const std::string& name, double param) {
+  if (name == "grep") {
+    return param > 0 ? jobs::Grep(param) : jobs::Grep();
+  }
+  constexpr std::string_view kPairsPrefix = "word-cooccurrence-pairs-w";
+  if (name.rfind(kPairsPrefix, 0) == 0) {
+    const int window = std::atoi(name.c_str() + kPairsPrefix.size());
+    if (window <= 0) {
+      return Status::InvalidArgument("bad co-occurrence window in: " + name);
+    }
+    return jobs::WordCooccurrencePairs(window);
+  }
+  if (name == "word-cooccurrence-pairs") {
+    return param > 0 ? jobs::WordCooccurrencePairs(static_cast<int>(param))
+                     : jobs::WordCooccurrencePairs();
+  }
+  for (jobs::BenchmarkJob& job : jobs::AllBenchmarkJobs()) {
+    if (job.spec.name == name) return std::move(job);
+  }
+  return Status::NotFound("unknown benchmark job: " + name);
+}
+
+}  // namespace
+
+std::string ShardRouter::RoutingKey(const std::string& tenant) {
+  // Mix64 on top of FNV so near-identical tenant names still land far
+  // apart; 16 zero-padded hex digits sort like the uint64 they encode.
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(Mix64(Fnv1a64(tenant))));
+  return std::string(buf, 16);
+}
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
+    const mrsim::Simulator* simulator, storage::Env* env,
+    const std::string& base_path, ShardRouterOptions options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (!options.split_points.empty() &&
+      options.split_points.size() != options.num_shards - 1) {
+    return Status::InvalidArgument(
+        "split_points must have num_shards - 1 entries");
+  }
+  if (!std::is_sorted(options.split_points.begin(),
+                      options.split_points.end())) {
+    return Status::InvalidArgument("split_points must be sorted");
+  }
+
+  auto router = std::unique_ptr<ShardRouter>(new ShardRouter());
+  router->tenant_inflight_limit_ = options.tenant_inflight_limit;
+  if (!options.split_points.empty()) {
+    router->split_points_ = std::move(options.split_points);
+  } else {
+    // Evenly spaced over the hashed keyspace: shard i starts at the hex
+    // rendering of i * 2^64 / N, mirroring how RoutingKey renders tenants.
+    for (uint32_t i = 1; i < options.num_shards; ++i) {
+      const uint64_t start =
+          static_cast<uint64_t>((static_cast<unsigned __int128>(i) << 64) /
+                                options.num_shards);
+      char buf[17];
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(start));
+      router->split_points_.emplace_back(buf, 16);
+    }
+  }
+
+  for (uint32_t i = 0; i < options.num_shards; ++i) {
+    const std::string path =
+        storage::JoinPath(base_path, "shard-" + std::to_string(i));
+    PSTORM_ASSIGN_OR_RETURN(
+        std::unique_ptr<core::PStorM> shard,
+        core::PStorM::Create(simulator, env, path, options.pstorm));
+    router->shards_.push_back(std::move(shard));
+    router->shard_submissions_.push_back(
+        std::make_unique<std::atomic<uint64_t>>(0));
+  }
+  return router;
+}
+
+uint32_t ShardRouter::ShardFor(const std::string& tenant) const {
+  const std::string key = RoutingKey(tenant);
+  // First split point > key; the shard before it owns the key. (Shard 0
+  // implicitly starts at "".)
+  const auto it =
+      std::upper_bound(split_points_.begin(), split_points_.end(), key);
+  return static_cast<uint32_t>(it - split_points_.begin());
+}
+
+Result<SubmitJobResponse> ShardRouter::SubmitJob(
+    const SubmitJobRequest& request) {
+  PSTORM_ASSIGN_OR_RETURN(const jobs::BenchmarkJob job,
+                          ResolveJob(request.job_name, request.job_param));
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    TenantState& state = tenants_[request.tenant];
+    if (tenant_inflight_limit_ != 0 &&
+        state.inflight >= tenant_inflight_limit_) {
+      ++quota_rejections_;
+      QuotaRejections().Increment();
+      return Status::ResourceExhausted(
+          "tenant '" + request.tenant + "' at its in-flight quota (" +
+          std::to_string(tenant_inflight_limit_) + "); retry later");
+    }
+    ++state.inflight;
+    ++state.submissions;
+  }
+
+  const uint32_t shard_idx = ShardFor(request.tenant);
+  shard_submissions_[shard_idx]->fetch_add(1, std::memory_order_relaxed);
+  SubmissionsRouted().Increment();
+
+  Result<core::PStorM::SubmissionOutcome> outcome =
+      shards_[shard_idx]->SubmitJob(job, request.data, request.submitted,
+                                    request.seed);
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    --tenants_[request.tenant].inflight;
+  }
+  if (!outcome.ok()) return outcome.status();
+
+  SubmitJobResponse response;
+  response.matched = outcome->matched;
+  response.composite = outcome->composite;
+  response.stored_new_profile = outcome->stored_new_profile;
+  response.profile_source = outcome->profile_source;
+  response.config_used = outcome->config_used;
+  response.runtime_s = outcome->runtime_s;
+  response.sample_runtime_s = outcome->sample_runtime_s;
+  response.predicted_runtime_s = outcome->predicted_runtime_s;
+  response.shard = shard_idx;
+  return response;
+}
+
+Status ShardRouter::PutProfile(const PutProfileRequest& request) {
+  PSTORM_ASSIGN_OR_RETURN(const profiler::ExecutionProfile profile,
+                          profiler::ExecutionProfile::Parse(
+                              request.profile_text));
+  return shards_[ShardFor(request.tenant)]->AddProfile(request.job_key,
+                                                       profile,
+                                                       request.statics);
+}
+
+GetStatsResponse ShardRouter::Stats() const {
+  GetStatsResponse stats;
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    ShardStatsEntry entry;
+    entry.shard = i;
+    entry.start_key = i == 0 ? "" : split_points_[i - 1];
+    entry.num_profiles = shards_[i]->store().num_profiles();
+    entry.submissions =
+        shard_submissions_[i]->load(std::memory_order_relaxed);
+    stats.shards.push_back(std::move(entry));
+  }
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  stats.quota_rejections = quota_rejections_;
+  return stats;
+}
+
+}  // namespace pstorm::rpc

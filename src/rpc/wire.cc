@@ -1,0 +1,453 @@
+#include "rpc/wire.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "staticanalysis/cfg.h"
+
+namespace pstorm::rpc {
+namespace {
+
+// Same truncated-FNV checksum the WAL uses for its frames (storage/wal.cc):
+// one hash function per process, and the WAL's torn-tail tests already
+// characterize its error detection.
+uint32_t PayloadChecksum(std::string_view payload) {
+  return static_cast<uint32_t>(Fnv1a64(payload));
+}
+
+// Doubles travel as their IEEE-754 bit pattern so a tuning decision
+// round-trips bit-identically (the integration test compares serialized
+// outcomes byte for byte).
+void PutDouble(std::string* dst, double value) {
+  PutFixed64(dst, std::bit_cast<uint64_t>(value));
+}
+
+bool GetDouble(std::string_view* input, double* value) {
+  if (input->size() < 8) return false;
+  *value = std::bit_cast<double>(DecodeFixed64(input->data()));
+  input->remove_prefix(8);
+  return true;
+}
+
+bool GetByte(std::string_view* input, uint8_t* value) {
+  if (input->empty()) return false;
+  *value = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  return true;
+}
+
+void PutBool(std::string* dst, bool value) {
+  dst->push_back(value ? '\x01' : '\x00');
+}
+
+bool GetBool(std::string_view* input, bool* value) {
+  uint8_t b;
+  if (!GetByte(input, &b) || b > 1) return false;
+  *value = (b == 1);
+  return true;
+}
+
+// Signed ints in the config are all small and non-negative in practice, but
+// the cast round-trip is total either way.
+void PutInt(std::string* dst, int value) {
+  PutVarint64(dst, static_cast<uint64_t>(static_cast<int64_t>(value)));
+}
+
+bool GetInt(std::string_view* input, int* value) {
+  uint64_t v;
+  if (!GetVarint64(input, &v)) return false;
+  *value = static_cast<int>(static_cast<int64_t>(v));
+  return true;
+}
+
+bool GetString(std::string_view* input, std::string* value) {
+  std::string_view v;
+  if (!GetLengthPrefixed(input, &v)) return false;
+  value->assign(v);
+  return true;
+}
+
+void PutConfiguration(std::string* dst, const mrsim::Configuration& c) {
+  PutDouble(dst, c.io_sort_mb);
+  PutDouble(dst, c.io_sort_record_percent);
+  PutDouble(dst, c.io_sort_spill_percent);
+  PutInt(dst, c.io_sort_factor);
+  PutBool(dst, c.use_combiner);
+  PutInt(dst, c.min_num_spills_for_combine);
+  PutBool(dst, c.compress_map_output);
+  PutDouble(dst, c.reduce_slowstart_completed_maps);
+  PutInt(dst, c.num_reduce_tasks);
+  PutDouble(dst, c.shuffle_input_buffer_percent);
+  PutDouble(dst, c.shuffle_merge_percent);
+  PutInt(dst, c.inmem_merge_threshold);
+  PutDouble(dst, c.reduce_input_buffer_percent);
+  PutBool(dst, c.compress_output);
+}
+
+bool GetConfiguration(std::string_view* input, mrsim::Configuration* c) {
+  return GetDouble(input, &c->io_sort_mb) &&
+         GetDouble(input, &c->io_sort_record_percent) &&
+         GetDouble(input, &c->io_sort_spill_percent) &&
+         GetInt(input, &c->io_sort_factor) &&
+         GetBool(input, &c->use_combiner) &&
+         GetInt(input, &c->min_num_spills_for_combine) &&
+         GetBool(input, &c->compress_map_output) &&
+         GetDouble(input, &c->reduce_slowstart_completed_maps) &&
+         GetInt(input, &c->num_reduce_tasks) &&
+         GetDouble(input, &c->shuffle_input_buffer_percent) &&
+         GetDouble(input, &c->shuffle_merge_percent) &&
+         GetInt(input, &c->inmem_merge_threshold) &&
+         GetDouble(input, &c->reduce_input_buffer_percent) &&
+         GetBool(input, &c->compress_output);
+}
+
+void PutDataSetSpec(std::string* dst, const mrsim::DataSetSpec& d) {
+  PutLengthPrefixed(dst, d.name);
+  PutVarint64(dst, d.size_bytes);
+  PutDouble(dst, d.avg_record_bytes);
+  PutVarint64(dst, d.split_bytes);
+  PutDouble(dst, d.compress_ratio);
+  PutDouble(dst, d.vocabulary_mb);
+}
+
+bool GetDataSetSpec(std::string_view* input, mrsim::DataSetSpec* d) {
+  return GetString(input, &d->name) && GetVarint64(input, &d->size_bytes) &&
+         GetDouble(input, &d->avg_record_bytes) &&
+         GetVarint64(input, &d->split_bytes) &&
+         GetDouble(input, &d->compress_ratio) &&
+         GetDouble(input, &d->vocabulary_mb);
+}
+
+void PutStringList(std::string* dst, const std::vector<std::string>& list) {
+  PutVarint32(dst, static_cast<uint32_t>(list.size()));
+  for (const std::string& s : list) PutLengthPrefixed(dst, s);
+}
+
+bool GetStringList(std::string_view* input, std::vector<std::string>* list) {
+  uint32_t n;
+  if (!GetVarint32(input, &n)) return false;
+  // A hostile count cannot exceed what the bytes could actually hold: each
+  // element costs at least its one-byte length prefix.
+  if (n > input->size()) return false;
+  list->clear();
+  list->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string s;
+    if (!GetString(input, &s)) return false;
+    list->push_back(std::move(s));
+  }
+  return true;
+}
+
+// StaticFeatures travels as its eleven categorical strings, the two CFGs in
+// their existing SerializeCfg text form, and the §7.2 extension fields.
+void PutStaticFeatures(std::string* dst,
+                       const staticanalysis::StaticFeatures& f) {
+  PutLengthPrefixed(dst, f.in_formatter);
+  PutLengthPrefixed(dst, f.mapper);
+  PutLengthPrefixed(dst, f.map_in_key);
+  PutLengthPrefixed(dst, f.map_in_val);
+  PutLengthPrefixed(dst, f.map_out_key);
+  PutLengthPrefixed(dst, f.map_out_val);
+  PutLengthPrefixed(dst, f.combiner);
+  PutLengthPrefixed(dst, staticanalysis::SerializeCfg(f.map_cfg));
+  PutLengthPrefixed(dst, f.reducer);
+  PutLengthPrefixed(dst, f.red_out_key);
+  PutLengthPrefixed(dst, f.red_out_val);
+  PutLengthPrefixed(dst, f.out_formatter);
+  PutLengthPrefixed(dst, staticanalysis::SerializeCfg(f.reduce_cfg));
+  PutLengthPrefixed(dst, f.user_params);
+  PutStringList(dst, f.map_calls);
+  PutStringList(dst, f.reduce_calls);
+}
+
+bool GetStaticFeatures(std::string_view* input,
+                       staticanalysis::StaticFeatures* f) {
+  std::string map_cfg_text;
+  std::string reduce_cfg_text;
+  if (!(GetString(input, &f->in_formatter) && GetString(input, &f->mapper) &&
+        GetString(input, &f->map_in_key) && GetString(input, &f->map_in_val) &&
+        GetString(input, &f->map_out_key) &&
+        GetString(input, &f->map_out_val) && GetString(input, &f->combiner) &&
+        GetString(input, &map_cfg_text) && GetString(input, &f->reducer) &&
+        GetString(input, &f->red_out_key) &&
+        GetString(input, &f->red_out_val) &&
+        GetString(input, &f->out_formatter) &&
+        GetString(input, &reduce_cfg_text) &&
+        GetString(input, &f->user_params) &&
+        GetStringList(input, &f->map_calls) &&
+        GetStringList(input, &f->reduce_calls))) {
+    return false;
+  }
+  Result<staticanalysis::Cfg> map_cfg = staticanalysis::ParseCfg(map_cfg_text);
+  Result<staticanalysis::Cfg> reduce_cfg =
+      staticanalysis::ParseCfg(reduce_cfg_text);
+  if (!map_cfg.ok() || !reduce_cfg.ok()) return false;
+  f->map_cfg = std::move(map_cfg).value();
+  f->reduce_cfg = std::move(reduce_cfg).value();
+  return true;
+}
+
+std::string SealFrame(std::string payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&frame, PayloadChecksum(payload));
+  frame.append(payload);
+  return frame;
+}
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated or malformed ") +
+                                 what + " body");
+}
+
+}  // namespace
+
+std::string EncodeRequestFrame(const RequestFrame& frame) {
+  std::string payload;
+  payload.push_back(static_cast<char>(kWireVersion));
+  payload.push_back(static_cast<char>(MessageKind::kRequest));
+  PutVarint64(&payload, frame.request_id);
+  payload.push_back(static_cast<char>(frame.method));
+  PutLengthPrefixed(&payload, frame.body);
+  return SealFrame(std::move(payload));
+}
+
+std::string EncodeResponseFrame(const ResponseFrame& frame) {
+  std::string payload;
+  payload.push_back(static_cast<char>(kWireVersion));
+  payload.push_back(static_cast<char>(MessageKind::kResponse));
+  PutVarint64(&payload, frame.request_id);
+  payload.push_back(static_cast<char>(frame.code));
+  PutLengthPrefixed(&payload, frame.message);
+  PutLengthPrefixed(&payload, frame.body);
+  return SealFrame(std::move(payload));
+}
+
+ResponseFrame ErrorResponse(uint64_t request_id, const Status& status) {
+  ResponseFrame frame;
+  frame.request_id = request_id;
+  frame.code = status.code();
+  frame.message = status.message();
+  return frame;
+}
+
+Status ResponseStatus(const ResponseFrame& frame) {
+  if (frame.code == StatusCode::kOk) return Status::OK();
+  return Status(frame.code, frame.message);
+}
+
+FrameParseResult ParseFrame(std::string_view buf, size_t max_frame_bytes,
+                            ParsedMessage* out) {
+  *out = ParsedMessage{};
+  if (buf.size() < kFrameHeaderSize) return FrameParseResult::kNeedMore;
+  const uint32_t payload_len = DecodeFixed32(buf.data());
+  if (payload_len > max_frame_bytes) {
+    // Reject from the length prefix alone: a hostile prefix must not make
+    // the connection buffer the declared bytes first.
+    out->error = "oversized frame: " + std::to_string(payload_len) + " > " +
+                 std::to_string(max_frame_bytes);
+    return FrameParseResult::kBad;
+  }
+  const uint32_t checksum = DecodeFixed32(buf.data() + 4);
+  if (buf.size() < kFrameHeaderSize + payload_len) {
+    return FrameParseResult::kNeedMore;
+  }
+  const std::string_view payload = buf.substr(kFrameHeaderSize, payload_len);
+  if (PayloadChecksum(payload) != checksum) {
+    out->error = "bad frame checksum";
+    return FrameParseResult::kBad;
+  }
+  out->frame_size = kFrameHeaderSize + payload_len;
+  // The checksum passed: any failure beyond this point is an intact frame
+  // with unusable content, which merits one error response before close.
+  out->respond_before_close = true;
+
+  std::string_view rest = payload;
+  uint8_t version;
+  uint8_t kind;
+  if (!GetByte(&rest, &version) || !GetByte(&rest, &kind)) {
+    out->error = "short payload";
+    return FrameParseResult::kBad;
+  }
+  if (version != kWireVersion) {
+    // An intact frame from a future peer: the payload layout beyond the
+    // version byte is unknown, so no request id to echo.
+    out->error = "unsupported wire version " + std::to_string(version);
+    return FrameParseResult::kBad;
+  }
+  uint64_t request_id;
+  if (!GetVarint64(&rest, &request_id)) {
+    out->error = "bad request id";
+    return FrameParseResult::kBad;
+  }
+  out->bad_request_id = request_id;
+
+  if (kind == static_cast<uint8_t>(MessageKind::kRequest)) {
+    out->kind = MessageKind::kRequest;
+    RequestFrame& req = out->request;
+    req.request_id = request_id;
+    uint8_t method;
+    std::string_view body;
+    if (!GetByte(&rest, &method) ||
+        method < static_cast<uint8_t>(Method::kEcho) ||
+        method > static_cast<uint8_t>(Method::kDump)) {
+      out->error = "bad method";
+      return FrameParseResult::kBad;
+    }
+    if (!GetLengthPrefixed(&rest, &body) || !rest.empty()) {
+      out->error = "malformed request body";
+      return FrameParseResult::kBad;
+    }
+    req.method = static_cast<Method>(method);
+    req.body.assign(body);
+    out->bad_request_id = 0;
+    return FrameParseResult::kOk;
+  }
+  if (kind == static_cast<uint8_t>(MessageKind::kResponse)) {
+    out->kind = MessageKind::kResponse;
+    ResponseFrame& resp = out->response;
+    resp.request_id = request_id;
+    uint8_t code;
+    std::string_view message;
+    std::string_view body;
+    if (!GetByte(&rest, &code) ||
+        code > static_cast<uint8_t>(StatusCode::kIoError)) {
+      out->error = "bad status code";
+      return FrameParseResult::kBad;
+    }
+    if (!GetLengthPrefixed(&rest, &message) ||
+        !GetLengthPrefixed(&rest, &body) || !rest.empty()) {
+      out->error = "malformed response body";
+      return FrameParseResult::kBad;
+    }
+    resp.code = static_cast<StatusCode>(code);
+    resp.message.assign(message);
+    resp.body.assign(body);
+    out->bad_request_id = 0;
+    return FrameParseResult::kOk;
+  }
+  out->error = "bad message kind " + std::to_string(kind);
+  return FrameParseResult::kBad;
+}
+
+// ---- Method bodies -------------------------------------------------------
+
+std::string EncodeSubmitJobRequest(const SubmitJobRequest& request) {
+  std::string body;
+  PutLengthPrefixed(&body, request.tenant);
+  PutLengthPrefixed(&body, request.job_name);
+  PutDouble(&body, request.job_param);
+  PutDataSetSpec(&body, request.data);
+  PutConfiguration(&body, request.submitted);
+  PutVarint64(&body, request.seed);
+  return body;
+}
+
+Result<SubmitJobRequest> DecodeSubmitJobRequest(std::string_view body) {
+  SubmitJobRequest request;
+  if (!(GetString(&body, &request.tenant) &&
+        GetString(&body, &request.job_name) &&
+        GetDouble(&body, &request.job_param) &&
+        GetDataSetSpec(&body, &request.data) &&
+        GetConfiguration(&body, &request.submitted) &&
+        GetVarint64(&body, &request.seed) && body.empty())) {
+    return Truncated("SubmitJobRequest");
+  }
+  return request;
+}
+
+std::string EncodeSubmitJobResponse(const SubmitJobResponse& response) {
+  std::string body;
+  PutBool(&body, response.matched);
+  PutBool(&body, response.composite);
+  PutBool(&body, response.stored_new_profile);
+  PutLengthPrefixed(&body, response.profile_source);
+  PutConfiguration(&body, response.config_used);
+  PutDouble(&body, response.runtime_s);
+  PutDouble(&body, response.sample_runtime_s);
+  PutDouble(&body, response.predicted_runtime_s);
+  PutVarint32(&body, response.shard);
+  return body;
+}
+
+Result<SubmitJobResponse> DecodeSubmitJobResponse(std::string_view body) {
+  SubmitJobResponse response;
+  if (!(GetBool(&body, &response.matched) &&
+        GetBool(&body, &response.composite) &&
+        GetBool(&body, &response.stored_new_profile) &&
+        GetString(&body, &response.profile_source) &&
+        GetConfiguration(&body, &response.config_used) &&
+        GetDouble(&body, &response.runtime_s) &&
+        GetDouble(&body, &response.sample_runtime_s) &&
+        GetDouble(&body, &response.predicted_runtime_s) &&
+        GetVarint32(&body, &response.shard) && body.empty())) {
+    return Truncated("SubmitJobResponse");
+  }
+  return response;
+}
+
+std::string EncodePutProfileRequest(const PutProfileRequest& request) {
+  std::string body;
+  PutLengthPrefixed(&body, request.tenant);
+  PutLengthPrefixed(&body, request.job_key);
+  PutLengthPrefixed(&body, request.profile_text);
+  PutStaticFeatures(&body, request.statics);
+  return body;
+}
+
+Result<PutProfileRequest> DecodePutProfileRequest(std::string_view body) {
+  PutProfileRequest request;
+  if (!(GetString(&body, &request.tenant) &&
+        GetString(&body, &request.job_key) &&
+        GetString(&body, &request.profile_text) &&
+        GetStaticFeatures(&body, &request.statics) && body.empty())) {
+    return Truncated("PutProfileRequest");
+  }
+  return request;
+}
+
+std::string EncodeGetStatsResponse(const GetStatsResponse& response) {
+  std::string body;
+  PutVarint32(&body, static_cast<uint32_t>(response.shards.size()));
+  for (const ShardStatsEntry& shard : response.shards) {
+    PutVarint32(&body, shard.shard);
+    PutLengthPrefixed(&body, shard.start_key);
+    PutVarint64(&body, shard.num_profiles);
+    PutVarint64(&body, shard.submissions);
+  }
+  PutVarint64(&body, response.requests_served);
+  PutVarint64(&body, response.backpressure_rejections);
+  PutVarint64(&body, response.quota_rejections);
+  return body;
+}
+
+Result<GetStatsResponse> DecodeGetStatsResponse(std::string_view body) {
+  GetStatsResponse response;
+  uint32_t n;
+  if (!GetVarint32(&body, &n) || n > body.size()) {
+    return Truncated("GetStatsResponse");
+  }
+  response.shards.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ShardStatsEntry shard;
+    if (!(GetVarint32(&body, &shard.shard) &&
+          GetString(&body, &shard.start_key) &&
+          GetVarint64(&body, &shard.num_profiles) &&
+          GetVarint64(&body, &shard.submissions))) {
+      return Truncated("GetStatsResponse");
+    }
+    response.shards.push_back(shard);
+  }
+  if (!(GetVarint64(&body, &response.requests_served) &&
+        GetVarint64(&body, &response.backpressure_rejections) &&
+        GetVarint64(&body, &response.quota_rejections) && body.empty())) {
+    return Truncated("GetStatsResponse");
+  }
+  return response;
+}
+
+}  // namespace pstorm::rpc

@@ -1,0 +1,186 @@
+#ifndef PSTORM_RPC_WIRE_H_
+#define PSTORM_RPC_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "mrsim/configuration.h"
+#include "mrsim/dataset.h"
+#include "staticanalysis/features.h"
+
+namespace pstorm::rpc {
+
+/// PStorM's binary wire format, one frame per message, reusing the WAL
+/// framing idiom (storage/wal.cc): a fixed header carrying the payload
+/// length and a checksum over the payload, so a torn or bit-rotted frame
+/// is detected before anything in it is trusted.
+///
+///   Frame:    [fixed32 payload_len][fixed32 checksum][payload]
+///   Payload:  [u8 version][u8 kind][varint64 request_id] ...
+///     kind=kRequest:  [u8 method][lp body]
+///     kind=kResponse: [u8 status_code][lp message][lp body]
+///
+/// (`lp` = varint32 length-prefixed bytes, common/coding.h.) Integers are
+/// little-endian; doubles travel as their IEEE-754 bit pattern in a
+/// fixed64, so a tuning decision round-trips bit-identically.
+///
+/// Versioning: `version` is bumped on any incompatible payload change. A
+/// server receiving an unsupported version answers with one
+/// InvalidArgument response (request id echoed when parseable) and closes;
+/// it never guesses. Frames whose checksum fails or whose declared length
+/// exceeds the negotiated maximum are protocol errors: the stream can no
+/// longer be trusted, so the connection is closed without a response.
+///
+/// Error mapping: a response carries the serving Status verbatim — the
+/// StatusCode byte plus the message — so rpc::Client surfaces exactly the
+/// Status an in-process caller would have seen. kResourceExhausted is the
+/// admission-control backpressure signal (retry later, ideally with
+/// jittered backoff); it is produced by the server's bounded in-flight
+/// queue and by per-tenant quotas, never by PStorM itself.
+
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 8;
+/// Default ceiling on one frame's payload. Profiles serialize to a few KB;
+/// 4 MiB leaves two orders of magnitude of headroom while keeping a
+/// malicious length prefix from ballooning a connection buffer.
+inline constexpr size_t kDefaultMaxFrameBytes = 4u << 20;
+
+enum class Method : uint8_t {
+  kEcho = 1,
+  kSubmitJob = 2,
+  kPutProfile = 3,
+  kGetStats = 4,
+  kDump = 5,
+};
+
+enum class MessageKind : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+struct RequestFrame {
+  uint64_t request_id = 0;
+  Method method = Method::kEcho;
+  std::string body;
+};
+
+struct ResponseFrame {
+  uint64_t request_id = 0;
+  StatusCode code = StatusCode::kOk;
+  /// Human-readable error message ("" on success).
+  std::string message;
+  std::string body;
+};
+
+std::string EncodeRequestFrame(const RequestFrame& frame);
+std::string EncodeResponseFrame(const ResponseFrame& frame);
+
+/// Builds a ResponseFrame from a Status (body empty unless supplied).
+ResponseFrame ErrorResponse(uint64_t request_id, const Status& status);
+
+/// Reconstructs the Status a response carries.
+Status ResponseStatus(const ResponseFrame& frame);
+
+enum class FrameParseResult {
+  /// A whole frame was consumed into `out`.
+  kOk,
+  /// The buffer holds a prefix of a frame; read more bytes and retry.
+  kNeedMore,
+  /// The stream is unrecoverable (bad checksum, oversized or malformed
+  /// frame, unsupported version): close the connection.
+  kBad,
+};
+
+struct ParsedMessage {
+  MessageKind kind = MessageKind::kRequest;
+  RequestFrame request;    // Valid when kind == kRequest.
+  ResponseFrame response;  // Valid when kind == kResponse.
+  /// Bytes the frame occupied (consume this many from the buffer).
+  size_t frame_size = 0;
+  /// On kBad: why, and — when the prefix parsed far enough — the request
+  /// id to echo in a final error response (0 otherwise).
+  std::string error;
+  uint64_t bad_request_id = 0;
+  /// On kBad: the frame itself was intact (checksum passed) but its
+  /// content is unusable, so the peer deserves one InvalidArgument
+  /// response before the close. False when the stream itself can't be
+  /// trusted (bad checksum, oversized length prefix) — then close
+  /// silently.
+  bool respond_before_close = false;
+};
+
+/// Parses the first frame of `buf` without consuming it. Frames larger
+/// than `max_frame_bytes` are kBad even before their payload arrives.
+FrameParseResult ParseFrame(std::string_view buf, size_t max_frame_bytes,
+                            ParsedMessage* out);
+
+// ---- Method bodies -------------------------------------------------------
+
+/// SubmitJob: the job travels as its catalogue name plus the one numeric
+/// user parameter the parameterized jobs take (co-occurrence window, grep
+/// selectivity); the data set travels as its full statistical spec, so
+/// clients may submit against data the server has never seen.
+struct SubmitJobRequest {
+  std::string tenant;
+  std::string job_name;
+  double job_param = 0;  // 0 = the job's default.
+  mrsim::DataSetSpec data;
+  mrsim::Configuration submitted;
+  uint64_t seed = 0;
+};
+
+/// Mirrors core::PStorM::SubmissionOutcome, plus which shard served it.
+struct SubmitJobResponse {
+  bool matched = false;
+  bool composite = false;
+  bool stored_new_profile = false;
+  std::string profile_source;
+  mrsim::Configuration config_used;
+  double runtime_s = 0;
+  double sample_runtime_s = 0;
+  double predicted_runtime_s = 0;
+  uint32_t shard = 0;
+};
+
+struct PutProfileRequest {
+  std::string tenant;
+  std::string job_key;
+  /// profiler::ExecutionProfile::Serialize() text.
+  std::string profile_text;
+  staticanalysis::StaticFeatures statics;
+};
+
+struct ShardStatsEntry {
+  uint32_t shard = 0;
+  /// First routing key owned by the shard ("" for the first shard).
+  std::string start_key;
+  uint64_t num_profiles = 0;
+  uint64_t submissions = 0;
+};
+
+struct GetStatsResponse {
+  std::vector<ShardStatsEntry> shards;
+  uint64_t requests_served = 0;
+  uint64_t backpressure_rejections = 0;
+  uint64_t quota_rejections = 0;
+};
+
+std::string EncodeSubmitJobRequest(const SubmitJobRequest& request);
+Result<SubmitJobRequest> DecodeSubmitJobRequest(std::string_view body);
+
+std::string EncodeSubmitJobResponse(const SubmitJobResponse& response);
+Result<SubmitJobResponse> DecodeSubmitJobResponse(std::string_view body);
+
+std::string EncodePutProfileRequest(const PutProfileRequest& request);
+Result<PutProfileRequest> DecodePutProfileRequest(std::string_view body);
+
+std::string EncodeGetStatsResponse(const GetStatsResponse& response);
+Result<GetStatsResponse> DecodeGetStatsResponse(std::string_view body);
+
+}  // namespace pstorm::rpc
+
+#endif  // PSTORM_RPC_WIRE_H_

@@ -3,6 +3,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
+
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -95,6 +97,48 @@ bool PosixEnv::FileExists(const std::string& path) const {
   return std::filesystem::exists(path, ec);
 }
 
+namespace internal {
+
+Status WriteSyncCloseFd(int fd, std::string_view data, const std::string& name,
+                        const FdOps& ops) {
+  Status status;
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ops.write_fn ? ops.write_fn(fd, p, left)
+                                   : ::write(fd, p, left);
+    if (n < 0) {
+      // A signal landing mid-write interrupts the syscall without writing
+      // anything; that is a retry, never an IoError.
+      if (errno == EINTR) continue;
+      status = Status::IoError("write: " + name);
+      break;
+    }
+    // n == 0 on a regular file would loop forever; treat it as the short
+    // write it is and retry — POSIX only returns 0 for count == 0, which
+    // the loop condition already excludes.
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (status.ok()) {
+    int rc = ops.fsync_fn ? ops.fsync_fn(fd) : ::fsync(fd);
+    while (rc != 0 && errno == EINTR) {
+      rc = ops.fsync_fn ? ops.fsync_fn(fd) : ::fsync(fd);
+    }
+    if (rc != 0) status = Status::IoError("fsync: " + name);
+  }
+  // Exactly one close on every path. POSIX leaves the fd state unspecified
+  // after EINTR from close, so it is not retried (a retry could close an
+  // unrelated fd another thread just opened with the same number).
+  const int close_rc = ops.close_fn ? ops.close_fn(fd) : ::close(fd);
+  if (status.ok() && close_rc != 0) {
+    status = Status::IoError("close: " + name);
+  }
+  return status;
+}
+
+}  // namespace internal
+
 Status PosixEnv::WriteFile(const std::string& path, const std::string& data) {
   // Honour the Env::WriteFile atomicity contract: stage the bytes in a
   // sibling temp file, fsync them, then rename over the target so a crash
@@ -102,22 +146,7 @@ Status PosixEnv::WriteFile(const std::string& path, const std::string& data) {
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Status::IoError("open for write: " + tmp);
-  const char* p = data.data();
-  size_t left = data.size();
-  while (left > 0) {
-    const ssize_t n = ::write(fd, p, left);
-    if (n < 0) {
-      ::close(fd);
-      return Status::IoError("write: " + tmp);
-    }
-    p += n;
-    left -= static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return Status::IoError("fsync: " + tmp);
-  }
-  if (::close(fd) != 0) return Status::IoError("close: " + tmp);
+  PSTORM_RETURN_IF_ERROR(internal::WriteSyncCloseFd(fd, data, tmp));
   return RenameFile(tmp, path);
 }
 

@@ -1,12 +1,16 @@
 #ifndef PSTORM_STORAGE_ENV_H_
 #define PSTORM_STORAGE_ENV_H_
 
+#include <sys/types.h>
+
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/random.h"
@@ -165,6 +169,28 @@ class FaultInjectionEnv final : public Env {
 
 /// Joins `dir` and `name` with exactly one separator.
 std::string JoinPath(const std::string& dir, const std::string& name);
+
+namespace internal {
+
+/// Injectable fd syscalls for testing the PosixEnv write loop against
+/// short writes and signal interruptions, which a real filesystem will not
+/// produce on demand. Null members fall back to the real ::write/::fsync/
+/// ::close.
+struct FdOps {
+  std::function<ssize_t(int fd, const void* buf, size_t count)> write_fn;
+  std::function<int(int fd)> fsync_fn;
+  std::function<int(int fd)> close_fn;
+};
+
+/// Writes all of `data` to `fd` (retrying short writes and EINTR — a
+/// signal-interrupted write is a retry, not an IoError), fsyncs, and
+/// closes. The fd is closed exactly once on every path, success or error,
+/// and the first error wins (a failed write still closes, but reports the
+/// write's error, not the close's). `name` labels error messages.
+Status WriteSyncCloseFd(int fd, std::string_view data, const std::string& name,
+                        const FdOps& ops = {});
+
+}  // namespace internal
 
 }  // namespace pstorm::storage
 

@@ -145,10 +145,11 @@ Status WalApplier::Apply(uint64_t primary_epoch, const WalSegment& segment) {
 // --- WalShipper -----------------------------------------------------------
 
 WalShipper::WalShipper(Db* primary, WalApplier* applier,
-                       const ReplicationOptions& options)
+                       const ReplicationOptions& options, StopLatch* stop)
     : primary_(primary),
       applier_(applier),
       options_(options),
+      stop_(stop != nullptr ? stop : &own_stop_),
       rng_(options.retry_seed) {
   PSTORM_CHECK(primary_ != nullptr);
   PSTORM_CHECK(applier_ != nullptr);
@@ -173,7 +174,11 @@ Result<Db::ShipBatch> WalShipper::FetchWithRetries(uint64_t from_sequence) {
                         << batch.status().ToString() << "); retry "
                         << (attempt + 1) << "/" << options_.max_retries
                         << " in " << sleep_micros << "us";
-    std::this_thread::sleep_for(std::chrono::microseconds(sleep_micros));
+    if (stop_->WaitFor(sleep_micros)) {
+      // Teardown raced the backoff: surface the transient error instead of
+      // finishing the sleep (callers are shutting the replica down).
+      return batch;
+    }
   }
 }
 
@@ -252,7 +257,8 @@ Result<std::unique_ptr<ReplicaSession>> ReplicaSession::Open(
         session->follower_.get(),
         session->options_.replication.divergence_window);
     session->shipper_ = std::make_unique<WalShipper>(
-        primary, session->applier_.get(), session->options_.replication);
+        primary, session->applier_.get(), session->options_.replication,
+        &session->stop_latch_);
   } else {
     // E.g. a corrupt manifest after a crashed install: rebuild the
     // follower from a fresh checkpoint instead of failing the session.
@@ -318,7 +324,7 @@ Status ReplicaSession::BootstrapLocked() {
                         << (attempt + 1) << "/"
                         << options_.replication.max_retries << " in "
                         << sleep_micros << "us";
-    std::this_thread::sleep_for(std::chrono::microseconds(sleep_micros));
+    if (stop_latch_.WaitFor(sleep_micros)) break;  // Teardown in progress.
     checkpoint = primary_->Checkpoint();
   }
   if (!checkpoint.ok()) return checkpoint.status();
@@ -337,7 +343,7 @@ Status ReplicaSession::BootstrapLocked() {
   applier_ = std::make_unique<WalApplier>(
       follower_.get(), options_.replication.divergence_window);
   shipper_ = std::make_unique<WalShipper>(primary_, applier_.get(),
-                                          options_.replication);
+                                          options_.replication, &stop_latch_);
   ++checkpoint_ships_;
   CheckpointShips().Increment();
   PSTORM_LOG(Info) << "replica session: bootstrapped " << follower_path_
@@ -425,20 +431,22 @@ Status ReplicaSession::DisableSyncCommit() {
 
 void ReplicaSession::StartTailing(uint64_t poll_micros) {
   if (tailing_.exchange(true)) return;
-  stop_tailing_.store(false);
+  stop_latch_.Reset();
   tail_thread_ = std::thread([this, poll_micros] {
-    while (!stop_tailing_.load(std::memory_order_acquire)) {
+    while (!stop_latch_.stopped()) {
       // Errors are remembered in last_tail_error_ and retried next tick;
       // the tailer itself never dies.
       (void)TickOnce();
-      std::this_thread::sleep_for(std::chrono::microseconds(poll_micros));
+      // Interruptible poll sleep: StopTailing wakes it instead of waiting
+      // out the interval.
+      if (stop_latch_.WaitFor(poll_micros)) break;
     }
   });
 }
 
 void ReplicaSession::StopTailing() {
   if (!tailing_.load(std::memory_order_acquire)) return;
-  stop_tailing_.store(true, std::memory_order_release);
+  stop_latch_.Stop();
   if (tail_thread_.joinable()) tail_thread_.join();
   tailing_.store(false);
 }

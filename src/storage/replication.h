@@ -2,6 +2,8 @@
 #define PSTORM_STORAGE_REPLICATION_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -58,6 +60,45 @@ namespace pstorm::storage {
 enum class ReplicationMode {
   kAsync,
   kSync,
+};
+
+/// Interruptible stop latch for retry/backoff and polling loops: Stop()
+/// wakes every waiter immediately and makes all later waits return without
+/// sleeping, so teardown never rides out a jittered backoff (which can be
+/// retry_backoff_max_micros long). Reset() re-arms the latch for reuse
+/// (e.g. StartTailing after a StopTailing).
+class StopLatch {
+ public:
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopped_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = false;
+  }
+
+  /// Sleeps up to `micros`; returns true when the latch stopped (callers
+  /// abandon their retry loop instead of finishing the wait).
+  bool WaitFor(uint64_t micros) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, std::chrono::microseconds(micros),
+                        [this] { return stopped_; });
+  }
+
+  bool stopped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stopped_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool stopped_ = false;
 };
 
 struct ReplicationOptions {
@@ -149,9 +190,20 @@ class WalShipper {
     uint64_t lag = 0;
   };
 
-  /// `primary` and `applier` must outlive the shipper.
+  /// `primary` and `applier` must outlive the shipper. `stop` (optional)
+  /// is the latch the retry backoff waits on; when null the shipper uses
+  /// an internal one. An external latch lets one owner (ReplicaSession)
+  /// fence every loop it spawned with a single Stop(), without touching
+  /// shipper instances that a concurrent bootstrap may be replacing.
   WalShipper(Db* primary, WalApplier* applier,
-             const ReplicationOptions& options);
+             const ReplicationOptions& options, StopLatch* stop = nullptr);
+
+  /// Interrupts any in-flight retry backoff: the current ShipOnce/CatchUp
+  /// returns promptly (with the last fetch error) instead of sleeping out
+  /// the rest of its jittered backoff window — teardown must never block
+  /// for up to retry_backoff_max_micros. Safe from any thread. Stops the
+  /// external latch when one was supplied.
+  void RequestStop() { stop_->Stop(); }
 
   /// One fetch + apply round, at most options.max_batch_records records.
   Result<ShipOutcome> ShipOnce();
@@ -173,6 +225,10 @@ class WalShipper {
   Db* primary_;
   WalApplier* applier_;
   ReplicationOptions options_;
+  /// Backing latch when the constructor got none.
+  StopLatch own_stop_;
+  /// The latch backoffs wait on: external when supplied, else &own_stop_.
+  StopLatch* stop_;
   Rng rng_;
   uint64_t ship_rounds_ = 0;
   uint64_t shipped_batches_ = 0;
@@ -235,6 +291,10 @@ class ReplicaSession {
   /// Spawns a thread calling TickOnce every `poll_micros` until stopped.
   /// Ship errors are remembered (last_tail_error) and retried next tick.
   void StartTailing(uint64_t poll_micros);
+  /// Stops the tail thread promptly: the poll sleep and any in-flight
+  /// retry backoff (fetch or checkpoint) are condition-variable waits on
+  /// the session's stop latch, so StopTailing returns in milliseconds even
+  /// mid-backoff instead of riding out retry_backoff_max_micros.
   void StopTailing();
 
   /// Fences this session (stop tailing, drop the sync listener), promotes
@@ -295,7 +355,10 @@ class ReplicaSession {
 
   std::thread tail_thread_;
   std::atomic<bool> tailing_{false};
-  std::atomic<bool> stop_tailing_{false};
+  /// Interrupts the tail loop's poll sleep and every backoff sleep in the
+  /// shipper/bootstrap retry loops (the shippers are constructed over this
+  /// latch). Re-armed by StartTailing.
+  StopLatch stop_latch_;
 };
 
 }  // namespace pstorm::storage

@@ -1,0 +1,159 @@
+#include "storage/env.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pstorm::storage {
+namespace {
+
+/// Fake fd syscalls in the FaultInjectionEnv spirit: a deterministic
+/// schedule of short writes, EINTR interruptions, and hard errors, plus
+/// close accounting — the kernel behaviours a real filesystem will not
+/// produce on demand.
+struct FakeFd {
+  std::string written;
+  size_t max_write = SIZE_MAX;  // Short-write ceiling per call.
+  int eintr_every = 0;          // Every Nth write call fails with EINTR.
+  int fail_write_at = 0;        // 1-based write call that returns ENOSPC.
+  int fsync_eintr_count = 0;    // First N fsync calls fail with EINTR.
+  bool fail_close = false;
+  int write_calls = 0;
+  int fsync_calls = 0;
+  int close_calls = 0;
+
+  internal::FdOps Ops() {
+    internal::FdOps ops;
+    ops.write_fn = [this](int, const void* buf, size_t count) -> ssize_t {
+      ++write_calls;
+      if (fail_write_at != 0 && write_calls == fail_write_at) {
+        errno = ENOSPC;
+        return -1;
+      }
+      if (eintr_every != 0 && write_calls % eintr_every == 0) {
+        errno = EINTR;
+        return -1;
+      }
+      const size_t n = std::min(count, max_write);
+      written.append(static_cast<const char*>(buf), n);
+      return static_cast<ssize_t>(n);
+    };
+    ops.fsync_fn = [this](int) -> int {
+      ++fsync_calls;
+      if (fsync_calls <= fsync_eintr_count) {
+        errno = EINTR;
+        return -1;
+      }
+      return 0;
+    };
+    ops.close_fn = [this](int) -> int {
+      ++close_calls;
+      if (fail_close) {
+        errno = EIO;
+        return -1;
+      }
+      return 0;
+    };
+    return ops;
+  }
+};
+
+constexpr int kFakeFd = 12345;  // Never dereferenced by the fake ops.
+
+std::string Payload(size_t n) {
+  std::string data;
+  data.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.push_back(static_cast<char>('a' + i % 26));
+  }
+  return data;
+}
+
+TEST(EnvWriteLoopTest, ShortWritesAreRetriedToCompletion) {
+  FakeFd fake;
+  fake.max_write = 7;  // The kernel accepts at most 7 bytes per call.
+  const std::string data = Payload(100);
+  ASSERT_TRUE(internal::WriteSyncCloseFd(kFakeFd, data, "x", fake.Ops()).ok());
+  EXPECT_EQ(fake.written, data);
+  EXPECT_GE(fake.write_calls, 15);
+  EXPECT_EQ(fake.fsync_calls, 1);
+  EXPECT_EQ(fake.close_calls, 1);
+}
+
+TEST(EnvWriteLoopTest, EintrIsRetriedNotAnIoError) {
+  // The original loop treated any write() < 0 as a hard IoError, so a
+  // signal landing mid-write failed the whole WriteFile.
+  FakeFd fake;
+  fake.max_write = 5;
+  fake.eintr_every = 3;  // Every third call is signal-interrupted.
+  const std::string data = Payload(64);
+  ASSERT_TRUE(internal::WriteSyncCloseFd(kFakeFd, data, "x", fake.Ops()).ok());
+  EXPECT_EQ(fake.written, data);
+  EXPECT_EQ(fake.close_calls, 1);
+}
+
+TEST(EnvWriteLoopTest, EintrFromFsyncIsRetried) {
+  FakeFd fake;
+  fake.fsync_eintr_count = 2;
+  ASSERT_TRUE(
+      internal::WriteSyncCloseFd(kFakeFd, Payload(10), "x", fake.Ops()).ok());
+  EXPECT_EQ(fake.fsync_calls, 3);
+  EXPECT_EQ(fake.close_calls, 1);
+}
+
+TEST(EnvWriteLoopTest, HardWriteErrorClosesExactlyOnce) {
+  FakeFd fake;
+  fake.max_write = 4;
+  fake.fail_write_at = 3;  // Two partial writes land, then the disk fills.
+  const Status s =
+      internal::WriteSyncCloseFd(kFakeFd, Payload(100), "x", fake.Ops());
+  EXPECT_TRUE(s.IsIoError()) << s;
+  EXPECT_EQ(fake.close_calls, 1);  // The error branch closed exactly once.
+  EXPECT_EQ(fake.fsync_calls, 0);  // No point syncing a failed write.
+}
+
+TEST(EnvWriteLoopTest, WriteErrorWinsOverCloseError) {
+  FakeFd fake;
+  fake.fail_write_at = 1;
+  fake.fail_close = true;
+  const Status s =
+      internal::WriteSyncCloseFd(kFakeFd, Payload(10), "x", fake.Ops());
+  EXPECT_TRUE(s.IsIoError()) << s;
+  EXPECT_NE(s.message().find("write"), std::string::npos) << s;
+  EXPECT_EQ(fake.close_calls, 1);
+}
+
+TEST(EnvWriteLoopTest, CloseErrorAfterCleanWriteSurfaces) {
+  FakeFd fake;
+  fake.fail_close = true;
+  const Status s =
+      internal::WriteSyncCloseFd(kFakeFd, Payload(10), "x", fake.Ops());
+  EXPECT_TRUE(s.IsIoError()) << s;
+  EXPECT_NE(s.message().find("close"), std::string::npos) << s;
+  EXPECT_EQ(fake.close_calls, 1);
+}
+
+TEST(EnvWriteLoopTest, PosixWriteFileEndToEnd) {
+  // Sanity: the restructured WriteFile still lands real bytes atomically.
+  char tmpl[] = "/tmp/pstorm-env-test-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir(tmpl);
+  PosixEnv env;
+  const std::string path = JoinPath(dir, "blob");
+  const std::string data = Payload(1 << 16);
+  ASSERT_TRUE(env.WriteFile(path, data).ok());
+  EXPECT_EQ(env.ReadFile(path).value(), data);
+  EXPECT_FALSE(env.FileExists(path + ".tmp"));
+  ASSERT_TRUE(env.DeleteFile(path).ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pstorm::storage

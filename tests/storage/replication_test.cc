@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -267,6 +269,70 @@ TEST(ReplicationTest, TransientFetchErrorsAreRetriedWithBackoff) {
   flaky.FailNextReads(0);
   ASSERT_TRUE(shipper.ShipOnce().ok());
   ExpectConverged(primary.get(), follower.get(), "after budget exhausted");
+}
+
+TEST(ReplicationTest, RequestStopInterruptsRetryBackoffPromptly) {
+  InMemoryEnv base;
+  FlakyReadEnv flaky(&base);
+  auto primary = Db::Open(&flaky, "/primary").value();
+  DbOptions replica;
+  replica.read_only_replica = true;
+  auto follower = Db::Open(&base, "/follower", replica).value();
+  ASSERT_TRUE(primary->Put("a", "1").ok());
+
+  // A backoff window teardown could never afford to ride out: without the
+  // interruptible wait this test would take minutes.
+  ReplicationOptions options;
+  options.max_retries = 1000;
+  options.retry_backoff_micros = 60 * 1000 * 1000;
+  options.retry_backoff_max_micros = 60 * 1000 * 1000;
+  WalApplier applier(follower.get());
+  WalShipper shipper(primary.get(), &applier, options);
+
+  flaky.FailNextReads(1 << 30);  // Every fetch fails; only retries remain.
+  std::thread ship([&] {
+    const auto outcome = shipper.ShipOnce();
+    EXPECT_TRUE(outcome.status().IsIoError()) << outcome.status();
+  });
+  // Wait until the shipper is inside a backoff sleep (first retry counted).
+  while (shipper.retries() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto stop_start = std::chrono::steady_clock::now();
+  shipper.RequestStop();
+  ship.join();
+  const auto stop_elapsed = std::chrono::steady_clock::now() - stop_start;
+  // The contract is "milliseconds, not the backoff window": one cv wakeup
+  // plus scheduling. The bound is generous for sanitizer builds while
+  // still 4 orders of magnitude under the 60s backoff it interrupts.
+  EXPECT_LT(stop_elapsed, std::chrono::seconds(5));
+}
+
+TEST(ReplicationTest, StopTailingInterruptsPollSleepPromptly) {
+  InMemoryEnv env;
+  auto primary = Db::Open(&env, "/primary").value();
+  ASSERT_TRUE(primary->Put("a", "1").ok());
+  auto session =
+      ReplicaSession::Open(primary.get(), &env, "/follower").value();
+
+  // A poll interval no test could wait out: StopTailing must interrupt the
+  // sleep between ticks, not wait for the next wakeup.
+  session->StartTailing(60 * 1000 * 1000);
+  // Give the tail thread a moment to finish its first tick and enter the
+  // poll sleep (the interesting state to interrupt).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto stop_start = std::chrono::steady_clock::now();
+  session->StopTailing();
+  const auto stop_elapsed = std::chrono::steady_clock::now() - stop_start;
+  EXPECT_LT(stop_elapsed, std::chrono::seconds(5));
+
+  // The session stays usable after a stop: tailing can restart (the stop
+  // latch re-arms) and still converges.
+  ASSERT_TRUE(primary->Put("b", "2").ok());
+  session->StartTailing(100);
+  ASSERT_TRUE(session->CatchUp().ok());
+  session->StopTailing();
+  ExpectConverged(primary.get(), session->replica(), "after restart");
 }
 
 // ------------------------------------------------------- epoch fencing

@@ -1,0 +1,141 @@
+// pstorm_server — the networked PStorM tuning service: a binary-framed RPC
+// server routing tenants across N sharded PStorM instances.
+//
+//   ./build/tools/pstorm_server --port 7070 --shards 4 --workers 4
+//   ./build/tools/pstorm_server --store /var/lib/pstorm   # persistent
+//
+// The process serves until SIGINT/SIGTERM, then drains and exits 0. With
+// --store the profile shards live on disk under <store>/shard-<i> and
+// survive restarts; without it everything is in memory.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "mrsim/cluster.h"
+#include "mrsim/simulator.h"
+#include "rpc/server.h"
+#include "rpc/shard_router.h"
+#include "storage/env.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+void HandleSignal(int) { g_shutdown = 1; }
+
+struct Flags {
+  std::string bind = "127.0.0.1";
+  int port = 7070;
+  int shards = 1;
+  int workers = 4;
+  int tenant_quota = 0;
+  int max_inflight = 64;
+  std::string store;  // Empty = in-memory.
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--bind ADDR] [--port N] [--shards N] [--workers N]\n"
+      "          [--tenant-quota N] [--max-inflight N] [--store DIR]\n",
+      argv0);
+  return 2;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v;
+    if (arg == "--bind" && (v = next())) {
+      flags->bind = v;
+    } else if (arg == "--port" && (v = next())) {
+      flags->port = std::atoi(v);
+    } else if (arg == "--shards" && (v = next())) {
+      flags->shards = std::atoi(v);
+    } else if (arg == "--workers" && (v = next())) {
+      flags->workers = std::atoi(v);
+    } else if (arg == "--tenant-quota" && (v = next())) {
+      flags->tenant_quota = std::atoi(v);
+    } else if (arg == "--max-inflight" && (v = next())) {
+      flags->max_inflight = std::atoi(v);
+    } else if (arg == "--store" && (v = next())) {
+      flags->store = v;
+    } else {
+      return false;
+    }
+  }
+  return flags->port >= 0 && flags->port <= 65535 && flags->shards >= 1 &&
+         flags->workers >= 1 && flags->max_inflight >= 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return Usage(argv[0]);
+
+  const pstorm::mrsim::Simulator simulator(pstorm::mrsim::ThesisCluster());
+  std::unique_ptr<pstorm::storage::Env> env;
+  std::string base_path;
+  if (flags.store.empty()) {
+    env = std::make_unique<pstorm::storage::InMemoryEnv>();
+    base_path = "/pstorm";
+  } else {
+    env = std::make_unique<pstorm::storage::PosixEnv>();
+    base_path = flags.store;
+    if (auto s = env->CreateDir(base_path); !s.ok()) {
+      std::fprintf(stderr, "create %s: %s\n", base_path.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  pstorm::rpc::ShardRouterOptions router_options;
+  router_options.num_shards = static_cast<uint32_t>(flags.shards);
+  router_options.tenant_inflight_limit =
+      static_cast<uint32_t>(flags.tenant_quota);
+  auto router = pstorm::rpc::ShardRouter::Create(&simulator, env.get(),
+                                                 base_path, router_options);
+  if (!router.ok()) {
+    std::fprintf(stderr, "router: %s\n", router.status().ToString().c_str());
+    return 1;
+  }
+
+  pstorm::rpc::ServerOptions server_options;
+  server_options.bind_address = flags.bind;
+  server_options.port = static_cast<uint16_t>(flags.port);
+  server_options.num_workers = static_cast<size_t>(flags.workers);
+  server_options.max_inflight_requests =
+      static_cast<size_t>(flags.max_inflight);
+  auto server = pstorm::rpc::Server::Start(router->get(), server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::printf("pstorm_server listening on %s:%u (%d shard%s, %s store)\n",
+              flags.bind.c_str(), (*server)->port(), flags.shards,
+              flags.shards == 1 ? "" : "s",
+              flags.store.empty() ? "in-memory" : flags.store.c_str());
+  std::fflush(stdout);
+
+  sigset_t mask;
+  sigemptyset(&mask);
+  while (g_shutdown == 0) sigsuspend(&mask);
+
+  std::printf("pstorm_server: draining (%llu requests served, "
+              "%llu backpressure rejections)\n",
+              static_cast<unsigned long long>((*server)->requests_served()),
+              static_cast<unsigned long long>(
+                  (*server)->backpressure_rejections()));
+  (*server)->Stop();
+  return 0;
+}
