@@ -129,9 +129,13 @@ void Server::Stop() {
   // The reactor is gone; draining the pool may still produce completions
   // and eventfd kicks, so those stay valid until the workers are joined.
   workers_.reset();
+  // The reactor normally closes listen_fd_ on its way out; if Bind()
+  // failed partway (so the reactor thread never started) the fd is still
+  // open here.
+  if (listen_fd_ >= 0) ::close(listen_fd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
-  wake_fd_ = epoll_fd_ = -1;
+  listen_fd_ = wake_fd_ = epoll_fd_ = -1;
 }
 
 void Server::Wakeup() {
@@ -274,10 +278,22 @@ bool Server::ParseAndAdmit(uint64_t conn_id) {
                             inflight_ >= options_.max_inflight_requests
                                 ? "server at max in-flight requests"
                                 : "connection at max pending requests")));
+      // Rejections bypass the worker path, so the write-buffer ceiling
+      // must be enforced here too: a client that pipelines over-cap
+      // requests and never reads would otherwise grow write_buf without
+      // bound, one rejection frame per request frame.
+      if (conn.write_buf.size() > options_.max_write_buffer_bytes) {
+        CloseConnection(conn_id);
+        return false;
+      }
       continue;
     }
     ++inflight_;
     conn.pending.push_back(std::move(msg.request));
+  }
+  if (conn.write_buf.size() > options_.max_write_buffer_bytes) {
+    CloseConnection(conn_id);
+    return false;
   }
   return true;
 }

@@ -1,8 +1,9 @@
 #include "rpc/shard_router.h"
 
 #include <algorithm>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <string_view>
 #include <utility>
 
@@ -26,24 +27,49 @@ obs::Counter& SubmissionsRouted() {
   return c;
 }
 
+/// Widest co-occurrence window a client may request. The job model scales
+/// map output linearly with the window, so an absurd window is an absurd
+/// amount of simulated work; real co-occurrence windows are single digits.
+constexpr int kMaxCooccurrenceWindow = 1024;
+
 /// Resolves a catalogue job name to its BenchmarkJob. The parameterized
 /// jobs take their user parameter from `param` (0 = the job's default);
-/// everything else must match a Table 6.1 name exactly.
+/// everything else must match a Table 6.1 name exactly. `param` arrives
+/// off the wire, so every range precondition of the job constructors is
+/// re-checked here and answered with InvalidArgument — a hostile frame
+/// must never reach a PSTORM_CHECK.
 Result<jobs::BenchmarkJob> ResolveJob(const std::string& name, double param) {
   if (name == "grep") {
-    return param > 0 ? jobs::Grep(param) : jobs::Grep();
+    if (param == 0.0) return jobs::Grep();
+    // NaN fails this comparison too and lands in the error branch.
+    if (!(param > 0.0 && param <= 1.0)) {
+      return Status::InvalidArgument(
+          "grep selectivity must be in (0, 1], got " + std::to_string(param));
+    }
+    return jobs::Grep(param);
   }
   constexpr std::string_view kPairsPrefix = "word-cooccurrence-pairs-w";
   if (name.rfind(kPairsPrefix, 0) == 0) {
-    const int window = std::atoi(name.c_str() + kPairsPrefix.size());
-    if (window <= 0) {
+    const char* first = name.c_str() + kPairsPrefix.size();
+    const char* last = name.c_str() + name.size();
+    int window = 0;
+    const auto [ptr, ec] = std::from_chars(first, last, window);
+    if (ec != std::errc() || ptr != last || window < 1 ||
+        window > kMaxCooccurrenceWindow) {
       return Status::InvalidArgument("bad co-occurrence window in: " + name);
     }
     return jobs::WordCooccurrencePairs(window);
   }
   if (name == "word-cooccurrence-pairs") {
-    return param > 0 ? jobs::WordCooccurrencePairs(static_cast<int>(param))
-                     : jobs::WordCooccurrencePairs();
+    if (param == 0.0) return jobs::WordCooccurrencePairs();
+    if (!(param >= 1.0 && param <= kMaxCooccurrenceWindow) ||
+        param != std::floor(param)) {
+      return Status::InvalidArgument(
+          "co-occurrence window must be an integer in [1, " +
+          std::to_string(kMaxCooccurrenceWindow) + "], got " +
+          std::to_string(param));
+    }
+    return jobs::WordCooccurrencePairs(static_cast<int>(param));
   }
   for (jobs::BenchmarkJob& job : jobs::AllBenchmarkJobs()) {
     if (job.spec.name == name) return std::move(job);
@@ -122,19 +148,20 @@ Result<SubmitJobResponse> ShardRouter::SubmitJob(
     const SubmitJobRequest& request) {
   PSTORM_ASSIGN_OR_RETURN(const jobs::BenchmarkJob job,
                           ResolveJob(request.job_name, request.job_param));
-  {
+  // Tenant names are client-chosen, so the in-flight table must not grow
+  // with distinct names seen: entries exist only while a tenant actually
+  // has submissions in flight (and not at all when quotas are off).
+  if (tenant_inflight_limit_ != 0) {
     std::lock_guard<std::mutex> lock(tenants_mu_);
-    TenantState& state = tenants_[request.tenant];
-    if (tenant_inflight_limit_ != 0 &&
-        state.inflight >= tenant_inflight_limit_) {
+    uint32_t& inflight = tenant_inflight_[request.tenant];
+    if (inflight >= tenant_inflight_limit_) {
       ++quota_rejections_;
       QuotaRejections().Increment();
       return Status::ResourceExhausted(
           "tenant '" + request.tenant + "' at its in-flight quota (" +
           std::to_string(tenant_inflight_limit_) + "); retry later");
     }
-    ++state.inflight;
-    ++state.submissions;
+    ++inflight;
   }
 
   const uint32_t shard_idx = ShardFor(request.tenant);
@@ -144,9 +171,12 @@ Result<SubmitJobResponse> ShardRouter::SubmitJob(
   Result<core::PStorM::SubmissionOutcome> outcome =
       shards_[shard_idx]->SubmitJob(job, request.data, request.submitted,
                                     request.seed);
-  {
+  if (tenant_inflight_limit_ != 0) {
     std::lock_guard<std::mutex> lock(tenants_mu_);
-    --tenants_[request.tenant].inflight;
+    const auto it = tenant_inflight_.find(request.tenant);
+    if (it != tenant_inflight_.end() && --it->second == 0) {
+      tenant_inflight_.erase(it);
+    }
   }
   if (!outcome.ok()) return outcome.status();
 

@@ -81,6 +81,14 @@ class ShardRouter {
   /// and for choosing explicit split points).
   static std::string RoutingKey(const std::string& tenant);
 
+  /// Tenants currently holding an in-flight quota slot (exposed for tests:
+  /// the table is bounded by concurrent submissions, never by the number
+  /// of distinct tenant names seen).
+  size_t tracked_tenants() const {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    return tenant_inflight_.size();
+  }
+
  private:
   ShardRouter() = default;
 
@@ -88,12 +96,11 @@ class ShardRouter {
   std::vector<std::unique_ptr<core::PStorM>> shards_;
   uint32_t tenant_inflight_limit_ = 0;
 
-  struct TenantState {
-    uint32_t inflight = 0;
-    uint64_t submissions = 0;
-  };
+  /// In-flight SubmitJob count per tenant; an entry exists only while its
+  /// count is nonzero (tenant names are attacker-chosen, so the map must
+  /// not grow with distinct names for the life of the process).
   mutable std::mutex tenants_mu_;
-  std::map<std::string, TenantState> tenants_;
+  std::map<std::string, uint32_t> tenant_inflight_;
   mutable uint64_t quota_rejections_ = 0;  // under tenants_mu_
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> shard_submissions_;
 };

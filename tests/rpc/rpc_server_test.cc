@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -272,6 +275,118 @@ TEST_F(RpcServerTest, MalformedFrameFuzzNeverKillsTheServer) {
   const auto echoed = client->Echo("survivor");
   ASSERT_TRUE(echoed.ok()) << echoed.status();
   EXPECT_EQ(*echoed, "survivor");
+}
+
+TEST_F(RpcServerTest, HostileJobParamsGetInvalidArgumentNotAbort) {
+  StartServer();
+  auto client = Connect();
+  // Every one of these used to reach a PSTORM_CHECK (std::abort) or
+  // undefined behavior inside the job constructors; a remote client must
+  // only ever see InvalidArgument.
+  struct Case {
+    std::string job_name;
+    double job_param;
+  };
+  const Case hostile[] = {
+      {"grep", 1.5},
+      {"grep", -0.25},
+      {"grep", std::numeric_limits<double>::quiet_NaN()},
+      {"word-cooccurrence-pairs", 0.5},
+      {"word-cooccurrence-pairs", -3.0},
+      {"word-cooccurrence-pairs", 5e9},  // > 2^31: float->int cast is UB.
+      {"word-cooccurrence-pairs", 2.5},  // Non-integral window.
+      {"word-cooccurrence-pairs",
+       std::numeric_limits<double>::quiet_NaN()},
+      {"word-cooccurrence-pairs-w99999999999999999999", 0},  // atoi UB.
+      {"word-cooccurrence-pairs-w12abc", 0},
+      {"word-cooccurrence-pairs-w0", 0},
+      {"word-cooccurrence-pairs-w-4", 0},
+      {"word-cooccurrence-pairs-w1000000", 0},  // Over the window cap.
+  };
+  for (const Case& hostile_case : hostile) {
+    SubmitJobRequest request = WordCountRequest("attacker", 1);
+    request.job_name = hostile_case.job_name;
+    request.job_param = hostile_case.job_param;
+    const auto outcome = client->SubmitJob(request);
+    ASSERT_FALSE(outcome.ok()) << hostile_case.job_name;
+    EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument)
+        << hostile_case.job_name << " param=" << hostile_case.job_param
+        << ": " << outcome.status();
+  }
+  // In-range parameters still reach the real jobs, on a live server.
+  SubmitJobRequest valid = WordCountRequest("t", 2);
+  valid.job_name = "grep";
+  valid.job_param = 0.5;
+  EXPECT_TRUE(client->SubmitJob(valid).ok());
+  valid.job_name = "word-cooccurrence-pairs";
+  valid.job_param = 3;
+  EXPECT_TRUE(client->SubmitJob(valid).ok());
+  valid.job_name = "word-cooccurrence-pairs-w4";
+  valid.job_param = 0;
+  EXPECT_TRUE(client->SubmitJob(valid).ok());
+}
+
+TEST_F(RpcServerTest, UniqueTenantNamesDoNotAccumulateQuotaState) {
+  ShardRouterOptions router_options;
+  router_options.tenant_inflight_limit = 4;
+  StartServer(router_options);
+  // Distinct (attacker-chosen) tenant names must not grow router state:
+  // quota entries live only while a submission is in flight.
+  for (int i = 0; i < 32; ++i) {
+    const auto outcome = router_->SubmitJob(
+        WordCountRequest("tenant-" + std::to_string(i), 100 + i));
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+  }
+  EXPECT_EQ(router_->tracked_tenants(), 0u);
+  // With quotas off (the default) nothing is tracked at all.
+  ShardRouterOptions no_quota;
+  auto router = ShardRouter::Create(&simulator_, &env_, "/rpc-test-nq",
+                                    no_quota);
+  ASSERT_TRUE(router.ok()) << router.status();
+  ASSERT_TRUE((*router)->SubmitJob(WordCountRequest("once", 1)).ok());
+  EXPECT_EQ((*router)->tracked_tenants(), 0u);
+}
+
+TEST_F(RpcServerTest, RejectionPathRespectsWriteBufferCeiling) {
+  ServerOptions options;
+  options.max_inflight_requests = 0;  // Every request is rejected.
+  options.max_write_buffer_bytes = 16;  // Below one rejection frame.
+  StartServer({}, options);
+  auto client = Connect();
+  RequestFrame request;
+  request.request_id = 1;
+  request.method = Method::kEcho;
+  request.body = "x";
+  ASSERT_TRUE(client->SendRaw(EncodeRequestFrame(request)).ok());
+  // The queued kResourceExhausted farewell busts the ceiling, so the
+  // server disconnects instead of buffering for a peer that may never
+  // read; before the fix the rejection bytes accumulated unboundedly.
+  EXPECT_FALSE(client->ReadResponse().ok());
+  EXPECT_EQ(server_->backpressure_rejections(), 1u);
+  // The reactor survived the disconnect: fresh connections still accept.
+  auto again = Connect();
+  EXPECT_TRUE(again->SendRaw(EncodeRequestFrame(request)).ok());
+}
+
+TEST_F(RpcServerTest, FailedBindDoesNotLeakTheListenSocket) {
+  auto router = ShardRouter::Create(&simulator_, &env_, "/rpc-test-bind");
+  ASSERT_TRUE(router.ok()) << router.status();
+  const auto count_fds = [] {
+    size_t n = 0;
+    DIR* dir = ::opendir("/proc/self/fd");
+    if (dir == nullptr) return n;
+    while (::readdir(dir) != nullptr) ++n;
+    ::closedir(dir);
+    return n;
+  };
+  const size_t before = count_fds();
+  for (int i = 0; i < 8; ++i) {
+    ServerOptions options;
+    options.bind_address = "not.an.address";  // Fails after socket().
+    auto server = Server::Start(router->get(), options);
+    ASSERT_FALSE(server.ok());
+  }
+  EXPECT_EQ(count_fds(), before);
 }
 
 TEST_F(RpcServerTest, StopIsPromptAndIdempotent) {
