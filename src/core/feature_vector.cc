@@ -1,5 +1,10 @@
 #include "core/feature_vector.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
 namespace pstorm::core {
 
 JobFeatureVector BuildFeatureVector(
@@ -23,6 +28,78 @@ JobFeatureVector BuildFeatureVector(
   v.map_calls = statics.map_calls;
   v.reduce_calls = statics.reduce_calls;
   return v;
+}
+
+void SoaBatch::Reserve(size_t n) {
+  for (auto& column : columns) column.reserve(n);
+}
+
+size_t SoaBatch::Append(const std::vector<double>& values) {
+  PSTORM_CHECK(values.size() == columns.size());
+  for (size_t d = 0; d < columns.size(); ++d) {
+    columns[d].push_back(values[d]);
+  }
+  return columns.empty() ? 0 : columns[0].size() - 1;
+}
+
+void SoaBatch::Assign(size_t i, const std::vector<double>& values) {
+  PSTORM_CHECK(values.size() == columns.size());
+  for (size_t d = 0; d < columns.size(); ++d) {
+    PSTORM_CHECK(i < columns[d].size());
+    columns[d][i] = values[d];
+  }
+}
+
+std::vector<double> SoaBatch::Row(size_t i) const {
+  std::vector<double> out;
+  out.reserve(columns.size());
+  for (const auto& column : columns) {
+    PSTORM_CHECK(i < column.size());
+    out.push_back(column[i]);
+  }
+  return out;
+}
+
+std::vector<double> EffectiveRanges(const std::vector<double>& mins,
+                                    const std::vector<double>& maxs) {
+  PSTORM_CHECK(mins.size() == maxs.size());
+  std::vector<double> out;
+  out.reserve(mins.size());
+  for (size_t i = 0; i < mins.size(); ++i) {
+    // Mirrors FeatureBounds::Normalize's degenerate-range guard: the
+    // effective range is at least half the feature's magnitude (and never
+    // zero), so a near-constant feature cannot dominate the distance.
+    const double magnitude = std::max(std::fabs(mins[i]), std::fabs(maxs[i]));
+    out.push_back(std::max({maxs[i] - mins[i], 0.5 * magnitude, 1e-12}));
+  }
+  return out;
+}
+
+void BatchNormalizedDistances(const SoaBatch& batch,
+                              const std::vector<uint32_t>& rows,
+                              const std::vector<double>& mins,
+                              const std::vector<double>& ranges,
+                              const std::vector<double>& normalized_probe,
+                              std::vector<double>* out) {
+  const size_t dims = batch.dims();
+  PSTORM_CHECK(mins.size() == dims);
+  PSTORM_CHECK(ranges.size() == dims);
+  PSTORM_CHECK(normalized_probe.size() == dims);
+  out->assign(rows.size(), 0.0);
+  double* acc = out->data();
+  const uint32_t* idx = rows.data();
+  const size_t n = rows.size();
+  for (size_t d = 0; d < dims; ++d) {
+    const double* column = batch.columns[d].data();
+    const double min = mins[d];
+    const double range = ranges[d];
+    const double probe = normalized_probe[d];
+    for (size_t j = 0; j < n; ++j) {
+      const double diff = (column[idx[j]] - min) / range - probe;
+      acc[j] += diff * diff;
+    }
+  }
+  for (size_t j = 0; j < n; ++j) acc[j] = std::sqrt(acc[j]);
 }
 
 }  // namespace pstorm::core

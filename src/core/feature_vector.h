@@ -1,6 +1,7 @@
 #ifndef PSTORM_CORE_FEATURE_VECTOR_H_
 #define PSTORM_CORE_FEATURE_VECTOR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,53 @@ struct JobFeatureVector {
 JobFeatureVector BuildFeatureVector(
     const profiler::ExecutionProfile& sample_profile,
     const staticanalysis::StaticFeatures& statics);
+
+/// A contiguous dimension-major (structure-of-arrays) batch of
+/// equal-length feature vectors: `columns[d][i]` is dimension d of member
+/// i. The layout feeds the branch-free batched distance kernels below —
+/// the inner loop walks one contiguous column instead of hopping between
+/// heap-allocated per-member vectors.
+struct SoaBatch {
+  explicit SoaBatch(size_t dims = 0) : columns(dims) {}
+
+  size_t dims() const { return columns.size(); }
+  size_t size() const { return columns.empty() ? 0 : columns[0].size(); }
+
+  void Reserve(size_t n);
+  /// Appends one member; `values.size()` must equal dims(). Returns its
+  /// row index.
+  size_t Append(const std::vector<double>& values);
+  /// Overwrites row `i` in place.
+  void Assign(size_t i, const std::vector<double>& values);
+  /// One member back as a plain vector (tests/diagnostics).
+  std::vector<double> Row(size_t i) const;
+
+  std::vector<std::vector<double>> columns;
+};
+
+/// Branch-free batched similarity kernel: for every row index in `rows`,
+/// the normalized Euclidean distance between that member and
+/// `normalized_probe`, written to `out` (resized to rows.size()).
+///
+/// Replays the scalar filter's arithmetic exactly — per dimension
+/// `(v - min) / range`, the squared differences summed in dimension
+/// order, then sqrt — so a comparison of the result against a threshold
+/// agrees with FeatureBounds::Normalize + EuclideanDistance on the same
+/// values. The accumulation runs dimension-outer over contiguous columns
+/// with no per-element branches.
+void BatchNormalizedDistances(const SoaBatch& batch,
+                              const std::vector<uint32_t>& rows,
+                              const std::vector<double>& mins,
+                              const std::vector<double>& ranges,
+                              const std::vector<double>& normalized_probe,
+                              std::vector<double>* out);
+
+/// Effective normalization ranges of the given bounds: the denominator
+/// FeatureBounds::Normalize divides by, including its degenerate-range
+/// guard. Exposed so the vectorized kernels normalize bit-identically to
+/// the scalar path.
+std::vector<double> EffectiveRanges(const std::vector<double>& mins,
+                                    const std::vector<double>& maxs);
 
 }  // namespace pstorm::core
 

@@ -1,0 +1,274 @@
+#include "core/match_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace pstorm::core {
+
+namespace {
+
+/// Quantized coordinates are packed 16 bits per dimension into the 64-bit
+/// cell key, so a band covers at most 4 dimensions. kNanCoord marks a NaN
+/// value (its cell is never pruned into the result: the exact verify
+/// rejects NaN distances, as the exhaustive filter does).
+constexpr int kMaxCoord = 32766;
+constexpr int kMinCoord = -32766;
+constexpr int kNanCoord = -32768;
+constexpr size_t kMaxDimsPerBand = 4;
+
+int QuantizeCoord(double value, double cell_width) {
+  const double u = std::asinh(value) / cell_width;
+  if (std::isnan(u)) return kNanCoord;
+  if (u >= kMaxCoord) return kMaxCoord;
+  if (u <= kMinCoord) return kMinCoord;
+  return static_cast<int>(std::floor(u));
+}
+
+/// The raw-value interval covered by coordinate `c`, padded so that every
+/// value that quantizes to `c` provably lies inside despite asinh/sinh
+/// rounding. Clamped edge coordinates extend to infinity.
+void CoordInterval(int c, double cell_width, double* lo, double* hi) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (c == kNanCoord) {
+    // NaN members never pass the exact filter; an unprunable interval
+    // keeps the cell conservative without special-casing the caller.
+    *lo = -kInf;
+    *hi = kInf;
+    return;
+  }
+  *lo = c <= kMinCoord ? -kInf : std::sinh(c * cell_width);
+  *hi = c >= kMaxCoord ? kInf : std::sinh((c + 1) * cell_width);
+  if (std::isfinite(*lo)) *lo -= std::fabs(*lo) * 1e-9 + 1e-12;
+  if (std::isfinite(*hi)) *hi += std::fabs(*hi) * 1e-9 + 1e-12;
+}
+
+}  // namespace
+
+VectorSpaceIndex::VectorSpaceIndex(size_t dims, bool bucketed,
+                                   MatchIndexOptions options)
+    : dims_(dims),
+      bucketed_(bucketed),
+      cell_width_(options.cell_width > 0 ? options.cell_width : 0.5),
+      soa_(dims) {
+  PSTORM_CHECK(dims_ > 0);
+  if (!bucketed_) return;
+  // A band's coordinates must fit the packed cell key; the band count is
+  // otherwise the caller's trade-off between pruning radius
+  // (theta/sqrt(bands), finer with more bands) and lookups touching every
+  // band.
+  const size_t min_bands = (dims_ + kMaxDimsPerBand - 1) / kMaxDimsPerBand;
+  size_t bands = options.bands < 1 ? 1 : static_cast<size_t>(options.bands);
+  bands = std::clamp(bands, min_bands, dims_);
+  const size_t base = dims_ / bands;
+  const size_t extra = dims_ % bands;
+  size_t begin = 0;
+  for (size_t b = 0; b < bands; ++b) {
+    Band band;
+    band.begin = begin;
+    band.end = begin + base + (b < extra ? 1 : 0);
+    begin = band.end;
+    bands_.push_back(std::move(band));
+  }
+  PSTORM_CHECK(begin == dims_);
+}
+
+uint64_t VectorSpaceIndex::CellKey(const Band& band,
+                                   const std::vector<double>& values) const {
+  uint64_t key = 0;
+  for (size_t d = band.begin; d < band.end; ++d) {
+    const int c = QuantizeCoord(values[d], cell_width_);
+    key = (key << 16) | static_cast<uint16_t>(c - kNanCoord);
+  }
+  return key;
+}
+
+void VectorSpaceIndex::Put(const std::string& key,
+                           const std::vector<double>& values) {
+  PSTORM_CHECK(values.size() == dims_);
+  Delete(key);
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    soa_.Assign(slot, values);
+    keys_[slot] = key;
+  } else {
+    slot = static_cast<uint32_t>(soa_.Append(values));
+    keys_.push_back(key);
+  }
+  slot_of_key_[key] = slot;
+  ++live_;
+  for (Band& band : bands_) {
+    band.cells[CellKey(band, values)].push_back(slot);
+  }
+}
+
+bool VectorSpaceIndex::Delete(const std::string& key) {
+  auto it = slot_of_key_.find(key);
+  if (it == slot_of_key_.end()) return false;
+  RemoveSlot(it->second);
+  slot_of_key_.erase(it);
+  return true;
+}
+
+void VectorSpaceIndex::RemoveSlot(uint32_t slot) {
+  const std::vector<double> values = soa_.Row(slot);
+  for (Band& band : bands_) {
+    auto cell = band.cells.find(CellKey(band, values));
+    PSTORM_CHECK(cell != band.cells.end());
+    auto& slots = cell->second;
+    slots.erase(std::find(slots.begin(), slots.end(), slot));
+    if (slots.empty()) band.cells.erase(cell);
+  }
+  keys_[slot].clear();
+  free_slots_.push_back(slot);
+  --live_;
+}
+
+void VectorSpaceIndex::Clear() {
+  soa_ = SoaBatch(dims_);
+  keys_.clear();
+  slot_of_key_.clear();
+  free_slots_.clear();
+  live_ = 0;
+  for (Band& band : bands_) band.cells.clear();
+}
+
+std::vector<std::string> VectorSpaceIndex::Lookup(
+    const std::vector<double>& probe, double theta,
+    const std::vector<double>& mins, const std::vector<double>& ranges,
+    QueryStats* stats) const {
+  PSTORM_CHECK(probe.size() == dims_);
+  PSTORM_CHECK(mins.size() == dims_);
+  PSTORM_CHECK(ranges.size() == dims_);
+  QueryStats local;
+  QueryStats& q = stats != nullptr ? *stats : local;
+  q = QueryStats{};
+
+  // The probe normalized exactly as FeatureBounds::Normalize does.
+  std::vector<double> normalized_probe(dims_);
+  for (size_t d = 0; d < dims_; ++d) {
+    normalized_probe[d] = (probe[d] - mins[d]) / ranges[d];
+  }
+
+  std::vector<uint32_t> rows;
+  if (bands_.empty()) {
+    // Scan-only space: verify every slot (tombstones are filtered at the
+    // accept stage below).
+    rows.resize(keys_.size());
+    for (uint32_t i = 0; i < rows.size(); ++i) rows[i] = i;
+    q.candidates_enumerated = live_;
+  } else {
+    // Any member within theta overall is within theta/sqrt(B) in at least
+    // one of the B band subspaces, so the union of each band's
+    // cells-within-radius is a superset of the true result. The per-band
+    // radius is padded by a hair so floating-point slack in the cell
+    // bounds can never drop a true candidate (the exact verify below
+    // removes every false one).
+    const double band_theta_sq =
+        theta * theta / static_cast<double>(bands_.size()) * (1.0 + 1e-9) +
+        1e-12;
+    for (const Band& band : bands_) {
+      for (const auto& [cell_key, slots] : band.cells) {
+        ++q.cells_visited;
+        // Minimum possible squared normalized distance, over this band's
+        // dimensions, between the probe and any point of the cell.
+        uint64_t packed = cell_key;
+        double min_dist_sq = 0.0;
+        for (size_t d = band.end; d-- > band.begin;) {
+          const int c =
+              static_cast<int>(packed & 0xffff) + kNanCoord;
+          packed >>= 16;
+          double lo, hi;
+          CoordInterval(c, cell_width_, &lo, &hi);
+          const double nlo = (lo - mins[d]) / ranges[d];
+          const double nhi = (hi - mins[d]) / ranges[d];
+          const double p = normalized_probe[d];
+          double gap = 0.0;
+          if (p < nlo) gap = nlo - p;
+          if (p > nhi) gap = p - nhi;
+          min_dist_sq += gap * gap;
+        }
+        if (min_dist_sq > band_theta_sq) {
+          ++q.cells_pruned;
+          continue;
+        }
+        q.candidates_enumerated += slots.size();
+        rows.insert(rows.end(), slots.begin(), slots.end());
+      }
+    }
+    // The same slot can surface from several bands.
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  }
+
+  std::vector<double> distances;
+  BatchNormalizedDistances(soa_, rows, mins, ranges, normalized_probe,
+                           &distances);
+  std::vector<std::string> out;
+  for (size_t j = 0; j < rows.size(); ++j) {
+    if (distances[j] <= theta && !keys_[rows[j]].empty()) {
+      out.push_back(keys_[rows[j]]);
+    }
+  }
+  // The exhaustive path scans rows in key order; matching it exactly
+  // keeps order-sensitive downstream steps (TieBreak among exact ties)
+  // bit-identical.
+  std::sort(out.begin(), out.end());
+  q.candidates_returned = out.size();
+  return out;
+}
+
+std::vector<std::pair<std::string, std::vector<double>>>
+VectorSpaceIndex::Snapshot() const {
+  std::vector<std::pair<std::string, std::vector<double>>> out;
+  out.reserve(slot_of_key_.size());
+  for (const auto& [key, slot] : slot_of_key_) {
+    out.emplace_back(key, soa_.Row(slot));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+MatchIndex::MatchIndex(Spec spec, MatchIndexOptions options)
+    : dynamic_{VectorSpaceIndex(spec.map_dynamic_dims, /*bucketed=*/true,
+                                options),
+               VectorSpaceIndex(spec.reduce_dynamic_dims, /*bucketed=*/true,
+                                options)},
+      cost_{VectorSpaceIndex(spec.map_cost_dims, /*bucketed=*/false, options),
+            VectorSpaceIndex(spec.reduce_cost_dims, /*bucketed=*/false,
+                             options)} {}
+
+void MatchIndex::Put(const std::string& job_key,
+                     const std::vector<double>& map_dynamic,
+                     const std::vector<double>& map_costs,
+                     const std::vector<double>& reduce_dynamic,
+                     const std::vector<double>& reduce_costs) {
+  const auto put_or_drop = [&](VectorSpaceIndex& space,
+                               const std::vector<double>& values) {
+    if (values.size() == space.dims()) {
+      space.Put(job_key, values);
+    } else {
+      space.Delete(job_key);
+    }
+  };
+  put_or_drop(dynamic_[kMap], map_dynamic);
+  put_or_drop(cost_[kMap], map_costs);
+  put_or_drop(dynamic_[kReduce], reduce_dynamic);
+  put_or_drop(cost_[kReduce], reduce_costs);
+}
+
+void MatchIndex::Delete(const std::string& job_key) {
+  for (VectorSpaceIndex& space : dynamic_) space.Delete(job_key);
+  for (VectorSpaceIndex& space : cost_) space.Delete(job_key);
+}
+
+void MatchIndex::Clear() {
+  for (VectorSpaceIndex& space : dynamic_) space.Clear();
+  for (VectorSpaceIndex& space : cost_) space.Clear();
+}
+
+}  // namespace pstorm::core

@@ -87,6 +87,45 @@ MultiStageMatcher::MultiStageMatcher(const ProfileStore* store,
   PSTORM_CHECK(store != nullptr);
 }
 
+Result<std::vector<std::string>> MultiStageMatcher::EuclideanCandidates(
+    Side side, bool cost_space, const std::vector<double>& probe,
+    double theta, obs::StoreOpsTrace* store_trace, bool* used_index) const {
+  *used_index = false;
+  if (options_.use_index && store_->match_index_ready()) {
+    VectorSpaceIndex::QueryStats qstats;
+    auto indexed =
+        cost_space ? store_->IndexedCostScan(side, probe, theta, &qstats)
+                   : store_->IndexedDynamicScan(side, probe, theta, &qstats);
+    if (indexed.ok()) {
+      *used_index = true;
+      if (store_trace != nullptr) {
+        // The index's enumeration work, folded into the same accounting
+        // the exhaustive scan feeds: candidates verified ~ rows scanned.
+        ++store_trace->scans;
+        store_trace->rows_scanned += qstats.candidates_enumerated;
+        store_trace->rows_returned += qstats.candidates_returned;
+      }
+      return indexed;
+    }
+    // The index raced to not-ready (or was disabled between the check and
+    // the call): the exhaustive scan below serves the identical set.
+  }
+  if (options_.use_index) {
+    static obs::Counter& fallbacks = obs::MetricsRegistry::Global().GetCounter(
+        "pstorm_match_index_fallback_scans_total");
+    fallbacks.Increment();
+  }
+  hstore::ScanStats sstats;
+  auto scanned =
+      cost_space
+          ? store_->CostEuclideanScan(side, probe, theta,
+                                      options_.server_side_filtering, &sstats)
+          : store_->DynamicEuclideanScan(
+                side, probe, theta, options_.server_side_filtering, &sstats);
+  if (scanned.ok()) RecordScan(sstats, store_trace);
+  return scanned;
+}
+
 double MultiStageMatcher::ThetaEuclidean(size_t dims) const {
   if (options_.theta_euclidean_override > 0.0) {
     return options_.theta_euclidean_override;
@@ -117,6 +156,11 @@ Result<std::string> MultiStageMatcher::TieBreak(
   };
   std::vector<Scored> scored;
   scored.reserve(candidates.size());
+  // Candidates' dynamic vectors, gathered into a contiguous SoA batch so
+  // the distance criterion runs through the branch-free vectorized kernel
+  // (one pass over all survivors) instead of per-candidate scalar loops.
+  SoaBatch stored_dynamics(probe_normalized.size());
+  stored_dynamics.Reserve(candidates.size());
   for (const std::string& key : candidates) {
     bool cache_hit = false;
     auto entry_or = store_->GetEntryRef(key, &cache_hit);
@@ -149,16 +193,24 @@ Result<std::string> MultiStageMatcher::TieBreak(
                     : PositionalJaccard(stored_categorical, categorical);
     s.input_gap =
         std::fabs(entry->profile.input_data_bytes - probe_input_bytes);
-    if (probe_normalized.empty()) {
-      s.dynamic_distance = 0.0;
-    } else {
-      const std::vector<double> stored_dynamic =
-          side == Side::kMap ? entry->profile.map_side.DynamicVector()
-                             : entry->profile.reduce_side.DynamicVector();
-      s.dynamic_distance = EuclideanDistance(
-          bounds.Normalize(stored_dynamic), probe_normalized);
+    s.dynamic_distance = 0.0;
+    if (!probe_normalized.empty()) {
+      stored_dynamics.Append(side == Side::kMap
+                                 ? entry->profile.map_side.DynamicVector()
+                                 : entry->profile.reduce_side.DynamicVector());
     }
     scored.push_back(std::move(s));
+  }
+  if (!probe_normalized.empty() && !scored.empty()) {
+    std::vector<uint32_t> rows(scored.size());
+    for (uint32_t i = 0; i < rows.size(); ++i) rows[i] = i;
+    std::vector<double> distances;
+    BatchNormalizedDistances(stored_dynamics, rows, bounds.mins,
+                             EffectiveRanges(bounds.mins, bounds.maxs),
+                             probe_normalized, &distances);
+    for (size_t i = 0; i < scored.size(); ++i) {
+      scored[i].dynamic_distance = distances[i];
+    }
   }
   // Every candidate vanished mid-match: report "nothing to pick" via the
   // empty-key sentinel (job keys are never empty) so the caller degrades
@@ -263,15 +315,14 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
   if (!options_.static_filters_first) {
     // ---- Stage 1: dynamic features (Figure 4.4 order). ----
     const double theta = ThetaEuclidean(dynamic.size());
+    bool used_index = false;
     PSTORM_ASSIGN_OR_RETURN(
-        candidates,
-        store_->DynamicEuclideanScan(side, dynamic, theta,
-                                     options_.server_side_filtering,
-                                     &sstats));
-    RecordScan(sstats, store_trace);
+        candidates, EuclideanCandidates(side, /*cost_space=*/false, dynamic,
+                                        theta, store_trace, &used_index));
     result.after_dynamic = candidates.size();
     RecordStage(side_trace, "dynamic", store_->num_profiles(),
-                candidates.size(), ThetaDetail(theta));
+                candidates.size(),
+                ThetaDetail(theta) + (used_index ? " indexed" : ""));
     // An empty set after the *first* filter is a hard failure: nothing in
     // the store behaves like this job.
     if (candidates.empty()) return result;
@@ -322,12 +373,11 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
     if (after_jaccard.empty()) return result;
     std::vector<std::string> final_set;
     const double theta = ThetaEuclidean(dynamic.size());
+    bool used_index = false;
     PSTORM_ASSIGN_OR_RETURN(
         std::vector<std::string> dynamic_pass,
-        store_->DynamicEuclideanScan(side, dynamic, theta,
-                                     options_.server_side_filtering,
-                                     &sstats));
-    RecordScan(sstats, store_trace);
+        EuclideanCandidates(side, /*cost_space=*/false, dynamic, theta,
+                            store_trace, &used_index));
     const std::unordered_set<std::string> dynamic_pass_set(
         dynamic_pass.begin(), dynamic_pass.end());
     for (const std::string& key : after_jaccard) {
@@ -360,11 +410,11 @@ Result<SideMatch> MultiStageMatcher::MatchSide(
   // dynamic survivors (§4.3).
   if (!options_.use_cost_factor_fallback) return result;
   const double cost_theta = ThetaEuclidean(costs.size());
+  bool used_cost_index = false;
   PSTORM_ASSIGN_OR_RETURN(
       std::vector<std::string> fallback,
-      store_->CostEuclideanScan(side, costs, cost_theta,
-                                options_.server_side_filtering, &sstats));
-  RecordScan(sstats, store_trace);
+      EuclideanCandidates(side, /*cost_space=*/true, costs, cost_theta,
+                          store_trace, &used_cost_index));
   // Intersect with the dynamic survivors: the fallback refines C', it
   // does not resurrect profiles the dynamic filter rejected.
   const std::unordered_set<std::string> survivor_set(

@@ -23,6 +23,13 @@ struct MatchOptions {
   /// Push filters to the store's regions (§5.3); false ships every row to
   /// the client (ablation).
   bool server_side_filtering = true;
+  /// Enumerate the Euclidean-filter candidates from the store's secondary
+  /// match index (banded bucket pruning + vectorized exact verify; see
+  /// DESIGN.md §13) when it is ready. The indexed and exhaustive paths
+  /// return identical candidate sets in identical order; when the index
+  /// is disabled or not ready the matcher silently uses the exhaustive
+  /// region scan. False forces the exhaustive scan (ablation).
+  bool use_index = true;
   /// Ablation of §4.3's stage order: run the static filters before the
   /// dynamic filter. Loses the composite-profile opportunities the thesis
   /// describes (e.g. same code, different user parameters).
@@ -119,6 +126,14 @@ class MultiStageMatcher {
                                obs::StoreOpsTrace* store_trace = nullptr) const;
 
  private:
+  /// Euclidean candidate enumeration (stage 1 over the dynamic features,
+  /// or the cost-factor alternative): through the store's match index
+  /// when `use_index` is set and the index is ready, else the exhaustive
+  /// scan. `used_index` (required) reports the path taken.
+  Result<std::vector<std::string>> EuclideanCandidates(
+      Side side, bool cost_space, const std::vector<double>& probe,
+      double theta, obs::StoreOpsTrace* store_trace, bool* used_index) const;
+
   double ThetaEuclidean(size_t dims) const;
 
   const ProfileStore* store_;

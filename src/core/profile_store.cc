@@ -214,32 +214,46 @@ const std::vector<std::string>& StaticColumnNames(Side side) {
 std::vector<double> FeatureBounds::Normalize(
     const std::vector<double>& values) const {
   PSTORM_CHECK(values.size() == mins.size());
+  // The degenerate-range guard lives in EffectiveRanges: with few stored
+  // profiles a feature's observed spread can be tiny (e.g. local-IO cost
+  // varying by 5% across a handful of jobs); dividing a noisy probe by
+  // that sliver would let a near-constant feature dominate the distance.
+  // Sharing the helper keeps this scalar path and the index's vectorized
+  // kernels arithmetically identical.
+  const std::vector<double> ranges = EffectiveRanges(mins, maxs);
   std::vector<double> out;
   out.reserve(values.size());
   for (size_t i = 0; i < values.size(); ++i) {
-    // Degenerate-range guard: with few stored profiles a feature's
-    // observed spread can be tiny (e.g. local-IO cost varying by 5%
-    // across a handful of jobs); dividing a noisy probe by that sliver
-    // would let a near-constant feature dominate the distance. The
-    // effective range is at least half the feature's magnitude.
-    const double magnitude = std::max(std::fabs(mins[i]), std::fabs(maxs[i]));
-    const double range =
-        std::max({maxs[i] - mins[i], 0.5 * magnitude, 1e-12});
-    out.push_back((values[i] - mins[i]) / range);
+    out.push_back((values[i] - mins[i]) / ranges[i]);
   }
   return out;
 }
 
+ProfileStore::ProfileStore(std::unique_ptr<hstore::HTable> table,
+                           ProfileStoreOptions options)
+    : table_(std::move(table)), options_(std::move(options)) {
+  if (!options_.enable_match_index) return;
+  MatchIndex::Spec spec;
+  spec.map_dynamic_dims = DynamicColumnNames(Side::kMap).size();
+  spec.map_cost_dims = CostColumnNames(Side::kMap).size();
+  spec.reduce_dynamic_dims = DynamicColumnNames(Side::kReduce).size();
+  spec.reduce_cost_dims = CostColumnNames(Side::kReduce).size();
+  MatchIndexOptions index_options;
+  index_options.bands = options_.index_bands;
+  index_options.cell_width = options_.index_cell_width;
+  index_ = std::make_unique<MatchIndex>(spec, index_options);
+}
+
 Result<std::unique_ptr<ProfileStore>> ProfileStore::Open(
-    storage::Env* env, std::string path, hstore::HTableOptions options) {
+    storage::Env* env, std::string path, ProfileStoreOptions options) {
   hstore::TableSchema schema;
   schema.name = "Jobs";
   schema.families = {kFamily};
   PSTORM_ASSIGN_OR_RETURN(
       auto table,
-      hstore::HTable::Open(env, std::move(path), schema, options));
+      hstore::HTable::Open(env, std::move(path), schema, options.table));
   auto store = std::unique_ptr<ProfileStore>(
-      new ProfileStore(std::move(table)));
+      new ProfileStore(std::move(table), std::move(options)));
   // Corrupt metadata degrades to an empty-looking store instead of failing
   // the open: the matcher then returns No Match Found and PStorM falls
   // back to run-untuned + re-profile (the paper's own cold path), which
@@ -265,7 +279,67 @@ Result<std::unique_ptr<ProfileStore>> ProfileStore::Open(
         .GetCounter("pstorm_store_count_resets_total")
         .Increment();
   }
+  if (store->index_ != nullptr) {
+    if (store->options_.index_rebuild_on_open) {
+      if (Status s = store->RebuildMatchIndex(); !s.ok()) {
+        // Same graceful-degradation posture as the metadata above: a
+        // store whose index cannot be rebuilt still serves — the matcher
+        // falls back to the exhaustive scans.
+        PSTORM_LOG(Warning) << "profile store: match index rebuild failed, "
+                            << "falling back to exhaustive scans: "
+                            << s.ToString();
+        obs::MetricsRegistry::Global()
+            .GetCounter("pstorm_match_index_rebuild_failures_total")
+            .Increment();
+      }
+    } else if (store->num_profiles() == 0) {
+      // Nothing stored yet: the (empty) index trivially covers the store
+      // and incremental maintenance keeps it complete.
+      store->index_ready_ = true;
+    }
+  }
   return store;
+}
+
+Status ProfileStore::RebuildMatchIndex() {
+  if (index_ == nullptr) {
+    return Status::FailedPrecondition("match index disabled");
+  }
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  hstore::ScanSpec spec;
+  spec.filter = std::make_shared<hstore::PrefixFilter>(kDynamicPrefix);
+  PSTORM_ASSIGN_OR_RETURN(auto rows, table_->Scan(spec));
+  std::unique_lock<std::shared_mutex> index_lock(index_mu_);
+  index_->Clear();
+  for (const hstore::RowResult& row : rows) {
+    const std::string key = row.row().substr(sizeof(kDynamicPrefix) - 1);
+    // Each vector is indexed independently: a row with one malformed
+    // column set still gets its healthy vectors indexed, mirroring how
+    // the exhaustive filters judge each scanned vector on its own.
+    std::vector<double> map_dynamic, map_costs, reduce_dynamic, reduce_costs;
+    if (!ReadColumns(row, DynamicColumnNames(Side::kMap), &map_dynamic)) {
+      map_dynamic.clear();
+    }
+    if (!ReadColumns(row, CostColumnNames(Side::kMap), &map_costs)) {
+      map_costs.clear();
+    }
+    if (!ReadColumns(row, DynamicColumnNames(Side::kReduce),
+                     &reduce_dynamic)) {
+      reduce_dynamic.clear();
+    }
+    if (!ReadColumns(row, CostColumnNames(Side::kReduce), &reduce_costs)) {
+      reduce_costs.clear();
+    }
+    index_->Put(key, map_dynamic, map_costs, reduce_dynamic, reduce_costs);
+  }
+  index_ready_ = true;
+  obs::MetricsRegistry::Global()
+      .GetCounter("pstorm_match_index_rebuilds_total")
+      .Increment();
+  obs::MetricsRegistry::Global()
+      .GetCounter("pstorm_match_index_rebuilt_entries_total")
+      .Add(rows.size());
+  return Status::OK();
 }
 
 Status ProfileStore::RecountProfiles() {
@@ -273,6 +347,12 @@ Status ProfileStore::RecountProfiles() {
   spec.filter = std::make_shared<hstore::PrefixFilter>(kPayloadPrefix);
   PSTORM_ASSIGN_OR_RETURN(auto rows, table_->Scan(spec));
   num_profiles_ = rows.size();
+  profile_keys_.clear();
+  profile_keys_.reserve(rows.size());
+  for (const hstore::RowResult& row : rows) {
+    profile_keys_.insert(row.row().substr(sizeof(kPayloadPrefix) - 1));
+  }
+  profile_keys_authoritative_ = true;
   return Status::OK();
 }
 
@@ -340,7 +420,9 @@ Status ProfileStore::PutProfile(
     shard.map.erase(job_key);
     ++shard.epoch;
   }
-  const bool existed = table_->Get(kPayloadPrefix + job_key).ok();
+  const bool existed = profile_keys_authoritative_
+                           ? profile_keys_.count(job_key) > 0
+                           : table_->Get(kPayloadPrefix + job_key).ok();
 
   // Row publication order matters under concurrency: the matcher discovers
   // candidates by scanning Dynamic rows and then fetches their Static and
@@ -415,10 +497,23 @@ Status ProfileStore::PutProfile(
   // Publish: the Dynamic row makes the profile discoverable.
   PSTORM_RETURN_IF_ERROR(table_->Put(dynamic_put));
 
-  PSTORM_RETURN_IF_ERROR(SaveBounds());
+  // Index maintenance rides immediately on publication — before anything
+  // below can fail — so on every exit the index agrees with the table's
+  // Dynamic rows.
+  if (index_ != nullptr) {
+    std::unique_lock<std::shared_mutex> index_lock(index_mu_);
+    IndexPutLocked(job_key, profile);
+  }
+
   // Profiles are precious (a full profiled run each): persist eagerly so a
-  // reopen never loses them to a buffered memtable.
-  PSTORM_RETURN_IF_ERROR(table_->Flush());
+  // reopen never loses them to a buffered memtable. Bulk loaders opt out
+  // and Flush() once per batch — which also defers the Meta/bounds row
+  // rewrite (~60 columns per put otherwise, pure write amplification at
+  // corpus-load scale) to that single Flush.
+  if (options_.eager_flush) {
+    PSTORM_RETURN_IF_ERROR(SaveBounds());
+    PSTORM_RETURN_IF_ERROR(table_->Flush());
+  }
   // Second invalidation, now that the rows are written: a reader that was
   // decoding mid-put may have stitched old and new rows together; the
   // epoch bump keeps that hybrid out of the cache.
@@ -429,6 +524,7 @@ Status ProfileStore::PutProfile(
     ++shard.epoch;
   }
   if (!existed) num_profiles_.fetch_add(1, std::memory_order_relaxed);
+  profile_keys_.insert(job_key);
   static obs::Counter& puts = obs::MetricsRegistry::Global().GetCounter(
       "pstorm_store_put_profiles_total");
   puts.Increment();
@@ -536,8 +632,19 @@ Status ProfileStore::DeleteProfile(const std::string& job_key) {
     shard.map.erase(job_key);
     ++shard.epoch;
   }
-  const bool existed = table_->Get(kPayloadPrefix + job_key).ok();
+  const bool existed = profile_keys_authoritative_
+                           ? profile_keys_.count(job_key) > 0
+                           : table_->Get(kPayloadPrefix + job_key).ok();
   PSTORM_RETURN_IF_ERROR(table_->DeleteRow(kDynamicPrefix + job_key));
+  // The Dynamic row is gone, so the profile is undiscoverable; drop it
+  // from the index before the remaining rows disappear.
+  if (index_ != nullptr) {
+    std::unique_lock<std::shared_mutex> index_lock(index_mu_);
+    index_->Delete(job_key);
+    static obs::Counter& deletes = obs::MetricsRegistry::Global().GetCounter(
+        "pstorm_match_index_deletes_total");
+    deletes.Increment();
+  }
   PSTORM_RETURN_IF_ERROR(table_->DeleteRow(kStaticPrefix + job_key));
   PSTORM_RETURN_IF_ERROR(table_->DeleteRow(kPayloadPrefix + job_key));
   // Second invalidation (see PutProfile): evict anything a concurrent
@@ -551,6 +658,7 @@ Status ProfileStore::DeleteProfile(const std::string& job_key) {
   if (existed && num_profiles_.load(std::memory_order_relaxed) > 0) {
     num_profiles_.fetch_sub(1, std::memory_order_relaxed);
   }
+  profile_keys_.erase(job_key);
   return Status::OK();
 }
 
@@ -580,6 +688,91 @@ FeatureBounds ProfileStore::CostBounds(Side side) const {
     out.mins.push_back(it == bounds_.end() ? 0.0 : it->second.first);
     out.maxs.push_back(it == bounds_.end() ? 0.0 : it->second.second);
   }
+  return out;
+}
+
+void ProfileStore::IndexPutLocked(const std::string& job_key,
+                                  const profiler::ExecutionProfile& profile) {
+  // The in-memory doubles and the %.17g-encoded table columns round-trip
+  // bit-exactly, so the incrementally maintained index and one rebuilt
+  // from the rows are identical (the crash tests assert exactly this).
+  index_->Put(job_key, profile.map_side.DynamicVector(),
+              profile.map_side.CostVector(),
+              profile.reduce_side.DynamicVector(),
+              profile.reduce_side.CostVector());
+  static obs::Counter& puts = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_match_index_puts_total");
+  puts.Increment();
+}
+
+bool ProfileStore::match_index_ready() const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return index_ != nullptr && index_ready_;
+}
+
+size_t ProfileStore::match_index_size(Side side) const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return index_ == nullptr ? 0 : index_->size(static_cast<int>(side));
+}
+
+std::vector<std::pair<std::string, std::vector<double>>>
+ProfileStore::MatchIndexDynamicSnapshot(Side side) const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  if (index_ == nullptr) return {};
+  return index_->dynamic_space(static_cast<int>(side)).Snapshot();
+}
+
+std::vector<std::pair<std::string, std::vector<double>>>
+ProfileStore::MatchIndexCostSnapshot(Side side) const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  if (index_ == nullptr) return {};
+  return index_->cost_space(static_cast<int>(side)).Snapshot();
+}
+
+Result<std::vector<std::string>> ProfileStore::IndexedDynamicScan(
+    Side side, const std::vector<double>& probe, double theta,
+    VectorSpaceIndex::QueryStats* stats) const {
+  const FeatureBounds bounds = DynamicBounds(side);
+  const std::vector<double> ranges = EffectiveRanges(bounds.mins, bounds.maxs);
+  VectorSpaceIndex::QueryStats local;
+  VectorSpaceIndex::QueryStats& q = stats != nullptr ? *stats : local;
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  if (index_ == nullptr || !index_ready_) {
+    return Status::FailedPrecondition("match index not ready");
+  }
+  auto out = index_->DynamicLookup(static_cast<int>(side), probe, theta,
+                                   bounds.mins, ranges, &q);
+  static obs::Counter& lookups = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_match_index_lookups_total");
+  static obs::Counter& candidates = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_match_index_candidates_total");
+  static obs::Counter& pruned = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_match_index_pruned_cells_total");
+  lookups.Increment();
+  candidates.Add(q.candidates_enumerated);
+  pruned.Add(q.cells_pruned);
+  return out;
+}
+
+Result<std::vector<std::string>> ProfileStore::IndexedCostScan(
+    Side side, const std::vector<double>& probe, double theta,
+    VectorSpaceIndex::QueryStats* stats) const {
+  const FeatureBounds bounds = CostBounds(side);
+  const std::vector<double> ranges = EffectiveRanges(bounds.mins, bounds.maxs);
+  VectorSpaceIndex::QueryStats local;
+  VectorSpaceIndex::QueryStats& q = stats != nullptr ? *stats : local;
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  if (index_ == nullptr || !index_ready_) {
+    return Status::FailedPrecondition("match index not ready");
+  }
+  auto out = index_->CostLookup(static_cast<int>(side), probe, theta,
+                                bounds.mins, ranges, &q);
+  static obs::Counter& lookups = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_match_index_lookups_total");
+  static obs::Counter& candidates = obs::MetricsRegistry::Global().GetCounter(
+      "pstorm_match_index_candidates_total");
+  lookups.Increment();
+  candidates.Add(q.candidates_enumerated);
   return out;
 }
 
@@ -617,19 +810,57 @@ Result<std::vector<std::string>> ProfileStore::CostEuclideanScan(
   return KeysFromRows(rows, kDynamicPrefix);
 }
 
+Result<std::vector<std::string>> ProfileStore::FilterCandidates(
+    const std::string& prefix, const std::vector<std::string>& candidates,
+    const std::shared_ptr<const hstore::RowFilter>& filter,
+    hstore::ScanStats* stats) const {
+  // Small candidate sets (the common case once the stage-1 index pruned)
+  // take point reads: k Gets cost O(k log n) against the scan's O(n), and
+  // the filters are pure per-row predicates, so evaluating them on the
+  // fetched rows returns exactly what the pushed-down scan would. Large
+  // sets keep the scan — one sequential pass beats a Get per row. The
+  // 8x margin keeps the crossover comfortably on the scan's side of
+  // break-even.
+  if (candidates.size() * 8 >= num_profiles()) {
+    hstore::ScanSpec spec;
+    std::vector<std::shared_ptr<const hstore::RowFilter>> filters = {
+        std::make_shared<KeySetFilter>(prefix, candidates), filter};
+    spec.filter = std::make_shared<hstore::AndFilter>(std::move(filters));
+    PSTORM_ASSIGN_OR_RETURN(auto rows, table_->Scan(spec, stats));
+    return KeysFromRows(rows, prefix);
+  }
+  // Sorted unique keys replay the scan's row order (Scan returns rows in
+  // key order, and every key shares `prefix`).
+  std::vector<std::string> sorted(candidates);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  hstore::ScanStats local;
+  std::vector<std::string> out;
+  for (const std::string& key : sorted) {
+    auto row = table_->Get(prefix + key);
+    if (row.status().IsNotFound()) continue;  // Deleted mid-funnel.
+    PSTORM_RETURN_IF_ERROR(row.status());
+    ++local.rows_scanned;
+    ++local.rows_transferred;
+    local.bytes_transferred += row->PayloadBytes();
+    if (filter->Matches(*row)) {
+      ++local.rows_returned;
+      out.push_back(key);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
 Result<std::vector<std::string>> ProfileStore::CfgMatchScan(
     Side side, const staticanalysis::Cfg& probe_cfg,
     const std::vector<std::string>& candidates,
     hstore::ScanStats* stats) const {
-  hstore::ScanSpec spec;
-  std::vector<std::shared_ptr<const hstore::RowFilter>> filters = {
-      std::make_shared<KeySetFilter>(kStaticPrefix, candidates),
+  return FilterCandidates(
+      kStaticPrefix, candidates,
       std::make_shared<CfgFilter>(
           side == Side::kMap ? kMapCfgColumn : kRedCfgColumn, probe_cfg),
-  };
-  spec.filter = std::make_shared<hstore::AndFilter>(std::move(filters));
-  PSTORM_ASSIGN_OR_RETURN(auto rows, table_->Scan(spec, stats));
-  return KeysFromRows(rows, kStaticPrefix);
+      stats);
 }
 
 Result<std::vector<std::string>> ProfileStore::JaccardScan(
@@ -638,14 +869,10 @@ Result<std::vector<std::string>> ProfileStore::JaccardScan(
     bool include_user_params) const {
   std::vector<std::string> columns = StaticColumnNames(side);
   if (include_user_params) columns.push_back(kUserParamsColumn);
-  hstore::ScanSpec spec;
-  std::vector<std::shared_ptr<const hstore::RowFilter>> filters = {
-      std::make_shared<KeySetFilter>(kStaticPrefix, candidates),
+  return FilterCandidates(
+      kStaticPrefix, candidates,
       std::make_shared<JaccardFilter>(std::move(columns), probe, theta),
-  };
-  spec.filter = std::make_shared<hstore::AndFilter>(std::move(filters));
-  PSTORM_ASSIGN_OR_RETURN(auto rows, table_->Scan(spec, stats));
-  return KeysFromRows(rows, kStaticPrefix);
+      stats);
 }
 
 Result<std::vector<std::string>> ProfileStore::CallSetScan(
@@ -654,16 +881,12 @@ Result<std::vector<std::string>> ProfileStore::CallSetScan(
     hstore::ScanStats* stats) const {
   const char* column =
       side == Side::kMap ? kMapCallsColumn : kRedCallsColumn;
-  hstore::ScanSpec spec;
-  std::vector<std::shared_ptr<const hstore::RowFilter>> filters = {
-      std::make_shared<KeySetFilter>(kStaticPrefix, candidates),
+  return FilterCandidates(
+      kStaticPrefix, candidates,
       std::make_shared<hstore::ColumnValueFilter>(
           kFamily, column, hstore::CompareOp::kEqual,
           StrJoin(probe_calls, ",")),
-  };
-  spec.filter = std::make_shared<hstore::AndFilter>(std::move(filters));
-  PSTORM_ASSIGN_OR_RETURN(auto rows, table_->Scan(spec, stats));
-  return KeysFromRows(rows, kStaticPrefix);
+      stats);
 }
 
 Result<double> ProfileStore::InputDataBytes(const std::string& job_key) const {

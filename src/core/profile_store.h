@@ -9,9 +9,11 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
+#include "core/match_index.h"
 #include "hstore/table.h"
 #include "profiler/profile.h"
 #include "staticanalysis/features.h"
@@ -42,6 +44,38 @@ struct FeatureBounds {
   std::vector<double> Normalize(const std::vector<double>& values) const;
 };
 
+/// Store-level configuration: the backing table's options plus the
+/// secondary match index and ingest knobs. Implicitly constructible from
+/// bare HTableOptions so call sites that only configure the table keep
+/// working (and get the index defaults).
+struct ProfileStoreOptions {
+  ProfileStoreOptions() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  ProfileStoreOptions(hstore::HTableOptions table_options)
+      : table(std::move(table_options)) {}
+
+  /// The backing hstore table (region split size, read-only mode,
+  /// DbOptions::maintenance_pool, ...).
+  hstore::HTableOptions table;
+
+  /// Maintain the in-memory secondary match index (DESIGN.md §13). Off,
+  /// every stage-1 lookup falls back to the exhaustive region scan.
+  bool enable_match_index = true;
+  /// Band count / cell width of the index (MatchIndexOptions).
+  int index_bands = 1;
+  double index_cell_width = 0.5;
+  /// Rebuild the index from the table at Open. When disabled on a
+  /// non-empty store the index starts not-ready and stage 1 keeps using
+  /// the exhaustive scan (ablation / fast-open knob); incremental
+  /// maintenance still runs so a store opened empty stays indexed.
+  bool index_rebuild_on_open = true;
+
+  /// Flush the backing table after every PutProfile (profiles are
+  /// precious: each one costs a full profiled run). Bulk loaders turn
+  /// this off and call Flush() themselves once per batch.
+  bool eager_flush = true;
+};
+
 /// PStorM's profile store: the Table 5.1 HBase data model on the hstore
 /// layer. Row keys are "<FeatureType>/<job key>" — feature type as a
 /// row-key prefix rather than a column family, so new feature types can be
@@ -64,11 +98,12 @@ struct FeatureBounds {
 /// lock and only ever widen.
 class ProfileStore {
  public:
-  /// `options` configures the backing table — notably
+  /// `options` configures the backing table (notably
   /// DbOptions::maintenance_pool, which moves region flushes/compactions
-  /// off the PutProfile path onto a background scheduler.
+  /// off the PutProfile path onto a background scheduler) and the
+  /// secondary match index.
   static Result<std::unique_ptr<ProfileStore>> Open(
-      storage::Env* env, std::string path, hstore::HTableOptions options = {});
+      storage::Env* env, std::string path, ProfileStoreOptions options = {});
 
   /// Quiesces the backing table's background maintenance (no-op without a
   /// maintenance pool); returns the first latched background error.
@@ -125,6 +160,56 @@ class ProfileStore {
   Result<std::vector<std::string>> CostEuclideanScan(
       Side side, const std::vector<double>& probe, double theta,
       bool server_side = true, hstore::ScanStats* stats = nullptr) const;
+
+  /// Whether the secondary match index covers every stored profile (it
+  /// was rebuilt at Open, or the store opened empty, and has been
+  /// maintained incrementally since). When false the matcher must use the
+  /// exhaustive scans; the indexed scans return FailedPrecondition.
+  bool match_index_ready() const;
+
+  /// Profiles currently in the side's dynamic index space
+  /// (tests/diagnostics).
+  size_t match_index_size(Side side) const;
+
+  /// The index-backed equivalent of DynamicEuclideanScan: same key set,
+  /// same (lexicographic) order, but enumerating only bucket-colliding
+  /// candidates and verifying them with the vectorized kernel instead of
+  /// scanning every Dynamic row. FailedPrecondition when the index is
+  /// disabled or not ready.
+  Result<std::vector<std::string>> IndexedDynamicScan(
+      Side side, const std::vector<double>& probe, double theta,
+      VectorSpaceIndex::QueryStats* stats = nullptr) const;
+
+  /// The index-backed equivalent of CostEuclideanScan (a vectorized
+  /// full sweep of the in-memory cost vectors — the fallback filter has
+  /// no buckets).
+  Result<std::vector<std::string>> IndexedCostScan(
+      Side side, const std::vector<double>& probe, double theta,
+      VectorSpaceIndex::QueryStats* stats = nullptr) const;
+
+  /// (job key, raw vector) of every member of the side's dynamic / cost
+  /// index space, sorted by key. The index's cell structure is a pure
+  /// function of these values, so snapshot equality implies index
+  /// equality — the crash tests compare the incrementally-maintained
+  /// index against a fresh rebuild with this. Empty when disabled.
+  std::vector<std::pair<std::string, std::vector<double>>>
+  MatchIndexDynamicSnapshot(Side side) const;
+  std::vector<std::pair<std::string, std::vector<double>>>
+  MatchIndexCostSnapshot(Side side) const;
+
+  /// Drops and rebuilds the match index from the table's Dynamic rows
+  /// (what Open does when index_rebuild_on_open is set). Rows that are
+  /// unreadable or malformed are skipped — exactly the rows the
+  /// exhaustive filters reject — so the rebuilt index stays equivalent to
+  /// the scans even over a store degraded by quarantine.
+  Status RebuildMatchIndex();
+
+  /// Persists the normalization bounds and flushes the backing table (for
+  /// bulk loads with eager_flush off, which defer both to this call).
+  Status Flush() {
+    PSTORM_RETURN_IF_ERROR(SaveBounds());
+    return table_->Flush();
+  }
 
   /// Stage-2 filter: of `candidates`, the job keys whose stored side-CFG
   /// structurally matches `probe_cfg` (pushed down).
@@ -189,8 +274,8 @@ class ProfileStore {
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
 
  private:
-  explicit ProfileStore(std::unique_ptr<hstore::HTable> table)
-      : table_(std::move(table)) {}
+  ProfileStore(std::unique_ptr<hstore::HTable> table,
+               ProfileStoreOptions options);
 
   Status LoadBounds();
   /// Requires bounds_mu_ NOT held (takes it shared itself).
@@ -211,7 +296,21 @@ class ProfileStore {
   };
   CacheShard& ShardFor(const std::string& job_key) const;
 
+  /// Requires index_mu_ held exclusively (or the single-threaded open).
+  void IndexPutLocked(const std::string& job_key,
+                      const profiler::ExecutionProfile& profile);
+
+  /// `filter` applied to the candidate rows under `prefix`: point reads
+  /// when the candidate set is small (sublinear funnel stages after the
+  /// stage-1 index pruned), one pushed-down KeySet scan otherwise. Same
+  /// keys, same (row) order, either way.
+  Result<std::vector<std::string>> FilterCandidates(
+      const std::string& prefix, const std::vector<std::string>& candidates,
+      const std::shared_ptr<const hstore::RowFilter>& filter,
+      hstore::ScanStats* stats) const;
+
   std::unique_ptr<hstore::HTable> table_;
+  const ProfileStoreOptions options_;
 
   /// Serializes mutations (PutProfile/DeleteProfile). Lock order:
   /// write_mu_ → bounds_mu_ → a cache-shard mutex (readers take only the
@@ -226,6 +325,17 @@ class ProfileStore {
 
   std::atomic<size_t> num_profiles_{0};
 
+  /// Stored job keys, mirrored from the table's Payload rows: loaded by
+  /// RecountProfiles at Open, maintained by PutProfile/DeleteProfile.
+  /// Turns the per-mutation existence check into a hash probe instead of
+  /// a table Get (which opens a merging iterator over every sstable — the
+  /// dominant cost of bulk loads). Only touched under write_mu_ (or the
+  /// single-threaded Open). When the open-time recount failed under
+  /// corruption the mirror is not authoritative and existence checks fall
+  /// back to the table.
+  std::unordered_set<std::string> profile_keys_;
+  bool profile_keys_authoritative_ = false;
+
   RecoveryStats recovery_stats_;  // Written only during Open.
 
   /// Decoded-entry cache behind GetEntryRef, sharded by job-key hash so
@@ -234,6 +344,16 @@ class ProfileStore {
   /// GetEntryRef.
   static constexpr size_t kCacheShards = 16;
   mutable std::array<CacheShard, kCacheShards> entry_cache_;
+
+  /// The secondary match index (null when disabled). Guarded by
+  /// index_mu_: exclusive for maintenance (under write_mu_, extending the
+  /// lock order to write_mu_ → index_mu_), shared for lookups.
+  /// index_ready_ flips true once the index provably covers every stored
+  /// profile (rebuilt at Open, or the store opened empty) and never flips
+  /// back: incremental maintenance keeps it complete from then on.
+  mutable std::shared_mutex index_mu_;
+  std::unique_ptr<MatchIndex> index_;
+  bool index_ready_ = false;
 };
 
 /// Column names of the side's dynamic features / cost factors, in vector

@@ -17,10 +17,12 @@ namespace pstorm::core {
 struct PStormOptions {
   MatchOptions match;
   optimizer::CostBasedOptimizer::Options cbo;
-  /// Passed through to the profile store's backing table. Set
-  /// store.db_options.maintenance_pool to move region flushes/compactions
-  /// off the SubmitJob path onto the background scheduler.
-  hstore::HTableOptions store;
+  /// Passed through to the profile store: the backing table (set
+  /// store.table.db_options.maintenance_pool to move region
+  /// flushes/compactions off the SubmitJob path onto the background
+  /// scheduler) plus the secondary match index knobs (index_bands,
+  /// index_rebuild_on_open, ...).
+  ProfileStoreOptions store;
 };
 
 /// The PStorM system facade (thesis chapter 3): given a submitted MR job,

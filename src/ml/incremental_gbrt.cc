@@ -1,0 +1,73 @@
+#include "ml/incremental_gbrt.h"
+
+#include <utility>
+
+namespace pstorm::ml {
+
+IncrementalGbrt::IncrementalGbrt(Options options)
+    : options_(std::move(options)) {
+  if (options_.min_initial_samples < 1) options_.min_initial_samples = 1;
+  if (options_.max_stale_samples < 1) options_.max_stale_samples = 1;
+  if (options_.incremental_trees < 1) options_.incremental_trees = 1;
+}
+
+bool IncrementalGbrt::StalenessExceeded() const {
+  const size_t stale = stale_samples();
+  if (stale == 0) return false;
+  if (stale >= static_cast<size_t>(options_.max_stale_samples)) return true;
+  return options_.max_stale_fraction > 0.0 &&
+         static_cast<double>(stale) >=
+             options_.max_stale_fraction * static_cast<double>(y_.size());
+}
+
+Status IncrementalGbrt::Observe(std::vector<double> features, double label) {
+  x_.push_back(std::move(features));
+  y_.push_back(label);
+  if (!model_.has_value()) {
+    if (y_.size() < static_cast<size_t>(options_.min_initial_samples)) {
+      return Status::OK();
+    }
+    return Refresh(/*full=*/true);
+  }
+  if (!StalenessExceeded()) return Status::OK();
+  return Refresh();
+}
+
+Status IncrementalGbrt::Refresh(bool full) {
+  if (y_.size() < static_cast<size_t>(options_.min_initial_samples)) {
+    return Status::OK();
+  }
+  // Deterministic per-refresh seed: refresh results depend only on the
+  // observation sequence, never on wall clock.
+  const uint64_t seed =
+      options_.base.seed + 0x9E3779B9u * static_cast<uint64_t>(refreshes_ + 1);
+  const bool scheduled_full =
+      !model_.has_value() ||
+      (options_.full_retrain_every > 0 &&
+       refreshes_ % options_.full_retrain_every == 0);
+  if (full || scheduled_full) {
+    auto opts = options_.base;
+    opts.seed = seed;
+    PSTORM_ASSIGN_OR_RETURN(GradientBoostedTrees model,
+                            GradientBoostedTrees::Fit(x_, y_, opts));
+    model_ = std::move(model);
+    ++full_retrains_;
+  } else {
+    PSTORM_RETURN_IF_ERROR(
+        model_->FitMore(x_, y_, options_.incremental_trees, seed));
+  }
+  trained_samples_ = y_.size();
+  ++refreshes_;
+  return Status::OK();
+}
+
+Result<double> IncrementalGbrt::Predict(
+    const std::vector<double>& features) const {
+  if (!model_.has_value()) {
+    return Status::FailedPrecondition(
+        "IncrementalGbrt: no model yet (need min_initial_samples)");
+  }
+  return model_->Predict(features);
+}
+
+}  // namespace pstorm::ml

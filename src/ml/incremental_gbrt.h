@@ -1,0 +1,90 @@
+#ifndef PSTORM_ML_INCREMENTAL_GBRT_H_
+#define PSTORM_ML_INCREMENTAL_GBRT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/gbrt.h"
+
+namespace pstorm::ml {
+
+/// Online wrapper around GradientBoostedTrees for the §4.4 learned-distance
+/// matcher: training pairs trickle in (one per scored submission), and a
+/// full CV retrain per observation is three orders of magnitude more work
+/// than the prediction it improves. IncrementalGbrt instead buffers
+/// observations and refreshes the model under a *bounded-staleness
+/// contract*: the model may lag the buffer by at most max_stale_samples
+/// observations AND at most max_stale_fraction of the buffer, whichever
+/// bound trips first. A refresh is usually incremental (FitMore: residual
+/// boosting on the whole buffer, no CV) with every full_retrain_every-th
+/// refresh falling back to a full CV Fit so tree-count selection cannot
+/// drift arbitrarily far from the data.
+///
+/// Knobs of IncrementalGbrt (namespace scope so `= {}` default arguments
+/// work across compilers).
+struct IncrementalGbrtOptions {
+  GradientBoostedTrees::Options base;
+  /// No model is fitted before this many observations (Predict is
+  /// FailedPrecondition until then).
+  int min_initial_samples = 30;
+  /// Staleness bound, absolute: a refresh triggers once this many
+  /// observations postdate the model.
+  int max_stale_samples = 64;
+  /// Staleness bound, relative: a refresh also triggers once the stale
+  /// observations exceed this fraction of the buffer (so small stores
+  /// refresh proportionally sooner).
+  double max_stale_fraction = 0.25;
+  /// Trees appended per incremental refresh.
+  int incremental_trees = 200;
+  /// Every Nth refresh is a full CV retrain instead of an incremental
+  /// FitMore. 1 = always retrain fully (the fallback knob: ablation /
+  /// maximum accuracy); 0 = never (pure incremental).
+  int full_retrain_every = 8;
+};
+
+/// Not thread-safe; callers synchronize externally.
+class IncrementalGbrt {
+ public:
+  using Options = IncrementalGbrtOptions;
+
+  explicit IncrementalGbrt(Options options = {});
+
+  /// Buffers one observation and refreshes the model if the staleness
+  /// contract requires it. Errors come only from the underlying
+  /// Fit/FitMore and leave the buffer intact (the observation stays
+  /// counted as stale, so the next Observe retries).
+  Status Observe(std::vector<double> features, double label);
+
+  /// Forces a refresh now (full retrain when `full` is set, or when the
+  /// schedule says so). No-op without enough samples.
+  Status Refresh(bool full = false);
+
+  bool has_model() const { return model_.has_value(); }
+  /// FailedPrecondition until min_initial_samples observations arrived.
+  Result<double> Predict(const std::vector<double>& features) const;
+
+  size_t num_samples() const { return y_.size(); }
+  /// Observations the current model has not been trained on.
+  size_t stale_samples() const { return y_.size() - trained_samples_; }
+  int refreshes() const { return refreshes_; }
+  int full_retrains() const { return full_retrains_; }
+  /// The wrapped model (tests/diagnostics); requires has_model().
+  const GradientBoostedTrees& model() const { return *model_; }
+
+ private:
+  bool StalenessExceeded() const;
+
+  Options options_;
+  FeatureMatrix x_;
+  std::vector<double> y_;
+  std::optional<GradientBoostedTrees> model_;
+  size_t trained_samples_ = 0;  // Buffer size at the last refresh.
+  int refreshes_ = 0;
+  int full_retrains_ = 0;
+};
+
+}  // namespace pstorm::ml
+
+#endif  // PSTORM_ML_INCREMENTAL_GBRT_H_

@@ -130,7 +130,7 @@ TEST(ReplicationConcurrencyTest, StandbySyncsWhileSubmissionsRace) {
   ASSERT_TRUE((*replica)->Sync().ok());
   EXPECT_EQ((*replica)->lag(), 0u);
   PStormOptions read_only = options;
-  read_only.store.read_only = true;
+  read_only.store.table.read_only = true;
   auto standby = PStorM::Create(&sim, &follower_env, "/standby", read_only);
   ASSERT_TRUE(standby.ok()) << standby.status();
   EXPECT_EQ((*standby)->store().num_profiles(),

@@ -121,7 +121,7 @@ TEST_F(ReplicationE2eTest, ReadOnlyStandbyStoreServesMatchesWithoutWrites) {
   // replicated profiles; the store-back of a cold submission is skipped,
   // never an error (the write belongs on the primary).
   PStormOptions read_only = options_;
-  read_only.store.read_only = true;
+  read_only.store.table.read_only = true;
   auto standby =
       PStorM::Create(&sim_, &follower_disk_, "/standby", read_only);
   ASSERT_TRUE(standby.ok()) << standby.status();

@@ -1,0 +1,192 @@
+#include "ml/incremental_gbrt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace pstorm::ml {
+namespace {
+
+/// Fast base options: the wrapper's contract is about *when* refits
+/// happen, not model quality, so keep each Fit/FitMore cheap.
+IncrementalGbrtOptions FastOptions() {
+  IncrementalGbrtOptions options;
+  options.base.num_trees = 40;
+  options.base.shrinkage = 0.1;
+  options.base.cv_folds = 3;
+  options.base.train_fraction = 1.0;
+  options.base.min_obs_in_node = 2;
+  options.min_initial_samples = 10;
+  options.max_stale_samples = 8;
+  options.max_stale_fraction = 0.25;
+  options.incremental_trees = 20;
+  return options;
+}
+
+std::vector<double> Features(Rng* rng) {
+  return {rng->Uniform(0, 10), rng->Uniform(0, 10)};
+}
+
+double Label(const std::vector<double>& f) { return f[0] < 5.0 ? 1.0 : 9.0; }
+
+TEST(IncrementalGbrtTest, NoModelBeforeMinInitialSamples) {
+  IncrementalGbrt learner(FastOptions());
+  Rng rng(1);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_FALSE(learner.has_model());
+    auto prediction = learner.Predict({1.0, 1.0});
+    ASSERT_FALSE(prediction.ok());
+    EXPECT_EQ(prediction.status().code(), StatusCode::kFailedPrecondition);
+    const auto f = Features(&rng);
+    ASSERT_TRUE(learner.Observe(f, Label(f)).ok());
+  }
+  // The 10th observation crosses min_initial_samples: first full fit.
+  const auto f = Features(&rng);
+  ASSERT_TRUE(learner.Observe(f, Label(f)).ok());
+  EXPECT_TRUE(learner.has_model());
+  EXPECT_EQ(learner.refreshes(), 1);
+  EXPECT_EQ(learner.full_retrains(), 1);
+  EXPECT_EQ(learner.stale_samples(), 0u);
+  EXPECT_TRUE(learner.Predict({1.0, 1.0}).ok());
+}
+
+TEST(IncrementalGbrtTest, AbsoluteStalenessBoundTriggersRefresh) {
+  auto options = FastOptions();
+  options.max_stale_fraction = 1.0;  // Relative bound never trips here.
+  IncrementalGbrt learner(options);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const auto f = Features(&rng);
+    ASSERT_TRUE(learner.Observe(f, Label(f)).ok());
+    if (!learner.has_model()) continue;  // Pre-model: no contract yet.
+    EXPECT_LE(learner.stale_samples(),
+              static_cast<size_t>(options.max_stale_samples))
+        << "after observation " << i;
+  }
+  EXPECT_GT(learner.refreshes(), 1);
+  // Model quality survives incremental-only growth.
+  EXPECT_NEAR(*learner.Predict({2.0, 3.0}), 1.0, 1.5);
+  EXPECT_NEAR(*learner.Predict({8.0, 3.0}), 9.0, 1.5);
+}
+
+TEST(IncrementalGbrtTest, RelativeStalenessBoundTriggersRefreshSooner) {
+  auto options = FastOptions();
+  options.max_stale_samples = 1000000;  // Absolute bound never trips.
+  options.max_stale_fraction = 0.25;
+  IncrementalGbrt learner(options);
+  Rng rng(3);
+  for (int i = 0; i < 60; ++i) {
+    const auto f = Features(&rng);
+    ASSERT_TRUE(learner.Observe(f, Label(f)).ok());
+    if (!learner.has_model()) continue;  // Pre-model: no contract yet.
+    EXPECT_LT(static_cast<double>(learner.stale_samples()),
+              0.25 * static_cast<double>(learner.num_samples()) + 1.0)
+        << "after observation " << i;
+  }
+  EXPECT_GT(learner.refreshes(), 1);
+}
+
+TEST(IncrementalGbrtTest, FullRetrainEveryOneMeansEveryRefreshIsFull) {
+  auto options = FastOptions();
+  options.full_retrain_every = 1;
+  IncrementalGbrt learner(options);
+  Rng rng(4);
+  for (int i = 0; i < 60; ++i) {
+    const auto f = Features(&rng);
+    ASSERT_TRUE(learner.Observe(f, Label(f)).ok());
+  }
+  EXPECT_GT(learner.refreshes(), 1);
+  EXPECT_EQ(learner.full_retrains(), learner.refreshes());
+}
+
+TEST(IncrementalGbrtTest, FullRetrainZeroMeansPureIncrementalAfterFirst) {
+  auto options = FastOptions();
+  options.full_retrain_every = 0;
+  IncrementalGbrt learner(options);
+  Rng rng(5);
+  for (int i = 0; i < 80; ++i) {
+    const auto f = Features(&rng);
+    ASSERT_TRUE(learner.Observe(f, Label(f)).ok());
+  }
+  EXPECT_GT(learner.refreshes(), 2);
+  EXPECT_EQ(learner.full_retrains(), 1);  // Only the initial fit.
+}
+
+TEST(IncrementalGbrtTest, DeterministicGivenSameObservationStream) {
+  auto run = [] {
+    IncrementalGbrt learner(FastOptions());
+    Rng rng(6);
+    for (int i = 0; i < 60; ++i) {
+      const auto f = Features(&rng);
+      EXPECT_TRUE(learner.Observe(f, Label(f)).ok());
+    }
+    return *learner.Predict({4.9, 2.0});
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(IncrementalGbrtTest, ForcedFullRefreshResetsTreeSelection) {
+  auto options = FastOptions();
+  options.full_retrain_every = 0;
+  IncrementalGbrt learner(options);
+  Rng rng(7);
+  for (int i = 0; i < 40; ++i) {
+    const auto f = Features(&rng);
+    ASSERT_TRUE(learner.Observe(f, Label(f)).ok());
+  }
+  const int full_before = learner.full_retrains();
+  ASSERT_TRUE(learner.Refresh(/*full=*/true).ok());
+  EXPECT_EQ(learner.full_retrains(), full_before + 1);
+  EXPECT_EQ(learner.stale_samples(), 0u);
+}
+
+TEST(GbrtFitMoreTest, GrowsTreesAndCountsAllOfThem) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  Rng rng(8);
+  for (int i = 0; i < 120; ++i) {
+    x.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+    y.push_back(x.back()[0] < 5.0 ? 1.0 : 9.0);
+  }
+  GradientBoostedTrees::Options options;
+  options.num_trees = 40;
+  options.shrinkage = 0.1;
+  options.cv_folds = 3;
+  options.train_fraction = 1.0;
+  options.min_obs_in_node = 2;
+  auto model = GradientBoostedTrees::Fit(x, y, options);
+  ASSERT_TRUE(model.ok()) << model.status();
+  const int best = model->best_iteration();
+  ASSERT_GT(best, 0);
+
+  ASSERT_TRUE(model->FitMore(x, y, 25, /*seed=*/99).ok());
+  // The CV-rejected tail was dropped, then 25 trees appended — and the
+  // incremental pass counts every tree toward prediction.
+  EXPECT_EQ(model->num_trees_trained(), static_cast<size_t>(best) + 25);
+  EXPECT_EQ(model->best_iteration(),
+            static_cast<int>(model->num_trees_trained()));
+  EXPECT_NEAR(model->Predict({2.0, 5.0}), 1.0, 1.5);
+  EXPECT_NEAR(model->Predict({8.0, 5.0}), 9.0, 1.5);
+}
+
+TEST(GbrtFitMoreTest, RejectsBadArguments) {
+  FeatureMatrix x = {{1.0}, {2.0}, {3.0}, {4.0}};
+  std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  GradientBoostedTrees::Options options;
+  options.num_trees = 5;
+  options.cv_folds = 2;
+  options.train_fraction = 1.0;
+  options.min_obs_in_node = 1;
+  auto model = GradientBoostedTrees::Fit(x, y, options);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_FALSE(model->FitMore(x, y, 0, 1).ok());
+  EXPECT_FALSE(model->FitMore({}, {}, 5, 1).ok());
+  std::vector<double> short_y = {1.0};
+  EXPECT_FALSE(model->FitMore(x, short_y, 5, 1).ok());
+}
+
+}  // namespace
+}  // namespace pstorm::ml

@@ -34,7 +34,14 @@ Exit status: 0 when no benchmark regressed, 1 otherwise, 2 on bad input.
 
 import argparse
 import json
+import os
 import sys
+
+
+def die(message):
+    """Bad input: actionable message on stderr, distinct exit status 2."""
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
 
 
 def load_medians(path, metric):
@@ -43,9 +50,22 @@ def load_medians(path, metric):
         with open(path, "r", encoding="utf-8") as f:
             report = json.load(f)
     except (OSError, ValueError) as e:
-        sys.exit(f"error: cannot read {path}: {e}")
+        die(
+            f"cannot read {path}: {e}\n"
+            "(a truncated report usually means the benchmark binary died "
+            "mid-run or the runner ran out of disk; rerun the benchmark "
+            "step instead of trusting this comparison)"
+        )
+    if not isinstance(report, dict) or not isinstance(
+        report.get("benchmarks"), list
+    ):
+        die(
+            f"{path} is not a google-benchmark JSON report (no "
+            '"benchmarks" array); regenerate it with '
+            "--benchmark_out_format=json"
+        )
     medians = {}
-    for bench in report.get("benchmarks", []):
+    for bench in report["benchmarks"]:
         # Aggregate rows carry e.g. "BM_Foo/8_median"; plain rows (a run
         # without --benchmark_repetitions) have no aggregate_name, and the
         # single measurement serves as its own median.
@@ -53,12 +73,41 @@ def load_medians(path, metric):
         if bench.get("run_type") == "aggregate":
             if bench.get("aggregate_name") != "median":
                 continue
-        if not name or metric not in bench:
+        if not name:
             continue
+        if metric not in bench:
+            # Silently skipping would drop the benchmark from the gate and
+            # report a green "OK" with coverage quietly lost.
+            die(
+                f"{path}: entry {bench.get('name', name)!r} has no "
+                f"{metric!r} field; the report is malformed or was produced "
+                "by an incompatible google-benchmark version — regenerate "
+                "it (and the baseline, if that is the malformed side)"
+            )
         medians[name] = float(bench[metric])
     if not medians:
-        sys.exit(f"error: no usable benchmark entries in {path}")
+        die(f"no usable benchmark entries in {path}")
     return medians
+
+
+def write_job_summary(rows, metric, tolerance):
+    """Markdown per-benchmark table into $GITHUB_STEP_SUMMARY, if set."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [
+        f"### Bench regression gate ({metric} medians, ±{tolerance:g}%)",
+        "",
+        "| benchmark | baseline | current | delta | verdict |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for name, base, cur, delta_pct, verdict in rows:
+        base_s = f"{base:.1f}" if base is not None else "—"
+        cur_s = f"{cur:.1f}" if cur is not None else "—"
+        delta_s = f"{delta_pct:+.1f}%" if delta_pct is not None else "—"
+        lines.append(f"| `{name}` | {base_s} | {cur_s} | {delta_s} | {verdict} |")
+    with open(path, "a", encoding="utf-8") as f:
+        f.write("\n".join(lines) + "\n")
 
 
 def main():
@@ -121,8 +170,8 @@ def main():
         for side, medians in (("baseline", baseline), ("current", current)):
             ref = medians.get(args.normalize_by)
             if ref is None or ref <= 0:
-                sys.exit(
-                    f"error: --normalize-by benchmark {args.normalize_by!r} "
+                die(
+                    f"--normalize-by benchmark {args.normalize_by!r} "
                     f"is missing or non-positive in the {side} report"
                 )
             for name in medians:
@@ -131,15 +180,18 @@ def main():
 
     regressions = []
     improvements = []
+    summary_rows = []
     width = max(map(len, baseline | current))
     print(f"comparing {args.metric} medians, tolerance ±{args.tolerance:g}%")
     for name in sorted(baseline):
         if name not in current:
             print(f"  {name:<{width}}  MISSING from current run (skipped)")
+            summary_rows.append((name, baseline[name], None, None, "missing"))
             continue
         base, cur = baseline[name], current[name]
         if base <= 0:
             print(f"  {name:<{width}}  non-positive baseline (skipped)")
+            summary_rows.append((name, base, cur, None, "bad baseline"))
             continue
         delta_pct = (cur - base) / base * 100.0
         verdict = "ok"
@@ -153,8 +205,11 @@ def main():
             f"  {name:<{width}}  base {base:12.1f}  cur {cur:12.1f}"
             f"  {delta_pct:+7.1f}%  {verdict}"
         )
+        summary_rows.append((name, base, cur, delta_pct, verdict))
     for name in sorted(set(current) - set(baseline)):
         print(f"  {name:<{width}}  NEW (no baseline; refresh to cover it)")
+        summary_rows.append((name, None, current[name], None, "new"))
+    write_job_summary(summary_rows, args.metric, args.tolerance)
 
     if improvements:
         print(

@@ -1,0 +1,168 @@
+#include "tools/synthetic_corpus.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/random.h"
+#include "staticanalysis/ir.h"
+
+namespace pstorm::tools {
+namespace {
+
+using staticanalysis::Emit;
+using staticanalysis::If;
+using staticanalysis::Loop;
+using staticanalysis::Op;
+using staticanalysis::Seq;
+using staticanalysis::StmtPtr;
+
+/// The job family's "bytecode": control structure, type names, combiner
+/// presence and helper calls all vary with the archetype id, so distinct
+/// archetypes have distinct CFGs and categorical features while members
+/// of one archetype match each other exactly in the static stages.
+staticanalysis::MrProgram ArchetypeProgram(int archetype) {
+  staticanalysis::MrProgram p;
+  const std::string id = "Synth" + std::to_string(archetype);
+  p.job_class_name = id + "Job";
+  p.mapper_class = id + "Mapper";
+  p.reducer_class = id + "Reducer";
+  p.map_out_key = (archetype % 2 == 0) ? "Text" : "LongWritable";
+  p.map_out_value = (archetype % 3 == 0) ? "DoubleWritable" : "IntWritable";
+  p.reduce_out_key = p.map_out_key;
+  p.reduce_out_value = (archetype % 4 == 0) ? "Text" : p.map_out_value;
+  const bool has_combiner = archetype % 3 != 0;
+  if (has_combiner) p.combiner_class = id + "Combiner";
+
+  StmtPtr emit_one =
+      Seq({staticanalysis::Call("helper" + std::to_string(archetype % 5)),
+           Emit()});
+  StmtPtr inner = (archetype % 2 == 0)
+                      ? If("token.isValid", emit_one)
+                      : Seq({Op("token = normalize(token)"), emit_one});
+  StmtPtr loop_body = inner;
+  for (int depth = 0; depth < 1 + (archetype / 4) % 2; ++depth) {
+    loop_body = Loop("it" + std::to_string(depth) + ".hasNext", loop_body);
+  }
+  p.map_function = {p.mapper_class + ".map",
+                    Seq({Op("tokens = parse(line)"), loop_body})};
+
+  StmtPtr reduce_body =
+      (archetype % 2 == 0)
+          ? Seq({Op("sum = 0"), Loop("values.hasNext", Op("sum += value")),
+                 Emit()})
+          : Loop("values.hasNext", Seq({Op("acc.update(value)"), Emit()}));
+  p.reduce_function = {p.reducer_class + ".reduce", reduce_body};
+  return p;
+}
+
+/// Stream ids for Rng::Fork, disjoint across uses.
+constexpr uint64_t kClusterStream = uint64_t{1} << 40;
+constexpr uint64_t kProfileStream = uint64_t{2} << 40;
+
+}  // namespace
+
+SyntheticCorpus::SyntheticCorpus(SyntheticCorpusOptions options)
+    : options_(options) {
+  if (options_.num_archetypes < 1) options_.num_archetypes = 1;
+  if (options_.num_datasets < 1) options_.num_datasets = 1;
+  archetype_statics_.reserve(options_.num_archetypes);
+  for (int a = 0; a < options_.num_archetypes; ++a) {
+    archetype_statics_.push_back(
+        staticanalysis::ExtractStaticFeatures(ArchetypeProgram(a)));
+  }
+}
+
+SyntheticProfile SyntheticCorpus::Make(size_t index) const {
+  return MakeInternal(index, 0);
+}
+
+SyntheticProfile SyntheticCorpus::MakeProbe(size_t index, uint64_t salt) const {
+  return MakeInternal(index, salt == 0 ? 1 : salt);
+}
+
+SyntheticProfile SyntheticCorpus::MakeInternal(size_t index,
+                                               uint64_t salt) const {
+  const int archetype = static_cast<int>(index % options_.num_archetypes);
+  const int dataset = static_cast<int>(
+      (index / options_.num_archetypes) % options_.num_datasets);
+
+  // Cluster center: a pure function of (seed, archetype, dataset).
+  Rng root(options_.seed);
+  Rng cluster = root.Fork(kClusterStream + static_cast<uint64_t>(archetype) *
+                                               options_.num_datasets +
+                          dataset);
+  // Per-profile jitter: a pure function of (seed, index, salt), so probes
+  // (salt != 0) land near — not on — the stored member.
+  Rng noise = root.Fork(kProfileStream + index * 64 + salt);
+  auto jitter = [&] { return noise.LogNormal(0.0, options_.jitter); };
+
+  SyntheticProfile out;
+  profiler::ExecutionProfile& prof = out.profile;
+  prof.job_name = "synth-a" + std::to_string(archetype);
+  prof.data_set = "ds" + std::to_string(dataset);
+  out.job_key = prof.job_name + "-" + std::to_string(index) + "@" +
+                prof.data_set + (salt != 0 ? "-probe" : "");
+
+  // Input sizes span decades across datasets (10^7 .. 10^12 bytes).
+  const double input_bytes =
+      std::pow(10.0, 7.0 + dataset % 6 + cluster.NextDouble()) * jitter();
+  const double record_bytes = cluster.Uniform(40.0, 400.0);
+  prof.input_data_bytes = input_bytes;
+
+  profiler::MapSideProfile& m = prof.map_side;
+  m.num_tasks = static_cast<int>(input_bytes / (128.0 * 1024 * 1024)) + 1;
+  m.input_bytes = input_bytes;
+  m.input_records = input_bytes / record_bytes;
+  m.size_selectivity = cluster.Uniform(0.05, 2.5) * jitter();
+  m.pairs_selectivity = cluster.Uniform(0.2, 8.0) * jitter();
+  const bool has_combiner = archetype % 3 != 0;
+  if (has_combiner) {
+    m.combine_size_selectivity = cluster.Uniform(0.05, 0.6) * jitter();
+    m.combine_pairs_selectivity = cluster.Uniform(0.02, 0.5) * jitter();
+  }
+  m.output_bytes = m.input_bytes * m.size_selectivity;
+  m.output_records = m.input_records * m.pairs_selectivity;
+  m.final_output_bytes = m.output_bytes * m.combine_size_selectivity;
+  m.final_output_records = m.output_records * m.combine_pairs_selectivity;
+  m.read_hdfs_io_cost = cluster.Uniform(2.0, 20.0) * jitter();
+  m.read_local_io_cost = cluster.Uniform(1.0, 8.0) * jitter();
+  m.write_local_io_cost = cluster.Uniform(1.5, 12.0) * jitter();
+  m.map_cpu_cost = cluster.Uniform(20.0, 900.0) * jitter();
+  m.combine_cpu_cost = has_combiner ? cluster.Uniform(10.0, 300.0) * jitter()
+                                    : 0.0;
+  m.map_cpu_cost_cv = cluster.Uniform(0.02, 0.3);
+  m.read_s = m.input_bytes / m.num_tasks * m.read_hdfs_io_cost * 1e-9;
+  m.map_s = m.input_records / m.num_tasks * m.map_cpu_cost * 1e-9;
+
+  profiler::ReduceSideProfile& r = prof.reduce_side;
+  r.num_tasks = (m.num_tasks + 3) / 4;
+  r.input_bytes = m.final_output_bytes;
+  r.input_records = m.final_output_records;
+  r.size_selectivity = cluster.Uniform(0.05, 1.5) * jitter();
+  r.pairs_selectivity = cluster.Uniform(0.01, 1.0) * jitter();
+  r.output_bytes = r.input_bytes * r.size_selectivity;
+  r.output_records = r.input_records * r.pairs_selectivity;
+  r.write_hdfs_io_cost = cluster.Uniform(3.0, 25.0) * jitter();
+  r.read_local_io_cost = cluster.Uniform(1.0, 8.0) * jitter();
+  r.write_local_io_cost = cluster.Uniform(1.5, 12.0) * jitter();
+  r.reduce_cpu_cost = cluster.Uniform(30.0, 1200.0) * jitter();
+  r.shuffle_s = r.input_bytes / std::max(r.num_tasks, 1) * 4e-9;
+  r.reduce_s =
+      r.input_records / std::max(r.num_tasks, 1) * r.reduce_cpu_cost * 1e-9;
+
+  out.statics = archetype_statics_[archetype];
+  return out;
+}
+
+Status SyntheticCorpus::LoadInto(core::ProfileStore* store,
+                                 size_t limit) const {
+  const size_t n = limit == 0 ? size() : std::min(limit, size());
+  for (size_t i = 0; i < n; ++i) {
+    SyntheticProfile p = Make(i);
+    Status s = store->PutProfile(p.job_key, p.profile, p.statics);
+    if (!s.ok()) return s;
+  }
+  return store->Flush();
+}
+
+}  // namespace pstorm::tools

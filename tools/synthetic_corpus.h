@@ -1,0 +1,80 @@
+#ifndef PSTORM_TOOLS_SYNTHETIC_CORPUS_H_
+#define PSTORM_TOOLS_SYNTHETIC_CORPUS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/profile_store.h"
+#include "profiler/profile.h"
+#include "staticanalysis/features.h"
+
+namespace pstorm::tools {
+
+/// Bump when the generator's output changes for a fixed (seed, index):
+/// the scale-tier CI job keys its corpus cache on this value, so a stale
+/// cache can never masquerade as the current generator's output.
+inline constexpr int kSyntheticCorpusVersion = 1;
+
+/// Knobs of the deterministic profile-corpus generator. Every profile is
+/// a pure function of (options, index) — no global state, no clock — so
+/// two processes with equal options agree bit-for-bit on profile i
+/// without materializing profiles 0..i-1.
+struct SyntheticCorpusOptions {
+  uint64_t seed = 42;
+  /// Corpus size. Scale tests run 10^4..10^7.
+  size_t num_profiles = 10000;
+  /// Distinct job families (mapper/reducer code shapes). Profiles of one
+  /// archetype share static features and CFGs, so the funnel's static
+  /// stages stay discriminative at any corpus size.
+  int num_archetypes = 12;
+  /// Dataset variants per archetype; each gets its own input-size decade
+  /// and dataflow skew (cluster structure in the dynamic features).
+  int num_datasets = 8;
+  /// Relative sigma of the per-profile log-normal jitter applied to the
+  /// dataflow statistics and cost factors (intra-cluster spread).
+  double jitter = 0.08;
+};
+
+/// One generated job: exactly what ProfileStore::PutProfile consumes.
+struct SyntheticProfile {
+  std::string job_key;
+  profiler::ExecutionProfile profile;
+  staticanalysis::StaticFeatures statics;
+};
+
+/// Deterministic synthetic corpus of MR job profiles with controlled
+/// cluster/job diversity, for scale benches and index-vs-exhaustive
+/// equivalence tests (DESIGN.md §13).
+class SyntheticCorpus {
+ public:
+  explicit SyntheticCorpus(SyntheticCorpusOptions options = {});
+
+  size_t size() const { return options_.num_profiles; }
+  const SyntheticCorpusOptions& options() const { return options_; }
+
+  /// Profile `index` (0-based, < size()). Deterministic random access.
+  SyntheticProfile Make(size_t index) const;
+
+  /// A probe near (same archetype and dataset as) profile `index`, with
+  /// fresh jitter — what a re-submission of that job over a slightly
+  /// different day's data looks like. `salt` decorrelates repeated probes.
+  SyntheticProfile MakeProbe(size_t index, uint64_t salt = 1) const;
+
+  /// Bulk-loads profiles [0, limit) — or the whole corpus when limit is
+  /// 0 — into `store` with eager flushing off, then flushes once.
+  Status LoadInto(core::ProfileStore* store, size_t limit = 0) const;
+
+ private:
+  SyntheticProfile MakeInternal(size_t index, uint64_t salt) const;
+
+  SyntheticCorpusOptions options_;
+  /// Statics are constant per archetype; extracted once at construction
+  /// (CFG building per profile would dominate corpus generation).
+  std::vector<staticanalysis::StaticFeatures> archetype_statics_;
+};
+
+}  // namespace pstorm::tools
+
+#endif  // PSTORM_TOOLS_SYNTHETIC_CORPUS_H_
